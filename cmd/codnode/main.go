@@ -1,0 +1,144 @@
+// Command codnode runs a single COD node as its own OS process, for truly
+// distributed multi-process runs over real UDP/TCP loopback sockets. Start
+// one publisher and any number of subscribers in separate terminals:
+//
+//	codnode -name dyn-pc  -role pub -hz 60
+//	codnode -name disp-pc -role sub
+//	codnode -name disp-pc2 -role sub        # dynamic join, any time
+//
+// The publisher synthesizes a circling CraneState; subscribers print the
+// receive rate once per second. All nodes discover each other through the
+// Communication Backbone's broadcast protocol — there is no server.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"codsim/internal/cb"
+	"codsim/internal/fom"
+	"codsim/internal/lp"
+	"codsim/internal/mathx"
+	"codsim/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "codnode:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		name = flag.String("name", "", "unique node name (required)")
+		role = flag.String("role", "sub", "pub | sub")
+		hz   = flag.Float64("hz", 60, "publish rate (pub role)")
+		base = flag.Int("base", 39800, "UDP segment base port")
+		size = flag.Int("size", 16, "UDP segment size (number of computer slots)")
+	)
+	flag.Parse()
+	if *name == "" {
+		return fmt.Errorf("-name is required")
+	}
+
+	lan, err := transport.NewUDPLAN("127.0.0.1", *base, *size)
+	if err != nil {
+		return err
+	}
+	backbone, err := cb.New(lan, *name, cb.Config{})
+	if err != nil {
+		return err
+	}
+	defer backbone.Close()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	switch *role {
+	case "pub":
+		return runPublisher(backbone, *hz, stop)
+	case "sub":
+		return runSubscriber(backbone, stop)
+	default:
+		return fmt.Errorf("unknown role %q", *role)
+	}
+}
+
+func runPublisher(backbone *cb.Backbone, hz float64, stop <-chan os.Signal) error {
+	pub, err := backbone.PublishObjectClass("dynamics", fom.ClassCraneState)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("publisher %s: publishing %s at %.0f Hz; waiting for subscribers...\n",
+		backbone.Node(), fom.ClassCraneState, hz)
+
+	runner, err := lp.NewRunner("pub", hz, func(simTime, _ float64) error {
+		st := fom.CraneState{
+			Position:  mathx.V3(20*math.Cos(simTime/5), 0, 20*math.Sin(simTime/5)),
+			Heading:   simTime / 5,
+			BoomLuff:  0.8,
+			BoomLen:   12,
+			CableLen:  5,
+			Stability: 1,
+			EngineOn:  true,
+		}
+		return pub.Update(simTime, st.Encode())
+	}, lp.Realtime())
+	if err != nil {
+		return err
+	}
+	if err := runner.Start(); err != nil {
+		return err
+	}
+	report := time.NewTicker(time.Second)
+	defer report.Stop()
+	for {
+		select {
+		case <-stop:
+			runner.Stop()
+			return nil
+		case <-report.C:
+			fmt.Printf("  channels=%d updatesSent=%d\n",
+				pub.Channels(), backbone.Stats().UpdatesSent.Value())
+		}
+	}
+}
+
+func runSubscriber(backbone *cb.Backbone, stop <-chan os.Signal) error {
+	sub, err := backbone.SubscribeObjectClass("visual", fom.ClassCraneState, cb.WithQueue(256))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("subscriber %s: broadcasting SUBSCRIPTION for %s...\n",
+		backbone.Node(), fom.ClassCraneState)
+
+	report := time.NewTicker(time.Second)
+	defer report.Stop()
+	var received, lastCount int64
+	for {
+		select {
+		case <-stop:
+			return nil
+		case <-report.C:
+			rate := received - lastCount
+			lastCount = received
+			fmt.Printf("  matched=%v rate=%d msg/s total=%d\n", sub.Matched(), rate, received)
+		default:
+			if r, ok := sub.Next(50 * time.Millisecond); ok {
+				received++
+				if received == 1 {
+					if st, err := fom.DecodeCraneState(r.Attrs); err == nil {
+						fmt.Printf("  first state from %s/%s: pos=%.1f,%.1f\n",
+							r.PubNode, r.PubLP, st.Position.X, st.Position.Z)
+					}
+				}
+			}
+		}
+	}
+}

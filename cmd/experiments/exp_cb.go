@@ -1,0 +1,323 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"codsim/internal/cb"
+	"codsim/internal/fom"
+	"codsim/internal/metrics"
+	"codsim/internal/transport"
+	"codsim/internal/wire"
+)
+
+// exp2Routing measures virtual-channel message routing: the in-process
+// fast path versus cross-node channels, one-way throughput, and 1→N
+// fan-out (Fig. 1/2 behaviours).
+func exp2Routing(quick bool) error {
+	msgs := 20000
+	if quick {
+		msgs = 3000
+	}
+
+	attrs := fom.CraneState{Stability: 1}.Encode()
+
+	// --- Local fast path: publisher and subscriber on the same CB. ---
+	lan := transport.NewMemLAN()
+	solo, err := cb.New(lan, "solo", fastCB())
+	if err != nil {
+		return err
+	}
+	defer solo.Close()
+	pubL, err := solo.PublishObjectClass("p", "State")
+	if err != nil {
+		return err
+	}
+	// The mailbox must hold the full burst: a smaller drop-oldest queue
+	// would silently shed messages and understate the loss-free rate.
+	subL, err := solo.SubscribeObjectClass("s", "State", cb.WithQueue(msgs+16))
+	if err != nil {
+		return err
+	}
+	localRate, err := measureThroughput(pubL, subL, attrs, msgs)
+	if err != nil {
+		return err
+	}
+
+	// --- Remote channel over the in-memory LAN. ---
+	pubNode, err := cb.New(lan, "pub-pc", fastCB())
+	if err != nil {
+		return err
+	}
+	defer pubNode.Close()
+	subNode, err := cb.New(lan, "sub-pc", fastCB())
+	if err != nil {
+		return err
+	}
+	defer subNode.Close()
+	pubR, err := pubNode.PublishObjectClass("p", "RState")
+	if err != nil {
+		return err
+	}
+	subR, err := subNode.SubscribeObjectClass("s", "RState", cb.WithQueue(msgs+16))
+	if err != nil {
+		return err
+	}
+	if !subR.WaitMatched(5 * time.Second) {
+		return fmt.Errorf("remote channel never established")
+	}
+	remoteRate, err := measureThroughput(pubR, subR, attrs, msgs)
+	if err != nil {
+		return err
+	}
+
+	// --- Remote round-trip latency (ping-pong over two classes). ---
+	rtt, err := measureRTT(lan, 300)
+	if err != nil {
+		return err
+	}
+
+	tbl := metrics.NewTable("path", "throughput (msg/s)", "round trip (µs)")
+	tbl.AddRow("in-process fast path", localRate, "-")
+	tbl.AddRow("cross-node channel", remoteRate, fmt.Sprintf("%.0f", rtt.Mean()*1e6))
+	fmt.Print(tbl.String())
+
+	// --- Fan-out: 1 publisher → N subscriber nodes. ---
+	fmt.Println("\nfan-out (1 publisher, N subscriber nodes, msgs delivered/s total):")
+	fanSweep := []int{1, 2, 4, 8}
+	if quick {
+		fanSweep = []int{1, 4}
+	}
+	tbl2 := metrics.NewTable("subscribers", "aggregate delivery (msg/s)")
+	for _, n := range fanSweep {
+		rate, err := measureFanout(n, msgs/4)
+		if err != nil {
+			return err
+		}
+		tbl2.AddRow(n, rate)
+	}
+	fmt.Print(tbl2.String())
+	return nil
+}
+
+func measureThroughput(pub *cb.Publication, sub *cb.Subscription, attrs wire.AttrSet, msgs int) (float64, error) {
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		for i := 0; i < msgs; i++ {
+			if _, ok := sub.Next(10 * time.Second); !ok {
+				done <- fmt.Errorf("receive timed out at %d", i)
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < msgs; i++ {
+		if err := pub.Update(float64(i), attrs); err != nil {
+			return 0, err
+		}
+	}
+	if err := <-done; err != nil {
+		return 0, err
+	}
+	return float64(msgs) / time.Since(start).Seconds(), nil
+}
+
+// measureRTT ping-pongs a tiny update between two nodes.
+func measureRTT(lan transport.LAN, rounds int) (*metrics.Summary, error) {
+	a, err := cb.New(lan, "rtt-a", fastCB())
+	if err != nil {
+		return nil, err
+	}
+	defer a.Close()
+	b, err := cb.New(lan, "rtt-b", fastCB())
+	if err != nil {
+		return nil, err
+	}
+	defer b.Close()
+
+	pingPub, err := a.PublishObjectClass("a", "Ping")
+	if err != nil {
+		return nil, err
+	}
+	pongSub, err := a.SubscribeObjectClass("a", "Pong", cb.WithQueue(16))
+	if err != nil {
+		return nil, err
+	}
+	pingSub, err := b.SubscribeObjectClass("b", "Ping", cb.WithQueue(16))
+	if err != nil {
+		return nil, err
+	}
+	pongPub, err := b.PublishObjectClass("b", "Pong")
+	if err != nil {
+		return nil, err
+	}
+	if !pingSub.WaitMatched(5*time.Second) || !pongSub.WaitMatched(5*time.Second) {
+		return nil, fmt.Errorf("rtt channels never established")
+	}
+
+	// Echo loop on node b.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if r, ok := pingSub.Next(100 * time.Millisecond); ok {
+				_ = pongPub.Update(r.Time, nil)
+			}
+		}
+	}()
+
+	var rtt metrics.Summary
+	attrs := wire.AttrSet{}
+	attrs.PutUint32(1, 0)
+	for i := 0; i < rounds; i++ {
+		start := time.Now()
+		if err := pingPub.Update(float64(i), attrs); err != nil {
+			return nil, err
+		}
+		if _, ok := pongSub.Next(5 * time.Second); !ok {
+			return nil, fmt.Errorf("pong %d lost", i)
+		}
+		rtt.Observe(time.Since(start).Seconds())
+	}
+	return &rtt, nil
+}
+
+func measureFanout(subs, msgs int) (float64, error) {
+	lan := transport.NewMemLAN()
+	pubNode, err := cb.New(lan, "pub-pc", fastCB())
+	if err != nil {
+		return 0, err
+	}
+	defer pubNode.Close()
+	pub, err := pubNode.PublishObjectClass("p", "Fan")
+	if err != nil {
+		return 0, err
+	}
+
+	sl := make([]*cb.Subscription, subs)
+	for i := range sl {
+		node, err := cb.New(lan, fmt.Sprintf("sub-pc-%d", i), fastCB())
+		if err != nil {
+			return 0, err
+		}
+		defer node.Close()
+		s, err := node.SubscribeObjectClass("s", "Fan", cb.WithQueue(msgs+16))
+		if err != nil {
+			return 0, err
+		}
+		sl[i] = s
+	}
+	for _, s := range sl {
+		if !s.WaitMatched(5 * time.Second) {
+			return 0, fmt.Errorf("fan-out channel missing")
+		}
+	}
+
+	attrs := wire.AttrSet{}
+	attrs.PutFloat64(1, 1)
+	done := make(chan error, subs)
+	start := time.Now()
+	for _, s := range sl {
+		go func(s *cb.Subscription) {
+			for i := 0; i < msgs; i++ {
+				if _, ok := s.Next(10 * time.Second); !ok {
+					done <- fmt.Errorf("fanout receive timeout")
+					return
+				}
+			}
+			done <- nil
+		}(s)
+	}
+	for i := 0; i < msgs; i++ {
+		if err := pub.Update(float64(i), attrs); err != nil {
+			return 0, err
+		}
+	}
+	for range sl {
+		if err := <-done; err != nil {
+			return 0, err
+		}
+	}
+	return float64(msgs*subs) / time.Since(start).Seconds(), nil
+}
+
+// exp3Init measures the initialization protocol: virtual-channel
+// establishment latency versus subscriber count, convergence under
+// datagram loss, and the dynamic-join latency of an extra display (§2.3).
+func exp3Init(quick bool) error {
+	trials := 20
+	if quick {
+		trials = 5
+	}
+
+	fmt.Println("channel establishment latency (subscriber registers after publisher):")
+	tbl := metrics.NewTable("subscriber entries", "mean (ms)", "max (ms)")
+	for _, n := range []int{1, 4, 8, 16} {
+		var lat metrics.Summary
+		for trial := 0; trial < trials; trial++ {
+			if err := establishTrial(n, 0, &lat); err != nil {
+				return err
+			}
+		}
+		tbl.AddRow(n, lat.Mean()*1000, lat.Max()*1000)
+	}
+	fmt.Print(tbl.String())
+
+	fmt.Println("\nconvergence under broadcast datagram loss (8 entries):")
+	tbl2 := metrics.NewTable("loss %", "mean (ms)", "max (ms)")
+	for _, loss := range []float64{0, 0.2, 0.5} {
+		var lat metrics.Summary
+		for trial := 0; trial < trials; trial++ {
+			if err := establishTrial(8, loss, &lat); err != nil {
+				return err
+			}
+		}
+		tbl2.AddRow(loss*100, lat.Mean()*1000, lat.Max()*1000)
+	}
+	fmt.Print(tbl2.String())
+	return nil
+}
+
+// establishTrial creates one publisher node and one subscriber node with n
+// class entries and records per-entry establishment latency.
+func establishTrial(n int, loss float64, lat *metrics.Summary) error {
+	lan := transport.NewMemLAN(transport.WithLoss(loss), transport.WithSeed(time.Now().UnixNano()))
+	pubNode, err := cb.New(lan, "pub-pc", fastCB())
+	if err != nil {
+		return err
+	}
+	defer pubNode.Close()
+	for i := 0; i < n; i++ {
+		if _, err := pubNode.PublishObjectClass("p", fmt.Sprintf("Class%d", i)); err != nil {
+			return err
+		}
+	}
+	subNode, err := cb.New(lan, "sub-pc", fastCB())
+	if err != nil {
+		return err
+	}
+	defer subNode.Close()
+	subs := make([]*cb.Subscription, n)
+	for i := range subs {
+		s, err := subNode.SubscribeObjectClass("s", fmt.Sprintf("Class%d", i))
+		if err != nil {
+			return err
+		}
+		subs[i] = s
+	}
+	for i, s := range subs {
+		if !s.WaitMatched(20 * time.Second) {
+			return fmt.Errorf("entry %d never matched (loss %.0f%%)", i, loss*100)
+		}
+	}
+	// The backbone recorded per-entry latency in its stats.
+	st := subNode.Stats()
+	lat.Observe(st.EstablishLatency.Max())
+	return nil
+}

@@ -1,0 +1,215 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"codsim/internal/cb"
+	"codsim/internal/displaysync"
+	"codsim/internal/fom"
+	"codsim/internal/mathx"
+	"codsim/internal/metrics"
+	"codsim/internal/render"
+	"codsim/internal/terrain"
+	"codsim/internal/transport"
+)
+
+func fastCB() cb.Config {
+	return cb.Config{
+		BroadcastInterval: 5 * time.Millisecond,
+		RefreshInterval:   50 * time.Millisecond,
+		HeartbeatInterval: 25 * time.Millisecond,
+		HeartbeatTimeout:  250 * time.Millisecond,
+	}
+}
+
+// renderRig owns one display computer's renderer and scene.
+type renderRig struct {
+	builder *render.SceneBuilder
+	rend    *render.Renderer
+	cam     render.Camera
+	state   fom.CraneState
+}
+
+func newRenderRig(polygons, w, h, camIdx, camCount int) (*renderRig, error) {
+	ter, err := terrain.GenerateSite(terrain.DefaultSite())
+	if err != nil {
+		return nil, err
+	}
+	builder, err := render.NewSceneBuilder(ter, nil, polygons)
+	if err != nil {
+		return nil, err
+	}
+	rend, err := render.NewRenderer(w, h)
+	if err != nil {
+		return nil, err
+	}
+	st := fom.CraneState{
+		Position: mathx.V3(100, ter.HeightAt(100, 100), 100),
+		BoomLuff: mathx.Rad(45), BoomLen: 14, CableLen: 6,
+		HookPos:  mathx.V3(100, 6, 90),
+		CargoPos: mathx.V3(100, 1, 90),
+	}
+	eye := st.Position.Add(mathx.V3(0, 3.2, 0))
+	cams := render.SurroundCameras(eye, 0, camCount, mathx.Rad(40), float64(w)/float64(h))
+	return &renderRig{builder: builder, rend: rend, cam: cams[camIdx], state: st}, nil
+}
+
+// renderFrame draws one frame with slight animation so no frame is free.
+func (r *renderRig) renderFrame(frame uint32) {
+	r.state.BoomSwing = 0.3 * mathx.Rad(float64(frame%120)-60)
+	scene := r.builder.Frame(r.state)
+	r.rend.Render(scene, r.cam)
+}
+
+// measureFreeRun renders frames unsynchronized on one display.
+func measureFreeRun(polygons, w, h, frames int) (fps float64, err error) {
+	rig, err := newRenderRig(polygons, w, h, 0, 1)
+	if err != nil {
+		return 0, err
+	}
+	var tracker metrics.FrameTracker
+	for f := 0; f < frames; f++ {
+		start := time.Now()
+		rig.renderFrame(uint32(f))
+		tracker.TickInterval(time.Since(start))
+	}
+	return tracker.FPS(), nil
+}
+
+// measureSynced runs n displays + the synchronization server over the CB
+// and returns the mean achieved fps across displays. pipeline = 1 is the
+// paper's strict swap-lock; deeper values are the §5 acceleration.
+func measureSynced(displays, polygons, w, h, frames, pipeline int) (fps float64, err error) {
+	lan := transport.NewMemLAN()
+	serverBB, err := cb.New(lan, "sync-server", fastCB())
+	if err != nil {
+		return 0, err
+	}
+	defer serverBB.Close()
+
+	expected := make([]string, displays)
+	for i := range expected {
+		expected[i] = fmt.Sprintf("display-%d", i+1)
+	}
+	srv, err := displaysync.NewServer(serverBB, "sync", displaysync.ServerConfig{
+		Expected: expected, StallTimeout: 5 * time.Second, Pipeline: pipeline,
+	})
+	if err != nil {
+		return 0, err
+	}
+	srv.Start()
+	defer srv.Stop()
+
+	type dispUnit struct {
+		client *displaysync.Display
+		rig    *renderRig
+		bb     *cb.Backbone
+	}
+	units := make([]*dispUnit, displays)
+	for i := range units {
+		bb, err := cb.New(lan, fmt.Sprintf("display-pc-%d", i+1), fastCB())
+		if err != nil {
+			return 0, err
+		}
+		defer bb.Close()
+		client, err := displaysync.NewDisplay(bb, expected[i])
+		if err != nil {
+			return 0, err
+		}
+		rig, err := newRenderRig(polygons, w, h, i, displays)
+		if err != nil {
+			return 0, err
+		}
+		units[i] = &dispUnit{client: client, rig: rig, bb: bb}
+	}
+	for _, u := range units {
+		if !u.client.WaitServer(10 * time.Second) {
+			return 0, fmt.Errorf("display never linked")
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, displays)
+	for i, u := range units {
+		wg.Add(1)
+		go func(i int, u *dispUnit) {
+			defer wg.Done()
+			errs[i] = u.client.RunFrames(frames, 30*time.Second, u.rig.renderFrame)
+		}(i, u)
+	}
+	wg.Wait()
+	var total float64
+	for i, u := range units {
+		if errs[i] != nil {
+			return 0, errs[i]
+		}
+		total += u.client.FPS()
+	}
+	return total / float64(displays), nil
+}
+
+// exp1SurroundView reproduces the §4 measurement: synchronized surround
+// view fps versus polygon count and display count, against the free-running
+// single display. The paper reports 16 fps at 3235 polygons on three
+// synchronized displays; on modern CPUs the absolute numbers are far
+// higher, but the *shape* — the synchronization overhead and the decline
+// with polygon count — is the reproduced result.
+func exp1SurroundView(quick bool) error {
+	const w, h = 640, 480
+	frames := 120
+	polySweep := []int{800, 1600, 3235, 6500, 13000}
+	if quick {
+		frames = 30
+		polySweep = []int{800, 3235}
+	}
+
+	fmt.Println("paper reference: 3 displays + sync server @ 3235 polygons -> 16 fps")
+	tbl := metrics.NewTable("polygons", "free-run 1 display (fps)", "synced 3 displays (fps)", "sync overhead %")
+	for _, p := range polySweep {
+		free, err := measureFreeRun(p, w, h, frames)
+		if err != nil {
+			return err
+		}
+		synced, err := measureSynced(3, p, w, h, frames, 1)
+		if err != nil {
+			return err
+		}
+		overhead := (1 - synced/free) * 100
+		tbl.AddRow(p, free, synced, overhead)
+	}
+	fmt.Print(tbl.String())
+
+	fmt.Println("\ndisplay-count sweep @ 3235 polygons:")
+	dispSweep := []int{1, 2, 3, 4}
+	if quick {
+		dispSweep = []int{1, 3}
+	}
+	tbl2 := metrics.NewTable("displays", "synced fps", "server swaps/frame")
+	for _, d := range dispSweep {
+		synced, err := measureSynced(d, 3235, w, h, frames, 1)
+		if err != nil {
+			return err
+		}
+		tbl2.AddRow(d, synced, 1)
+	}
+	fmt.Print(tbl2.String())
+
+	// The §5 future-work ablation: pipeline depth vs throughput.
+	fmt.Println("\npipelined swap-lock (§5 'further accelerating the frame rate'), 3 displays @ 3235 polygons:")
+	pipeSweep := []int{1, 2, 3}
+	if quick {
+		pipeSweep = []int{1, 2}
+	}
+	tbl3 := metrics.NewTable("pipeline depth", "synced fps", "frame skew bound")
+	for _, p := range pipeSweep {
+		synced, err := measureSynced(3, 3235, w, h, frames, p)
+		if err != nil {
+			return err
+		}
+		tbl3.AddRow(p, synced, p)
+	}
+	fmt.Print(tbl3.String())
+	return nil
+}

@@ -1,0 +1,24 @@
+// Package codsim reproduces "Experience of Building A High-Fidelity Mobile
+// Crane Simulator with Cluster of Desktop Computers" (Huang, Bai, Tai, Gau
+// — ICDCS 2001): a fully distributed interactive visual simulator built
+// from commodity desktop computers connected by a transparent
+// publish/subscribe layer, the Communication Backbone (CB).
+//
+// The implementation lives under internal/:
+//
+//   - cb, lp, fom, wire, transport, timesync — the COD runtime: the CB's
+//     virtual channels, the HLA-style initialization protocol, the LAN
+//     substrates (simulated and real sockets), and conservative time sync;
+//   - render, displaysync — the software graphics pipeline and the
+//     synchronization server behind the paper's 16 fps surround view;
+//   - dynamics, collision, terrain, crane — the crane physics: carrier,
+//     boom, hook pendulum, multi-level collision detection, terrain
+//     following, and the safety envelope;
+//   - motion, audio, dashboard, instructor, scenario, trace — the other
+//     simulator modules of Fig. 3 plus the autopilot trainee;
+//   - sim — the full eight-computer federation.
+//
+// The benchmarks in bench_test.go regenerate the paper's quantitative
+// artifacts; cmd/experiments prints the full tables recorded in
+// EXPERIMENTS.md. Start with examples/quickstart.
+package codsim

@@ -1,0 +1,93 @@
+// Faultinjection demonstrates the instructor's trouble-shooting training
+// (§3.3): while the full federation runs, the instructor "clicks" an
+// instrument on the Dashboard window (Fig. 6); the command crosses the
+// Communication Backbone to the dashboard computer and forces the mockup's
+// needle to a bogus value — the trainee must notice the implausible
+// reading. Clearing the fault restores live display.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"codsim/internal/dashboard"
+	"codsim/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cluster, err := sim.New(sim.Config{
+		TimeScale: 4,
+		Width:     160,
+		Height:    120,
+		Polygons:  800,
+		Autopilot: true,
+		AutoStart: true,
+	})
+	if err != nil {
+		return err
+	}
+	if err := cluster.Start(); err != nil {
+		return err
+	}
+	defer cluster.Stop()
+
+	// Let the trainee get going (engine on, driving).
+	time.Sleep(2 * time.Second)
+	if err := cluster.Err(); err != nil {
+		return err
+	}
+
+	fmt.Println("=== live dashboard (mockup, dashboard-pc) ===")
+	printPanel(cluster.Panel())
+
+	fmt.Println("\ninstructor clicks the RPM gauge: inject 2950 rpm ...")
+	if err := cluster.InjectFault(dashboard.InstrRPM, 2950); err != nil {
+		return err
+	}
+	if !waitFor(func() bool { return cluster.Panel().Instrument(dashboard.InstrRPM).Faulted() }) {
+		return fmt.Errorf("fault never reached the dashboard computer")
+	}
+	fmt.Println("\n=== dashboard with injected fault (trainee's view) ===")
+	printPanel(cluster.Panel())
+	fmt.Println("\n=== instructor's mirror window (fault marked *) ===")
+	fmt.Print(cluster.Monitor().DashboardWindow())
+
+	fmt.Println("\ninstructor clears the fault ...")
+	if err := cluster.ClearFault(dashboard.InstrRPM); err != nil {
+		return err
+	}
+	if !waitFor(func() bool { return !cluster.Panel().Instrument(dashboard.InstrRPM).Faulted() }) {
+		return fmt.Errorf("fault never cleared")
+	}
+	fmt.Println("=== dashboard restored ===")
+	printPanel(cluster.Panel())
+	return nil
+}
+
+func waitFor(cond func() bool) bool {
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return true
+}
+
+func printPanel(p *dashboard.Panel) {
+	for _, g := range p.Snapshot() {
+		mark := ""
+		if g.Faulted {
+			mark = "  << FAULT INJECTED"
+		}
+		fmt.Printf("  %-13s %9.1f %-5s%s\n", g.Name, g.Value, g.Unit, mark)
+	}
+}

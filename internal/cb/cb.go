@@ -1,0 +1,353 @@
+// Package cb implements the Communication Backbone (CB), the paper's core
+// contribution (§2): a transparent publish/subscribe communication layer run
+// on every computer of the Cluster Of Desktop computers (COD).
+//
+// Logical Processes (LPs) register with their resident CB as publishers or
+// subscribers of object classes. The CB records them in its Publication and
+// Subscription tables and builds virtual channels between matching entries:
+//
+//   - A subscriber's CB broadcasts a SUBSCRIPTION datagram at a constant
+//     interval until a publisher's CB answers ACKNOWLEDGE (§2.3).
+//   - The subscriber then sends CHANNEL CONNECTION with the information
+//     needed to construct the virtual channel; a second ACKNOWLEDGE
+//     confirms that the channel is up.
+//   - Publishers push data with UPDATE ATTRIBUTE VALUE; the CB routes each
+//     update through the virtual channels and the receiving CB delivers it
+//     to its subscriber LPs as REFLECT ATTRIBUTE VALUE (push/pull model).
+//
+// LPs on the same computer are matched through an in-process fast path; LPs
+// across the network are matched through the broadcast protocol. Because
+// the subscriber keeps re-broadcasting at a slow refresh cadence even after
+// matching, an LP (an extra display, for example) can be added to a running
+// system without restarting anything — the paper's dynamic-join property —
+// and late-starting publishers still discover existing subscribers.
+package cb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"codsim/internal/metrics"
+	"codsim/internal/transport"
+	"codsim/internal/wire"
+)
+
+// Errors returned by the backbone.
+var (
+	ErrClosed        = errors.New("cb: backbone closed")
+	ErrDuplicateLP   = errors.New("cb: LP already registered for class")
+	ErrUnknownClass  = errors.New("cb: class name must not be empty")
+	ErrUnknownLP     = errors.New("cb: LP name must not be empty")
+	ErrHandleClosed  = errors.New("cb: registration handle closed")
+	ErrNoSubscribers = errors.New("cb: no subscribers") // informational, never returned by Update
+)
+
+// Config tunes the protocol timers. The zero value is replaced by defaults.
+type Config struct {
+	// BroadcastInterval is the period of SUBSCRIPTION re-broadcasts while
+	// a subscription entry is still unmatched (§2.3 "constant time
+	// interval").
+	BroadcastInterval time.Duration
+	// RefreshInterval is the slower re-broadcast period after the entry
+	// has at least one channel, which lets late-starting publishers find
+	// existing subscribers (dynamic join).
+	RefreshInterval time.Duration
+	// HeartbeatInterval is the idle-link beacon period.
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout declares a peer dead after this long without any
+	// inbound frame; its channels are torn down and affected
+	// subscriptions return to fast re-broadcast.
+	HeartbeatTimeout time.Duration
+	// MailboxDepth is the default per-subscription buffer depth.
+	MailboxDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.BroadcastInterval <= 0 {
+		c.BroadcastInterval = 50 * time.Millisecond
+	}
+	if c.RefreshInterval <= 0 {
+		c.RefreshInterval = 500 * time.Millisecond
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 250 * time.Millisecond
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 4 * c.HeartbeatInterval
+	}
+	if c.MailboxDepth <= 0 {
+		c.MailboxDepth = 64
+	}
+	return c
+}
+
+// Stats exposes the backbone's instrumentation counters.
+type Stats struct {
+	// BroadcastsSent counts SUBSCRIPTION datagrams sent.
+	BroadcastsSent metrics.Counter
+	// ChannelsUp counts virtual channels fully established (both sides).
+	ChannelsUp metrics.Counter
+	// UpdatesSent counts UPDATE frames pushed by local publishers
+	// (per channel, so one Update over three channels counts three).
+	UpdatesSent metrics.Counter
+	// ReflectsDelivered counts reflections delivered to local LPs.
+	ReflectsDelivered metrics.Counter
+	// MailboxDropped counts reflections dropped at full mailboxes.
+	MailboxDropped metrics.Counter
+	// LinksDown counts peer links declared dead.
+	LinksDown metrics.Counter
+	// EstablishLatency records registration→first-channel latency per
+	// subscription entry, in seconds.
+	EstablishLatency metrics.Summary
+}
+
+// Backbone is one computer's Communication Backbone. Create it with New and
+// release it with Close. All methods are safe for concurrent use.
+type Backbone struct {
+	node string
+	ifc  transport.Interface
+	cfg  Config
+
+	mu        sync.Mutex
+	closed    bool
+	pubs      map[classLP]*Publication
+	subs      map[classLP]*Subscription
+	outs      map[string][]*outChannel // class → established out channels
+	outKeys   map[chanKey]*outChannel  // dedup of pub-side channels
+	inSubKeys map[chanKey]uint32       // dedup of sub-side channels
+	ins       map[uint32]*inChannel    // channel ID → subscriber binding
+	peers     map[string]*peerLink     // remote node → named link
+	links     map[*peerLink]struct{}   // every live link, named or pending
+	nextChan  uint32
+
+	stats Stats
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// classLP keys a table entry: one LP's registration for one class.
+type classLP struct {
+	class string
+	lp    string
+}
+
+// chanKey identifies a virtual channel endpoint pairing for deduplication.
+// peer is the remote node: on the publisher side it names the subscriber's
+// node, on the subscriber side the publisher's node. Each side creates at
+// most one channel per key.
+type chanKey struct {
+	peer  string
+	subLP string
+	class string
+}
+
+// New attaches a backbone to the LAN under the given node name.
+func New(lan transport.LAN, node string, cfg Config) (*Backbone, error) {
+	ifc, err := lan.Attach(node)
+	if err != nil {
+		return nil, fmt.Errorf("cb: attach %q: %w", node, err)
+	}
+	b := &Backbone{
+		node:      node,
+		ifc:       ifc,
+		cfg:       cfg.withDefaults(),
+		pubs:      make(map[classLP]*Publication),
+		subs:      make(map[classLP]*Subscription),
+		outs:      make(map[string][]*outChannel),
+		outKeys:   make(map[chanKey]*outChannel),
+		inSubKeys: make(map[chanKey]uint32),
+		ins:       make(map[uint32]*inChannel),
+		peers:     make(map[string]*peerLink),
+		links:     make(map[*peerLink]struct{}),
+		done:      make(chan struct{}),
+	}
+	b.wg.Add(3)
+	go b.acceptLoop()
+	go b.datagramLoop()
+	go b.timerLoop()
+	return b, nil
+}
+
+// Node returns the backbone's node name.
+func (b *Backbone) Node() string { return b.node }
+
+// Addr returns the backbone's dialable stream address.
+func (b *Backbone) Addr() string { return b.ifc.Addr() }
+
+// Stats returns the live instrumentation counters. The pointer stays valid
+// for the backbone's lifetime.
+func (b *Backbone) Stats() *Stats { return &b.stats }
+
+// Close sends BYE to all peers, tears down every channel and registration,
+// and detaches from the LAN.
+func (b *Backbone) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	// Every link must be shut down — including pending accepted links
+	// that never identified themselves — or their read pumps would keep
+	// wg.Wait below blocked forever.
+	links := make([]*peerLink, 0, len(b.links))
+	for l := range b.links {
+		links = append(links, l)
+	}
+	subs := make([]*Subscription, 0, len(b.subs))
+	for _, s := range b.subs {
+		subs = append(subs, s)
+	}
+	b.mu.Unlock()
+
+	bye := wire.Frame{Kind: wire.KindBye, Node: b.node}
+	for _, l := range links {
+		_ = l.send(bye) // best effort
+		l.shutdown()
+	}
+	for _, s := range subs {
+		s.mbox.close()
+	}
+	close(b.done)
+	err := b.ifc.Close()
+	b.wg.Wait()
+	return err
+}
+
+// TableEntry describes one row of the Publication or Subscription table,
+// for introspection (the instructor monitor and the tests use this).
+type TableEntry struct {
+	LP       string
+	Class    string
+	Channels int
+}
+
+// Tables returns snapshots of the Publication and Subscription tables.
+func (b *Backbone) Tables() (pubs, subs []TableEntry) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for key := range b.pubs {
+		pubs = append(pubs, TableEntry{
+			LP:       key.lp,
+			Class:    key.class,
+			Channels: len(b.outs[key.class]),
+		})
+	}
+	for key, s := range b.subs {
+		subs = append(subs, TableEntry{
+			LP:       key.lp,
+			Class:    key.class,
+			Channels: len(s.channels),
+		})
+	}
+	return pubs, subs
+}
+
+// acceptLoop admits inbound peer links.
+func (b *Backbone) acceptLoop() {
+	defer b.wg.Done()
+	for {
+		conn, err := b.ifc.Accept()
+		if err != nil {
+			return // interface closed
+		}
+		b.startLink(conn, "") // peer name learned from its first frame
+	}
+}
+
+// datagramLoop handles broadcast discovery traffic.
+func (b *Backbone) datagramLoop() {
+	defer b.wg.Done()
+	for dg := range b.ifc.Recv() {
+		f, err := wire.Decode(dg.Payload)
+		if err != nil {
+			continue // malformed datagram; drop
+		}
+		if f.Kind == wire.KindSubscription {
+			b.handleSubscriptionBroadcast(f)
+		}
+	}
+}
+
+// timerLoop drives subscription re-broadcasts, heartbeats and link-death
+// detection off one ticker.
+func (b *Backbone) timerLoop() {
+	defer b.wg.Done()
+	tick := b.cfg.BroadcastInterval / 5
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	lastHB := time.Now()
+	for {
+		select {
+		case <-b.done:
+			return
+		case now := <-ticker.C:
+			b.broadcastPending(now)
+			if now.Sub(lastHB) >= b.cfg.HeartbeatInterval {
+				lastHB = now
+				b.heartbeat(now)
+			}
+		}
+	}
+}
+
+// broadcastPending sends SUBSCRIPTION datagrams for entries that are due:
+// unmatched entries at BroadcastInterval, matched ones at RefreshInterval.
+func (b *Backbone) broadcastPending(now time.Time) {
+	b.mu.Lock()
+	var frames []wire.Frame
+	for key, s := range b.subs {
+		due := b.cfg.BroadcastInterval
+		if len(s.channels) > 0 {
+			due = b.cfg.RefreshInterval
+		}
+		if now.Sub(s.lastBroadcast) < due {
+			continue
+		}
+		s.lastBroadcast = now
+		frames = append(frames, wire.Frame{
+			Kind:  wire.KindSubscription,
+			Node:  b.node,
+			LP:    key.lp,
+			Class: key.class,
+			Addr:  b.ifc.Addr(),
+		})
+	}
+	b.mu.Unlock()
+
+	for _, f := range frames {
+		payload, err := f.Encode()
+		if err != nil {
+			continue
+		}
+		if err := b.ifc.Broadcast(payload); err == nil {
+			b.stats.BroadcastsSent.Inc()
+		}
+	}
+}
+
+// heartbeat beacons every link and reaps dead ones — including pending
+// links whose peer never spoke.
+func (b *Backbone) heartbeat(now time.Time) {
+	b.mu.Lock()
+	links := make([]*peerLink, 0, len(b.links))
+	for l := range b.links {
+		links = append(links, l)
+	}
+	b.mu.Unlock()
+
+	hb := wire.Frame{Kind: wire.KindHeartbeat, Node: b.node}
+	for _, l := range links {
+		if now.Sub(l.lastRecvTime()) > b.cfg.HeartbeatTimeout {
+			b.linkDown(l)
+			continue
+		}
+		_ = l.send(hb)
+	}
+}

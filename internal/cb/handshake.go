@@ -1,0 +1,244 @@
+package cb
+
+import (
+	"time"
+
+	"codsim/internal/wire"
+)
+
+// handleSubscriptionBroadcast implements the publisher side of the
+// initialization protocol (§2.3): on hearing SUBSCRIPTION, the CB checks
+// its Publication table; if one of its LPs produces the class, it contacts
+// the subscriber's CB and answers ACKNOWLEDGE to start the virtual-channel
+// connection.
+func (b *Backbone) handleSubscriptionBroadcast(f wire.Frame) {
+	if f.Node == b.node {
+		return // our own broadcast echoed back
+	}
+	key := chanKey{peer: f.Node, subLP: f.LP, class: f.Class}
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	publishes := false
+	for pkey := range b.pubs {
+		if pkey.class == f.Class {
+			publishes = true
+			break
+		}
+	}
+	_, already := b.outKeys[key]
+	b.mu.Unlock()
+
+	if !publishes || already {
+		return // not the producer, or channel already up: stay silent
+	}
+
+	link, err := b.dialPeer(f.Node, f.Addr)
+	if err != nil {
+		return // subscriber unreachable; its re-broadcast will retry
+	}
+	ack := wire.Frame{
+		Kind:  wire.KindAcknowledge,
+		Phase: wire.AckSubscription,
+		Node:  b.node,
+		LP:    f.LP, // echo the subscriber LP so its CB can match
+		Class: f.Class,
+		Addr:  b.ifc.Addr(),
+	}
+	if err := link.send(ack); err != nil {
+		b.linkDown(link)
+	}
+}
+
+// handleFrame dispatches one inbound stream frame.
+func (b *Backbone) handleFrame(l *peerLink, f wire.Frame) {
+	switch f.Kind {
+	case wire.KindAcknowledge:
+		switch f.Phase {
+		case wire.AckSubscription:
+			b.handleSubAck(l, f)
+		case wire.AckChannelUp:
+			b.handleChannelUp(l, f)
+		}
+	case wire.KindChannelConn:
+		b.handleChannelConnect(l, f)
+	case wire.KindUpdateAttrs, wire.KindNull:
+		b.handleUpdate(f)
+	case wire.KindHeartbeat:
+		// lastRecv already refreshed by readLoop; nothing else to do.
+	case wire.KindBye:
+		if f.Channel != 0 {
+			// Channel-scoped BYE: one registration withdrew (an LP
+			// closed); only its virtual channel dies, the link and all
+			// other channels stay up.
+			b.dropChannel(l, f.Channel)
+		} else {
+			b.linkDown(l)
+		}
+	case wire.KindFrameReady, wire.KindFrameSwap:
+		// Barrier traffic is routed as regular channel updates by the
+		// displaysync package; bare frames of these kinds are ignored.
+	}
+}
+
+// handleSubAck is the subscriber side of step 2: a publisher acknowledged
+// our SUBSCRIPTION, so reply with CHANNEL CONNECTION carrying the new
+// channel ID (§2.3).
+func (b *Backbone) handleSubAck(l *peerLink, f wire.Frame) {
+	// Keyed by the *publisher's* node: a subscriber may hold one channel
+	// from each publisher node of the class.
+	key := chanKey{peer: f.Node, subLP: f.LP, class: f.Class}
+	skey := classLP{class: f.Class, lp: f.LP}
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	sub, ok := b.subs[skey]
+	if !ok {
+		b.mu.Unlock()
+		return // subscription was withdrawn meanwhile
+	}
+	if _, dup := b.inSubKeys[key]; dup {
+		b.mu.Unlock()
+		return // channel from this publisher node already exists/pending
+	}
+	b.nextChan++
+	id := b.nextChan
+	ic := &inChannel{id: id, key: key, link: l, sub: sub}
+	b.ins[id] = ic
+	b.inSubKeys[key] = id
+	sub.channels[id] = ic
+	b.mu.Unlock()
+
+	conn := wire.Frame{
+		Kind:    wire.KindChannelConn,
+		Channel: id,
+		Node:    b.node,
+		LP:      f.LP,
+		Class:   f.Class,
+		Addr:    b.ifc.Addr(),
+	}
+	if err := l.send(conn); err != nil {
+		b.linkDown(l)
+	}
+}
+
+// handleChannelConnect is the publisher side of step 3: record the new
+// out-channel and confirm with the second ACKNOWLEDGE.
+func (b *Backbone) handleChannelConnect(l *peerLink, f wire.Frame) {
+	key := chanKey{peer: f.Node, subLP: f.LP, class: f.Class}
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	if _, dup := b.outKeys[key]; dup {
+		b.mu.Unlock()
+		return
+	}
+	oc := &outChannel{class: f.Class, key: key, link: l, remoteChan: f.Channel}
+	b.outs[f.Class] = append(b.outs[f.Class], oc)
+	b.outKeys[key] = oc
+	b.mu.Unlock()
+	b.stats.ChannelsUp.Inc()
+
+	up := wire.Frame{
+		Kind:    wire.KindAcknowledge,
+		Phase:   wire.AckChannelUp,
+		Channel: f.Channel,
+		Node:    b.node,
+		LP:      f.LP,
+		Class:   f.Class,
+	}
+	if err := l.send(up); err != nil {
+		b.linkDown(l)
+	}
+}
+
+// handleChannelUp is the subscriber receiving the final ACKNOWLEDGE: the
+// publisher has recorded its half, so the channel is now established and
+// the subscription counts as matched (§2.3: "an ACKNOWLEDGE message will
+// be received again if such a virtual channel is successfully built").
+func (b *Backbone) handleChannelUp(l *peerLink, f wire.Frame) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ic, ok := b.ins[f.Channel]
+	if !ok || ic.link != l {
+		return // torn down meanwhile, or misdirected
+	}
+	ic.established = true
+	if ic.sub != nil {
+		b.noteMatchedLocked(ic.sub)
+	}
+}
+
+// handleUpdate routes an inbound UPDATE/NULL frame to the subscriber LP
+// bound to the virtual channel and delivers it as a reflection.
+func (b *Backbone) handleUpdate(f wire.Frame) {
+	b.mu.Lock()
+	ic, ok := b.ins[f.Channel]
+	b.mu.Unlock()
+	if !ok {
+		return // stale channel (e.g. torn down moments ago)
+	}
+	r := Reflection{
+		Class:   f.Class,
+		PubNode: f.Node,
+		PubLP:   f.LP,
+		Channel: f.Channel,
+		Seq:     f.Seq,
+		Time:    f.Time,
+		Null:    f.Kind == wire.KindNull,
+		Attrs:   f.Attrs,
+	}
+	b.deliver(ic.sub, r)
+}
+
+// dropChannel tears down one virtual channel identified by the
+// subscriber-assigned ID, on whichever side receives the scoped BYE.
+func (b *Backbone) dropChannel(l *peerLink, id uint32) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// Publisher side: remove the out-channel riding this link.
+	for class, chans := range b.outs {
+		kept := chans[:0]
+		for _, oc := range chans {
+			if oc.link == l && oc.remoteChan == id {
+				delete(b.outKeys, oc.key)
+				continue
+			}
+			kept = append(kept, oc)
+		}
+		b.outs[class] = kept
+	}
+	// Subscriber side: remove the in-channel and re-arm discovery.
+	if ic, ok := b.ins[id]; ok && ic.link == l {
+		delete(b.ins, id)
+		delete(b.inSubKeys, ic.key)
+		if sub := ic.sub; sub != nil {
+			delete(sub.channels, id)
+			sub.lastBroadcast = time.Time{} // due immediately
+		}
+	}
+}
+
+// WaitMatched blocks until the subscription has at least one channel or the
+// timeout elapses; it reports success. Handy for startup sequencing.
+func (s *Subscription) WaitMatched(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if s.Matched() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,184 @@
+package cb
+
+import (
+	"sync"
+	"time"
+
+	"codsim/internal/transport"
+	"codsim/internal/wire"
+)
+
+// peerLink is one multiplexed stream between two CBs. Every virtual channel
+// between the two nodes shares it (Fig. 2: the channel is a table-entry
+// mapping, not a socket).
+type peerLink struct {
+	b    *Backbone
+	conn transport.Conn
+
+	mu       sync.Mutex
+	node     string // remote node name; "" until its first frame arrives
+	lastRecv time.Time
+	dead     bool
+
+	wmu sync.Mutex // serializes frame writes
+
+	closeOnce sync.Once
+}
+
+// startLink wraps a connection and begins its read pump. peerName may be
+// empty for accepted connections; it is learned from the first frame.
+// Returns nil when the backbone is already closed (the conn is dropped).
+func (b *Backbone) startLink(conn transport.Conn, peerName string) *peerLink {
+	l := &peerLink{b: b, conn: conn, node: peerName, lastRecv: time.Now()}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		_ = conn.Close()
+		return nil
+	}
+	b.links[l] = struct{}{}
+	if peerName != "" {
+		if _, exists := b.peers[peerName]; !exists {
+			b.peers[peerName] = l
+		}
+	}
+	b.wg.Add(1)
+	b.mu.Unlock()
+	go l.readLoop()
+	return l
+}
+
+// registerLink records l as the link for node. An existing link for the
+// same node is kept; the newer one simply also serves traffic (harmless
+// duplicate from simultaneous dialing).
+func (b *Backbone) registerLink(l *peerLink, node string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, exists := b.peers[node]; !exists {
+		b.peers[node] = l
+	}
+}
+
+// linkFor returns the established link to node, or nil.
+func (b *Backbone) linkFor(node string) *peerLink {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.peers[node]
+}
+
+// dialPeer returns an existing link to node or dials addr to create one.
+func (b *Backbone) dialPeer(node, addr string) (*peerLink, error) {
+	if l := b.linkFor(node); l != nil {
+		return l, nil
+	}
+	conn, err := b.ifc.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	l := b.startLink(conn, node)
+	if l == nil {
+		return nil, ErrClosed
+	}
+	return l, nil
+}
+
+// send writes one frame to the link.
+func (l *peerLink) send(f wire.Frame) error {
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	_, err := f.WriteTo(l.conn)
+	return err
+}
+
+// lastRecvTime returns the time of the last inbound frame.
+func (l *peerLink) lastRecvTime() time.Time {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastRecv
+}
+
+// peer returns the remote node name, which may still be empty.
+func (l *peerLink) peer() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.node
+}
+
+// shutdown closes the underlying connection, unblocking readLoop.
+func (l *peerLink) shutdown() {
+	l.closeOnce.Do(func() { _ = l.conn.Close() })
+}
+
+// readLoop pumps inbound frames to the backbone until the link dies.
+func (l *peerLink) readLoop() {
+	defer l.b.wg.Done()
+	for {
+		f, err := wire.ReadFrame(l.conn)
+		if err != nil {
+			l.b.linkDown(l)
+			return
+		}
+		l.mu.Lock()
+		l.lastRecv = time.Now()
+		if l.node == "" && f.Node != "" {
+			l.node = f.Node
+			l.mu.Unlock()
+			l.b.registerLink(l, f.Node)
+		} else {
+			l.mu.Unlock()
+		}
+		l.b.handleFrame(l, f)
+	}
+}
+
+// linkDown tears down a dead link: every virtual channel riding it is
+// removed, and affected subscription entries fall back to fast
+// re-broadcast so replacement publishers are found (§2.3 resilience).
+func (b *Backbone) linkDown(l *peerLink) {
+	l.mu.Lock()
+	if l.dead {
+		l.mu.Unlock()
+		return
+	}
+	l.dead = true
+	node := l.node
+	l.mu.Unlock()
+
+	l.shutdown()
+
+	b.mu.Lock()
+	delete(b.links, l)
+	if node != "" && b.peers[node] == l {
+		delete(b.peers, node)
+	}
+	// Publisher side: drop out-channels using this link.
+	for class, chans := range b.outs {
+		kept := chans[:0]
+		for _, oc := range chans {
+			if oc.link == l {
+				delete(b.outKeys, oc.key)
+				continue
+			}
+			kept = append(kept, oc)
+		}
+		b.outs[class] = kept
+	}
+	// Subscriber side: drop in-channels and re-arm fast broadcasting.
+	for id, ic := range b.ins {
+		if ic.link != l {
+			continue
+		}
+		delete(b.ins, id)
+		delete(b.inSubKeys, ic.key)
+		if sub := ic.sub; sub != nil {
+			delete(sub.channels, id)
+			sub.lastBroadcast = time.Time{} // due immediately
+		}
+	}
+	closed := b.closed
+	b.mu.Unlock()
+
+	if !closed {
+		b.stats.LinksDown.Inc()
+	}
+}

@@ -1,0 +1,588 @@
+package cb
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"codsim/internal/metrics"
+	"codsim/internal/wire"
+)
+
+// Reflection is one delivered update: the subscriber-side view of an
+// UPDATE ATTRIBUTE VALUE frame (HLA's Reflect Attribute Values callback).
+type Reflection struct {
+	Class   string
+	PubNode string
+	PubLP   string
+	Channel uint32
+	Seq     uint32
+	Time    float64
+	Null    bool // Chandy–Misra null message: time only, no attributes
+	Attrs   wire.AttrSet
+}
+
+// outChannel is the publisher half of a virtual channel: the link (nil for
+// the in-process fast path) plus the subscriber-assigned channel ID.
+type outChannel struct {
+	class      string
+	key        chanKey
+	link       *peerLink     // nil → local delivery
+	local      *Subscription // set when link == nil
+	remoteChan uint32
+	seq        uint32
+}
+
+// inChannel is the subscriber half: the binding from a channel ID to the
+// local subscription entry. established flips when the publisher confirms
+// with the second ACKNOWLEDGE (AckChannelUp) — only then is the channel
+// counted as matched, because until the publisher records its half, pushed
+// updates would route into the void.
+type inChannel struct {
+	id          uint32
+	key         chanKey
+	link        *peerLink // nil for the in-process fast path
+	sub         *Subscription
+	established bool
+}
+
+// Publication is an LP's publisher registration for one object class
+// (HLA Publish Object Class). Obtain it from PublishObjectClass.
+type Publication struct {
+	b     *Backbone
+	key   classLP
+	mu    sync.Mutex
+	close bool
+}
+
+// Subscription is an LP's subscriber registration for one object class
+// (HLA Subscribe Object Class). Obtain it from SubscribeObjectClass.
+type Subscription struct {
+	b   *Backbone
+	key classLP
+
+	mbox      *mailbox
+	onReflect func(Reflection) // optional; bypasses the mailbox
+
+	// Guarded by b.mu:
+	channels      map[uint32]*inChannel
+	lastBroadcast time.Time
+	registeredAt  time.Time
+	everMatched   bool
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// SubscribeOption configures a subscription.
+type SubscribeOption func(*subCfg)
+
+type subCfg struct {
+	depth     int
+	conflate  bool
+	onReflect func(Reflection)
+}
+
+// WithQueue sets the mailbox depth; the oldest reflection is dropped on
+// overflow. Use for event classes where every message matters.
+func WithQueue(depth int) SubscribeOption {
+	return func(c *subCfg) { c.depth = depth }
+}
+
+// WithConflation keeps only the newest reflection (mailbox depth 1). This is
+// the natural mode for state classes sampled by a display loop: the pull
+// side only ever wants the latest value.
+func WithConflation() SubscribeOption {
+	return func(c *subCfg) { c.conflate = true }
+}
+
+// WithCallback delivers reflections synchronously on the receive path
+// instead of buffering. The callback must be fast and must not call back
+// into the backbone.
+func WithCallback(fn func(Reflection)) SubscribeOption {
+	return func(c *subCfg) { c.onReflect = fn }
+}
+
+// PublishObjectClass registers lp as a publisher of class. Matching local
+// subscribers are linked immediately; remote subscribers are linked when
+// their SUBSCRIPTION broadcasts arrive.
+func (b *Backbone) PublishObjectClass(lp, class string) (*Publication, error) {
+	if class == "" {
+		return nil, ErrUnknownClass
+	}
+	if lp == "" {
+		return nil, ErrUnknownLP
+	}
+	key := classLP{class: class, lp: lp}
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if _, dup := b.pubs[key]; dup {
+		b.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s/%s", ErrDuplicateLP, lp, class)
+	}
+	p := &Publication{b: b, key: key}
+	b.pubs[key] = p
+	// In-process fast path: link to every local subscriber of the class.
+	for skey, sub := range b.subs {
+		if skey.class == class {
+			b.establishLocalLocked(sub)
+		}
+	}
+	b.mu.Unlock()
+	return p, nil
+}
+
+// SubscribeObjectClass registers lp as a subscriber of class and begins
+// broadcasting SUBSCRIPTION until matched (then keeps refreshing slowly).
+func (b *Backbone) SubscribeObjectClass(lp, class string, opts ...SubscribeOption) (*Subscription, error) {
+	if class == "" {
+		return nil, ErrUnknownClass
+	}
+	if lp == "" {
+		return nil, ErrUnknownLP
+	}
+	cfg := subCfg{depth: 0}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	depth := cfg.depth
+	if cfg.conflate {
+		depth = 1
+	}
+	key := classLP{class: class, lp: lp}
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if _, dup := b.subs[key]; dup {
+		b.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s/%s", ErrDuplicateLP, lp, class)
+	}
+	if depth <= 0 {
+		depth = b.cfg.MailboxDepth
+	}
+	s := &Subscription{
+		b:            b,
+		key:          key,
+		mbox:         newMailbox(depth, &b.stats.MailboxDropped),
+		onReflect:    cfg.onReflect,
+		channels:     make(map[uint32]*inChannel),
+		registeredAt: time.Now(),
+	}
+	b.subs[key] = s
+	// In-process fast path: link to local publishers right away.
+	hasLocalPub := false
+	for pkey := range b.pubs {
+		if pkey.class == class {
+			hasLocalPub = true
+			break
+		}
+	}
+	if hasLocalPub {
+		b.establishLocalLocked(s)
+	}
+	b.mu.Unlock()
+	return s, nil
+}
+
+// establishLocalLocked creates the in-process virtual channel for s if one
+// does not already exist. Caller holds b.mu.
+func (b *Backbone) establishLocalLocked(s *Subscription) {
+	key := chanKey{peer: b.node, subLP: s.key.lp, class: s.key.class}
+	if _, exists := b.outKeys[key]; exists {
+		return
+	}
+	b.nextChan++
+	id := b.nextChan
+	oc := &outChannel{class: s.key.class, key: key, local: s, remoteChan: id}
+	b.outs[s.key.class] = append(b.outs[s.key.class], oc)
+	b.outKeys[key] = oc
+	ic := &inChannel{id: id, key: key, sub: s, established: true}
+	b.ins[id] = ic
+	b.inSubKeys[key] = id
+	s.channels[id] = ic
+	b.noteMatchedLocked(s)
+	b.stats.ChannelsUp.Inc()
+}
+
+// noteMatchedLocked records the registration→first-channel latency once.
+func (b *Backbone) noteMatchedLocked(s *Subscription) {
+	if s.everMatched {
+		return
+	}
+	s.everMatched = true
+	b.stats.EstablishLatency.Observe(time.Since(s.registeredAt).Seconds())
+}
+
+// Update pushes one attribute update into every virtual channel of the
+// class (UPDATE ATTRIBUTE VALUE). simTime is the publisher's simulation
+// time. The attrs map is cloned before the call returns, so the caller may
+// reuse it.
+func (p *Publication) Update(simTime float64, attrs wire.AttrSet) error {
+	return p.push(simTime, attrs, false)
+}
+
+// SendNull pushes a Chandy–Misra null message carrying only the publisher's
+// time lower bound, letting conservative subscribers advance (§2, ref [7]).
+func (p *Publication) SendNull(simTime float64) error {
+	return p.push(simTime, nil, true)
+}
+
+func (p *Publication) push(simTime float64, attrs wire.AttrSet, null bool) error {
+	p.mu.Lock()
+	if p.close {
+		p.mu.Unlock()
+		return ErrHandleClosed
+	}
+	p.mu.Unlock()
+
+	b := p.b
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrClosed
+	}
+	chans := make([]*outChannel, len(b.outs[p.key.class]))
+	copy(chans, b.outs[p.key.class])
+	seqs := make([]uint32, len(chans))
+	for i, oc := range chans {
+		oc.seq++
+		seqs[i] = oc.seq
+	}
+	b.mu.Unlock()
+
+	kind := wire.KindUpdateAttrs
+	if null {
+		kind = wire.KindNull
+	}
+	for i, oc := range chans {
+		if oc.link == nil {
+			r := Reflection{
+				Class:   p.key.class,
+				PubNode: b.node,
+				PubLP:   p.key.lp,
+				Channel: oc.remoteChan,
+				Seq:     seqs[i],
+				Time:    simTime,
+				Null:    null,
+				Attrs:   attrs.Clone(),
+			}
+			b.deliver(oc.local, r)
+			b.stats.UpdatesSent.Inc()
+			continue
+		}
+		f := wire.Frame{
+			Kind:    kind,
+			Channel: oc.remoteChan,
+			Seq:     seqs[i],
+			Time:    simTime,
+			Node:    b.node,
+			LP:      p.key.lp,
+			Class:   p.key.class,
+			Attrs:   attrs,
+		}
+		if err := oc.link.send(f); err != nil {
+			b.linkDown(oc.link)
+			continue
+		}
+		b.stats.UpdatesSent.Inc()
+	}
+	return nil
+}
+
+// Channels returns the number of virtual channels currently carrying this
+// publication's class (shared by all local publishers of the class).
+func (p *Publication) Channels() int {
+	b := p.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.outs[p.key.class])
+}
+
+// WaitChannels blocks until the class has at least n channels or the
+// timeout elapses; it reports success. Handy for startup sequencing.
+func (p *Publication) WaitChannels(n int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if p.Channels() >= n {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Close withdraws the publisher registration. Channels from other
+// publishers of the same class are unaffected.
+func (p *Publication) Close() error {
+	p.mu.Lock()
+	if p.close {
+		p.mu.Unlock()
+		return nil
+	}
+	p.close = true
+	p.mu.Unlock()
+
+	b := p.b
+	b.mu.Lock()
+	delete(b.pubs, p.key)
+	// Tear down the class's out-channels only when no other local LP
+	// still publishes the class.
+	stillPublished := false
+	for key := range b.pubs {
+		if key.class == p.key.class {
+			stillPublished = true
+			break
+		}
+	}
+	type byeTarget struct {
+		link *peerLink
+		id   uint32
+	}
+	var byes []byeTarget
+	if !stillPublished {
+		for _, oc := range b.outs[p.key.class] {
+			delete(b.outKeys, oc.key)
+			if oc.local != nil {
+				if ic, ok := b.ins[oc.remoteChan]; ok && ic.sub != nil {
+					delete(ic.sub.channels, oc.remoteChan)
+					delete(b.inSubKeys, ic.key)
+					delete(b.ins, oc.remoteChan)
+					// Local subscriber resumes discovery for other
+					// (remote) publishers right away.
+					ic.sub.lastBroadcast = time.Time{}
+				}
+				continue
+			}
+			byes = append(byes, byeTarget{link: oc.link, id: oc.remoteChan})
+		}
+		delete(b.outs, p.key.class)
+	}
+	node := b.node
+	b.mu.Unlock()
+
+	// Tell remote subscribers their channel is gone so they re-arm fast
+	// discovery instead of waiting on a silent stale channel.
+	for _, t := range byes {
+		_ = t.link.send(wire.Frame{Kind: wire.KindBye, Channel: t.id, Node: node})
+	}
+	return nil
+}
+
+// deliver hands a reflection to the subscription's callback or mailbox.
+func (b *Backbone) deliver(s *Subscription, r Reflection) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	closed := s.closed
+	cb := s.onReflect
+	s.mu.Unlock()
+	if closed {
+		return
+	}
+	if cb != nil {
+		cb(r)
+		b.stats.ReflectsDelivered.Inc()
+		return
+	}
+	s.mbox.push(r)
+	b.stats.ReflectsDelivered.Inc()
+}
+
+// Poll returns the oldest buffered reflection without blocking; ok reports
+// whether one was available. This is the paper's "pull" side.
+func (s *Subscription) Poll() (Reflection, bool) { return s.mbox.poll() }
+
+// Latest drains the mailbox and returns the newest reflection; ok is false
+// when the mailbox was empty. Convenient for conflated state classes.
+func (s *Subscription) Latest() (Reflection, bool) {
+	var (
+		last Reflection
+		got  bool
+	)
+	for {
+		r, ok := s.mbox.poll()
+		if !ok {
+			return last, got
+		}
+		last, got = r, true
+	}
+}
+
+// Next blocks until a reflection arrives, the timeout elapses (ok=false),
+// or the subscription closes (ok=false).
+func (s *Subscription) Next(timeout time.Duration) (Reflection, bool) {
+	return s.mbox.next(timeout)
+}
+
+// NotifyC returns a channel that receives a token whenever the mailbox goes
+// from empty to non-empty, for select-based consumers.
+func (s *Subscription) NotifyC() <-chan struct{} { return s.mbox.notify }
+
+// Pending returns the number of buffered reflections.
+func (s *Subscription) Pending() int { return s.mbox.pending() }
+
+// Matched reports whether the subscription currently has at least one
+// fully established virtual channel (both ACKNOWLEDGE phases complete, so
+// the publisher is routing into it).
+func (s *Subscription) Matched() bool {
+	b := s.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, ic := range s.channels {
+		if ic.established {
+			return true
+		}
+	}
+	return false
+}
+
+// Close withdraws the subscriber registration and releases its channels.
+func (s *Subscription) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	b := s.b
+	b.mu.Lock()
+	delete(b.subs, s.key)
+	type byeTarget struct {
+		link *peerLink
+		id   uint32
+	}
+	var byes []byeTarget
+	for id, ic := range s.channels {
+		delete(b.ins, id)
+		delete(b.inSubKeys, ic.key)
+		if ic.link != nil {
+			// Tell the publisher this channel is dead, or its stale
+			// out-channel entry would silently ignore a re-registration
+			// of the same LP forever.
+			byes = append(byes, byeTarget{link: ic.link, id: id})
+		}
+		// Local fast-path channels also have a publisher half to clean.
+		if oc, ok := b.outKeys[ic.key]; ok && oc.local == s {
+			delete(b.outKeys, ic.key)
+			chans := b.outs[s.key.class]
+			kept := chans[:0]
+			for _, c := range chans {
+				if c != oc {
+					kept = append(kept, c)
+				}
+			}
+			b.outs[s.key.class] = kept
+		}
+	}
+	s.channels = make(map[uint32]*inChannel)
+	node := b.node
+	b.mu.Unlock()
+
+	for _, t := range byes {
+		_ = t.link.send(wire.Frame{Kind: wire.KindBye, Channel: t.id, Node: node})
+	}
+	s.mbox.close()
+	return nil
+}
+
+// mailbox is the bounded per-subscription buffer: a drop-oldest ring plus
+// an empty→non-empty notification channel.
+type mailbox struct {
+	mu      sync.Mutex
+	buf     []Reflection
+	head    int
+	n       int
+	closed  bool
+	notify  chan struct{}
+	dropped *metrics.Counter
+}
+
+func newMailbox(depth int, dropped *metrics.Counter) *mailbox {
+	return &mailbox{
+		buf:     make([]Reflection, depth),
+		notify:  make(chan struct{}, 1),
+		dropped: dropped,
+	}
+}
+
+func (m *mailbox) push(r Reflection) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	if m.n == len(m.buf) { // drop oldest
+		m.head = (m.head + 1) % len(m.buf)
+		m.n--
+		m.dropped.Inc()
+	}
+	m.buf[(m.head+m.n)%len(m.buf)] = r
+	m.n++
+	m.mu.Unlock()
+	select {
+	case m.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (m *mailbox) poll() (Reflection, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.n == 0 {
+		return Reflection{}, false
+	}
+	r := m.buf[m.head]
+	m.buf[m.head] = Reflection{} // release references
+	m.head = (m.head + 1) % len(m.buf)
+	m.n--
+	return r, true
+}
+
+func (m *mailbox) next(timeout time.Duration) (Reflection, bool) {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		if r, ok := m.poll(); ok {
+			return r, true
+		}
+		m.mu.Lock()
+		closed := m.closed
+		m.mu.Unlock()
+		if closed {
+			return Reflection{}, false
+		}
+		select {
+		case <-m.notify:
+		case <-deadline.C:
+			return Reflection{}, false
+		}
+	}
+}
+
+func (m *mailbox) pending() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.n
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	select {
+	case m.notify <- struct{}{}:
+	default:
+	}
+}

@@ -1,0 +1,261 @@
+package collision
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"codsim/internal/mathx"
+)
+
+func TestNewMeshValidation(t *testing.T) {
+	if _, err := NewMesh(nil); err == nil {
+		t.Error("empty mesh accepted")
+	}
+	bad := []Triangle{{A: mathx.V3(math.NaN(), 0, 0)}}
+	if _, err := NewMesh(bad); err == nil {
+		t.Error("NaN vertex accepted")
+	}
+}
+
+func TestBoxMeshGeometry(t *testing.T) {
+	m := BoxMesh(1, 2, 3)
+	if m.TriangleCount() != 12 {
+		t.Errorf("box triangles = %d, want 12", m.TriangleCount())
+	}
+	if !m.min.NearEq(mathx.V3(-1, -2, -3), 1e-12) || !m.max.NearEq(mathx.V3(1, 2, 3), 1e-12) {
+		t.Errorf("box bounds = %v..%v", m.min, m.max)
+	}
+	wantR := math.Sqrt(1 + 4 + 9)
+	if math.Abs(m.radius-wantR) > 1e-12 {
+		t.Errorf("box radius = %v, want %v", m.radius, wantR)
+	}
+}
+
+func TestCylinderMeshGeometry(t *testing.T) {
+	m := CylinderMesh(2, 5, 12)
+	if m.TriangleCount() != 48 {
+		t.Errorf("cylinder triangles = %d, want 48", m.TriangleCount())
+	}
+	if m.max.Y != 5 || m.min.Y != -5 {
+		t.Errorf("cylinder Y bounds = %v..%v", m.min.Y, m.max.Y)
+	}
+	// Degenerate side count clamps to 3.
+	if got := CylinderMesh(1, 1, 0).TriangleCount(); got != 12 {
+		t.Errorf("clamped cylinder triangles = %d, want 12", got)
+	}
+}
+
+func TestSegmentTriangle(t *testing.T) {
+	tri := Triangle{A: mathx.V3(0, 0, 0), B: mathx.V3(2, 0, 0), C: mathx.V3(0, 2, 0)}
+	tests := []struct {
+		name   string
+		p0, p1 mathx.Vec3
+		hit    bool
+	}{
+		{"through center", mathx.V3(0.5, 0.5, -1), mathx.V3(0.5, 0.5, 1), true},
+		{"stops short", mathx.V3(0.5, 0.5, -2), mathx.V3(0.5, 0.5, -1), false},
+		{"starts past", mathx.V3(0.5, 0.5, 1), mathx.V3(0.5, 0.5, 2), false},
+		{"misses sideways", mathx.V3(5, 5, -1), mathx.V3(5, 5, 1), false},
+		{"parallel", mathx.V3(0, 0, 1), mathx.V3(1, 0, 1), false},
+		{"touch vertex region", mathx.V3(0.01, 0.01, -1), mathx.V3(0.01, 0.01, 1), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p, hit := segmentTriangle(tt.p0, tt.p1, tri)
+			if hit != tt.hit {
+				t.Fatalf("hit = %v, want %v", hit, tt.hit)
+			}
+			if hit && math.Abs(p.Z) > 1e-9 {
+				t.Errorf("intersection point %v not on triangle plane", p)
+			}
+		})
+	}
+}
+
+func TestCheckPairSeparated(t *testing.T) {
+	var w World
+	a := NewObject("a", BoxMesh(1, 1, 1))
+	b := NewObject("b", BoxMesh(1, 1, 1))
+	b.SetPose(mathx.V3(10, 0, 0), mathx.QuatIdentity())
+	w.Add(a)
+	w.Add(b)
+	if got := w.FindContacts(); len(got) != 0 {
+		t.Errorf("contacts = %v, want none", got)
+	}
+	st := w.Stats()
+	if st.L1Reject != 1 || st.L3Tests != 0 {
+		t.Errorf("stats = %+v: expected L1 rejection", st)
+	}
+}
+
+func TestCheckPairAABBRejects(t *testing.T) {
+	// Two long thin diagonal-ish boxes whose spheres overlap but whose
+	// AABBs do not: sphere radius spans the long axis.
+	var w World
+	a := NewObject("a", BoxMesh(10, 0.1, 0.1))
+	b := NewObject("b", BoxMesh(10, 0.1, 0.1))
+	b.SetPose(mathx.V3(0, 5, 0), mathx.QuatIdentity())
+	w.Add(a)
+	w.Add(b)
+	if got := w.FindContacts(); len(got) != 0 {
+		t.Errorf("contacts = %v, want none", got)
+	}
+	st := w.Stats()
+	if st.L2Reject != 1 {
+		t.Errorf("stats = %+v: expected L2 rejection", st)
+	}
+}
+
+func TestCheckPairOverlap(t *testing.T) {
+	var w World
+	a := NewObject("a", BoxMesh(1, 1, 1))
+	b := NewObject("b", BoxMesh(1, 1, 1))
+	b.SetPose(mathx.V3(1.5, 0.5, 0), mathx.QuatIdentity())
+	w.Add(a)
+	w.Add(b)
+	got := w.FindContacts()
+	if len(got) != 1 {
+		t.Fatalf("contacts = %v, want 1", got)
+	}
+	if got[0].A != "a" || got[0].B != "b" {
+		t.Errorf("contact pair = %s,%s", got[0].A, got[0].B)
+	}
+	// Contact point lies in the overlap region.
+	p := got[0].Point
+	if p.X < 0.4 || p.X > 1.1 {
+		t.Errorf("contact point %v outside overlap band", p)
+	}
+}
+
+func TestRotatedCollision(t *testing.T) {
+	// A thin bar rotated 45° about Y hits a box a straight bar would miss.
+	var w World
+	bar := NewObject("bar", BoxMesh(4, 0.2, 0.2))
+	box := NewObject("box", BoxMesh(0.5, 0.5, 0.5))
+	box.SetPose(mathx.V3(2.3, 0, -2.3), mathx.QuatIdentity())
+	w.Add(bar)
+	w.Add(box)
+	if got := w.FindContacts(); len(got) != 0 {
+		t.Fatalf("unrotated bar should miss, got %v", got)
+	}
+	bar.SetPose(mathx.Vec3{}, mathx.QuatAxisAngle(mathx.V3(0, 1, 0), math.Pi/4))
+	if got := w.FindContacts(); len(got) != 1 {
+		t.Errorf("rotated bar should hit, got %v", got)
+	}
+}
+
+func TestContainmentNotDetected(t *testing.T) {
+	// Full containment has no edge/face crossings — a documented property
+	// of the Moore–Wilhelms edge test. The simulator never fully swallows
+	// obstacles (bars are longer than the cargo), so this is acceptable;
+	// the test pins the behaviour so a change is deliberate.
+	var w World
+	outer := NewObject("outer", BoxMesh(5, 5, 5))
+	inner := NewObject("inner", BoxMesh(0.5, 0.5, 0.5))
+	w.Add(outer)
+	w.Add(inner)
+	if got := w.FindContacts(); len(got) != 0 {
+		t.Errorf("containment unexpectedly detected: %v", got)
+	}
+}
+
+func TestBruteForceMatchesMultiLevel(t *testing.T) {
+	// Property: for random poses, brute force and multi-level agree.
+	mk := func(seedX, seedZ, yaw float64) (*World, *World) {
+		a1 := NewObject("a", BoxMesh(1, 1, 1))
+		b1 := NewObject("b", BoxMesh(1.5, 0.3, 0.3))
+		a2 := NewObject("a", BoxMesh(1, 1, 1))
+		b2 := NewObject("b", BoxMesh(1.5, 0.3, 0.3))
+		pose := mathx.V3(seedX, 0, seedZ)
+		rot := mathx.QuatAxisAngle(mathx.V3(0, 1, 0), yaw)
+		b1.SetPose(pose, rot)
+		b2.SetPose(pose, rot)
+		var ml, bf World
+		bf.BruteForce = true
+		ml.Add(a1)
+		ml.Add(b1)
+		bf.Add(a2)
+		bf.Add(b2)
+		return &ml, &bf
+	}
+	f := func(xr, zr, yawr float64) bool {
+		x := math.Mod(math.Abs(xr), 6) - 3
+		z := math.Mod(math.Abs(zr), 6) - 3
+		yaw := math.Mod(yawr, math.Pi)
+		if math.IsNaN(x) || math.IsNaN(z) || math.IsNaN(yaw) {
+			return true
+		}
+		ml, bf := mk(x, z, yaw)
+		c1 := ml.FindContacts()
+		c2 := bf.FindContacts()
+		return (len(c1) > 0) == (len(c2) > 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiLevelPrunesWork(t *testing.T) {
+	// A field of scattered objects: multi-level must do far fewer
+	// primitive tests than brute force.
+	build := func(brute bool) *World {
+		w := &World{BruteForce: brute}
+		for i := 0; i < 40; i++ {
+			o := NewObject(fmt.Sprintf("o%d", i), BoxMesh(0.5, 0.5, 0.5))
+			o.SetPose(mathx.V3(float64(i%8)*5, 0, float64(i/8)*5), mathx.QuatIdentity())
+			w.Add(o)
+		}
+		return w
+	}
+	ml := build(false)
+	bf := build(true)
+	ml.FindContacts()
+	bf.FindContacts()
+	mlChecks := ml.Stats().TriChecks
+	bfChecks := bf.Stats().TriChecks
+	if mlChecks*10 > bfChecks {
+		t.Errorf("multi-level tri checks %d vs brute %d: pruning ineffective", mlChecks, bfChecks)
+	}
+}
+
+func TestStatsReset(t *testing.T) {
+	var w World
+	w.Add(NewObject("a", BoxMesh(1, 1, 1)))
+	w.Add(NewObject("b", BoxMesh(1, 1, 1)))
+	w.FindContacts()
+	if w.Stats().Pairs == 0 {
+		t.Fatal("no pairs recorded")
+	}
+	w.ResetStats()
+	if w.Stats().Pairs != 0 {
+		t.Error("ResetStats did not clear")
+	}
+}
+
+func BenchmarkMultiLevelField(b *testing.B) {
+	w := &World{}
+	for i := 0; i < 60; i++ {
+		o := NewObject(fmt.Sprintf("o%d", i), BoxMesh(0.5, 0.5, 0.5))
+		o.SetPose(mathx.V3(float64(i%8)*4, 0, float64(i/8)*4), mathx.QuatIdentity())
+		w.Add(o)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.FindContacts()
+	}
+}
+
+func BenchmarkBruteForceField(b *testing.B) {
+	w := &World{BruteForce: true}
+	for i := 0; i < 60; i++ {
+		o := NewObject(fmt.Sprintf("o%d", i), BoxMesh(0.5, 0.5, 0.5))
+		o.SetPose(mathx.V3(float64(i%8)*4, 0, float64(i/8)*4), mathx.QuatIdentity())
+		w.Add(o)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.FindContacts()
+	}
+}

@@ -1,0 +1,73 @@
+package collision
+
+import (
+	"math"
+
+	"codsim/internal/mathx"
+)
+
+// BoxMesh builds an axis-aligned box of the given half-extents centered at
+// the local origin (12 triangles). Bars, cargo crates and the carrier body
+// all use boxes.
+func BoxMesh(hx, hy, hz float64) *Mesh {
+	v := [8]mathx.Vec3{
+		{X: -hx, Y: -hy, Z: -hz}, {X: hx, Y: -hy, Z: -hz},
+		{X: hx, Y: hy, Z: -hz}, {X: -hx, Y: hy, Z: -hz},
+		{X: -hx, Y: -hy, Z: hz}, {X: hx, Y: -hy, Z: hz},
+		{X: hx, Y: hy, Z: hz}, {X: -hx, Y: hy, Z: hz},
+	}
+	quads := [6][4]int{
+		{0, 1, 2, 3}, // back  (-Z)
+		{5, 4, 7, 6}, // front (+Z)
+		{4, 0, 3, 7}, // left  (-X)
+		{1, 5, 6, 2}, // right (+X)
+		{3, 2, 6, 7}, // top   (+Y)
+		{4, 5, 1, 0}, // bottom(-Y)
+	}
+	tris := make([]Triangle, 0, 12)
+	for _, q := range quads {
+		tris = append(tris,
+			Triangle{A: v[q[0]], B: v[q[1]], C: v[q[2]]},
+			Triangle{A: v[q[0]], B: v[q[2]], C: v[q[3]]},
+		)
+	}
+	m, err := NewMesh(tris)
+	if err != nil {
+		// Unreachable: the 12 triangles above are always valid.
+		panic(err)
+	}
+	return m
+}
+
+// CylinderMesh builds a Y-axis cylinder of the given radius and half-height
+// with `sides` lateral faces (2·sides side triangles + 2·sides cap
+// triangles). The cargo drum and hook use low-side cylinders.
+func CylinderMesh(radius, halfHeight float64, sides int) *Mesh {
+	if sides < 3 {
+		sides = 3
+	}
+	tris := make([]Triangle, 0, 4*sides)
+	top := mathx.V3(0, halfHeight, 0)
+	bottom := mathx.V3(0, -halfHeight, 0)
+	for i := 0; i < sides; i++ {
+		a0 := 2 * math.Pi * float64(i) / float64(sides)
+		a1 := 2 * math.Pi * float64(i+1) / float64(sides)
+		s0, c0 := math.Sincos(a0)
+		s1, c1 := math.Sincos(a1)
+		p0b := mathx.V3(radius*c0, -halfHeight, radius*s0)
+		p1b := mathx.V3(radius*c1, -halfHeight, radius*s1)
+		p0t := mathx.V3(radius*c0, halfHeight, radius*s0)
+		p1t := mathx.V3(radius*c1, halfHeight, radius*s1)
+		tris = append(tris,
+			Triangle{A: p0b, B: p1b, C: p1t}, // side lower
+			Triangle{A: p0b, B: p1t, C: p0t}, // side upper
+			Triangle{A: top, B: p0t, C: p1t},
+			Triangle{A: bottom, B: p1b, C: p0b},
+		)
+	}
+	m, err := NewMesh(tris)
+	if err != nil {
+		panic(err) // unreachable: sides >= 3 always yields triangles
+	}
+	return m
+}

@@ -1,0 +1,121 @@
+// Package crane describes the simulated mobile crane as a product: its
+// geometry, its load chart, and the safety envelope whose violations light
+// the alarm lamps of the instructor's status window (Fig. 5). The dynamics
+// module owns the physics; this package owns the *specification* against
+// which the operator's conduct is judged — "if the derrick boom overshoots
+// the safety zone, the second alarm will be lighted" (§3.3).
+package crane
+
+import (
+	"math"
+
+	"codsim/internal/fom"
+	"codsim/internal/mathx"
+)
+
+// Spec is the crane's rated specification.
+type Spec struct {
+	// SwingZone is the permitted slew range, symmetric about dead ahead
+	// (radians). Swinging the boom past ±SwingZone is a misconduct.
+	SwingZone float64
+	// LuffSafeMin and LuffSafeMax bound the safe luffing band; the
+	// physical stops of the dynamics model sit slightly beyond.
+	LuffSafeMin, LuffSafeMax float64
+	// MaxSpeed is the permitted travel speed (m/s) during the exam.
+	MaxSpeed float64
+	// StabilityFloor is the minimum acceptable tip-over margin.
+	StabilityFloor float64
+	// Chart is the load chart: rated load (kg) by working radius (m),
+	// in ascending radius order. Loads beyond the last entry are zero.
+	Chart []ChartPoint
+}
+
+// ChartPoint is one row of the load chart.
+type ChartPoint struct {
+	Radius float64 // working radius in meters
+	Rated  float64 // rated load in kg
+}
+
+// DefaultSpec matches the 25-tonne crane of dynamics.DefaultConfig.
+func DefaultSpec() Spec {
+	return Spec{
+		SwingZone:      mathx.Rad(110),
+		LuffSafeMin:    mathx.Rad(15),
+		LuffSafeMax:    mathx.Rad(78),
+		MaxSpeed:       8.4, // ~30 km/h on site
+		StabilityFloor: 0.25,
+		Chart: []ChartPoint{
+			{Radius: 3, Rated: 25000},
+			{Radius: 6, Rated: 14000},
+			{Radius: 10, Rated: 7600},
+			{Radius: 14, Rated: 4800},
+			{Radius: 18, Rated: 3300},
+			{Radius: 22, Rated: 2400},
+			{Radius: 26, Rated: 1800},
+		},
+	}
+}
+
+// RatedLoad returns the chart's rated load at the given working radius,
+// interpolating between chart rows. Radii before the first row use the
+// first rating; radii past the last row return 0 (no lifting allowed).
+func (s Spec) RatedLoad(radius float64) float64 {
+	if len(s.Chart) == 0 {
+		return 0
+	}
+	if radius <= s.Chart[0].Radius {
+		return s.Chart[0].Rated
+	}
+	for i := 1; i < len(s.Chart); i++ {
+		if radius <= s.Chart[i].Radius {
+			lo, hi := s.Chart[i-1], s.Chart[i]
+			t := (radius - lo.Radius) / (hi.Radius - lo.Radius)
+			return mathx.Lerp(lo.Rated, hi.Rated, t)
+		}
+	}
+	return 0
+}
+
+// WorkingRadius computes the horizontal distance from the slew center to
+// the hook for a crane state.
+func WorkingRadius(st fom.CraneState) float64 {
+	return math.Hypot(st.HookPos.X-st.Position.X, st.HookPos.Z-st.Position.Z)
+}
+
+// Alarms evaluates the full safety envelope for a crane state and returns
+// the alarm lamp bitmask of the status window.
+func (s Spec) Alarms(st fom.CraneState) fom.Alarm {
+	var a fom.Alarm
+	if math.Abs(st.BoomSwing) > s.SwingZone {
+		a |= fom.AlarmSwingZone
+	}
+	if st.BoomLuff < s.LuffSafeMin || st.BoomLuff > s.LuffSafeMax {
+		a |= fom.AlarmLuffLimit
+	}
+	if st.CargoHeld {
+		if rated := s.RatedLoad(WorkingRadius(st)); st.CargoMass > rated {
+			a |= fom.AlarmOverload
+		}
+	}
+	if st.Stability < s.StabilityFloor {
+		a |= fom.AlarmTipover
+	}
+	if math.Abs(st.Speed) > s.MaxSpeed {
+		a |= fom.AlarmOverspeed
+	}
+	return a
+}
+
+// StatusReport digests a crane state plus the live score into the status
+// window's payload (Fig. 5): the four dial values, the alarm lamps and the
+// score box.
+func (s Spec) StatusReport(st fom.CraneState, score float64, extraAlarms fom.Alarm) fom.StatusReport {
+	return fom.StatusReport{
+		SwingDeg: mathx.Deg(st.BoomSwing),
+		LuffDeg:  mathx.Deg(st.BoomLuff),
+		CableLen: st.CableLen,
+		BoomLen:  st.BoomLen,
+		Alarms:   s.Alarms(st) | extraAlarms,
+		Score:    score,
+	}
+}

@@ -1,0 +1,159 @@
+package crane
+
+import (
+	"math"
+	"testing"
+
+	"codsim/internal/fom"
+	"codsim/internal/mathx"
+)
+
+func safeState() fom.CraneState {
+	return fom.CraneState{
+		Position:  mathx.V3(0, 0, 0),
+		BoomSwing: 0,
+		BoomLuff:  mathx.Rad(45),
+		BoomLen:   12,
+		CableLen:  5,
+		HookPos:   mathx.V3(0, 4, -8),
+		Stability: 0.9,
+		Speed:     2,
+	}
+}
+
+func TestRatedLoadInterpolation(t *testing.T) {
+	s := DefaultSpec()
+	if got := s.RatedLoad(1); got != 25000 {
+		t.Errorf("below chart = %v, want first rating", got)
+	}
+	if got := s.RatedLoad(3); got != 25000 {
+		t.Errorf("at first row = %v", got)
+	}
+	// Midpoint of 10 m (7600) and 14 m (4800) = 6200.
+	if got := s.RatedLoad(12); math.Abs(got-6200) > 1e-9 {
+		t.Errorf("interp = %v, want 6200", got)
+	}
+	if got := s.RatedLoad(26); got != 1800 {
+		t.Errorf("at last row = %v", got)
+	}
+	if got := s.RatedLoad(40); got != 0 {
+		t.Errorf("beyond chart = %v, want 0", got)
+	}
+	if got := (Spec{}).RatedLoad(5); got != 0 {
+		t.Errorf("empty chart = %v", got)
+	}
+}
+
+func TestRatedLoadMonotone(t *testing.T) {
+	s := DefaultSpec()
+	prev := math.Inf(1)
+	for r := 0.0; r <= 30; r += 0.25 {
+		cur := s.RatedLoad(r)
+		if cur > prev+1e-9 {
+			t.Fatalf("rated load not monotone at r=%v: %v > %v", r, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestAlarmsClean(t *testing.T) {
+	if a := DefaultSpec().Alarms(safeState()); a != 0 {
+		t.Errorf("alarms = %b for a safe state", a)
+	}
+}
+
+func TestAlarmSwingZone(t *testing.T) {
+	s := DefaultSpec()
+	st := safeState()
+	st.BoomSwing = s.SwingZone + 0.01
+	if a := s.Alarms(st); !a.Has(fom.AlarmSwingZone) {
+		t.Error("swing zone overshoot not alarmed")
+	}
+	st.BoomSwing = -s.SwingZone - 0.01
+	if a := s.Alarms(st); !a.Has(fom.AlarmSwingZone) {
+		t.Error("negative swing overshoot not alarmed")
+	}
+}
+
+func TestAlarmLuffLimit(t *testing.T) {
+	s := DefaultSpec()
+	st := safeState()
+	st.BoomLuff = s.LuffSafeMax + 0.01
+	if !s.Alarms(st).Has(fom.AlarmLuffLimit) {
+		t.Error("over-luff not alarmed")
+	}
+	st.BoomLuff = s.LuffSafeMin - 0.01
+	if !s.Alarms(st).Has(fom.AlarmLuffLimit) {
+		t.Error("under-luff not alarmed")
+	}
+}
+
+func TestAlarmOverload(t *testing.T) {
+	s := DefaultSpec()
+	st := safeState()
+	st.CargoHeld = true
+	st.HookPos = mathx.V3(0, 3, -18) // 18 m radius → rated 3300 kg
+	st.CargoMass = 5000
+	if !s.Alarms(st).Has(fom.AlarmOverload) {
+		t.Error("overload not alarmed")
+	}
+	st.CargoMass = 2000
+	if s.Alarms(st).Has(fom.AlarmOverload) {
+		t.Error("legal load alarmed")
+	}
+	// Same mass unheld never alarms.
+	st.CargoHeld = false
+	st.CargoMass = 99999
+	if s.Alarms(st).Has(fom.AlarmOverload) {
+		t.Error("unheld cargo alarmed")
+	}
+}
+
+func TestAlarmTipoverAndOverspeed(t *testing.T) {
+	s := DefaultSpec()
+	st := safeState()
+	st.Stability = 0.1
+	if !s.Alarms(st).Has(fom.AlarmTipover) {
+		t.Error("low stability not alarmed")
+	}
+	st = safeState()
+	st.Speed = s.MaxSpeed + 1
+	if !s.Alarms(st).Has(fom.AlarmOverspeed) {
+		t.Error("overspeed not alarmed")
+	}
+	st.Speed = -s.MaxSpeed - 1
+	if !s.Alarms(st).Has(fom.AlarmOverspeed) {
+		t.Error("reverse overspeed not alarmed")
+	}
+}
+
+func TestWorkingRadius(t *testing.T) {
+	st := safeState()
+	st.Position = mathx.V3(10, 0, 10)
+	st.HookPos = mathx.V3(13, 7, 14)
+	if got := WorkingRadius(st); math.Abs(got-5) > 1e-12 {
+		t.Errorf("radius = %v, want 5", got)
+	}
+}
+
+func TestStatusReport(t *testing.T) {
+	s := DefaultSpec()
+	st := safeState()
+	st.BoomSwing = mathx.Rad(30)
+	r := s.StatusReport(st, 88, fom.AlarmCollision)
+	if math.Abs(r.SwingDeg-30) > 1e-9 {
+		t.Errorf("SwingDeg = %v", r.SwingDeg)
+	}
+	if math.Abs(r.LuffDeg-45) > 1e-9 {
+		t.Errorf("LuffDeg = %v", r.LuffDeg)
+	}
+	if r.CableLen != 5 || r.BoomLen != 12 {
+		t.Errorf("lengths = %v, %v", r.CableLen, r.BoomLen)
+	}
+	if r.Score != 88 {
+		t.Errorf("Score = %v", r.Score)
+	}
+	if !r.Alarms.Has(fom.AlarmCollision) {
+		t.Error("extra alarm dropped")
+	}
+}

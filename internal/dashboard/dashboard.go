@@ -1,0 +1,255 @@
+// Package dashboard implements the dashboard module of §3.2: the I/O
+// device simulator behind the mockup's instruments. It samples the input
+// devices (steering wheel, gas pedal, brake, and the two joysticks that
+// control the derrick boom and the plumb cable), translates the signals
+// into ControlInput messages for the other modules, and drives the meters
+// and indicators — including the instructor's trouble-shooting fault
+// injection, where clicking an instrument on the Dashboard window forces
+// it to a bogus value (§3.3).
+package dashboard
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"codsim/internal/fom"
+	"codsim/internal/mathx"
+)
+
+// Instrument is one meter or indicator on the dashboard. Instruments are
+// safe for concurrent use: the dashboard LP drives them from its tick loop
+// while instructor commands and UI mirrors read them from other
+// goroutines.
+type Instrument struct {
+	Name string
+	Unit string
+	Min  float64
+	Max  float64
+
+	mu       sync.Mutex
+	value    float64
+	faulted  bool
+	faultVal float64
+}
+
+// Set drives the instrument from live data (clamped to its range).
+func (i *Instrument) Set(v float64) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.value = mathx.Clamp(v, i.Min, i.Max)
+}
+
+// Value returns what the needle shows: the injected fault value when
+// faulted, the live value otherwise.
+func (i *Instrument) Value() float64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.faulted {
+		return mathx.Clamp(i.faultVal, i.Min, i.Max)
+	}
+	return i.value
+}
+
+// TrueValue returns the live value regardless of faults.
+func (i *Instrument) TrueValue() float64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.value
+}
+
+// Faulted reports whether a fault is injected.
+func (i *Instrument) Faulted() bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.faulted
+}
+
+// InjectFault forces the display to v until ClearFault.
+func (i *Instrument) InjectFault(v float64) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.faulted = true
+	i.faultVal = v
+}
+
+// ClearFault restores live display.
+func (i *Instrument) ClearFault() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.faulted = false
+}
+
+// Standard instrument names.
+const (
+	InstrSpeed     = "speed"
+	InstrRPM       = "rpm"
+	InstrFuel      = "fuel"
+	InstrBoomAngle = "boom-angle"
+	InstrBoomLen   = "boom-length"
+	InstrCableLen  = "cable-length"
+	InstrLoad      = "load"
+	InstrStability = "stability"
+)
+
+// Panel is the full instrument cluster. The instrument map is immutable
+// after construction; per-instrument state and the fuel level carry their
+// own locks, so the panel is safe for concurrent use.
+type Panel struct {
+	instruments map[string]*Instrument
+
+	mu      sync.Mutex // guards fuel
+	fuel    float64    // liters
+	fuelCap float64
+}
+
+// NewPanel builds the standard cluster with a full fuel tank.
+func NewPanel() *Panel {
+	p := &Panel{
+		instruments: make(map[string]*Instrument, 8),
+		fuel:        300,
+		fuelCap:     300,
+	}
+	add := func(name, unit string, min, max float64) {
+		p.instruments[name] = &Instrument{Name: name, Unit: unit, Min: min, Max: max}
+	}
+	add(InstrSpeed, "km/h", 0, 80)
+	add(InstrRPM, "rpm", 0, 3000)
+	add(InstrFuel, "%", 0, 100)
+	add(InstrBoomAngle, "deg", 0, 90)
+	add(InstrBoomLen, "m", 0, 30)
+	add(InstrCableLen, "m", 0, 30)
+	add(InstrLoad, "kg", 0, 30000)
+	add(InstrStability, "%", 0, 100)
+	p.instruments[InstrFuel].Set(100)
+	return p
+}
+
+// Instrument returns the named instrument, or nil.
+func (p *Panel) Instrument(name string) *Instrument { return p.instruments[name] }
+
+// Names returns the instrument names in stable order.
+func (p *Panel) Names() []string {
+	names := make([]string, 0, len(p.instruments))
+	for n := range p.instruments {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// UpdateFromState drives the meters from the published crane state, and
+// burns fuel with engine load over dt seconds.
+func (p *Panel) UpdateFromState(st fom.CraneState, dt float64) {
+	p.instruments[InstrSpeed].Set(math.Abs(st.Speed) * 3.6)
+	p.instruments[InstrRPM].Set(st.EngineRPM)
+	p.instruments[InstrBoomAngle].Set(mathx.Deg(st.BoomLuff))
+	p.instruments[InstrBoomLen].Set(st.BoomLen)
+	p.instruments[InstrCableLen].Set(st.CableLen)
+	p.instruments[InstrLoad].Set(st.CargoMass)
+	p.instruments[InstrStability].Set(st.Stability * 100)
+
+	p.mu.Lock()
+	if st.EngineOn && dt > 0 {
+		// Idle burn plus load burn, liters/hour scaled to dt.
+		lph := 3 + 22*(st.EngineRPM/3000)
+		p.fuel = math.Max(0, p.fuel-lph*dt/3600)
+	}
+	fuelPct := p.fuel / p.fuelCap * 100
+	p.mu.Unlock()
+	p.instruments[InstrFuel].Set(fuelPct)
+}
+
+// Apply executes an instructor command against the panel. Unknown
+// instruments are an error so typos surface in testing.
+func (p *Panel) Apply(cmd fom.InstructorCmd) error {
+	switch cmd.Op {
+	case fom.OpInjectFault, fom.OpClearFault:
+		inst, ok := p.instruments[cmd.Instrument]
+		if !ok {
+			return fmt.Errorf("dashboard: unknown instrument %q", cmd.Instrument)
+		}
+		if cmd.Op == fom.OpInjectFault {
+			inst.InjectFault(cmd.Value)
+		} else {
+			inst.ClearFault()
+		}
+		return nil
+	case fom.OpStartScenario, fom.OpResetScenario:
+		return nil // scenario commands are not for the panel
+	default:
+		return fmt.Errorf("dashboard: unknown op %d", cmd.Op)
+	}
+}
+
+// Gauge is a read-only snapshot of one instrument, consumed by the
+// instructor's Dashboard window (the "pictorial duplication", Fig. 6).
+type Gauge struct {
+	Name    string
+	Unit    string
+	Value   float64
+	Faulted bool
+}
+
+// Snapshot returns all gauges in stable order.
+func (p *Panel) Snapshot() []Gauge {
+	names := p.Names()
+	out := make([]Gauge, 0, len(names))
+	for _, n := range names {
+		i := p.instruments[n]
+		out = append(out, Gauge{Name: i.Name, Unit: i.Unit, Value: i.Value(), Faulted: i.Faulted()})
+	}
+	return out
+}
+
+// InputShaping calibrates the raw operator controls: a deadzone swallows
+// mechanical slack around center and an exponential curve softens small
+// deflections, as the real trainer's device driver did.
+type InputShaping struct {
+	Deadzone float64 // fraction of travel ignored around center [0, 0.5]
+	Expo     float64 // 0 = linear, 1 = cubic response
+}
+
+// DefaultShaping returns the shipped calibration.
+func DefaultShaping() InputShaping {
+	return InputShaping{Deadzone: 0.06, Expo: 0.35}
+}
+
+// shapeAxis applies deadzone and expo to a [-1,1] axis.
+func (s InputShaping) shapeAxis(v float64) float64 {
+	v = mathx.Clamp(v, -1, 1)
+	sign := 1.0
+	if v < 0 {
+		sign = -1
+		v = -v
+	}
+	if v <= s.Deadzone {
+		return 0
+	}
+	v = (v - s.Deadzone) / (1 - s.Deadzone)
+	v = (1-s.Expo)*v + s.Expo*v*v*v
+	return sign * v
+}
+
+// shapePedal applies the deadzone to a [0,1] pedal.
+func (s InputShaping) shapePedal(v float64) float64 {
+	v = mathx.Clamp(v, 0, 1)
+	if v <= s.Deadzone {
+		return 0
+	}
+	return (v - s.Deadzone) / (1 - s.Deadzone)
+}
+
+// Shape calibrates a full raw control frame.
+func (s InputShaping) Shape(raw fom.ControlInput) fom.ControlInput {
+	out := raw
+	out.Steering = s.shapeAxis(raw.Steering)
+	out.BoomJoyX = s.shapeAxis(raw.BoomJoyX)
+	out.BoomJoyY = s.shapeAxis(raw.BoomJoyY)
+	out.HoistJoyX = s.shapeAxis(raw.HoistJoyX)
+	out.HoistJoyY = s.shapeAxis(raw.HoistJoyY)
+	out.Throttle = s.shapePedal(raw.Throttle)
+	out.Brake = s.shapePedal(raw.Brake)
+	return out
+}

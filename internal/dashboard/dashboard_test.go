@@ -1,0 +1,197 @@
+package dashboard
+
+import (
+	"math"
+	"testing"
+
+	"codsim/internal/fom"
+	"codsim/internal/mathx"
+)
+
+func TestInstrumentClamping(t *testing.T) {
+	i := &Instrument{Name: "x", Min: 0, Max: 10}
+	i.Set(50)
+	if i.Value() != 10 {
+		t.Errorf("Value = %v, want clamped 10", i.Value())
+	}
+	i.Set(-5)
+	if i.Value() != 0 {
+		t.Errorf("Value = %v, want clamped 0", i.Value())
+	}
+}
+
+func TestInstrumentFault(t *testing.T) {
+	i := &Instrument{Name: "x", Min: 0, Max: 100}
+	i.Set(40)
+	i.InjectFault(90)
+	if !i.Faulted() || i.Value() != 90 {
+		t.Errorf("faulted display = %v", i.Value())
+	}
+	if i.TrueValue() != 40 {
+		t.Errorf("TrueValue = %v, want 40", i.TrueValue())
+	}
+	// Fault display clamps to range too.
+	i.InjectFault(500)
+	if i.Value() != 100 {
+		t.Errorf("fault display = %v, want clamped", i.Value())
+	}
+	i.ClearFault()
+	if i.Faulted() || i.Value() != 40 {
+		t.Errorf("after clear: %v", i.Value())
+	}
+}
+
+func TestPanelUpdateFromState(t *testing.T) {
+	p := NewPanel()
+	st := fom.CraneState{
+		Speed:     5, // m/s → 18 km/h
+		EngineRPM: 1500,
+		EngineOn:  true,
+		BoomLuff:  mathx.Rad(60),
+		BoomLen:   15,
+		CableLen:  7,
+		CargoMass: 2500,
+		Stability: 0.8,
+	}
+	p.UpdateFromState(st, 0.1)
+	checks := map[string]float64{
+		InstrSpeed:     18,
+		InstrRPM:       1500,
+		InstrBoomAngle: 60,
+		InstrBoomLen:   15,
+		InstrCableLen:  7,
+		InstrLoad:      2500,
+		InstrStability: 80,
+	}
+	for name, want := range checks {
+		if got := p.Instrument(name).Value(); math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	// Reverse speed shows as positive.
+	st.Speed = -3
+	p.UpdateFromState(st, 0)
+	if got := p.Instrument(InstrSpeed).Value(); math.Abs(got-10.8) > 1e-9 {
+		t.Errorf("reverse speed display = %v", got)
+	}
+}
+
+func TestFuelBurn(t *testing.T) {
+	p := NewPanel()
+	st := fom.CraneState{EngineOn: true, EngineRPM: 3000}
+	before := p.Instrument(InstrFuel).Value()
+	// One hour at full rpm burns 25 liters of 300.
+	for i := 0; i < 3600; i++ {
+		p.UpdateFromState(st, 1)
+	}
+	after := p.Instrument(InstrFuel).Value()
+	wantDrop := 25.0 / 300 * 100
+	if math.Abs((before-after)-wantDrop) > 0.5 {
+		t.Errorf("fuel dropped %v%%, want ~%v%%", before-after, wantDrop)
+	}
+	// Engine off burns nothing.
+	st.EngineOn = false
+	mid := p.Instrument(InstrFuel).Value()
+	p.UpdateFromState(st, 3600)
+	if p.Instrument(InstrFuel).Value() != mid {
+		t.Error("fuel burned with engine off")
+	}
+}
+
+func TestPanelApplyCommands(t *testing.T) {
+	p := NewPanel()
+	if err := p.Apply(fom.InstructorCmd{Op: fom.OpInjectFault, Instrument: InstrRPM, Value: 2800}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Instrument(InstrRPM).Value(); got != 2800 {
+		t.Errorf("faulted rpm = %v", got)
+	}
+	if err := p.Apply(fom.InstructorCmd{Op: fom.OpClearFault, Instrument: InstrRPM}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Instrument(InstrRPM).Faulted() {
+		t.Error("fault not cleared")
+	}
+	if err := p.Apply(fom.InstructorCmd{Op: fom.OpInjectFault, Instrument: "warp-core"}); err == nil {
+		t.Error("unknown instrument accepted")
+	}
+	if err := p.Apply(fom.InstructorCmd{Op: fom.InstructorOp(99)}); err == nil {
+		t.Error("unknown op accepted")
+	}
+	// Scenario ops are ignored without error.
+	if err := p.Apply(fom.InstructorCmd{Op: fom.OpStartScenario}); err != nil {
+		t.Errorf("scenario op: %v", err)
+	}
+}
+
+func TestSnapshotStableOrder(t *testing.T) {
+	p := NewPanel()
+	a := p.Snapshot()
+	b := p.Snapshot()
+	if len(a) != 8 {
+		t.Fatalf("gauges = %d, want 8", len(a))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Fatal("snapshot order unstable")
+		}
+	}
+	// Faults are visible in the snapshot.
+	p.Instrument(InstrFuel).InjectFault(0)
+	for _, g := range p.Snapshot() {
+		if g.Name == InstrFuel && !g.Faulted {
+			t.Error("snapshot does not show fault")
+		}
+	}
+}
+
+func TestInputShapingDeadzone(t *testing.T) {
+	s := DefaultShaping()
+	raw := fom.ControlInput{Steering: 0.03, Throttle: 0.04, BoomJoyX: -0.05}
+	out := s.Shape(raw)
+	if out.Steering != 0 || out.Throttle != 0 || out.BoomJoyX != 0 {
+		t.Errorf("deadzone leak: %+v", out)
+	}
+}
+
+func TestInputShapingFullScale(t *testing.T) {
+	s := DefaultShaping()
+	out := s.Shape(fom.ControlInput{Steering: 1, Throttle: 1, Brake: 1, BoomJoyY: -1})
+	if math.Abs(out.Steering-1) > 1e-9 || math.Abs(out.Throttle-1) > 1e-9 {
+		t.Errorf("full scale lost: %+v", out)
+	}
+	if math.Abs(out.BoomJoyY+1) > 1e-9 {
+		t.Errorf("negative full scale lost: %v", out.BoomJoyY)
+	}
+	// Out-of-range inputs clamp.
+	out = s.Shape(fom.ControlInput{Steering: 5, Brake: -2})
+	if out.Steering > 1 || out.Brake != 0 {
+		t.Errorf("clamping failed: %+v", out)
+	}
+}
+
+func TestInputShapingMonotone(t *testing.T) {
+	s := DefaultShaping()
+	prev := -1.0
+	for v := -1.0; v <= 1.0; v += 0.01 {
+		got := s.shapeAxis(v)
+		if got < prev-1e-12 {
+			t.Fatalf("axis curve not monotone at %v", v)
+		}
+		prev = got
+	}
+	// Expo softens mid-scale response.
+	linear := InputShaping{Deadzone: 0, Expo: 0}
+	soft := InputShaping{Deadzone: 0, Expo: 0.8}
+	if soft.shapeAxis(0.5) >= linear.shapeAxis(0.5) {
+		t.Error("expo does not soften mid travel")
+	}
+}
+
+func TestShapePreservesDiscreteControls(t *testing.T) {
+	s := DefaultShaping()
+	out := s.Shape(fom.ControlInput{Ignition: true, Gear: 2, HookLatch: true})
+	if !out.Ignition || out.Gear != 2 || !out.HookLatch {
+		t.Errorf("discrete controls mangled: %+v", out)
+	}
+}

@@ -1,0 +1,397 @@
+// Package displaysync implements the surround-view frame synchronization of
+// §4: the three display computers render one frame each, report FRAME READY
+// to the synchronization server (the fourth computer of the rack), and only
+// present ("swap") when the server answers FRAME SWAP — so the three
+// monitors always show the same simulation frame (Fig. 10, ref [11]).
+//
+// The barrier is the source of the paper's measured overhead: the surround
+// view runs at 16 fps with 3235 polygons, below the free-running rate of a
+// single display, because every frame costs an extra READY/SWAP round trip
+// and a wait for the slowest display. BenchmarkSurroundView reproduces
+// exactly this gap.
+//
+// The protocol rides the ordinary CB virtual channels: displays publish
+// ClassFrameReady and subscribe ClassFrameSwap; the server does the
+// opposite. A display added at runtime (dynamic join, §2.3) is admitted
+// automatically and its frame counter is rebased onto the server's.
+package displaysync
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"codsim/internal/cb"
+	"codsim/internal/fom"
+	"codsim/internal/metrics"
+)
+
+// Errors returned by the package.
+var (
+	ErrTimeout = errors.New("displaysync: timed out waiting for swap")
+	ErrStopped = errors.New("displaysync: stopped")
+)
+
+// ServerConfig tunes the synchronization server.
+type ServerConfig struct {
+	// Expected lists display LP names that must report before the first
+	// swap is released. Displays beyond this list are auto-admitted when
+	// their first FRAME READY arrives (dynamic join).
+	Expected []string
+	// StallTimeout evicts a display that stops reporting while others
+	// wait, so one dead node cannot freeze the surround view. Zero
+	// disables eviction.
+	StallTimeout time.Duration
+	// PollInterval bounds how long the server blocks waiting for READY
+	// traffic before re-checking stalls. Defaults to 10 ms.
+	PollInterval time.Duration
+	// Pipeline is the §5 frame-rate acceleration the paper left as
+	// future work ("further accelerating of the frame rate is possible
+	// and currently under investigation"): with Pipeline = n, a display
+	// may run up to n frames ahead of the slowest one before the barrier
+	// blocks it, overlapping render work that the strict swap-lock
+	// serializes. 0 or 1 is the paper's strict barrier; 2 is classic
+	// double buffering. The displays stay within n frames of each other,
+	// trading a bounded skew for throughput (see the EXP-1 ablation).
+	Pipeline int
+}
+
+// Server is the synchronization-server LP.
+type Server struct {
+	cfg ServerConfig
+	pub *cb.Publication
+	sub *cb.Subscription
+
+	mu       sync.Mutex
+	frame    uint32                // next frame to release
+	displays map[string]*dispState // display LP → progress
+	evicted  metrics.Counter
+	swaps    metrics.Counter
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+type dispState struct {
+	baseline   uint32 // server frame at admission minus its first frame
+	ready      uint32 // latest effective ready frame + 1 (0 = none yet)
+	lastReport time.Time
+}
+
+// NewServer registers the synchronization server on the given backbone
+// under LP name lpName.
+func NewServer(backbone *cb.Backbone, lpName string, cfg ServerConfig) (*Server, error) {
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 10 * time.Millisecond
+	}
+	if cfg.Pipeline < 1 {
+		cfg.Pipeline = 1 // the paper's strict swap-lock
+	}
+	pub, err := backbone.PublishObjectClass(lpName, fom.ClassFrameSwap)
+	if err != nil {
+		return nil, fmt.Errorf("displaysync: publish swap: %w", err)
+	}
+	sub, err := backbone.SubscribeObjectClass(lpName, fom.ClassFrameReady, cb.WithQueue(1024))
+	if err != nil {
+		_ = pub.Close()
+		return nil, fmt.Errorf("displaysync: subscribe ready: %w", err)
+	}
+	s := &Server{
+		cfg:      cfg,
+		pub:      pub,
+		sub:      sub,
+		displays: make(map[string]*dispState, len(cfg.Expected)),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	now := time.Now()
+	for _, name := range cfg.Expected {
+		s.displays[name] = &dispState{lastReport: now}
+	}
+	return s, nil
+}
+
+// Start launches the server loop goroutine.
+func (s *Server) Start() {
+	go func() {
+		defer close(s.done)
+		s.serve()
+	}()
+}
+
+// Stop terminates the server loop and waits for it.
+func (s *Server) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+// Frame returns the next frame index the server will release.
+func (s *Server) Frame() uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.frame
+}
+
+// Displays returns the names of currently admitted displays.
+func (s *Server) Displays() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.displays))
+	for n := range s.displays {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Evicted returns how many displays were evicted for stalling.
+func (s *Server) Evicted() int64 { return s.evicted.Value() }
+
+// Swaps returns how many FRAME SWAP releases the server has published.
+func (s *Server) Swaps() int64 { return s.swaps.Value() }
+
+func (s *Server) serve() {
+	for {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		if r, ok := s.sub.Next(s.cfg.PollInterval); ok {
+			s.handleReady(r)
+		}
+		s.reapStalls()
+		s.release()
+	}
+}
+
+// handleReady records one FRAME READY report.
+func (s *Server) handleReady(r cb.Reflection) {
+	mark, err := fom.DecodeFrameMark(r.Attrs)
+	if err != nil {
+		return // malformed; ignore
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, known := s.displays[r.PubLP]
+	if !known {
+		// Dynamic join: admit and rebase its counter onto ours.
+		d = &dispState{baseline: s.frame - mark.Frame}
+		s.displays[r.PubLP] = d
+	}
+	eff := mark.Frame + d.baseline
+	if eff+1 > d.ready {
+		d.ready = eff + 1
+	}
+	d.lastReport = time.Now()
+}
+
+// reapStalls evicts displays that stopped reporting while others wait.
+func (s *Server) reapStalls() {
+	if s.cfg.StallTimeout <= 0 {
+		return
+	}
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.displays) < 2 {
+		return // nothing to unblock
+	}
+	for name, d := range s.displays {
+		if d.ready <= s.frame && now.Sub(d.lastReport) > s.cfg.StallTimeout {
+			delete(s.displays, name)
+			s.evicted.Inc()
+		}
+	}
+}
+
+// release publishes FRAME SWAP while every admitted display has reported
+// deep enough into the pipeline window: with Pipeline = 1 every display
+// must have reported the current frame (strict swap-lock); with a deeper
+// pipeline a display may lag up to Pipeline-1 frames before it gates the
+// swap.
+func (s *Server) release() {
+	for {
+		s.mu.Lock()
+		if len(s.displays) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		lag := uint32(s.cfg.Pipeline - 1)
+		allReady := true
+		for _, d := range s.displays {
+			if d.ready+lag <= s.frame {
+				allReady = false
+				break
+			}
+		}
+		if !allReady {
+			s.mu.Unlock()
+			return
+		}
+		frame := s.frame
+		s.frame++
+		s.mu.Unlock()
+
+		mark := fom.FrameMark{Frame: frame}
+		if err := s.pub.Update(float64(frame), mark.Encode()); err != nil {
+			return
+		}
+		s.swaps.Inc()
+	}
+}
+
+// Display is the barrier client run by each display computer.
+type Display struct {
+	name string
+	pub  *cb.Publication
+	sub  *cb.Subscription
+
+	mu       sync.Mutex
+	frame    uint32 // local frame counter
+	lastSwap uint32 // newest swap index seen + 1 (0 = none)
+	tracker  metrics.FrameTracker
+}
+
+// NewDisplay registers a display client on the given backbone.
+func NewDisplay(backbone *cb.Backbone, lpName string) (*Display, error) {
+	pub, err := backbone.PublishObjectClass(lpName, fom.ClassFrameReady)
+	if err != nil {
+		return nil, fmt.Errorf("displaysync: publish ready: %w", err)
+	}
+	sub, err := backbone.SubscribeObjectClass(lpName, fom.ClassFrameSwap, cb.WithQueue(256))
+	if err != nil {
+		_ = pub.Close()
+		return nil, fmt.Errorf("displaysync: subscribe swap: %w", err)
+	}
+	return &Display{name: lpName, pub: pub, sub: sub}, nil
+}
+
+// WaitServer blocks until both barrier channels — the swap subscription
+// and the ready publication — are established, or the timeout elapses.
+// Skipping this wait risks publishing the first FRAME READY into the void
+// before the server's subscription channel exists.
+func (d *Display) WaitServer(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if d.sub.Matched() && d.pub.Channels() > 0 {
+			// Discard swaps that accumulated while we were joining: a
+			// late display must synchronize to the *live* frame edge,
+			// not race through a stale backlog.
+			for {
+				if _, ok := d.sub.Poll(); !ok {
+					break
+				}
+			}
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Frame returns the display's local frame counter.
+func (d *Display) Frame() uint32 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.frame
+}
+
+// FPS returns the achieved frame rate so far.
+func (d *Display) FPS() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.tracker.FPS()
+}
+
+// Tracker returns a copy of the frame tracker for reporting.
+func (d *Display) Tracker() metrics.FrameTracker {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.tracker
+}
+
+// Ready reports the local frame as rendered (renderTime in seconds).
+func (d *Display) Ready(renderTime float64) error {
+	d.mu.Lock()
+	frame := d.frame
+	d.mu.Unlock()
+	mark := fom.FrameMark{Frame: frame, RenderTime: renderTime}
+	return d.pub.Update(float64(frame), mark.Encode())
+}
+
+// WaitSwap blocks until a swap newer than the last seen arrives, then
+// advances the local frame counter. It returns ErrTimeout when the server
+// stays silent for the whole timeout.
+func (d *Display) WaitSwap(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return fmt.Errorf("%w: frame %d", ErrTimeout, d.Frame())
+		}
+		r, ok := d.sub.Next(remain)
+		if !ok {
+			return fmt.Errorf("%w: frame %d", ErrTimeout, d.Frame())
+		}
+		mark, err := fom.DecodeFrameMark(r.Attrs)
+		if err != nil {
+			continue
+		}
+		d.mu.Lock()
+		if mark.Frame+1 > d.lastSwap {
+			d.lastSwap = mark.Frame + 1
+			d.frame++
+			d.mu.Unlock()
+			return nil
+		}
+		d.mu.Unlock()
+	}
+}
+
+// RunFrames drives the render→ready→swap loop for n frames, invoking
+// render for each and timing the full barrier-synchronized frame. timeout
+// bounds each barrier wait.
+func (d *Display) RunFrames(n int, timeout time.Duration, render func(frame uint32)) error {
+	for i := 0; i < n; i++ {
+		frameStart := time.Now()
+		frame := d.Frame()
+		render(frame)
+		if err := d.Ready(time.Since(frameStart).Seconds()); err != nil {
+			return fmt.Errorf("displaysync: ready: %w", err)
+		}
+		if err := d.WaitSwap(timeout); err != nil {
+			return err
+		}
+		d.mu.Lock()
+		d.tracker.TickInterval(time.Since(frameStart))
+		d.mu.Unlock()
+	}
+	return nil
+}
+
+// RunFree drives n frames without any barrier (the free-running ablation:
+// what a single display achieves when not synchronized).
+func (d *Display) RunFree(n int, render func(frame uint32)) {
+	for i := 0; i < n; i++ {
+		frameStart := time.Now()
+		d.mu.Lock()
+		frame := d.frame
+		d.frame++
+		d.mu.Unlock()
+		render(frame)
+		d.mu.Lock()
+		d.tracker.TickInterval(time.Since(frameStart))
+		d.mu.Unlock()
+	}
+}
+
+// Close withdraws the display's registrations.
+func (d *Display) Close() error {
+	err1 := d.pub.Close()
+	err2 := d.sub.Close()
+	return errors.Join(err1, err2)
+}

@@ -1,0 +1,230 @@
+package fom
+
+import (
+	"errors"
+	"testing"
+
+	"codsim/internal/mathx"
+	"codsim/internal/wire"
+)
+
+func TestControlInputRoundTrip(t *testing.T) {
+	in := ControlInput{
+		Steering:  -0.5,
+		Throttle:  0.8,
+		Brake:     0.1,
+		BoomJoyX:  0.25,
+		BoomJoyY:  -0.75,
+		HoistJoyX: 1,
+		HoistJoyY: -1,
+		Ignition:  true,
+		Gear:      2,
+		HookLatch: true,
+	}
+	got, err := DecodeControlInput(in.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got != in {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, in)
+	}
+}
+
+func TestCraneStateRoundTrip(t *testing.T) {
+	in := CraneState{
+		Position:  mathx.V3(10, 0.5, -20),
+		Heading:   1.1,
+		Pitch:     0.05,
+		Roll:      -0.02,
+		Speed:     3.6,
+		BoomSwing: 0.7,
+		BoomLuff:  0.9,
+		BoomLen:   14.5,
+		CableLen:  6.25,
+		HookPos:   mathx.V3(12, 8, -21),
+		HookVel:   mathx.V3(0.1, -0.2, 0.3),
+		CargoMass: 1500,
+		CargoHeld: true,
+		EngineRPM: 1800,
+		EngineOn:  true,
+		Stability: 0.85,
+		CargoPos:  mathx.V3(12, 6, -21),
+	}
+	got, err := DecodeCraneState(in.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got != in {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, in)
+	}
+}
+
+func TestMotionCueRoundTrip(t *testing.T) {
+	in := MotionCue{
+		SpecificForce: mathx.V3(0.2, -9.81, 1.0),
+		AngularRate:   mathx.V3(0.01, 0.02, -0.03),
+		Vibration:     0.35,
+		Frame:         991,
+	}
+	got, err := DecodeMotionCue(in.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got != in {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, in)
+	}
+}
+
+func TestAudioEventRoundTrip(t *testing.T) {
+	in := AudioEvent{
+		Sound:    SoundCollision,
+		Gain:     0.9,
+		Position: mathx.V3(1, 2, 3),
+		Loop:     false,
+		Stop:     false,
+	}
+	got, err := DecodeAudioEvent(in.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got != in {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, in)
+	}
+}
+
+func TestScenarioStateRoundTrip(t *testing.T) {
+	in := ScenarioState{
+		Phase:      PhaseTraverse,
+		Score:      87.5,
+		Elapsed:    123.4,
+		Collisions: 2,
+		Waypoint:   5,
+		Message:    "carry the cargo along the bars",
+	}
+	got, err := DecodeScenarioState(in.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got != in {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, in)
+	}
+}
+
+func TestInstructorCmdRoundTrip(t *testing.T) {
+	in := InstructorCmd{Op: OpInjectFault, Instrument: "fuel-gauge", Value: 0}
+	got, err := DecodeInstructorCmd(in.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got != in {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, in)
+	}
+}
+
+func TestStatusReportRoundTrip(t *testing.T) {
+	in := StatusReport{
+		SwingDeg: 45.5,
+		LuffDeg:  60.1,
+		CableLen: 7.3,
+		BoomLen:  18.0,
+		Alarms:   AlarmSwingZone | AlarmOverload,
+		Score:    92,
+	}
+	got, err := DecodeStatusReport(in.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got != in {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, in)
+	}
+}
+
+func TestFrameMarkRoundTrip(t *testing.T) {
+	in := FrameMark{Frame: 12345, RenderTime: 0.0625}
+	got, err := DecodeFrameMark(in.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got != in {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, in)
+	}
+}
+
+func TestDecodeMissingAttr(t *testing.T) {
+	// Removing any attribute from a full set must produce ErrMissingAttr.
+	full := CraneState{}.Encode()
+	for id := range full {
+		broken := full.Clone()
+		delete(broken, id)
+		if _, err := DecodeCraneState(broken); !errors.Is(err, ErrMissingAttr) {
+			t.Errorf("attr %d removed: err = %v, want ErrMissingAttr", id, err)
+		}
+	}
+	if _, err := DecodeControlInput(wire.AttrSet{}); !errors.Is(err, ErrMissingAttr) {
+		t.Errorf("empty set: %v", err)
+	}
+	if _, err := DecodeMotionCue(wire.AttrSet{}); !errors.Is(err, ErrMissingAttr) {
+		t.Errorf("empty set: %v", err)
+	}
+	if _, err := DecodeAudioEvent(wire.AttrSet{}); !errors.Is(err, ErrMissingAttr) {
+		t.Errorf("empty set: %v", err)
+	}
+	if _, err := DecodeScenarioState(wire.AttrSet{}); !errors.Is(err, ErrMissingAttr) {
+		t.Errorf("empty set: %v", err)
+	}
+	if _, err := DecodeInstructorCmd(wire.AttrSet{}); !errors.Is(err, ErrMissingAttr) {
+		t.Errorf("empty set: %v", err)
+	}
+	if _, err := DecodeStatusReport(wire.AttrSet{}); !errors.Is(err, ErrMissingAttr) {
+		t.Errorf("empty set: %v", err)
+	}
+	if _, err := DecodeFrameMark(wire.AttrSet{}); !errors.Is(err, ErrMissingAttr) {
+		t.Errorf("empty set: %v", err)
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if PhaseDriving.String() != "driving" {
+		t.Errorf("PhaseDriving = %q", PhaseDriving.String())
+	}
+	if Phase(99).String() != "unknown" {
+		t.Errorf("unknown phase = %q", Phase(99).String())
+	}
+}
+
+func TestAlarmHas(t *testing.T) {
+	a := AlarmSwingZone | AlarmTipover
+	if !a.Has(AlarmSwingZone) || !a.Has(AlarmTipover) {
+		t.Error("Has missed set bits")
+	}
+	if a.Has(AlarmOverload) {
+		t.Error("Has reported unset bit")
+	}
+	if !a.Has(AlarmSwingZone | AlarmTipover) {
+		t.Error("Has failed on multi-bit query")
+	}
+	if a.Has(AlarmSwingZone | AlarmOverload) {
+		t.Error("Has passed on partially-set multi-bit query")
+	}
+}
+
+func TestEncodedSetsSurviveWire(t *testing.T) {
+	// FOM attribute sets must survive a full wire round trip.
+	state := CraneState{Position: mathx.V3(1, 2, 3), Stability: 1}
+	f := wire.Frame{Kind: wire.KindUpdateAttrs, Class: ClassCraneState, Attrs: state.Encode()}
+	b, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := wire.Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeCraneState(got.Attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec != state {
+		t.Errorf("wire round trip mismatch: %+v vs %+v", dec, state)
+	}
+}

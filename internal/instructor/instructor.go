@@ -1,0 +1,176 @@
+// Package instructor implements the instructor monitor of §3.3: the
+// interface through which the instructor supervises the trainee. It renders
+// two windows as text (the repo has no window system):
+//
+//   - the Status window (Fig. 5): four sub-windows showing the boom's
+//     current swinging angle, raising degrees, plumb-cable length and
+//     elongate length, dialogue boxes repeating the numbers, alarm lamps
+//     that light on operator misconduct, and the live exam score;
+//   - the Dashboard window (Fig. 6): a complete duplication of the mockup
+//     dashboard, from which the instructor can inject instrument faults
+//     for trouble-shooting training by "clicking" an instrument.
+package instructor
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"codsim/internal/crane"
+	"codsim/internal/dashboard"
+	"codsim/internal/fom"
+)
+
+// AlarmEvent is one alarm transition recorded in the misconduct log.
+type AlarmEvent struct {
+	At     float64 // scenario elapsed seconds
+	Raised fom.Alarm
+}
+
+// Monitor is the instructor LP's state. Safe for concurrent use (CB
+// callbacks feed it while the UI loop renders).
+type Monitor struct {
+	mu    sync.Mutex
+	spec  crane.Spec
+	panel *dashboard.Panel // the Fig. 6 duplication
+
+	crane    fom.CraneState
+	scen     fom.ScenarioState
+	haveData bool
+	lastAl   fom.Alarm
+	log      []AlarmEvent
+}
+
+// NewMonitor builds a monitor judging against the given crane spec.
+func NewMonitor(spec crane.Spec) *Monitor {
+	return &Monitor{spec: spec, panel: dashboard.NewPanel()}
+}
+
+// ObserveCrane ingests a CraneState reflection.
+func (m *Monitor) ObserveCrane(st fom.CraneState, dt float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.crane = st
+	m.haveData = true
+	m.panel.UpdateFromState(st, dt)
+
+	al := m.spec.Alarms(st)
+	if raised := al &^ m.lastAl; raised != 0 {
+		m.log = append(m.log, AlarmEvent{At: m.scen.Elapsed, Raised: raised})
+	}
+	m.lastAl = al
+}
+
+// ObserveScenario ingests a ScenarioState reflection.
+func (m *Monitor) ObserveScenario(s fom.ScenarioState) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.scen = s
+}
+
+// Report digests the current state into the status-window payload.
+func (m *Monitor) Report(extra fom.Alarm) fom.StatusReport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.spec.StatusReport(m.crane, m.scen.Score, extra)
+}
+
+// InjectFault builds the InstructorCmd for clicking instrument `name` on
+// the Dashboard window (§3.3 trouble-shooting training), applying it to
+// the local mirror as well.
+func (m *Monitor) InjectFault(name string, value float64) (fom.InstructorCmd, error) {
+	cmd := fom.InstructorCmd{Op: fom.OpInjectFault, Instrument: name, Value: value}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.panel.Apply(cmd); err != nil {
+		return fom.InstructorCmd{}, err
+	}
+	return cmd, nil
+}
+
+// ClearFault builds the clearing command for an instrument.
+func (m *Monitor) ClearFault(name string) (fom.InstructorCmd, error) {
+	cmd := fom.InstructorCmd{Op: fom.OpClearFault, Instrument: name}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.panel.Apply(cmd); err != nil {
+		return fom.InstructorCmd{}, err
+	}
+	return cmd, nil
+}
+
+// AlarmLog returns a copy of the misconduct log.
+func (m *Monitor) AlarmLog() []AlarmEvent {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]AlarmEvent(nil), m.log...)
+}
+
+// alarmLamps lists the lamps in display order.
+var alarmLamps = []struct {
+	bit   fom.Alarm
+	label string
+}{
+	{fom.AlarmSwingZone, "SWING ZONE"},
+	{fom.AlarmLuffLimit, "LUFF LIMIT"},
+	{fom.AlarmOverload, "OVERLOAD"},
+	{fom.AlarmTipover, "TIP-OVER"},
+	{fom.AlarmCollision, "COLLISION"},
+	{fom.AlarmOverspeed, "OVERSPEED"},
+}
+
+// StatusWindow renders the Fig. 5 status window as text.
+func (m *Monitor) StatusWindow(extra fom.Alarm) string {
+	r := m.Report(extra)
+	m.mu.Lock()
+	scen := m.scen
+	m.mu.Unlock()
+
+	var b strings.Builder
+	b.WriteString("+------------------ STATUS WINDOW ------------------+\n")
+	fmt.Fprintf(&b, "| swing angle : %7.1f deg   raise angle : %6.1f deg |\n", r.SwingDeg, r.LuffDeg)
+	fmt.Fprintf(&b, "| cable length: %7.2f m     boom length : %6.2f m   |\n", r.CableLen, r.BoomLen)
+	b.WriteString("| alarms      : ")
+	any := false
+	for _, lamp := range alarmLamps {
+		if r.Alarms.Has(lamp.bit) {
+			if any {
+				b.WriteString(", ")
+			}
+			b.WriteString(lamp.label)
+			any = true
+		}
+	}
+	if !any {
+		b.WriteString("(none)")
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "| phase: %-9s  score: %5.1f  elapsed: %6.1f s    |\n",
+		scen.Phase, r.Score, scen.Elapsed)
+	fmt.Fprintf(&b, "| %s\n", scen.Message)
+	b.WriteString("+----------------------------------------------------+\n")
+	return b.String()
+}
+
+// DashboardWindow renders the Fig. 6 dashboard duplication as text. A
+// trailing asterisk marks instruments with an injected fault.
+func (m *Monitor) DashboardWindow() string {
+	m.mu.Lock()
+	gauges := m.panel.Snapshot()
+	m.mu.Unlock()
+
+	var b strings.Builder
+	b.WriteString("+--------------- DASHBOARD WINDOW ---------------+\n")
+	for _, g := range gauges {
+		mark := " "
+		if g.Faulted {
+			mark = "*"
+		}
+		fmt.Fprintf(&b, "| %-13s %9.1f %-5s %s |\n", g.Name, g.Value, g.Unit, mark)
+	}
+	b.WriteString("+-------------------------------------------------+\n")
+	return b.String()
+}
+
+// Panel exposes the mirror panel (tests and the fault-injection example).
+func (m *Monitor) Panel() *dashboard.Panel { return m.panel }

@@ -1,0 +1,131 @@
+package instructor
+
+import (
+	"strings"
+	"testing"
+
+	"codsim/internal/crane"
+	"codsim/internal/dashboard"
+	"codsim/internal/fom"
+	"codsim/internal/mathx"
+)
+
+func calmState() fom.CraneState {
+	return fom.CraneState{
+		BoomSwing: mathx.Rad(20),
+		BoomLuff:  mathx.Rad(50),
+		BoomLen:   14,
+		CableLen:  6,
+		Stability: 0.9,
+		EngineRPM: 900,
+		EngineOn:  true,
+		Speed:     2,
+	}
+}
+
+func TestReportReflectsState(t *testing.T) {
+	m := NewMonitor(crane.DefaultSpec())
+	m.ObserveCrane(calmState(), 0.1)
+	m.ObserveScenario(fom.ScenarioState{Score: 88, Phase: fom.PhaseTraverse})
+	r := m.Report(0)
+	if r.SwingDeg < 19.9 || r.SwingDeg > 20.1 {
+		t.Errorf("SwingDeg = %v", r.SwingDeg)
+	}
+	if r.Score != 88 {
+		t.Errorf("Score = %v", r.Score)
+	}
+	if r.Alarms != 0 {
+		t.Errorf("Alarms = %b for calm state", r.Alarms)
+	}
+}
+
+func TestStatusWindowRendering(t *testing.T) {
+	m := NewMonitor(crane.DefaultSpec())
+	m.ObserveCrane(calmState(), 0.1)
+	m.ObserveScenario(fom.ScenarioState{
+		Score: 95.5, Phase: fom.PhaseDriving, Elapsed: 12.5,
+		Message: "drive to the test ground",
+	})
+	out := m.StatusWindow(0)
+	for _, want := range []string{"STATUS WINDOW", "20.0", "50.0", "95.5", "driving", "(none)", "drive to the test ground"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("status window missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStatusWindowAlarms(t *testing.T) {
+	m := NewMonitor(crane.DefaultSpec())
+	st := calmState()
+	st.Speed = 99 // overspeed
+	st.Stability = 0.05
+	m.ObserveCrane(st, 0.1)
+	out := m.StatusWindow(fom.AlarmCollision)
+	for _, want := range []string{"OVERSPEED", "TIP-OVER", "COLLISION"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("alarms missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAlarmLogRecordsEdges(t *testing.T) {
+	m := NewMonitor(crane.DefaultSpec())
+	m.ObserveScenario(fom.ScenarioState{Elapsed: 5})
+	m.ObserveCrane(calmState(), 0.1)
+	if len(m.AlarmLog()) != 0 {
+		t.Fatal("calm state logged an alarm")
+	}
+	st := calmState()
+	st.Speed = 99
+	m.ObserveCrane(st, 0.1)
+	m.ObserveCrane(st, 0.1) // held: no second entry
+	logs := m.AlarmLog()
+	if len(logs) != 1 {
+		t.Fatalf("log = %v, want one entry", logs)
+	}
+	if !logs[0].Raised.Has(fom.AlarmOverspeed) || logs[0].At != 5 {
+		t.Errorf("entry = %+v", logs[0])
+	}
+	// Alarm clears then re-trips: second entry.
+	m.ObserveCrane(calmState(), 0.1)
+	m.ObserveCrane(st, 0.1)
+	if len(m.AlarmLog()) != 2 {
+		t.Errorf("log = %d entries, want 2", len(m.AlarmLog()))
+	}
+}
+
+func TestDashboardWindowMirrorsAndFaults(t *testing.T) {
+	m := NewMonitor(crane.DefaultSpec())
+	m.ObserveCrane(calmState(), 0.1)
+	out := m.DashboardWindow()
+	if !strings.Contains(out, dashboard.InstrRPM) || !strings.Contains(out, "900.0") {
+		t.Errorf("dashboard window missing live rpm:\n%s", out)
+	}
+
+	cmd, err := m.InjectFault(dashboard.InstrRPM, 2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Op != fom.OpInjectFault || cmd.Instrument != dashboard.InstrRPM || cmd.Value != 2500 {
+		t.Errorf("cmd = %+v", cmd)
+	}
+	out = m.DashboardWindow()
+	if !strings.Contains(out, "2500.0") || !strings.Contains(out, "*") {
+		t.Errorf("fault not mirrored:\n%s", out)
+	}
+
+	clr, err := m.ClearFault(dashboard.InstrRPM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clr.Op != fom.OpClearFault {
+		t.Errorf("clear cmd = %+v", clr)
+	}
+	if strings.Contains(m.DashboardWindow(), "*") {
+		t.Error("fault marker survived clear")
+	}
+
+	if _, err := m.InjectFault("no-such-gauge", 1); err == nil {
+		t.Error("unknown instrument accepted")
+	}
+}

@@ -1,0 +1,193 @@
+package mathx
+
+import "math"
+
+// Mat4 is a row-major 4×4 matrix. Element m[r][c] sits at index r*4+c.
+// Vectors transform as column vectors: out = M · v.
+type Mat4 [16]float64
+
+// Identity4 returns the 4×4 identity matrix.
+func Identity4() Mat4 {
+	return Mat4{
+		1, 0, 0, 0,
+		0, 1, 0, 0,
+		0, 0, 1, 0,
+		0, 0, 0, 1,
+	}
+}
+
+// MulM returns the matrix product m · n.
+func (m Mat4) MulM(n Mat4) Mat4 {
+	var out Mat4
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			var sum float64
+			for k := 0; k < 4; k++ {
+				sum += m[r*4+k] * n[k*4+c]
+			}
+			out[r*4+c] = sum
+		}
+	}
+	return out
+}
+
+// MulPoint transforms a point (w=1) by m, dividing by the resulting w when
+// it is nonzero (perspective divide).
+func (m Mat4) MulPoint(v Vec3) Vec3 {
+	x := m[0]*v.X + m[1]*v.Y + m[2]*v.Z + m[3]
+	y := m[4]*v.X + m[5]*v.Y + m[6]*v.Z + m[7]
+	z := m[8]*v.X + m[9]*v.Y + m[10]*v.Z + m[11]
+	w := m[12]*v.X + m[13]*v.Y + m[14]*v.Z + m[15]
+	if w != 0 && w != 1 {
+		inv := 1 / w
+		return Vec3{x * inv, y * inv, z * inv}
+	}
+	return Vec3{x, y, z}
+}
+
+// MulPointW transforms a point (w=1) by m and returns the homogeneous result
+// without dividing, for clip-space tests.
+func (m Mat4) MulPointW(v Vec3) (out Vec3, w float64) {
+	out.X = m[0]*v.X + m[1]*v.Y + m[2]*v.Z + m[3]
+	out.Y = m[4]*v.X + m[5]*v.Y + m[6]*v.Z + m[7]
+	out.Z = m[8]*v.X + m[9]*v.Y + m[10]*v.Z + m[11]
+	w = m[12]*v.X + m[13]*v.Y + m[14]*v.Z + m[15]
+	return out, w
+}
+
+// MulDir transforms a direction (w=0) by m, ignoring translation.
+func (m Mat4) MulDir(v Vec3) Vec3 {
+	return Vec3{
+		X: m[0]*v.X + m[1]*v.Y + m[2]*v.Z,
+		Y: m[4]*v.X + m[5]*v.Y + m[6]*v.Z,
+		Z: m[8]*v.X + m[9]*v.Y + m[10]*v.Z,
+	}
+}
+
+// Transpose returns the transpose of m.
+func (m Mat4) Transpose() Mat4 {
+	var out Mat4
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			out[c*4+r] = m[r*4+c]
+		}
+	}
+	return out
+}
+
+// Translate returns a translation matrix.
+func Translate(t Vec3) Mat4 {
+	return Mat4{
+		1, 0, 0, t.X,
+		0, 1, 0, t.Y,
+		0, 0, 1, t.Z,
+		0, 0, 0, 1,
+	}
+}
+
+// ScaleM returns a scale matrix.
+func ScaleM(s Vec3) Mat4 {
+	return Mat4{
+		s.X, 0, 0, 0,
+		0, s.Y, 0, 0,
+		0, 0, s.Z, 0,
+		0, 0, 0, 1,
+	}
+}
+
+// RotateX returns a rotation about the X axis by a radians.
+func RotateX(a float64) Mat4 {
+	c, s := math.Cos(a), math.Sin(a)
+	return Mat4{
+		1, 0, 0, 0,
+		0, c, -s, 0,
+		0, s, c, 0,
+		0, 0, 0, 1,
+	}
+}
+
+// RotateY returns a rotation about the Y axis by a radians.
+func RotateY(a float64) Mat4 {
+	c, s := math.Cos(a), math.Sin(a)
+	return Mat4{
+		c, 0, s, 0,
+		0, 1, 0, 0,
+		-s, 0, c, 0,
+		0, 0, 0, 1,
+	}
+}
+
+// RotateZ returns a rotation about the Z axis by a radians.
+func RotateZ(a float64) Mat4 {
+	c, s := math.Cos(a), math.Sin(a)
+	return Mat4{
+		c, -s, 0, 0,
+		s, c, 0, 0,
+		0, 0, 1, 0,
+		0, 0, 0, 1,
+	}
+}
+
+// LookAt builds a right-handed view matrix placing the camera at eye,
+// looking toward target with the given up vector.
+func LookAt(eye, target, up Vec3) Mat4 {
+	f := target.Sub(eye).Normalize() // forward
+	s := f.Cross(up).Normalize()     // right
+	u := s.Cross(f)                  // true up
+	return Mat4{
+		s.X, s.Y, s.Z, -s.Dot(eye),
+		u.X, u.Y, u.Z, -u.Dot(eye),
+		-f.X, -f.Y, -f.Z, f.Dot(eye),
+		0, 0, 0, 1,
+	}
+}
+
+// Perspective builds a right-handed perspective projection with the given
+// vertical field of view (radians), aspect ratio (w/h) and near/far planes,
+// mapping depth to [-1, 1] clip space.
+func Perspective(fovY, aspect, near, far float64) Mat4 {
+	t := math.Tan(fovY / 2)
+	return Mat4{
+		1 / (aspect * t), 0, 0, 0,
+		0, 1 / t, 0, 0,
+		0, 0, -(far + near) / (far - near), -2 * far * near / (far - near),
+		0, 0, -1, 0,
+	}
+}
+
+// Invert returns the inverse of m and true, or the identity and false when m
+// is singular. General cofactor expansion; matrices here are 4×4 TRS or
+// projections, so cost is irrelevant.
+func (m Mat4) Invert() (Mat4, bool) {
+	inv := Mat4{}
+	a := m
+
+	inv[0] = a[5]*a[10]*a[15] - a[5]*a[11]*a[14] - a[9]*a[6]*a[15] + a[9]*a[7]*a[14] + a[13]*a[6]*a[11] - a[13]*a[7]*a[10]
+	inv[4] = -a[4]*a[10]*a[15] + a[4]*a[11]*a[14] + a[8]*a[6]*a[15] - a[8]*a[7]*a[14] - a[12]*a[6]*a[11] + a[12]*a[7]*a[10]
+	inv[8] = a[4]*a[9]*a[15] - a[4]*a[11]*a[13] - a[8]*a[5]*a[15] + a[8]*a[7]*a[13] + a[12]*a[5]*a[11] - a[12]*a[7]*a[9]
+	inv[12] = -a[4]*a[9]*a[14] + a[4]*a[10]*a[13] + a[8]*a[5]*a[14] - a[8]*a[6]*a[13] - a[12]*a[5]*a[10] + a[12]*a[6]*a[9]
+	inv[1] = -a[1]*a[10]*a[15] + a[1]*a[11]*a[14] + a[9]*a[2]*a[15] - a[9]*a[3]*a[14] - a[13]*a[2]*a[11] + a[13]*a[3]*a[10]
+	inv[5] = a[0]*a[10]*a[15] - a[0]*a[11]*a[14] - a[8]*a[2]*a[15] + a[8]*a[3]*a[14] + a[12]*a[2]*a[11] - a[12]*a[3]*a[10]
+	inv[9] = -a[0]*a[9]*a[15] + a[0]*a[11]*a[13] + a[8]*a[1]*a[15] - a[8]*a[3]*a[13] - a[12]*a[1]*a[11] + a[12]*a[3]*a[9]
+	inv[13] = a[0]*a[9]*a[14] - a[0]*a[10]*a[13] - a[8]*a[1]*a[14] + a[8]*a[2]*a[13] + a[12]*a[1]*a[10] - a[12]*a[2]*a[9]
+	inv[2] = a[1]*a[6]*a[15] - a[1]*a[7]*a[14] - a[5]*a[2]*a[15] + a[5]*a[3]*a[14] + a[13]*a[2]*a[7] - a[13]*a[3]*a[6]
+	inv[6] = -a[0]*a[6]*a[15] + a[0]*a[7]*a[14] + a[4]*a[2]*a[15] - a[4]*a[3]*a[14] - a[12]*a[2]*a[7] + a[12]*a[3]*a[6]
+	inv[10] = a[0]*a[5]*a[15] - a[0]*a[7]*a[13] - a[4]*a[1]*a[15] + a[4]*a[3]*a[13] + a[12]*a[1]*a[7] - a[12]*a[3]*a[5]
+	inv[14] = -a[0]*a[5]*a[14] + a[0]*a[6]*a[13] + a[4]*a[1]*a[14] - a[4]*a[2]*a[13] - a[12]*a[1]*a[6] + a[12]*a[2]*a[5]
+	inv[3] = -a[1]*a[6]*a[11] + a[1]*a[7]*a[10] + a[5]*a[2]*a[11] - a[5]*a[3]*a[10] - a[9]*a[2]*a[7] + a[9]*a[3]*a[6]
+	inv[7] = a[0]*a[6]*a[11] - a[0]*a[7]*a[10] - a[4]*a[2]*a[11] + a[4]*a[3]*a[10] + a[8]*a[2]*a[7] - a[8]*a[3]*a[6]
+	inv[11] = -a[0]*a[5]*a[11] + a[0]*a[7]*a[9] + a[4]*a[1]*a[11] - a[4]*a[3]*a[9] - a[8]*a[1]*a[7] + a[8]*a[3]*a[5]
+	inv[15] = a[0]*a[5]*a[10] - a[0]*a[6]*a[9] - a[4]*a[1]*a[10] + a[4]*a[2]*a[9] + a[8]*a[1]*a[6] - a[8]*a[2]*a[5]
+
+	det := a[0]*inv[0] + a[1]*inv[4] + a[2]*inv[8] + a[3]*inv[12]
+	if det == 0 {
+		return Identity4(), false
+	}
+	invDet := 1 / det
+	for i := range inv {
+		inv[i] *= invDet
+	}
+	// The cofactor expansion is memory-layout agnostic: feeding a row-major
+	// matrix yields the row-major inverse directly.
+	return inv, true
+}

@@ -1,0 +1,194 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestIdentityMul(t *testing.T) {
+	id := Identity4()
+	m := Translate(V3(1, 2, 3)).MulM(RotateY(0.7))
+	if got := id.MulM(m); got != m {
+		t.Error("I·M != M")
+	}
+	if got := m.MulM(id); got != m {
+		t.Error("M·I != M")
+	}
+}
+
+func TestTranslatePoint(t *testing.T) {
+	m := Translate(V3(1, -2, 3))
+	if got := m.MulPoint(V3(10, 10, 10)); !got.NearEq(V3(11, 8, 13), eps) {
+		t.Errorf("translate = %v", got)
+	}
+	// Directions ignore translation.
+	if got := m.MulDir(V3(1, 0, 0)); !got.NearEq(V3(1, 0, 0), eps) {
+		t.Errorf("MulDir = %v", got)
+	}
+}
+
+func TestScalePoint(t *testing.T) {
+	m := ScaleM(V3(2, 3, 4))
+	if got := m.MulPoint(V3(1, 1, 1)); !got.NearEq(V3(2, 3, 4), eps) {
+		t.Errorf("scale = %v", got)
+	}
+}
+
+func TestRotations(t *testing.T) {
+	tests := []struct {
+		name string
+		m    Mat4
+		in   Vec3
+		want Vec3
+	}{
+		{"X90", RotateX(math.Pi / 2), V3(0, 1, 0), V3(0, 0, 1)},
+		{"Y90", RotateY(math.Pi / 2), V3(0, 0, 1), V3(1, 0, 0)},
+		{"Z90", RotateZ(math.Pi / 2), V3(1, 0, 0), V3(0, 1, 0)},
+		{"Y180", RotateY(math.Pi), V3(1, 0, 0), V3(-1, 0, 0)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.m.MulPoint(tt.in); !got.NearEq(tt.want, 1e-12) {
+				t.Errorf("got %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRotationPreservesLength(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		m := RotateX(r.Float64() * 10).MulM(RotateY(r.Float64() * 10)).MulM(RotateZ(r.Float64() * 10))
+		v := randVec(r)
+		if got, want := m.MulPoint(v).Len(), v.Len(); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("rotation changed length: %v -> %v", want, got)
+		}
+	}
+}
+
+func TestMatMulAssociativity(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 100; i++ {
+		a := Translate(randVec(r)).MulM(RotateY(r.Float64()))
+		b := RotateX(r.Float64()).MulM(ScaleM(V3(1.5, 2, 0.5)))
+		c := Translate(randVec(r))
+		v := randVec(r)
+		lhs := a.MulM(b).MulM(c).MulPoint(v)
+		rhs := a.MulPoint(b.MulPoint(c.MulPoint(v)))
+		if !lhs.NearEq(rhs, 1e-8) {
+			t.Fatalf("(AB)C·v != A(B(C v)): %v vs %v", lhs, rhs)
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := Mat4{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}
+	mt := m.Transpose()
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			if mt[r*4+c] != m[c*4+r] {
+				t.Fatalf("transpose wrong at %d,%d", r, c)
+			}
+		}
+	}
+	if m.Transpose().Transpose() != m {
+		t.Error("double transpose != original")
+	}
+}
+
+func TestInvert(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		m := Translate(randVec(r)).
+			MulM(RotateY(r.Float64() * 6)).
+			MulM(RotateX(r.Float64() * 6)).
+			MulM(ScaleM(V3(0.5+r.Float64(), 0.5+r.Float64(), 0.5+r.Float64())))
+		inv, ok := m.Invert()
+		if !ok {
+			t.Fatal("TRS matrix reported singular")
+		}
+		prod := m.MulM(inv)
+		id := Identity4()
+		for k := range prod {
+			if math.Abs(prod[k]-id[k]) > 1e-8 {
+				t.Fatalf("M·M⁻¹ != I at %d: %v", k, prod[k])
+			}
+		}
+	}
+}
+
+func TestInvertSingular(t *testing.T) {
+	var zero Mat4
+	if _, ok := zero.Invert(); ok {
+		t.Error("zero matrix inverted")
+	}
+	flat := ScaleM(V3(1, 0, 1)) // rank-deficient
+	if _, ok := flat.Invert(); ok {
+		t.Error("rank-deficient matrix inverted")
+	}
+}
+
+func TestLookAt(t *testing.T) {
+	// Camera at origin looking down -Z: view transform is identity-ish.
+	m := LookAt(V3(0, 0, 0), V3(0, 0, -1), V3(0, 1, 0))
+	p := m.MulPoint(V3(0, 0, -5))
+	if !p.NearEq(V3(0, 0, -5), eps) {
+		t.Errorf("forward point = %v, want (0,0,-5)", p)
+	}
+	// Camera at (0,0,10) looking at origin: origin maps to (0,0,-10).
+	m = LookAt(V3(0, 0, 10), V3(0, 0, 0), V3(0, 1, 0))
+	p = m.MulPoint(V3(0, 0, 0))
+	if !p.NearEq(V3(0, 0, -10), eps) {
+		t.Errorf("origin in view space = %v, want (0,0,-10)", p)
+	}
+	// A point to the camera's right (world +X) stays +X in view space.
+	p = m.MulPoint(V3(3, 0, 10))
+	if !p.NearEq(V3(3, 0, 0), eps) {
+		t.Errorf("right point = %v, want (3,0,0)", p)
+	}
+}
+
+func TestPerspective(t *testing.T) {
+	proj := Perspective(Rad(90), 1, 1, 100)
+	// A point on the near plane straight ahead maps to z = -1.
+	p := proj.MulPoint(V3(0, 0, -1))
+	if math.Abs(p.Z-(-1)) > 1e-9 {
+		t.Errorf("near-plane z = %v, want -1", p.Z)
+	}
+	// A point on the far plane maps to z = +1.
+	p = proj.MulPoint(V3(0, 0, -100))
+	if math.Abs(p.Z-1) > 1e-9 {
+		t.Errorf("far-plane z = %v, want 1", p.Z)
+	}
+	// With fov 90°, a point at 45° from axis lands on the clip boundary |y|=1.
+	p = proj.MulPoint(V3(0, 10, -10))
+	if math.Abs(p.Y-1) > 1e-9 {
+		t.Errorf("edge y = %v, want 1", p.Y)
+	}
+}
+
+func BenchmarkMat4MulM(b *testing.B) {
+	m := Translate(V3(1, 2, 3)).MulM(RotateY(0.5))
+	n := RotateX(0.3).MulM(ScaleM(V3(1, 2, 1)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m = m.MulM(n)
+	}
+	_ = m
+}
+
+func BenchmarkMat4MulPoint(b *testing.B) {
+	m := Translate(V3(1, 2, 3)).MulM(RotateY(0.5))
+	v := V3(1, 2, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v = m.MulPoint(v)
+	}
+	_ = v
+}

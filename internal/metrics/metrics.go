@@ -1,0 +1,347 @@
+// Package metrics provides the lightweight instrumentation used by the
+// experiment harness: streaming summaries (Welford), quantile samples,
+// counters, rate meters, frame-time trackers and fixed-width text tables.
+// Everything is safe for concurrent use unless stated otherwise.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Summary accumulates a stream of float64 observations and reports count,
+// mean, min, max and standard deviation without retaining the samples.
+type Summary struct {
+	mu    sync.Mutex
+	n     int64
+	mean  float64
+	m2    float64
+	min   float64
+	max   float64
+	total float64
+}
+
+// Observe adds one sample.
+func (s *Summary) Observe(v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	s.total += v
+	if s.n == 1 {
+		s.min, s.max = v, v
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+	}
+	delta := v - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (v - s.mean)
+}
+
+// Count returns the number of samples observed.
+func (s *Summary) Count() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (s *Summary) Mean() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mean
+}
+
+// Sum returns the total of all samples.
+func (s *Summary) Sum() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (s *Summary) Min() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.min
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (s *Summary) Max() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.max
+}
+
+// StdDev returns the sample standard deviation, or 0 with <2 samples.
+func (s *Summary) StdDev() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n < 2 {
+		return 0
+	}
+	return math.Sqrt(s.m2 / float64(s.n-1))
+}
+
+// String formats the summary on one line.
+func (s *Summary) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n == 0 {
+		return "n=0"
+	}
+	sd := 0.0
+	if s.n >= 2 {
+		sd = math.Sqrt(s.m2 / float64(s.n-1))
+	}
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.3g min=%.4g max=%.4g", s.n, s.mean, sd, s.min, s.max)
+}
+
+// Quantiles retains up to cap samples (all samples until the cap, then
+// uniform reservoir replacement keyed by a deterministic LCG) and reports
+// order statistics.
+type Quantiles struct {
+	mu      sync.Mutex
+	samples []float64
+	seen    int64
+	capN    int
+	rng     uint64
+}
+
+// NewQuantiles returns a quantile sampler retaining up to capN samples.
+// capN <= 0 defaults to 4096.
+func NewQuantiles(capN int) *Quantiles {
+	if capN <= 0 {
+		capN = 4096
+	}
+	return &Quantiles{capN: capN, rng: 0x9E3779B97F4A7C15}
+}
+
+// Observe adds one sample.
+func (q *Quantiles) Observe(v float64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.seen++
+	if len(q.samples) < q.capN {
+		q.samples = append(q.samples, v)
+		return
+	}
+	// Deterministic xorshift for reservoir replacement.
+	q.rng ^= q.rng << 13
+	q.rng ^= q.rng >> 7
+	q.rng ^= q.rng << 17
+	idx := q.rng % uint64(q.seen)
+	if idx < uint64(q.capN) {
+		q.samples[idx] = v
+	}
+}
+
+// Quantile returns the p-quantile (0 ≤ p ≤ 1) of the retained samples, or 0
+// when empty.
+func (q *Quantiles) Quantile(p float64) float64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.samples) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), q.samples...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := p * float64(len(sorted)-1)
+	lo := int(math.Floor(idx))
+	hi := int(math.Ceil(idx))
+	frac := idx - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Count returns the number of samples seen (not retained).
+func (q *Quantiles) Count() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.seen
+}
+
+// Counter is a concurrency-safe monotone counter.
+type Counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) {
+	c.mu.Lock()
+	c.n += d
+	c.mu.Unlock()
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// FrameTracker measures frame intervals in simulated or wall time and
+// reports achieved frames-per-second statistics. Not concurrency safe; one
+// tracker belongs to one display loop.
+type FrameTracker struct {
+	intervals []float64 // seconds
+	last      time.Time
+	started   bool
+}
+
+// TickAt records a frame boundary at the given instant.
+func (t *FrameTracker) TickAt(now time.Time) {
+	if t.started {
+		t.intervals = append(t.intervals, now.Sub(t.last).Seconds())
+	}
+	t.last = now
+	t.started = true
+}
+
+// TickInterval records a frame that took dt of simulated time.
+func (t *FrameTracker) TickInterval(dt time.Duration) {
+	t.intervals = append(t.intervals, dt.Seconds())
+	t.started = true
+}
+
+// Frames returns the number of completed frame intervals.
+func (t *FrameTracker) Frames() int { return len(t.intervals) }
+
+// FPS returns the mean achieved frame rate, or 0 before two ticks.
+func (t *FrameTracker) FPS() float64 {
+	if len(t.intervals) == 0 {
+		return 0
+	}
+	var total float64
+	for _, s := range t.intervals {
+		total += s
+	}
+	if total <= 0 {
+		return 0
+	}
+	return float64(len(t.intervals)) / total
+}
+
+// WorstFrame returns the longest frame interval observed.
+func (t *FrameTracker) WorstFrame() time.Duration {
+	var worst float64
+	for _, s := range t.intervals {
+		if s > worst {
+			worst = s
+		}
+	}
+	return time.Duration(worst * float64(time.Second))
+}
+
+// Jitter returns the standard deviation of the frame intervals.
+func (t *FrameTracker) Jitter() time.Duration {
+	n := len(t.intervals)
+	if n < 2 {
+		return 0
+	}
+	var mean float64
+	for _, s := range t.intervals {
+		mean += s
+	}
+	mean /= float64(n)
+	var m2 float64
+	for _, s := range t.intervals {
+		d := s - mean
+		m2 += d * d
+	}
+	return time.Duration(math.Sqrt(m2/float64(n-1)) * float64(time.Second))
+}
+
+// Table builds fixed-width text tables for the experiment reports.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends one row; cells format with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case float32:
+			row[i] = formatFloat(float64(v))
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e9:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	case math.Abs(v) >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

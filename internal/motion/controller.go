@@ -1,0 +1,228 @@
+package motion
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"codsim/internal/fom"
+	"codsim/internal/mathx"
+)
+
+// WashoutConfig tunes the classical washout filter that maps sustained
+// vehicle motion onto the platform's tiny workspace.
+type WashoutConfig struct {
+	// TiltLimit caps the tilt-coordination angle (radians).
+	TiltLimit float64
+	// TiltRate caps how fast tilt may change (rad/s) so the rotation
+	// stays below the vestibular threshold.
+	TiltRate float64
+	// Spring and Damping pull the translational channels back to center
+	// (the "washout" itself): x'' = a_hp − Damping·x' − Spring·x.
+	Spring, Damping float64
+	// HighPass is the cutoff (1/s) of the onset high-pass filter.
+	HighPass float64
+	// TranslationLimit caps surge/sway/heave excursions (m).
+	TranslationLimit float64
+	// VibAmplitude is the peak engine-vibration heave at intensity 1 (m).
+	VibAmplitude float64
+	// VibHz is the dominant engine vibration frequency.
+	VibHz float64
+}
+
+// DefaultWashout returns gains tuned for the default geometry.
+func DefaultWashout() WashoutConfig {
+	return WashoutConfig{
+		TiltLimit:        mathx.Rad(9),
+		TiltRate:         mathx.Rad(4),
+		Spring:           2.2,
+		Damping:          3.0,
+		HighPass:         0.8,
+		TranslationLimit: 0.22,
+		VibAmplitude:     0.012,
+		VibHz:            11,
+	}
+}
+
+// State is the controller's output each tick: the commanded pose after
+// interpolation, the actuator lengths after rate limiting, and whether any
+// actuator saturated this tick.
+type State struct {
+	Pose      Pose
+	Legs      [6]float64
+	Saturated bool
+}
+
+// Controller is the motion-platform controller LP's core. Not safe for
+// concurrent use; it belongs to the motion LP's tick loop.
+type Controller struct {
+	geo Geometry
+	cfg WashoutConfig
+
+	// Washout filter state.
+	filtX, filtZ   onset // sway, surge channels (m)
+	filtY          onset // heave channel
+	tiltP, tiltR   float64
+	yawHP, lastYaw float64
+
+	// Pose interpolation (§3.4): commands step at the visual frame rate;
+	// the platform blends between them at its own tick rate.
+	fromPose  Pose
+	toPose    Pose
+	interpT   float64
+	frameDT   float64 // seconds per visual frame
+	vibPhase  float64
+	vibGain   float64
+	rng       *rand.Rand
+	legs      [6]float64
+	havePose  bool
+	lastFrame uint32
+}
+
+// onset is one translational washout channel: a high-passed acceleration
+// integrated against a spring-damper return to center.
+type onset struct {
+	hp  float64 // high-pass filter state (last input)
+	pos float64
+	vel float64
+}
+
+func (o *onset) step(accel, hpCut, spring, damping, limit, dt float64) {
+	// First-order high-pass: keep onsets, bleed off sustained input.
+	o.hp += (accel - o.hp) * mathx.Clamp(hpCut*dt, 0, 1)
+	transient := accel - o.hp
+	o.vel += (transient - damping*o.vel - spring*o.pos) * dt
+	o.pos += o.vel * dt
+	if o.pos > limit {
+		o.pos, o.vel = limit, math.Min(o.vel, 0)
+	} else if o.pos < -limit {
+		o.pos, o.vel = -limit, math.Max(o.vel, 0)
+	}
+}
+
+// NewController builds a controller. frameHz is the visual frame rate the
+// pose interpolation synchronizes to; seed drives the vibration generator.
+func NewController(geo Geometry, cfg WashoutConfig, frameHz float64, seed int64) (*Controller, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	if frameHz <= 0 {
+		return nil, fmt.Errorf("motion: frameHz %v", frameHz)
+	}
+	legs, err := geo.IK(Pose{})
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{
+		geo:     geo,
+		cfg:     cfg,
+		frameDT: 1 / frameHz,
+		rng:     rand.New(rand.NewSource(seed)),
+		legs:    legs,
+	}, nil
+}
+
+// Cue feeds one motion cue from the dynamics module. Cues arrive once per
+// visual frame; the controller starts a new interpolation segment toward
+// the washed-out target pose (§3.4 synchronization).
+func (c *Controller) Cue(cue fom.MotionCue, dt float64) {
+	cfg := c.cfg
+
+	// Specific force in the cab frame: X right, Y up, Z backward.
+	// Remove gravity from the vertical channel.
+	ax := cue.SpecificForce.X
+	ay := cue.SpecificForce.Y + 9.81
+	az := cue.SpecificForce.Z
+
+	c.filtX.step(ax, cfg.HighPass, cfg.Spring, cfg.Damping, cfg.TranslationLimit, dt)
+	c.filtY.step(ay, cfg.HighPass, cfg.Spring, cfg.Damping, cfg.TranslationLimit, dt)
+	c.filtZ.step(az, cfg.HighPass, cfg.Spring, cfg.Damping, cfg.TranslationLimit, dt)
+
+	// Tilt coordination: sustained horizontal force becomes a slow tilt
+	// so gravity impersonates the acceleration.
+	wantPitch := mathx.Clamp(math.Asin(mathx.Clamp(-az/9.81, -1, 1)), -cfg.TiltLimit, cfg.TiltLimit)
+	wantRoll := mathx.Clamp(math.Asin(mathx.Clamp(ax/9.81, -1, 1)), -cfg.TiltLimit, cfg.TiltLimit)
+	maxStep := cfg.TiltRate * dt
+	c.tiltP += mathx.Clamp(wantPitch-c.tiltP, -maxStep, maxStep)
+	c.tiltR += mathx.Clamp(wantRoll-c.tiltR, -maxStep, maxStep)
+
+	// Yaw: high-passed angular rate, washed back to center.
+	c.yawHP += cue.AngularRate.Z*dt - c.yawHP*cfg.HighPass*dt
+	yaw := mathx.Clamp(c.yawHP, -mathx.Rad(10), mathx.Rad(10))
+
+	c.vibGain = mathx.Clamp(cue.Vibration, 0, 1)
+
+	target := Pose{
+		Sway:  c.filtX.pos,
+		Heave: c.filtY.pos,
+		Surge: -c.filtZ.pos, // +Z body is backward
+		Pitch: c.tiltP,
+		Roll:  c.tiltR,
+		Yaw:   yaw,
+	}
+	// Begin a new interpolation segment from the *current* interpolated
+	// pose, so pose output stays C⁰ even if cues jump.
+	c.fromPose = c.currentPose()
+	c.toPose = target
+	c.interpT = 0
+	c.lastFrame = cue.Frame
+	c.havePose = true
+}
+
+// currentPose evaluates the interpolation at the current parameter.
+func (c *Controller) currentPose() Pose {
+	if !c.havePose {
+		return Pose{}
+	}
+	s := mathx.SmoothStep(c.interpT)
+	lerp := func(a, b float64) float64 { return mathx.Lerp(a, b, s) }
+	return Pose{
+		Surge: lerp(c.fromPose.Surge, c.toPose.Surge),
+		Sway:  lerp(c.fromPose.Sway, c.toPose.Sway),
+		Heave: lerp(c.fromPose.Heave, c.toPose.Heave),
+		Roll:  lerp(c.fromPose.Roll, c.toPose.Roll),
+		Pitch: lerp(c.fromPose.Pitch, c.toPose.Pitch),
+		Yaw:   lerp(c.fromPose.Yaw, c.toPose.Yaw),
+	}
+}
+
+// Step advances the platform by dt: the pose interpolator moves toward the
+// latest cue target over one visual frame interval, engine vibration is
+// superimposed, and the actuators track the IK solution under their rate
+// limit.
+func (c *Controller) Step(dt float64) State {
+	if dt <= 0 {
+		return State{Pose: c.currentPose(), Legs: c.legs}
+	}
+	c.interpT = math.Min(1, c.interpT+dt/c.frameDT)
+	pose := c.currentPose()
+
+	// Engine vibration: band-limited random up-and-down (§3.4).
+	c.vibPhase += dt * c.cfg.VibHz * 2 * math.Pi
+	jitter := 0.6 + 0.4*c.rng.Float64()
+	pose.Heave += c.cfg.VibAmplitude * c.vibGain * jitter * math.Sin(c.vibPhase)
+
+	legsTarget, _ := c.geo.IK(pose) // saturation handled via clamping below
+	st := State{Pose: pose}
+	maxStep := c.geo.LegRate * dt
+	for i := range c.legs {
+		want := mathx.Clamp(legsTarget[i], c.geo.LegMin, c.geo.LegMax)
+		if want != legsTarget[i] {
+			st.Saturated = true
+		}
+		delta := want - c.legs[i]
+		if delta > maxStep {
+			delta = maxStep
+			st.Saturated = true
+		} else if delta < -maxStep {
+			delta = -maxStep
+			st.Saturated = true
+		}
+		c.legs[i] += delta
+	}
+	st.Legs = c.legs
+	return st
+}
+
+// Legs returns the current actuator lengths.
+func (c *Controller) Legs() [6]float64 { return c.legs }

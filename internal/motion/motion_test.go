@@ -1,0 +1,336 @@
+package motion
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"codsim/internal/fom"
+	"codsim/internal/mathx"
+)
+
+func TestGeometryValidate(t *testing.T) {
+	if err := DefaultGeometry().Validate(); err != nil {
+		t.Fatalf("default geometry invalid: %v", err)
+	}
+	g := DefaultGeometry()
+	g.BaseRadius = 0
+	if err := g.Validate(); err == nil {
+		t.Error("zero base radius accepted")
+	}
+	g = DefaultGeometry()
+	g.LegMax = g.LegMin
+	if err := g.Validate(); err == nil {
+		t.Error("empty leg range accepted")
+	}
+	g = DefaultGeometry()
+	g.LegRate = 0
+	if err := g.Validate(); err == nil {
+		t.Error("zero leg rate accepted")
+	}
+	g = DefaultGeometry()
+	g.HomeHeight = 10 // home unreachable
+	if err := g.Validate(); err == nil {
+		t.Error("unreachable home accepted")
+	}
+}
+
+func TestJointLayout(t *testing.T) {
+	g := DefaultGeometry()
+	base := g.BaseJoints()
+	for i, b := range base {
+		if math.Abs(math.Hypot(b.X, b.Z)-g.BaseRadius) > 1e-9 {
+			t.Errorf("base joint %d radius = %v", i, math.Hypot(b.X, b.Z))
+		}
+		if b.Y != 0 {
+			t.Errorf("base joint %d not planar", i)
+		}
+	}
+	plat := g.PlatformJoints()
+	for i, p := range plat {
+		if math.Abs(math.Hypot(p.X, p.Z)-g.PlatformRadius) > 1e-9 {
+			t.Errorf("platform joint %d radius = %v", i, math.Hypot(p.X, p.Z))
+		}
+	}
+}
+
+func TestIKHomePoseSymmetric(t *testing.T) {
+	g := DefaultGeometry()
+	legs, err := g.IK(Pose{})
+	if err != nil {
+		t.Fatalf("home IK: %v", err)
+	}
+	for i := 1; i < 6; i++ {
+		if math.Abs(legs[i]-legs[0]) > 1e-9 {
+			t.Errorf("home legs unequal: %v vs %v", legs[i], legs[0])
+		}
+	}
+}
+
+func TestIKHeave(t *testing.T) {
+	g := DefaultGeometry()
+	home, err := g.IK(Pose{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := g.IK(Pose{Heave: 0.08})
+	if err != nil {
+		t.Fatalf("heave IK: %v", err)
+	}
+	for i := range up {
+		if up[i] <= home[i] {
+			t.Errorf("leg %d did not extend on heave", i)
+		}
+		if math.Abs(up[i]-up[0]) > 1e-9 {
+			t.Errorf("heave legs unequal: %v vs %v", up[i], up[0])
+		}
+	}
+}
+
+func TestIKRollSplitsSides(t *testing.T) {
+	g := DefaultGeometry()
+	legs, err := g.IK(Pose{Roll: mathx.Rad(4)})
+	if err != nil {
+		t.Fatalf("roll IK: %v", err)
+	}
+	home, err := g.IK(Pose{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rolling must lengthen some legs and shorten others.
+	longer, shorter := 0, 0
+	for i := range legs {
+		switch {
+		case legs[i] > home[i]+1e-9:
+			longer++
+		case legs[i] < home[i]-1e-9:
+			shorter++
+		}
+	}
+	if longer == 0 || shorter == 0 {
+		t.Errorf("roll did not split legs: %v", legs)
+	}
+}
+
+func TestIKOutOfEnvelope(t *testing.T) {
+	g := DefaultGeometry()
+	_, err := g.IK(Pose{Heave: 5})
+	var envErr *ErrOutOfEnvelope
+	if !errors.As(err, &envErr) {
+		t.Fatalf("err = %v, want ErrOutOfEnvelope", err)
+	}
+	if envErr.Length < g.LegMax {
+		t.Errorf("reported length %v below LegMax", envErr.Length)
+	}
+}
+
+func TestIKRoundTripPositions(t *testing.T) {
+	// The leg vectors must connect base joints to transformed platform
+	// joints: verify directly for a mixed pose.
+	g := DefaultGeometry()
+	p := Pose{Surge: 0.05, Sway: -0.03, Heave: 0.04, Roll: 0.05, Pitch: -0.04, Yaw: 0.06}
+	legs, err := g.IK(p)
+	if err != nil {
+		t.Fatalf("IK: %v", err)
+	}
+	base := g.BaseJoints()
+	plat := g.PlatformJoints()
+	rot := mathx.QuatEuler(-p.Yaw, p.Pitch, -p.Roll)
+	tr := mathx.V3(p.Sway, g.HomeHeight+p.Heave, -p.Surge)
+	for i := 0; i < 6; i++ {
+		want := tr.Add(rot.Rotate(plat[i])).Sub(base[i]).Len()
+		if math.Abs(want-legs[i]) > 1e-12 {
+			t.Errorf("leg %d = %v, want %v", i, legs[i], want)
+		}
+	}
+}
+
+func newController(t *testing.T) *Controller {
+	t.Helper()
+	c, err := NewController(DefaultGeometry(), DefaultWashout(), 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestControllerValidation(t *testing.T) {
+	if _, err := NewController(DefaultGeometry(), DefaultWashout(), 0, 1); err == nil {
+		t.Error("zero frameHz accepted")
+	}
+	bad := DefaultGeometry()
+	bad.HomeHeight = 99
+	if _, err := NewController(bad, DefaultWashout(), 16, 1); err == nil {
+		t.Error("bad geometry accepted")
+	}
+}
+
+func TestWashoutOnsetAndReturn(t *testing.T) {
+	c := newController(t)
+	const dt = 1.0 / 60
+	cue := fom.MotionCue{
+		SpecificForce: mathx.V3(0, -9.81, -3), // sustained forward accel (3 m/s²)
+	}
+	// Feed the same sustained cue for a while; track surge.
+	var peak float64
+	for i := 0; i < 60*1; i++ {
+		c.Cue(cue, dt)
+		st := c.Step(dt)
+		if st.Pose.Surge > peak {
+			peak = st.Pose.Surge
+		}
+	}
+	if peak < 0.005 {
+		t.Fatalf("no surge onset: peak = %v", peak)
+	}
+	// Keep holding the same acceleration: washout must pull surge back.
+	var last float64
+	for i := 0; i < 60*14; i++ {
+		c.Cue(cue, dt)
+		last = c.Step(dt).Pose.Surge
+	}
+	if math.Abs(last) > peak*0.5 {
+		t.Errorf("surge %v did not wash out from peak %v", last, peak)
+	}
+	// Tilt coordination has taken over the sustained cue.
+	if tilt := c.tiltP; tilt <= mathx.Rad(1) {
+		t.Errorf("tilt coordination = %v, want > 1°", mathx.Deg(tilt))
+	}
+}
+
+func TestTiltRateLimited(t *testing.T) {
+	c := newController(t)
+	const dt = 1.0 / 60
+	cue := fom.MotionCue{SpecificForce: mathx.V3(0, -9.81, -8)} // hard braking-level accel
+	var prev float64
+	for i := 0; i < 120; i++ {
+		c.Cue(cue, dt)
+		c.Step(dt)
+		rate := (c.tiltP - prev) / dt
+		if rate > DefaultWashout().TiltRate+1e-9 {
+			t.Fatalf("tilt rate %v exceeds limit", rate)
+		}
+		prev = c.tiltP
+	}
+	if c.tiltP > DefaultWashout().TiltLimit+1e-9 {
+		t.Errorf("tilt %v exceeds limit", c.tiltP)
+	}
+}
+
+func TestLegRateLimit(t *testing.T) {
+	c := newController(t)
+	const dt = 1.0 / 60
+	// Command a violent pose jump.
+	c.Cue(fom.MotionCue{SpecificForce: mathx.V3(8, -3, -8)}, dt)
+	prev := c.Legs()
+	for i := 0; i < 30; i++ {
+		st := c.Step(dt)
+		for k := range st.Legs {
+			if delta := math.Abs(st.Legs[k] - prev[k]); delta > DefaultGeometry().LegRate*dt+1e-9 {
+				t.Fatalf("leg %d moved %v in one tick (limit %v)", k, delta, DefaultGeometry().LegRate*dt)
+			}
+		}
+		prev = st.Legs
+	}
+}
+
+func TestInterpolationContinuity(t *testing.T) {
+	// Pose output must be continuous even when cue targets jump: the
+	// §3.4 requirement that platform motion stays smooth between frames.
+	c := newController(t)
+	const dt = 1.0 / 60
+	var prev Pose
+	first := true
+	for frame := 0; frame < 32; frame++ {
+		accel := 0.0
+		if frame%2 == 0 {
+			accel = -6 // alternate hard cue / no cue
+		}
+		c.Cue(fom.MotionCue{SpecificForce: mathx.V3(0, -9.81, accel), Frame: uint32(frame)}, dt)
+		for i := 0; i < 4; i++ { // platform ticks faster than frames arrive
+			st := c.Step(dt)
+			if !first {
+				if math.Abs(st.Pose.Surge-prev.Surge) > 0.05 {
+					t.Fatalf("surge jumped %v in one tick", st.Pose.Surge-prev.Surge)
+				}
+				if math.Abs(st.Pose.Pitch-prev.Pitch) > 0.02 {
+					t.Fatalf("pitch jumped %v in one tick", st.Pose.Pitch-prev.Pitch)
+				}
+			}
+			prev = st.Pose
+			first = false
+		}
+	}
+}
+
+func TestVibrationScalesWithIntensity(t *testing.T) {
+	rms := func(intensity float64) float64 {
+		c := newController(t)
+		const dt = 1.0 / 120
+		var sum float64
+		var n int
+		for i := 0; i < 1200; i++ {
+			c.Cue(fom.MotionCue{SpecificForce: mathx.V3(0, -9.81, 0), Vibration: intensity}, dt)
+			st := c.Step(dt)
+			sum += st.Pose.Heave * st.Pose.Heave
+			n++
+		}
+		return math.Sqrt(sum / float64(n))
+	}
+	off := rms(0)
+	idle := rms(0.3)
+	full := rms(1)
+	if idle <= off {
+		t.Errorf("vibration rms off=%v idle=%v: no effect", off, idle)
+	}
+	if full <= idle {
+		t.Errorf("vibration rms idle=%v full=%v: not scaling", idle, full)
+	}
+}
+
+func TestVibrationDeterministicUnderSeed(t *testing.T) {
+	run := func() []float64 {
+		c, err := NewController(DefaultGeometry(), DefaultWashout(), 16, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []float64
+		for i := 0; i < 100; i++ {
+			c.Cue(fom.MotionCue{SpecificForce: mathx.V3(0, -9.81, 0), Vibration: 1}, 1.0/60)
+			out = append(out, c.Step(1.0/60).Pose.Heave)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("vibration not deterministic at step %d", i)
+		}
+	}
+}
+
+func BenchmarkIK(b *testing.B) {
+	g := DefaultGeometry()
+	p := Pose{Surge: 0.02, Heave: 0.01, Roll: 0.02, Pitch: 0.03}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.IK(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkControllerStep(b *testing.B) {
+	c, err := NewController(DefaultGeometry(), DefaultWashout(), 16, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cue := fom.MotionCue{SpecificForce: mathx.V3(0.2, -9.7, -1.2), Vibration: 0.4}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if i%4 == 0 {
+			c.Cue(cue, 1.0/60)
+		}
+		c.Step(1.0 / 60)
+	}
+}

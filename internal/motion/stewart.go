@@ -1,0 +1,150 @@
+// Package motion implements the motion-platform controller of §3.4: the
+// Stewart Platform Based Manipulator (ref [9], Stewart 1965) that tilts and
+// shakes the mockup cab. The controller turns the dynamics module's motion
+// cues into platform poses through a classical washout filter, interpolates
+// poses smoothly between visual frames (the paper demands the interpolation
+// frequency stay synchronized with the display so the user never sees the
+// crane go downhill while feeling the platform uphill), rate-limits the six
+// actuator legs, and superimposes the constant engine vibration the paper
+// calls out ("a random up-and-down vibration").
+package motion
+
+import (
+	"fmt"
+	"math"
+
+	"codsim/internal/mathx"
+)
+
+// Pose is the platform's six degrees of freedom: translations in meters,
+// rotations in radians. Axes follow the cab frame: surge +forward,
+// sway +right, heave +up.
+type Pose struct {
+	Surge, Sway, Heave float64
+	Roll, Pitch, Yaw   float64
+}
+
+// Geometry describes a symmetric 6-6 Stewart platform.
+type Geometry struct {
+	// BaseRadius and PlatformRadius locate the joint circles.
+	BaseRadius, PlatformRadius float64
+	// BaseSpread and PlatformSpread are the half-angles (radians) between
+	// the paired joints at each of the three stations.
+	BaseSpread, PlatformSpread float64
+	// HomeHeight is the platform height above the base at the neutral
+	// pose.
+	HomeHeight float64
+	// LegMin and LegMax bound the actuator lengths.
+	LegMin, LegMax float64
+	// LegRate is the maximum actuator speed (m/s).
+	LegRate float64
+}
+
+// DefaultGeometry returns a training-simulator scale platform.
+func DefaultGeometry() Geometry {
+	return Geometry{
+		BaseRadius:     1.6,
+		PlatformRadius: 1.1,
+		BaseSpread:     mathx.Rad(12),
+		PlatformSpread: mathx.Rad(48),
+		HomeHeight:     1.5,
+		LegMin:         1.25,
+		LegMax:         2.45,
+		LegRate:        0.6,
+	}
+}
+
+// Validate reports geometry errors, including an unreachable home pose.
+func (g Geometry) Validate() error {
+	if g.BaseRadius <= 0 || g.PlatformRadius <= 0 {
+		return fmt.Errorf("motion: radii %v/%v", g.BaseRadius, g.PlatformRadius)
+	}
+	if g.LegMin <= 0 || g.LegMax <= g.LegMin {
+		return fmt.Errorf("motion: leg range [%v,%v]", g.LegMin, g.LegMax)
+	}
+	if g.LegRate <= 0 {
+		return fmt.Errorf("motion: leg rate %v", g.LegRate)
+	}
+	legs, err := g.IK(Pose{})
+	if err != nil {
+		return fmt.Errorf("motion: home pose unreachable: %w", err)
+	}
+	for i, l := range legs {
+		if l < g.LegMin || l > g.LegMax {
+			return fmt.Errorf("motion: home leg %d length %v outside [%v,%v]",
+				i, l, g.LegMin, g.LegMax)
+		}
+	}
+	return nil
+}
+
+// BaseJoints returns the six base joint positions in leg order (base
+// frame, Y up). Base joints cluster in pairs around the three stations at
+// 0°, 120° and 240°; platform joints cluster around 60°, 180° and 300°,
+// and each leg crosses to the *adjacent* platform cluster — the standard
+// 6-6 hexapod arrangement, which makes all six legs the same length at the
+// neutral pose.
+func (g Geometry) BaseJoints() [6]mathx.Vec3 {
+	b := g.BaseSpread / 2
+	var out [6]mathx.Vec3
+	for s := 0; s < 3; s++ {
+		station := 2 * math.Pi * float64(s) / 3
+		out[2*s] = onCircle(g.BaseRadius, station+b)
+		out[2*s+1] = onCircle(g.BaseRadius, station+2*math.Pi/3-b)
+	}
+	return out
+}
+
+// PlatformJoints returns the six platform joint positions in leg order
+// (platform frame). PlatformJoints()[i] connects to BaseJoints()[i].
+func (g Geometry) PlatformJoints() [6]mathx.Vec3 {
+	p := g.PlatformSpread / 2
+	sixty := math.Pi / 3
+	var out [6]mathx.Vec3
+	for s := 0; s < 3; s++ {
+		station := 2 * math.Pi * float64(s) / 3
+		out[2*s] = onCircle(g.PlatformRadius, station+sixty-p)
+		out[2*s+1] = onCircle(g.PlatformRadius, station+sixty+p)
+	}
+	return out
+}
+
+func onCircle(radius, angle float64) mathx.Vec3 {
+	sin, cos := math.Sincos(angle)
+	return mathx.V3(radius*cos, 0, radius*sin)
+}
+
+// ErrOutOfEnvelope reports a pose whose actuator solution violates the leg
+// length limits.
+type ErrOutOfEnvelope struct {
+	Leg    int
+	Length float64
+}
+
+func (e *ErrOutOfEnvelope) Error() string {
+	return fmt.Sprintf("motion: leg %d length %.3f outside envelope", e.Leg, e.Length)
+}
+
+// IK solves the inverse kinematics: the six leg lengths realizing the pose.
+// It always returns the raw lengths; err is non-nil if any leg violates its
+// limits (the caller may still use the clamped values).
+func (g Geometry) IK(p Pose) ([6]float64, error) {
+	base := g.BaseJoints()
+	plat := g.PlatformJoints()
+	// Platform rotation and translation. Cab frame: surge is forward
+	// (-Z in the render convention), sway right (+X), heave up (+Y).
+	rot := mathx.QuatEuler(-p.Yaw, p.Pitch, -p.Roll)
+	tr := mathx.V3(p.Sway, g.HomeHeight+p.Heave, -p.Surge)
+
+	var legs [6]float64
+	var err error
+	for i := 0; i < 6; i++ {
+		world := tr.Add(rot.Rotate(plat[i]))
+		l := world.Sub(base[i]).Len()
+		legs[i] = l
+		if err == nil && (l < g.LegMin || l > g.LegMax) {
+			err = &ErrOutOfEnvelope{Leg: i, Length: l}
+		}
+	}
+	return legs, err
+}

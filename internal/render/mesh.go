@@ -1,0 +1,130 @@
+// Package render is the software 3-D pipeline standing in for the TNT2
+// M64 accelerator cards of the paper's display computers (§4): model/view/
+// projection transform, frustum and backface culling, near-plane clipping,
+// and z-buffered flat-shaded rasterization into an in-memory framebuffer.
+//
+// Because every polygon is transformed and rasterized on the CPU, frame
+// cost scales with scene complexity exactly the way the paper's headline
+// measurement (16 fps at 3235 polygons across three synchronized displays)
+// depends on — which is what the EXP-1 benchmarks exercise.
+package render
+
+import (
+	"fmt"
+	"math"
+
+	"codsim/internal/mathx"
+)
+
+// RGB is an 8-bit color.
+type RGB struct {
+	R, G, B uint8
+}
+
+// Mesh is an indexed triangle mesh with one flat color per triangle.
+// Meshes are immutable after construction and shared between instances.
+type Mesh struct {
+	verts  []mathx.Vec3
+	tris   [][3]int
+	colors []RGB
+}
+
+// NewMesh builds a mesh. colors must have one entry per triangle, or be a
+// single entry applied to all triangles.
+func NewMesh(verts []mathx.Vec3, tris [][3]int, colors []RGB) (*Mesh, error) {
+	if len(verts) == 0 || len(tris) == 0 {
+		return nil, fmt.Errorf("render: empty mesh")
+	}
+	for _, t := range tris {
+		for _, idx := range t {
+			if idx < 0 || idx >= len(verts) {
+				return nil, fmt.Errorf("render: vertex index %d out of range", idx)
+			}
+		}
+	}
+	cs := colors
+	switch len(colors) {
+	case len(tris):
+	case 1:
+		cs = make([]RGB, len(tris))
+		for i := range cs {
+			cs[i] = colors[0]
+		}
+	default:
+		return nil, fmt.Errorf("render: %d colors for %d triangles", len(colors), len(tris))
+	}
+	return &Mesh{
+		verts:  append([]mathx.Vec3(nil), verts...),
+		tris:   append([][3]int(nil), tris...),
+		colors: append([]RGB(nil), cs...),
+	}, nil
+}
+
+// TriangleCount returns the number of faces.
+func (m *Mesh) TriangleCount() int { return len(m.tris) }
+
+// Box builds an axis-aligned box of half-extents (hx, hy, hz) centered at
+// the origin, 12 triangles.
+func Box(hx, hy, hz float64, color RGB) *Mesh {
+	verts := []mathx.Vec3{
+		{X: -hx, Y: -hy, Z: -hz}, {X: hx, Y: -hy, Z: -hz},
+		{X: hx, Y: hy, Z: -hz}, {X: -hx, Y: hy, Z: -hz},
+		{X: -hx, Y: -hy, Z: hz}, {X: hx, Y: -hy, Z: hz},
+		{X: hx, Y: hy, Z: hz}, {X: -hx, Y: hy, Z: hz},
+	}
+	// Counter-clockwise when viewed from outside.
+	quads := [6][4]int{
+		{1, 0, 3, 2}, // back  (-Z) seen from -Z
+		{4, 5, 6, 7}, // front (+Z)
+		{0, 4, 7, 3}, // left  (-X)
+		{5, 1, 2, 6}, // right (+X)
+		{3, 7, 6, 2}, // top   (+Y)
+		{0, 1, 5, 4}, // bottom(-Y)
+	}
+	tris := make([][3]int, 0, 12)
+	for _, q := range quads {
+		tris = append(tris, [3]int{q[0], q[1], q[2]}, [3]int{q[0], q[2], q[3]})
+	}
+	m, err := NewMesh(verts, tris, []RGB{color})
+	if err != nil {
+		panic(err) // unreachable: geometry above is always valid
+	}
+	return m
+}
+
+// Cylinder builds a Y-axis cylinder (radius, halfHeight) with `sides`
+// lateral faces.
+func Cylinder(radius, halfHeight float64, sides int, color RGB) *Mesh {
+	if sides < 3 {
+		sides = 3
+	}
+	verts := make([]mathx.Vec3, 0, 2*sides+2)
+	for i := 0; i < sides; i++ {
+		a := 2 * math.Pi * float64(i) / float64(sides)
+		s, c := math.Sincos(a)
+		verts = append(verts,
+			mathx.V3(radius*c, -halfHeight, radius*s),
+			mathx.V3(radius*c, halfHeight, radius*s))
+	}
+	bottomC := len(verts)
+	verts = append(verts, mathx.V3(0, -halfHeight, 0))
+	topC := len(verts)
+	verts = append(verts, mathx.V3(0, halfHeight, 0))
+
+	tris := make([][3]int, 0, 4*sides)
+	for i := 0; i < sides; i++ {
+		b0, t0 := 2*i, 2*i+1
+		b1, t1 := 2*((i+1)%sides), 2*((i+1)%sides)+1
+		tris = append(tris,
+			[3]int{b0, t1, t0}, // winding outward
+			[3]int{b0, b1, t1},
+			[3]int{topC, t0, t1},
+			[3]int{bottomC, b1, b0},
+		)
+	}
+	m, err := NewMesh(verts, tris, []RGB{color})
+	if err != nil {
+		panic(err) // unreachable
+	}
+	return m
+}

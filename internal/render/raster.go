@@ -1,0 +1,289 @@
+package render
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"codsim/internal/mathx"
+)
+
+// Framebuffer is the render target: a color plane plus a depth plane.
+type Framebuffer struct {
+	W, H  int
+	Color []RGB     // row-major
+	Depth []float64 // NDC depth; smaller = nearer
+}
+
+// NewFramebuffer allocates a cleared framebuffer.
+func NewFramebuffer(w, h int) (*Framebuffer, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("render: framebuffer %dx%d", w, h)
+	}
+	fb := &Framebuffer{W: w, H: h,
+		Color: make([]RGB, w*h),
+		Depth: make([]float64, w*h),
+	}
+	fb.Clear(RGB{})
+	return fb, nil
+}
+
+// Clear fills the color plane and resets depth to the far plane.
+func (fb *Framebuffer) Clear(bg RGB) {
+	for i := range fb.Color {
+		fb.Color[i] = bg
+		fb.Depth[i] = math.Inf(1)
+	}
+}
+
+// At returns the color at (x, y); (0,0) is the top-left corner.
+func (fb *Framebuffer) At(x, y int) RGB { return fb.Color[y*fb.W+x] }
+
+// WritePPM dumps the framebuffer as a binary PPM image.
+func (fb *Framebuffer) WritePPM(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "P6\n%d %d\n255\n", fb.W, fb.H); err != nil {
+		return fmt.Errorf("render: ppm header: %w", err)
+	}
+	buf := make([]byte, 0, fb.W*fb.H*3)
+	for _, c := range fb.Color {
+		buf = append(buf, c.R, c.G, c.B)
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("render: ppm pixels: %w", err)
+	}
+	return nil
+}
+
+// FrameStats counts the work of one Render call — the render-cost ledger
+// behind the EXP-1 fps experiments.
+type FrameStats struct {
+	Submitted  int // triangles submitted
+	Culled     int // rejected by frustum or backface tests
+	Clipped    int // triangles that needed near-plane clipping
+	Rasterized int // triangles actually scanned
+	Pixels     int // pixels shaded (depth-test passes)
+}
+
+// Instance places a mesh in the world.
+type Instance struct {
+	Mesh      *Mesh
+	Transform mathx.Mat4
+}
+
+// Scene is everything one frame draws.
+type Scene struct {
+	Instances  []Instance
+	LightDir   mathx.Vec3 // direction TOWARD the light (world space)
+	Ambient    float64    // [0,1]
+	Background RGB
+}
+
+// PolygonCount returns the total triangle count over all instances.
+func (s *Scene) PolygonCount() int {
+	n := 0
+	for _, inst := range s.Instances {
+		n += inst.Mesh.TriangleCount()
+	}
+	return n
+}
+
+// Renderer rasterizes scenes into its framebuffer. Not safe for concurrent
+// use; each display LP owns one renderer (as each display PC owned one
+// graphics card).
+type Renderer struct {
+	fb *Framebuffer
+}
+
+// NewRenderer builds a renderer with a w×h framebuffer.
+func NewRenderer(w, h int) (*Renderer, error) {
+	fb, err := NewFramebuffer(w, h)
+	if err != nil {
+		return nil, err
+	}
+	return &Renderer{fb: fb}, nil
+}
+
+// Framebuffer exposes the render target (for probing and PPM dumps).
+func (r *Renderer) Framebuffer() *Framebuffer { return r.fb }
+
+// Render draws the scene from the camera and returns the frame statistics.
+func (r *Renderer) Render(scene *Scene, cam Camera) FrameStats {
+	var stats FrameStats
+	fb := r.fb
+	fb.Clear(scene.Background)
+
+	light := scene.LightDir.Normalize()
+	if light.LenSq() == 0 {
+		light = mathx.V3(0.3, 1, 0.2).Normalize()
+	}
+	vp := cam.ViewProj()
+
+	for _, inst := range scene.Instances {
+		mvp := vp.MulM(inst.Transform)
+		mesh := inst.Mesh
+		for ti, tri := range mesh.tris {
+			stats.Submitted++
+			// World-space vertices for lighting.
+			w0 := inst.Transform.MulPoint(mesh.verts[tri[0]])
+			w1 := inst.Transform.MulPoint(mesh.verts[tri[1]])
+			w2 := inst.Transform.MulPoint(mesh.verts[tri[2]])
+
+			// Clip-space positions.
+			c0, cw0 := mvp.MulPointW(mesh.verts[tri[0]])
+			c1, cw1 := mvp.MulPointW(mesh.verts[tri[1]])
+			c2, cw2 := mvp.MulPointW(mesh.verts[tri[2]])
+			cv := [3]clipVert{{c0, cw0}, {c1, cw1}, {c2, cw2}}
+
+			// Trivial frustum rejection: all vertices outside one plane.
+			if allOutside(cv) {
+				stats.Culled++
+				continue
+			}
+
+			// Near-plane clip (w <= nearEps would break the divide).
+			poly, clipped := clipNear(cv[:])
+			if len(poly) < 3 {
+				stats.Culled++
+				continue
+			}
+			if clipped {
+				stats.Clipped++
+			}
+
+			// Flat shading from the world-space face normal.
+			normal := w1.Sub(w0).Cross(w2.Sub(w0)).Normalize()
+			diff := math.Max(0, normal.Dot(light))
+			shade := mathx.Clamp(scene.Ambient+(1-scene.Ambient)*diff, 0, 1)
+			base := mesh.colors[ti]
+			col := RGB{
+				R: uint8(float64(base.R) * shade),
+				G: uint8(float64(base.G) * shade),
+				B: uint8(float64(base.B) * shade),
+			}
+
+			// Fan-triangulate the clipped polygon and rasterize.
+			for k := 1; k+1 < len(poly); k++ {
+				if r.rasterTriangle(poly[0], poly[k], poly[k+1], col, &stats) {
+					stats.Rasterized++
+				} else {
+					stats.Culled++
+				}
+			}
+		}
+	}
+	return stats
+}
+
+type clipVert struct {
+	p mathx.Vec3 // clip-space x, y, z (pre-divide)
+	w float64
+}
+
+// allOutside reports whether all three vertices fall outside the same
+// frustum plane (trivial reject).
+func allOutside(v [3]clipVert) bool {
+	type test func(clipVert) bool
+	planes := []test{
+		func(c clipVert) bool { return c.p.X > c.w },
+		func(c clipVert) bool { return c.p.X < -c.w },
+		func(c clipVert) bool { return c.p.Y > c.w },
+		func(c clipVert) bool { return c.p.Y < -c.w },
+		func(c clipVert) bool { return c.p.Z > c.w },
+		func(c clipVert) bool { return c.p.Z < -c.w },
+	}
+	for _, outside := range planes {
+		if outside(v[0]) && outside(v[1]) && outside(v[2]) {
+			return true
+		}
+	}
+	return false
+}
+
+const nearEps = 1e-5
+
+// clipNear clips the polygon against the w > nearEps half-space
+// (Sutherland–Hodgman on the near plane).
+func clipNear(in []clipVert) (out []clipVert, clipped bool) {
+	inside := func(v clipVert) bool { return v.w > nearEps }
+	all := true
+	for _, v := range in {
+		if !inside(v) {
+			all = false
+			break
+		}
+	}
+	if all {
+		return in, false
+	}
+	out = make([]clipVert, 0, len(in)+1)
+	for i := range in {
+		cur, next := in[i], in[(i+1)%len(in)]
+		cIn, nIn := inside(cur), inside(next)
+		if cIn {
+			out = append(out, cur)
+		}
+		if cIn != nIn {
+			t := (nearEps - cur.w) / (next.w - cur.w)
+			out = append(out, clipVert{
+				p: cur.p.Lerp(next.p, t),
+				w: nearEps,
+			})
+		}
+	}
+	return out, true
+}
+
+// rasterTriangle scan-converts one clip-space triangle; reports whether it
+// produced fragments (false = backface or degenerate).
+func (r *Renderer) rasterTriangle(a, b, c clipVert, col RGB, stats *FrameStats) bool {
+	fb := r.fb
+	w, h := float64(fb.W), float64(fb.H)
+
+	// Perspective divide to NDC, then to screen.
+	toScreen := func(v clipVert) (x, y, z float64) {
+		inv := 1 / v.w
+		return (v.p.X*inv + 1) * 0.5 * w, (1 - v.p.Y*inv) * 0.5 * h, v.p.Z * inv
+	}
+	x0, y0, z0 := toScreen(a)
+	x1, y1, z1 := toScreen(b)
+	x2, y2, z2 := toScreen(c)
+
+	// Signed area: cull backfaces (counter-clockwise in screen space after
+	// the Y flip means the area is negative for front faces).
+	area := (x1-x0)*(y2-y0) - (x2-x0)*(y1-y0)
+	if area >= -1e-12 { // backface or degenerate
+		return false
+	}
+	invArea := 1 / area
+
+	minX := int(math.Max(0, math.Floor(math.Min(x0, math.Min(x1, x2)))))
+	maxX := int(math.Min(w-1, math.Ceil(math.Max(x0, math.Max(x1, x2)))))
+	minY := int(math.Max(0, math.Floor(math.Min(y0, math.Min(y1, y2)))))
+	maxY := int(math.Min(h-1, math.Ceil(math.Max(y0, math.Max(y1, y2)))))
+	if minX > maxX || minY > maxY {
+		return false
+	}
+
+	for py := minY; py <= maxY; py++ {
+		fy := float64(py) + 0.5
+		rowBase := py * fb.W
+		for px := minX; px <= maxX; px++ {
+			fx := float64(px) + 0.5
+			// Barycentric coordinates via edge functions.
+			w0 := ((x1-fx)*(y2-fy) - (x2-fx)*(y1-fy)) * invArea
+			w1 := ((x2-fx)*(y0-fy) - (x0-fx)*(y2-fy)) * invArea
+			w2 := 1 - w0 - w1
+			if w0 < 0 || w1 < 0 || w2 < 0 {
+				continue
+			}
+			z := w0*z0 + w1*z1 + w2*z2
+			idx := rowBase + px
+			if z < fb.Depth[idx] {
+				fb.Depth[idx] = z
+				fb.Color[idx] = col
+				stats.Pixels++
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,140 @@
+// Package scenario implements the scenario control module of §3.5: it
+// manages the state change inside the virtual world and evaluates the
+// trainee. The shipped course reproduces the paper's layout (Fig. 8, 9):
+// drive the mobile crane from the starting point to the test ground, lift
+// the cargo from the white circular zone, carry it along the bar-lined
+// trajectory to the far end and back, and set it down again — with score
+// deductions whenever the cargo or hook strikes a bar.
+package scenario
+
+import (
+	"math"
+
+	"codsim/internal/mathx"
+	"codsim/internal/terrain"
+)
+
+// Bar is one obstruction bar of the exam trajectory (Fig. 9).
+type Bar struct {
+	Name string
+	Pos  mathx.Vec3 // center position
+	Half mathx.Vec3 // half extents
+	Yaw  float64
+}
+
+// Course is the training scenario's geometry.
+type Course struct {
+	// Start is where the carrier begins; DriveTarget is the test ground
+	// entry the trainee must reach (Fig. 8).
+	Start       mathx.Vec3
+	StartYaw    float64
+	DriveTarget mathx.Vec3
+	// DriveRadius is how close the carrier must park to the target.
+	DriveRadius float64
+
+	// Circle is the white circular zone holding the cargo (Fig. 9).
+	Circle       mathx.Vec3
+	CircleRadius float64
+	CargoMass    float64
+
+	// Waypoints is the trajectory the suspended cargo must follow, out
+	// and back; Bars obstruct it.
+	Waypoints      []mathx.Vec3
+	WaypointRadius float64
+	Bars           []Bar
+
+	// ParTime is the expected completion time in seconds; overtime costs
+	// score.
+	ParTime float64
+}
+
+// DefaultCourse builds the shipped course on the default site terrain: the
+// start point in the yard's south-west, the test ground circle in the
+// north-east, and a four-bar out-and-back trajectory. The whole trajectory
+// fits inside the default crane's reach envelope from the parking spot at
+// DriveTarget, so the exam is completed with boom work alone, as in Fig. 9.
+func DefaultCourse() Course {
+	tg := mathx.V3(terrain.TestGroundX, 0, terrain.TestGroundZ)
+	circle := tg.Add(mathx.V3(-12, 0, 0))
+
+	// Out-and-back trajectory east of the circle, weaving past the bar
+	// ends (or flying over them — collisions, not routes, are scored).
+	var wps []mathx.Vec3
+	outbound := []mathx.Vec3{
+		circle.Add(mathx.V3(1.5, 0, 3.2)),
+		circle.Add(mathx.V3(4.5, 0, -3.2)),
+		circle.Add(mathx.V3(7.5, 0, 3.2)),
+		circle.Add(mathx.V3(10.5, 0, -3.2)),
+		circle.Add(mathx.V3(15, 0, 0)), // far turn point
+	}
+	wps = append(wps, outbound...)
+	for i := len(outbound) - 2; i >= 0; i-- { // return leg mirrors it
+		wps = append(wps, outbound[i])
+	}
+	wps = append(wps, circle)
+
+	bars := make([]Bar, 0, 4)
+	for i, dx := range []float64{3, 6, 9, 12} {
+		bars = append(bars, Bar{
+			Name: barName(i),
+			Pos:  circle.Add(mathx.V3(dx, 1.2, 0)),
+			Half: mathx.V3(0.15, 1.2, 1.5),
+			Yaw:  0,
+		})
+	}
+
+	return Course{
+		Start:          mathx.V3(terrain.StartX, 0, terrain.StartZ),
+		StartYaw:       math.Pi / 4, // face north-east toward the test ground
+		DriveTarget:    circle.Add(mathx.V3(7.5, 0, 10)),
+		DriveRadius:    4,
+		Circle:         circle,
+		CircleRadius:   3,
+		CargoMass:      1500,
+		Waypoints:      wps,
+		WaypointRadius: 2.2,
+		Bars:           bars,
+		ParTime:        420,
+	}
+}
+
+func barName(i int) string { return "bar-" + string(rune('A'+i)) }
+
+// AdvancedCourse is a harder variant for licensed operators: six bars at
+// tighter spacing, smaller gate radii, heavier cargo and a shorter par
+// time. The trajectory still fits the default crane's reach envelope from
+// the parking spot.
+func AdvancedCourse() Course {
+	c := DefaultCourse()
+	c.CargoMass = 2600
+	c.ParTime = 300
+	c.WaypointRadius = 2.0
+	c.CircleRadius = 2.5
+
+	c.Bars = c.Bars[:0]
+	for i, dx := range []float64{2.5, 5, 7.5, 10, 12.5, 15} {
+		c.Bars = append(c.Bars, Bar{
+			Name: barName(i),
+			Pos:  c.Circle.Add(mathx.V3(dx, 1.5, 0)),
+			Half: mathx.V3(0.15, 1.5, 1.8),
+			Yaw:  0,
+		})
+	}
+	// A tighter weave with one extra gate on each leg.
+	var wps []mathx.Vec3
+	outbound := []mathx.Vec3{
+		c.Circle.Add(mathx.V3(1.2, 0, 2.8)),
+		c.Circle.Add(mathx.V3(3.8, 0, -2.8)),
+		c.Circle.Add(mathx.V3(6.2, 0, 2.8)),
+		c.Circle.Add(mathx.V3(8.8, 0, -2.8)),
+		c.Circle.Add(mathx.V3(11.2, 0, 2.8)),
+		c.Circle.Add(mathx.V3(14, 0, 0)),
+	}
+	wps = append(wps, outbound...)
+	for i := len(outbound) - 2; i >= 0; i-- {
+		wps = append(wps, outbound[i])
+	}
+	wps = append(wps, c.Circle)
+	c.Waypoints = wps
+	return c
+}

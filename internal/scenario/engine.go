@@ -1,0 +1,264 @@
+package scenario
+
+import (
+	"fmt"
+
+	"codsim/internal/collision"
+	"codsim/internal/crane"
+	"codsim/internal/fom"
+	"codsim/internal/mathx"
+)
+
+// ScoreConfig sets the exam's deduction schedule.
+type ScoreConfig struct {
+	Initial       float64 // starting score
+	BarHit        float64 // deduction per bar contact episode
+	SafetyAlarm   float64 // deduction per new safety-alarm episode
+	OvertimePer10 float64 // deduction per 10 s beyond par time
+	PassMark      float64 // minimum passing score
+}
+
+// DefaultScore returns the shipped schedule.
+func DefaultScore() ScoreConfig {
+	return ScoreConfig{
+		Initial:       100,
+		BarHit:        10,
+		SafetyAlarm:   4,
+		OvertimePer10: 0.5,
+		PassMark:      60,
+	}
+}
+
+// Event is a discrete scenario occurrence, surfaced for the audio module
+// and the instructor log.
+type Event struct {
+	Kind EventKind
+	Bar  string  // for EventBarCollision
+	At   float64 // scenario elapsed seconds
+}
+
+// EventKind enumerates scenario events. Values start at 1; 0 is invalid.
+type EventKind int
+
+// Scenario events.
+const (
+	EventPhaseChange EventKind = iota + 1
+	EventBarCollision
+	EventAlarmRaised
+)
+
+// Engine is the scenario state machine. Not safe for concurrent use; it
+// belongs to the scenario LP's tick loop.
+type Engine struct {
+	course Course
+	spec   crane.Spec
+	cfg    ScoreConfig
+
+	phase      fom.Phase
+	score      float64
+	elapsed    float64
+	collisions uint32
+	waypoint   int
+	message    string
+
+	world    *collision.World
+	hookObj  *collision.Object
+	cargoObj *collision.Object
+	barHit   map[string]bool // per-bar in-contact debounce
+	lastAl   fom.Alarm
+	alarms   fom.Alarm // latched extra alarms (collision)
+}
+
+// NewEngine builds an engine for the course.
+func NewEngine(course Course, spec crane.Spec, cfg ScoreConfig) *Engine {
+	e := &Engine{
+		course: course,
+		spec:   spec,
+		cfg:    cfg,
+		phase:  fom.PhaseIdle,
+		score:  cfg.Initial,
+		barHit: make(map[string]bool, len(course.Bars)),
+		world:  &collision.World{},
+	}
+	for _, b := range course.Bars {
+		obj := collision.NewObject(b.Name, collision.BoxMesh(b.Half.X, b.Half.Y, b.Half.Z))
+		obj.SetPose(b.Pos, mathx.QuatAxisAngle(mathx.V3(0, 1, 0), -b.Yaw))
+		e.world.Add(obj)
+	}
+	e.hookObj = collision.NewObject("hook", collision.BoxMesh(0.3, 0.35, 0.3))
+	e.cargoObj = collision.NewObject("cargo", collision.BoxMesh(0.9, 0.6, 0.9))
+	e.world.Add(e.hookObj)
+	e.world.Add(e.cargoObj)
+	e.message = "engine off — start the engine and drive to the test ground"
+	return e
+}
+
+// Course returns the engine's course.
+func (e *Engine) Course() Course { return e.course }
+
+// Start begins the exam (OpStartScenario).
+func (e *Engine) Start() {
+	if e.phase == fom.PhaseIdle {
+		e.setPhase(fom.PhaseDriving, "drive to the test ground")
+	}
+}
+
+// Reset returns the engine to the idle state with a fresh score.
+func (e *Engine) Reset() {
+	e.phase = fom.PhaseIdle
+	e.score = e.cfg.Initial
+	e.elapsed = 0
+	e.collisions = 0
+	e.waypoint = 0
+	e.alarms = 0
+	e.lastAl = 0
+	for k := range e.barHit {
+		delete(e.barHit, k)
+	}
+	e.message = "reset — awaiting start"
+}
+
+func (e *Engine) setPhase(p fom.Phase, msg string) {
+	e.phase = p
+	e.message = msg
+}
+
+// Step advances the scenario with the latest crane state and returns the
+// events raised. dt is the scenario tick in seconds.
+func (e *Engine) Step(st fom.CraneState, dt float64) []Event {
+	var events []Event
+	if e.phase == fom.PhaseIdle || e.phase == fom.PhaseComplete || e.phase == fom.PhaseFailed {
+		return nil
+	}
+	prevPhase := e.phase
+	e.elapsed += dt
+
+	// Collision judging runs in every active phase: move the dynamic
+	// proxies, find new contact episodes.
+	e.hookObj.SetPose(st.HookPos, mathx.QuatIdentity())
+	e.cargoObj.SetPose(st.CargoPos, mathx.QuatIdentity())
+	events = append(events, e.judgeCollisions(st)...)
+
+	// Safety-alarm deductions on rising edges.
+	al := e.spec.Alarms(st)
+	if newBits := al &^ e.lastAl; newBits != 0 {
+		e.score -= e.cfg.SafetyAlarm
+		events = append(events, Event{Kind: EventAlarmRaised, At: e.elapsed})
+	}
+	e.lastAl = al
+
+	switch e.phase {
+	case fom.PhaseDriving:
+		d := horizDist(st.Position, e.course.DriveTarget)
+		e.message = fmt.Sprintf("drive to the test ground (%.0f m to go)", d)
+		if d <= e.course.DriveRadius {
+			e.setPhase(fom.PhaseLifting, "lift the cargo from the white circle")
+		}
+	case fom.PhaseLifting:
+		if st.CargoHeld {
+			e.waypoint = 0
+			e.setPhase(fom.PhaseTraverse, "carry the cargo along the bar course")
+		}
+	case fom.PhaseTraverse:
+		if !st.CargoHeld {
+			// Dropped mid-course: heavy deduction, back to lifting.
+			e.score -= e.cfg.BarHit
+			e.setPhase(fom.PhaseLifting, "cargo dropped — pick it up again")
+			break
+		}
+		wp := e.course.Waypoints[e.waypoint]
+		d := horizDist(st.CargoPos, wp)
+		e.message = fmt.Sprintf("waypoint %d/%d (%.1f m)", e.waypoint+1, len(e.course.Waypoints), d)
+		if d <= e.course.WaypointRadius {
+			e.waypoint++
+			if e.waypoint >= len(e.course.Waypoints) {
+				e.setPhase(fom.PhaseReturn, "set the cargo down in the circle")
+			}
+		}
+	case fom.PhaseReturn:
+		inCircle := horizDist(st.CargoPos, e.course.Circle) <= e.course.CircleRadius
+		if inCircle && !st.CargoHeld {
+			e.applyOvertime()
+			if e.score >= e.cfg.PassMark {
+				e.setPhase(fom.PhaseComplete, fmt.Sprintf("exam passed — score %.1f", e.score))
+			} else {
+				e.setPhase(fom.PhaseFailed, fmt.Sprintf("exam failed — score %.1f", e.score))
+			}
+		} else {
+			e.message = "lower and release the cargo inside the circle"
+		}
+	}
+
+	if e.score < 0 {
+		e.score = 0
+	}
+	if e.phase != prevPhase {
+		events = append(events, Event{Kind: EventPhaseChange, At: e.elapsed})
+	}
+	return events
+}
+
+// judgeCollisions deducts score once per contact episode per bar.
+func (e *Engine) judgeCollisions(fom.CraneState) []Event {
+	var events []Event
+	inContact := make(map[string]bool, 2)
+	for _, obj := range e.world.Objects() {
+		if obj == e.hookObj || obj == e.cargoObj {
+			continue
+		}
+		if c, hit := e.world.CheckPair(obj, e.cargoObj); hit {
+			inContact[c.A] = true
+		}
+		if c, hit := e.world.CheckPair(obj, e.hookObj); hit {
+			inContact[c.A] = true
+		}
+	}
+	for name := range inContact {
+		if !e.barHit[name] {
+			e.barHit[name] = true
+			e.collisions++
+			e.score -= e.cfg.BarHit
+			e.alarms |= fom.AlarmCollision
+			events = append(events, Event{Kind: EventBarCollision, Bar: name, At: e.elapsed})
+		}
+	}
+	for name := range e.barHit {
+		if !inContact[name] {
+			delete(e.barHit, name) // episode over; future hits count again
+		}
+	}
+	return events
+}
+
+func (e *Engine) applyOvertime() {
+	if over := e.elapsed - e.course.ParTime; over > 0 {
+		e.score -= over / 10 * e.cfg.OvertimePer10
+	}
+}
+
+func horizDist(a, b mathx.Vec3) float64 {
+	dx, dz := a.X-b.X, a.Z-b.Z
+	return mathx.V3(dx, 0, dz).Len()
+}
+
+// State exports the publishable scenario state.
+func (e *Engine) State() fom.ScenarioState {
+	return fom.ScenarioState{
+		Phase:      e.phase,
+		Score:      e.score,
+		Elapsed:    e.elapsed,
+		Collisions: e.collisions,
+		Waypoint:   uint32(e.waypoint),
+		Message:    e.message,
+	}
+}
+
+// ExtraAlarms returns latched scenario alarms (collision) for the status
+// window.
+func (e *Engine) ExtraAlarms() fom.Alarm { return e.alarms }
+
+// Phase returns the current phase.
+func (e *Engine) Phase() fom.Phase { return e.phase }
+
+// Score returns the current score.
+func (e *Engine) Score() float64 { return e.score }

@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDisplayNodeDeath kills one display computer mid-run: the
+// synchronization server must evict it after its stall timeout so the
+// remaining displays keep rendering — one dead PC must not freeze the
+// surround view.
+func TestDisplayNodeDeath(t *testing.T) {
+	c, err := New(Config{
+		CB:        fastCB(),
+		TimeScale: 8,
+		Width:     96,
+		Height:    72,
+		Polygons:  400,
+		Autopilot: true,
+		AutoStart: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	// Let the federation reach steady state.
+	deadline := time.Now().Add(15 * time.Second)
+	for c.server.Swaps() < 10 {
+		if time.Now().After(deadline) {
+			t.Fatal("no steady state before fault injection")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Kill display computer 2 (backbone and all).
+	if err := c.Backbone("display-pc-2").Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The server must evict it and the survivors must keep swapping.
+	evictDeadline := time.Now().Add(20 * time.Second)
+	for c.server.Evicted() == 0 {
+		if time.Now().After(evictDeadline) {
+			t.Fatalf("dead display never evicted (displays=%v)", c.server.Displays())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	afterEvict := c.server.Swaps()
+	progressDeadline := time.Now().Add(20 * time.Second)
+	for c.server.Swaps() < afterEvict+10 {
+		if time.Now().After(progressDeadline) {
+			t.Fatalf("surround view frozen after display death: swaps stuck at %d", c.server.Swaps())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for _, name := range c.server.Displays() {
+		if name == "display-2" {
+			t.Error("dead display still admitted")
+		}
+	}
+}
+
+// TestInstructorFaultInjection drives the §3.3 trouble-shooting loop over
+// the live federation: the instructor clicks an instrument on the mirror
+// window; the command crosses the CB to dashboard-pc and forces the
+// mockup's needle; clearing restores live display.
+func TestInstructorFaultInjection(t *testing.T) {
+	c, err := New(Config{
+		CB:        fastCB(),
+		TimeScale: 8,
+		Width:     96,
+		Height:    72,
+		Polygons:  400,
+		Autopilot: true,
+		AutoStart: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	// Wait for steady traffic so the InstructorCmd channel exists.
+	deadline := time.Now().Add(15 * time.Second)
+	for c.cmdPub.Channels() < 2 { // dashboard + scenario both subscribe
+		if time.Now().After(deadline) {
+			t.Fatalf("instructor command channels = %d", c.cmdPub.Channels())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if err := c.InjectFault("rpm", 2950); err != nil {
+		t.Fatal(err)
+	}
+	faultDeadline := time.Now().Add(10 * time.Second)
+	for {
+		inst := c.Panel().Instrument("rpm")
+		if inst != nil && inst.Faulted() && inst.Value() == 2950 {
+			break
+		}
+		if time.Now().After(faultDeadline) {
+			t.Fatalf("fault never reached the mockup dashboard (faulted=%v)",
+				c.Panel().Instrument("rpm").Faulted())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if err := c.ClearFault("rpm"); err != nil {
+		t.Fatal(err)
+	}
+	clearDeadline := time.Now().Add(10 * time.Second)
+	for c.Panel().Instrument("rpm").Faulted() {
+		if time.Now().After(clearDeadline) {
+			t.Fatal("fault never cleared on the mockup dashboard")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDynamicsNodeDeath kills the simulation computer: the displays lose
+// their state feed but the barrier must keep cycling (they re-render the
+// last known state), and the affected subscriptions must re-arm their
+// broadcasts — the §2.3 re-discovery behaviour.
+func TestDynamicsNodeDeath(t *testing.T) {
+	c, err := New(Config{
+		CB:        fastCB(),
+		TimeScale: 8,
+		Width:     96,
+		Height:    72,
+		Polygons:  400,
+		Autopilot: true,
+		AutoStart: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	deadline := time.Now().Add(15 * time.Second)
+	for c.server.Swaps() < 10 {
+		if time.Now().After(deadline) {
+			t.Fatal("no steady state")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Stop the dynamics/scenario/audio LP loops first so they do not
+	// report errors into the cluster when their backbone vanishes.
+	c.group.Stop()
+	if err := c.Backbone(NodeSim).Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	before := c.server.Swaps()
+	progressDeadline := time.Now().Add(20 * time.Second)
+	for c.server.Swaps() < before+10 {
+		if time.Now().After(progressDeadline) {
+			t.Fatalf("displays froze after dynamics death: swaps stuck at %d", c.server.Swaps())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The display state subscriptions must have noticed the publisher's
+	// departure and returned to unmatched (fast re-broadcast).
+	unmatchDeadline := time.Now().Add(10 * time.Second)
+	for {
+		anyMatched := false
+		for _, d := range c.displays {
+			if d.stateIn.Matched() {
+				anyMatched = true
+			}
+		}
+		if !anyMatched {
+			break
+		}
+		if time.Now().After(unmatchDeadline) {
+			t.Fatal("state subscriptions never noticed publisher death")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

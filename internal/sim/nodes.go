@@ -1,0 +1,334 @@
+package sim
+
+import (
+	"fmt"
+
+	"codsim/internal/audio"
+	"codsim/internal/cb"
+	"codsim/internal/crane"
+	"codsim/internal/dashboard"
+	"codsim/internal/dynamics"
+	"codsim/internal/fom"
+	"codsim/internal/instructor"
+	"codsim/internal/lp"
+	"codsim/internal/motion"
+	"codsim/internal/scenario"
+	"codsim/internal/terrain"
+	"codsim/internal/trace"
+)
+
+// runner registers a paced LP loop with the cluster group.
+func (c *Cluster) runner(name string, hz float64, fn lp.TickFunc) error {
+	r, err := lp.NewRunner(name, hz, fn, lp.Realtime(), lp.TimeScale(c.cfg.TimeScale))
+	if err != nil {
+		return fmt.Errorf("sim: runner %s: %w", name, err)
+	}
+	c.group.Add(r)
+	return nil
+}
+
+// buildSimPC hosts the dynamics, scenario and audio LPs on one computer
+// (§2.1: one or many LPs can run on a computer).
+func (c *Cluster) buildSimPC(ter *terrain.Map, course scenario.Course) error {
+	b, err := c.backbone(NodeSim)
+	if err != nil {
+		return err
+	}
+
+	// --- Dynamics LP (60 Hz) ---
+	model, err := dynamics.New(dynamics.DefaultConfig(), ter, course.Start, course.StartYaw)
+	if err != nil {
+		return fmt.Errorf("sim: dynamics: %w", err)
+	}
+	cargoPos := course.Circle
+	cargoPos.Y = ter.HeightAt(cargoPos.X, cargoPos.Z) + 0.6
+	model.PlaceCargo(cargoPos, course.CargoMass)
+
+	statePub, err := b.PublishObjectClass("dynamics", fom.ClassCraneState)
+	if err != nil {
+		return err
+	}
+	cuePub, err := b.PublishObjectClass("dynamics", fom.ClassMotionCue)
+	if err != nil {
+		return err
+	}
+	audioPub, err := b.PublishObjectClass("dynamics", fom.ClassAudioEvent)
+	if err != nil {
+		return err
+	}
+	controlSub, err := b.SubscribeObjectClass("dynamics", fom.ClassControlInput, cb.WithConflation())
+	if err != nil {
+		return err
+	}
+	var lastIn fom.ControlInput
+	var frame uint32
+	err = c.runner("dynamics", 60, func(simTime, dt float64) error {
+		if r, ok := controlSub.Latest(); ok {
+			if in, err := fom.DecodeControlInput(r.Attrs); err == nil {
+				lastIn = in
+			}
+		}
+		events := model.Step(lastIn, dt)
+		st := model.State()
+		frame++
+		if err := statePub.Update(simTime, st.Encode()); err != nil {
+			return err
+		}
+		if err := cuePub.Update(simTime, model.MotionCue(frame).Encode()); err != nil {
+			return err
+		}
+		for _, ev := range events {
+			var ae fom.AudioEvent
+			switch ev {
+			case dynamics.EventEngineStarted:
+				ae = fom.AudioEvent{Sound: fom.SoundEngineStart, Gain: 0.9}
+			case dynamics.EventEngineStopped:
+				ae = fom.AudioEvent{Sound: fom.SoundEngineLoop, Stop: true}
+			case dynamics.EventCargoLatched, dynamics.EventCargoReleased:
+				ae = fom.AudioEvent{Sound: fom.SoundHoistMotor, Gain: 0.7}
+			default:
+				continue
+			}
+			if err := audioPub.Update(simTime, ae.Encode()); err != nil {
+				return err
+			}
+			if ev == dynamics.EventEngineStarted {
+				loop := fom.AudioEvent{Sound: fom.SoundEngineLoop, Gain: 0.7, Loop: true}
+				if err := audioPub.Update(simTime, loop.Encode()); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// --- Scenario LP (30 Hz) ---
+	eng := scenario.NewEngine(course, crane.DefaultSpec(), scenario.DefaultScore())
+	if c.cfg.AutoStart {
+		eng.Start()
+	}
+	scenPub, err := b.PublishObjectClass("scenario", fom.ClassScenarioState)
+	if err != nil {
+		return err
+	}
+	scenAudioPub, err := b.PublishObjectClass("scenario", fom.ClassAudioEvent)
+	if err != nil {
+		return err
+	}
+	scenStateSub, err := b.SubscribeObjectClass("scenario", fom.ClassCraneState, cb.WithConflation())
+	if err != nil {
+		return err
+	}
+	cmdSub, err := b.SubscribeObjectClass("scenario", fom.ClassInstructorCmd, cb.WithQueue(32))
+	if err != nil {
+		return err
+	}
+	err = c.runner("scenario", 30, func(simTime, dt float64) error {
+		for {
+			r, ok := cmdSub.Poll()
+			if !ok {
+				break
+			}
+			cmd, err := fom.DecodeInstructorCmd(r.Attrs)
+			if err != nil {
+				continue
+			}
+			switch cmd.Op {
+			case fom.OpStartScenario:
+				eng.Start()
+			case fom.OpResetScenario:
+				eng.Reset()
+			}
+		}
+		if r, ok := scenStateSub.Latest(); ok {
+			if st, err := fom.DecodeCraneState(r.Attrs); err == nil {
+				for _, ev := range eng.Step(st, dt) {
+					if ev.Kind != scenario.EventBarCollision {
+						continue
+					}
+					bang := fom.AudioEvent{Sound: fom.SoundCollision, Gain: 1, Position: st.CargoPos}
+					if err := scenAudioPub.Update(simTime, bang.Encode()); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		s := eng.State()
+		c.mu.Lock()
+		c.scenState = s
+		c.mu.Unlock()
+		return scenPub.Update(simTime, s.Encode())
+	})
+	if err != nil {
+		return err
+	}
+
+	// --- Audio LP (~43 Hz: one 1024-sample block per tick) ---
+	mixer, err := audio.NewMixer(audio.SynthesizeAssets(c.cfg.Seed))
+	if err != nil {
+		return fmt.Errorf("sim: audio: %w", err)
+	}
+	c.mixer = mixer
+	audioSub, err := b.SubscribeObjectClass("audio", fom.ClassAudioEvent, cb.WithQueue(64))
+	if err != nil {
+		return err
+	}
+	audioStateSub, err := b.SubscribeObjectClass("audio", fom.ClassCraneState, cb.WithConflation())
+	if err != nil {
+		return err
+	}
+	if c.cfg.CaptureAudioSec > 0 {
+		c.pcmRing = make([]float64, int(c.cfg.CaptureAudioSec*audio.SampleRate))
+	}
+	pcmBlock := make([]float64, 1024)
+	err = c.runner("audio", float64(audio.SampleRate)/1024, func(_, _ float64) error {
+		for {
+			r, ok := audioSub.Poll()
+			if !ok {
+				break
+			}
+			if ev, err := fom.DecodeAudioEvent(r.Attrs); err == nil {
+				mixer.Handle(ev)
+			}
+		}
+		if r, ok := audioStateSub.Latest(); ok {
+			if st, err := fom.DecodeCraneState(r.Attrs); err == nil {
+				mixer.SetListener(st.Position)
+			}
+		}
+		mixer.Render(pcmBlock)
+		if c.pcmRing != nil {
+			c.capturePCM(pcmBlock)
+		}
+		return nil
+	})
+	return err
+}
+
+// buildDashboard hosts the dashboard LP: operator input → ControlInput.
+func (c *Cluster) buildDashboard(course scenario.Course) error {
+	b, err := c.backbone(NodeDashboard)
+	if err != nil {
+		return err
+	}
+	panel := dashboard.NewPanel()
+	c.panel = panel
+	shaping := dashboard.DefaultShaping()
+	ctrlPub, err := b.PublishObjectClass("dashboard", fom.ClassControlInput)
+	if err != nil {
+		return err
+	}
+	stateSub, err := b.SubscribeObjectClass("dashboard", fom.ClassCraneState, cb.WithConflation())
+	if err != nil {
+		return err
+	}
+	scenSub, err := b.SubscribeObjectClass("dashboard", fom.ClassScenarioState, cb.WithConflation())
+	if err != nil {
+		return err
+	}
+	cmdSub, err := b.SubscribeObjectClass("dashboard", fom.ClassInstructorCmd, cb.WithQueue(32))
+	if err != nil {
+		return err
+	}
+	var ap *trace.Autopilot
+	if c.cfg.Autopilot {
+		ap = trace.NewAutopilot(course)
+	}
+	var lastState fom.CraneState
+	var lastScen fom.ScenarioState
+	return c.runner("dashboard", 50, func(simTime, dt float64) error {
+		for {
+			r, ok := cmdSub.Poll()
+			if !ok {
+				break
+			}
+			if cmd, err := fom.DecodeInstructorCmd(r.Attrs); err == nil {
+				_ = panel.Apply(cmd) // unknown instruments are instructor typos
+			}
+		}
+		if r, ok := stateSub.Latest(); ok {
+			if st, err := fom.DecodeCraneState(r.Attrs); err == nil {
+				lastState = st
+				panel.UpdateFromState(st, dt)
+			}
+		}
+		if r, ok := scenSub.Latest(); ok {
+			if s, err := fom.DecodeScenarioState(r.Attrs); err == nil {
+				lastScen = s
+			}
+		}
+		var in fom.ControlInput
+		if ap != nil {
+			in = ap.Control(lastState, lastScen, dt)
+		}
+		return ctrlPub.Update(simTime, shaping.Shape(in).Encode())
+	})
+}
+
+// buildMotion hosts the motion-platform controller LP.
+func (c *Cluster) buildMotion() error {
+	b, err := c.backbone(NodeMotion)
+	if err != nil {
+		return err
+	}
+	ctrl, err := motion.NewController(motion.DefaultGeometry(), motion.DefaultWashout(), 16, c.cfg.Seed)
+	if err != nil {
+		return fmt.Errorf("sim: motion: %w", err)
+	}
+	cueSub, err := b.SubscribeObjectClass("motion", fom.ClassMotionCue, cb.WithConflation())
+	if err != nil {
+		return err
+	}
+	return c.runner("motion", 120, func(_, dt float64) error {
+		if r, ok := cueSub.Latest(); ok {
+			if cue, err := fom.DecodeMotionCue(r.Attrs); err == nil {
+				ctrl.Cue(cue, dt)
+			}
+		}
+		if st := ctrl.Step(dt); st.Saturated {
+			c.motionSat.Inc()
+		}
+		return nil
+	})
+}
+
+// buildInstructor hosts the instructor monitor LP.
+func (c *Cluster) buildInstructor() error {
+	b, err := c.backbone(NodeInstructor)
+	if err != nil {
+		return err
+	}
+	c.monitor = instructor.NewMonitor(crane.DefaultSpec())
+	stateSub, err := b.SubscribeObjectClass("instructor", fom.ClassCraneState, cb.WithConflation())
+	if err != nil {
+		return err
+	}
+	scenSub, err := b.SubscribeObjectClass("instructor", fom.ClassScenarioState, cb.WithConflation())
+	if err != nil {
+		return err
+	}
+	reportPub, err := b.PublishObjectClass("instructor", fom.ClassStatusReport)
+	if err != nil {
+		return err
+	}
+	c.cmdPub, err = b.PublishObjectClass("instructor", fom.ClassInstructorCmd)
+	if err != nil {
+		return err
+	}
+	return c.runner("instructor", 10, func(simTime, dt float64) error {
+		if r, ok := stateSub.Latest(); ok {
+			if st, err := fom.DecodeCraneState(r.Attrs); err == nil {
+				c.monitor.ObserveCrane(st, dt)
+			}
+		}
+		if r, ok := scenSub.Latest(); ok {
+			if s, err := fom.DecodeScenarioState(r.Attrs); err == nil {
+				c.monitor.ObserveScenario(s)
+			}
+		}
+		return reportPub.Update(simTime, c.monitor.Report(0).Encode())
+	})
+}

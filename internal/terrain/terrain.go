@@ -1,0 +1,132 @@
+// Package terrain provides the height-field ground model of the virtual
+// construction site. The dynamics module samples it for terrain following
+// (§3.6): because a mobile crane's center of gravity is high, driving over
+// uneven ground is itself a hazard the simulator must reproduce, and the
+// carrier's pitch/roll posture on the terrain feeds both the visual display
+// and the motion platform.
+package terrain
+
+import (
+	"fmt"
+	"math"
+
+	"codsim/internal/mathx"
+)
+
+// Map is a regular-grid height field over the XZ plane with bilinear
+// interpolation between samples. It is immutable after construction and
+// therefore safe for concurrent reads.
+type Map struct {
+	w, h    int     // grid vertices in X and Z
+	spacing float64 // meters between grid vertices
+	heights []float64
+	minH    float64
+	maxH    float64
+}
+
+// New builds a terrain map from a row-major height grid (h rows of w
+// samples, row = constant Z). spacing is the distance between neighboring
+// samples in meters.
+func New(w, h int, spacing float64, heights []float64) (*Map, error) {
+	if w < 2 || h < 2 {
+		return nil, fmt.Errorf("terrain: grid %dx%d too small", w, h)
+	}
+	if spacing <= 0 {
+		return nil, fmt.Errorf("terrain: spacing %v must be positive", spacing)
+	}
+	if len(heights) != w*h {
+		return nil, fmt.Errorf("terrain: %d heights for %dx%d grid", len(heights), w, h)
+	}
+	cp := make([]float64, len(heights))
+	copy(cp, heights)
+	minH, maxH := math.Inf(1), math.Inf(-1)
+	for _, v := range cp {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("terrain: non-finite height %v", v)
+		}
+		minH = math.Min(minH, v)
+		maxH = math.Max(maxH, v)
+	}
+	return &Map{w: w, h: h, spacing: spacing, heights: cp, minH: minH, maxH: maxH}, nil
+}
+
+// Size returns the map extent in meters along X and Z.
+func (m *Map) Size() (sx, sz float64) {
+	return float64(m.w-1) * m.spacing, float64(m.h-1) * m.spacing
+}
+
+// Bounds returns the minimum and maximum sample heights.
+func (m *Map) Bounds() (minH, maxH float64) { return m.minH, m.maxH }
+
+// sample returns the grid height at integer coordinates, clamped to the
+// edge (the world beyond the site continues flat).
+func (m *Map) sample(ix, iz int) float64 {
+	if ix < 0 {
+		ix = 0
+	}
+	if ix >= m.w {
+		ix = m.w - 1
+	}
+	if iz < 0 {
+		iz = 0
+	}
+	if iz >= m.h {
+		iz = m.h - 1
+	}
+	return m.heights[iz*m.w+ix]
+}
+
+// HeightAt returns the bilinearly interpolated terrain height at (x, z).
+func (m *Map) HeightAt(x, z float64) float64 {
+	fx := x / m.spacing
+	fz := z / m.spacing
+	ix := int(math.Floor(fx))
+	iz := int(math.Floor(fz))
+	tx := fx - float64(ix)
+	tz := fz - float64(iz)
+	h00 := m.sample(ix, iz)
+	h10 := m.sample(ix+1, iz)
+	h01 := m.sample(ix, iz+1)
+	h11 := m.sample(ix+1, iz+1)
+	return mathx.Lerp(mathx.Lerp(h00, h10, tx), mathx.Lerp(h01, h11, tx), tz)
+}
+
+// NormalAt returns the unit surface normal at (x, z) from central
+// differences of the interpolated height field.
+func (m *Map) NormalAt(x, z float64) mathx.Vec3 {
+	const d = 0.25 // meters; fine enough for a vehicle footprint
+	hx1 := m.HeightAt(x+d, z)
+	hx0 := m.HeightAt(x-d, z)
+	hz1 := m.HeightAt(x, z+d)
+	hz0 := m.HeightAt(x, z-d)
+	n := mathx.V3(-(hx1-hx0)/(2*d), 1, -(hz1-hz0)/(2*d))
+	return n.Normalize()
+}
+
+// SlopeAt returns the terrain gradient angle at (x, z) in radians: 0 on
+// flat ground.
+func (m *Map) SlopeAt(x, z float64) float64 {
+	n := m.NormalAt(x, z)
+	return math.Acos(mathx.Clamp(n.Y, -1, 1))
+}
+
+// Posture computes the pitch and roll a vehicle with the given heading
+// assumes when resting on the terrain at (x, z) — the §3.6 terrain
+// following. heading is the yaw about +Y; wheelbase and track are the
+// contact rectangle in meters.
+func (m *Map) Posture(x, z, heading, wheelbase, track float64) (pitch, roll float64) {
+	sin, cos := math.Sincos(heading)
+	// Forward and right unit vectors on the ground plane. Heading 0 looks
+	// down -Z (the render camera convention).
+	fwd := mathx.V3(sin, 0, -cos).Scale(wheelbase / 2)
+	right := mathx.V3(cos, 0, sin).Scale(track / 2)
+
+	hFront := m.HeightAt(x+fwd.X, z+fwd.Z)
+	hBack := m.HeightAt(x-fwd.X, z-fwd.Z)
+	hRight := m.HeightAt(x+right.X, z+right.Z)
+	hLeft := m.HeightAt(x-right.X, z-right.Z)
+
+	pitch = math.Atan2(hFront-hBack, wheelbase)
+	roll = math.Atan2(hLeft-hRight, track)
+	return pitch, roll
+}

@@ -1,0 +1,240 @@
+package terrain
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"codsim/internal/mathx"
+)
+
+func flatMap(t *testing.T, w, h int, spacing, height float64) *Map {
+	t.Helper()
+	hs := make([]float64, w*h)
+	for i := range hs {
+		hs[i] = height
+	}
+	m, err := New(w, h, spacing, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, 5, 1, make([]float64, 5)); err == nil {
+		t.Error("1-column grid accepted")
+	}
+	if _, err := New(5, 1, 1, make([]float64, 5)); err == nil {
+		t.Error("1-row grid accepted")
+	}
+	if _, err := New(2, 2, 0, make([]float64, 4)); err == nil {
+		t.Error("zero spacing accepted")
+	}
+	if _, err := New(2, 2, 1, make([]float64, 3)); err == nil {
+		t.Error("wrong height count accepted")
+	}
+	if _, err := New(2, 2, 1, []float64{0, 0, 0, math.NaN()}); err == nil {
+		t.Error("NaN height accepted")
+	}
+}
+
+func TestHeightAtFlat(t *testing.T) {
+	m := flatMap(t, 10, 10, 2, 3.5)
+	for _, p := range [][2]float64{{0, 0}, {5.3, 7.7}, {18, 18}, {-5, 30}} {
+		if got := m.HeightAt(p[0], p[1]); math.Abs(got-3.5) > 1e-12 {
+			t.Errorf("HeightAt(%v,%v) = %v, want 3.5", p[0], p[1], got)
+		}
+	}
+}
+
+func TestHeightAtBilinear(t *testing.T) {
+	// 2×2 grid with one raised corner: interior interpolates bilinearly.
+	m, err := New(2, 2, 10, []float64{0, 0, 0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.HeightAt(5, 5); math.Abs(got-1) > 1e-12 { // (0+0+0+4)/4
+		t.Errorf("center = %v, want 1", got)
+	}
+	if got := m.HeightAt(10, 10); math.Abs(got-4) > 1e-12 {
+		t.Errorf("corner = %v, want 4", got)
+	}
+	if got := m.HeightAt(10, 5); math.Abs(got-2) > 1e-12 {
+		t.Errorf("edge mid = %v, want 2", got)
+	}
+}
+
+func TestHeightAtContinuityProperty(t *testing.T) {
+	site, err := GenerateSite(DefaultSite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nearby points have nearby heights (no seams at cell borders).
+	f := func(xRaw, zRaw float64) bool {
+		x := math.Mod(math.Abs(xRaw), 190)
+		z := math.Mod(math.Abs(zRaw), 190)
+		h0 := site.HeightAt(x, z)
+		h1 := site.HeightAt(x+0.01, z+0.01)
+		return math.Abs(h1-h0) < 0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalAtFlat(t *testing.T) {
+	m := flatMap(t, 10, 10, 1, 2)
+	n := m.NormalAt(4.5, 4.5)
+	if !n.NearEq(mathx.V3(0, 1, 0), 1e-9) {
+		t.Errorf("flat normal = %v", n)
+	}
+	if got := m.SlopeAt(4.5, 4.5); math.Abs(got) > 1e-9 {
+		t.Errorf("flat slope = %v", got)
+	}
+}
+
+func TestNormalAtRamp(t *testing.T) {
+	// Height rises 1 m per 1 m of X: a 45° ramp.
+	w, h := 20, 20
+	hs := make([]float64, w*h)
+	for iz := 0; iz < h; iz++ {
+		for ix := 0; ix < w; ix++ {
+			hs[iz*w+ix] = float64(ix)
+		}
+	}
+	m, err := New(w, h, 1, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.SlopeAt(10, 10); math.Abs(got-math.Pi/4) > 1e-6 {
+		t.Errorf("ramp slope = %v, want π/4", got)
+	}
+	n := m.NormalAt(10, 10)
+	if n.X >= 0 || n.Y <= 0 {
+		t.Errorf("ramp normal direction = %v", n)
+	}
+	// Normal length is 1 by construction.
+	if math.Abs(n.Len()-1) > 1e-12 {
+		t.Errorf("normal not unit: %v", n.Len())
+	}
+}
+
+func TestPosture(t *testing.T) {
+	// Ramp along X: heading +X (east) must pitch the vehicle, heading -Z
+	// (north, default) must roll it.
+	w, h := 40, 40
+	hs := make([]float64, w*h)
+	for iz := 0; iz < h; iz++ {
+		for ix := 0; ix < w; ix++ {
+			hs[iz*w+ix] = 0.2 * float64(ix)
+		}
+	}
+	m, err := New(w, h, 1, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGrade := math.Atan2(0.2, 1)
+
+	// Heading π/2 = facing +X (uphill): positive pitch, no roll.
+	pitch, roll := m.Posture(20, 20, math.Pi/2, 4, 2.5)
+	if math.Abs(pitch-wantGrade) > 1e-6 {
+		t.Errorf("uphill pitch = %v, want %v", pitch, wantGrade)
+	}
+	if math.Abs(roll) > 1e-6 {
+		t.Errorf("uphill roll = %v, want 0", roll)
+	}
+
+	// Heading 0 = facing -Z: the grade is across the track → roll only.
+	// Left side (-X) is downhill, so roll is negative.
+	pitch, roll = m.Posture(20, 20, 0, 4, 2.5)
+	if math.Abs(pitch) > 1e-6 {
+		t.Errorf("cross pitch = %v, want 0", pitch)
+	}
+	if math.Abs(roll+wantGrade) > 1e-6 {
+		t.Errorf("cross roll = %v, want %v", roll, -wantGrade)
+	}
+}
+
+func TestGenerateSiteProperties(t *testing.T) {
+	site, err := GenerateSite(DefaultSite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sx, sz := site.Size()
+	if sx < 190 || sz < 190 {
+		t.Errorf("site size = %v,%v", sx, sz)
+	}
+	minH, maxH := site.Bounds()
+	if maxH-minH < 0.1 {
+		t.Error("site is completely flat; undulation missing")
+	}
+	if maxH > 3 || minH < -3 {
+		t.Errorf("site bounds [%v,%v] implausible", minH, maxH)
+	}
+
+	// The exam test ground is levelled: near-zero heights and slopes.
+	for _, d := range []float64{0, 5, 10, 20} {
+		hgt := site.HeightAt(TestGroundX+d, TestGroundZ)
+		if math.Abs(hgt) > 0.05 {
+			t.Errorf("test ground height at +%v = %v, want ~0", d, hgt)
+		}
+	}
+	if slope := site.SlopeAt(TestGroundX, TestGroundZ); slope > 0.01 {
+		t.Errorf("test ground slope = %v", slope)
+	}
+
+	// Determinism: same seed, same terrain.
+	site2, err := GenerateSite(DefaultSite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if site.HeightAt(33.3, 77.7) != site2.HeightAt(33.3, 77.7) {
+		t.Error("site generation not deterministic")
+	}
+	// Different seed, different terrain.
+	cfg := DefaultSite()
+	cfg.Seed = 77
+	site3, err := GenerateSite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if site.HeightAt(33.3, 77.7) == site3.HeightAt(33.3, 77.7) {
+		t.Error("seed has no effect")
+	}
+}
+
+func TestGenerateSiteDegenerateConfig(t *testing.T) {
+	// Bad config falls back to defaults instead of failing.
+	site, err := GenerateSite(SiteConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sx, _ := site.Size(); sx <= 0 {
+		t.Errorf("fallback size = %v", sx)
+	}
+}
+
+func BenchmarkHeightAt(b *testing.B) {
+	site, err := GenerateSite(DefaultSite())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	var sum float64
+	for i := 0; i < b.N; i++ {
+		sum += site.HeightAt(float64(i%200), float64((i*7)%200))
+	}
+	_ = sum
+}
+
+func BenchmarkPosture(b *testing.B) {
+	site, err := GenerateSite(DefaultSite())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		site.Posture(float64(i%150)+10, 60, 0.3, 4, 2.5)
+	}
+}

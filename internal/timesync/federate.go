@@ -1,0 +1,140 @@
+package timesync
+
+import (
+	"fmt"
+	"time"
+
+	"codsim/internal/cb"
+	"codsim/internal/wire"
+)
+
+// Publisher couples a CB publication to the Chandy–Misra discipline: every
+// real update is stamped monotonically from the LP's clock, and Idle sends
+// the null message that promises downstream LPs a lower time bound.
+type Publisher struct {
+	reg *Regulator
+	pub *cb.Publication
+}
+
+// NewPublisher wraps a CB publication with lookahead.
+func NewPublisher(pub *cb.Publication, lookahead float64) (*Publisher, error) {
+	if pub == nil {
+		return nil, fmt.Errorf("timesync: nil publication")
+	}
+	reg, err := NewRegulator(lookahead)
+	if err != nil {
+		return nil, err
+	}
+	return &Publisher{reg: reg, pub: pub}, nil
+}
+
+// Advance moves the LP's local clock to t.
+func (p *Publisher) Advance(t float64) { p.reg.Advance(t) }
+
+// Now returns the LP's local clock.
+func (p *Publisher) Now() float64 { return p.reg.Now() }
+
+// Send publishes a real timestamped update.
+func (p *Publisher) Send(attrs wire.AttrSet) error {
+	return p.pub.Update(p.reg.StampEvent(), attrs)
+}
+
+// Idle publishes a null message carrying now+lookahead, unblocking
+// conservative consumers while this LP has nothing to say.
+func (p *Publisher) Idle() error {
+	return p.pub.SendNull(p.reg.NullTime())
+}
+
+// Consumer couples a CB subscription to an InputSet and an EventQueue: it
+// pumps reflections (real and null) into the conservative machinery and
+// releases events only when they are causally safe.
+type Consumer struct {
+	sub    *cb.Subscription
+	inputs *InputSet
+	queue  EventQueue
+}
+
+// inputKey names the channel clock for a publisher.
+func inputKey(r cb.Reflection) string { return InputName(r.PubNode, r.PubLP) }
+
+// NewConsumer wraps a CB subscription. expected declares the known input
+// links ("node/lp") up front — Chandy–Misra needs the topology declared,
+// because a link the consumer has never heard from cannot bound the safe
+// time: without the declaration one publisher's entire stream can be
+// released before the other's first message arrives. Publishers beyond
+// the declared set (dynamic join) are admitted lazily at their first
+// observed timestamp, which is safe going forward but provides no
+// retroactive ordering against events already released.
+func NewConsumer(sub *cb.Subscription, expected ...string) (*Consumer, error) {
+	if sub == nil {
+		return nil, fmt.Errorf("timesync: nil subscription")
+	}
+	return &Consumer{sub: sub, inputs: NewInputSet(expected...)}, nil
+}
+
+// ExpectInput declares one more input link ("node/lp") at time t before
+// its first message arrives.
+func (c *Consumer) ExpectInput(link string, t float64) {
+	c.inputs.AddInput(link, t)
+}
+
+// InputName formats the link name used for a publisher: "node/lp".
+func InputName(node, lp string) string { return node + "/" + lp }
+
+// Pump drains pending reflections into the queue and channel clocks,
+// returning how many reflections were consumed.
+func (c *Consumer) Pump() int {
+	n := 0
+	for {
+		r, ok := c.sub.Poll()
+		if !ok {
+			return n
+		}
+		n++
+		key := inputKey(r)
+		if err := c.inputs.Observe(key, r.Time); err != nil {
+			// First message from this publisher: admit its link at the
+			// observed time.
+			c.inputs.AddInput(key, r.Time)
+		}
+		if !r.Null {
+			c.queue.Push(Event{Time: r.Time, Data: r})
+		}
+	}
+}
+
+// SafeTime returns the conservative bound over all known inputs.
+func (c *Consumer) SafeTime() float64 { return c.inputs.SafeTime() }
+
+// Ready pumps and returns, in timestamp order, every event that can no
+// longer be preceded by an unseen message.
+func (c *Consumer) Ready() []Event {
+	c.Pump()
+	return c.queue.PopUpTo(c.inputs.SafeTime())
+}
+
+// WaitReady blocks (polling the mailbox) until at least one event is
+// releasable or the timeout elapses.
+func (c *Consumer) WaitReady(timeout time.Duration) []Event {
+	deadline := time.Now().Add(timeout)
+	for {
+		if evs := c.Ready(); len(evs) > 0 {
+			return evs
+		}
+		if time.Now().After(deadline) {
+			return nil
+		}
+		// Block on mailbox arrival rather than spinning.
+		remain := time.Until(deadline)
+		if remain > 5*time.Millisecond {
+			remain = 5 * time.Millisecond
+		}
+		select {
+		case <-c.sub.NotifyC():
+		case <-time.After(remain):
+		}
+	}
+}
+
+// Pending returns the number of buffered (not yet safe) events.
+func (c *Consumer) Pending() int { return c.queue.Len() }

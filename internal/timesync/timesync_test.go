@@ -1,0 +1,231 @@
+package timesync
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestInputSetSafeTime(t *testing.T) {
+	s := NewInputSet("a", "b", "c")
+	if got := s.SafeTime(); got != 0 {
+		t.Errorf("initial SafeTime = %v", got)
+	}
+	if err := s.Observe("a", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Observe("b", 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SafeTime(); got != 0 { // c still at 0
+		t.Errorf("SafeTime = %v, want 0", got)
+	}
+	if err := s.Observe("c", 7); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SafeTime(); got != 3 {
+		t.Errorf("SafeTime = %v, want 3", got)
+	}
+}
+
+func TestInputSetRegressionIgnored(t *testing.T) {
+	s := NewInputSet("a")
+	if err := s.Observe("a", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Observe("a", 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SafeTime(); got != 10 {
+		t.Errorf("SafeTime after regression = %v, want 10", got)
+	}
+}
+
+func TestInputSetUnknownLink(t *testing.T) {
+	s := NewInputSet("a")
+	if err := s.Observe("ghost", 1); !errors.Is(err, ErrUnknownInput) {
+		t.Errorf("err = %v, want ErrUnknownInput", err)
+	}
+}
+
+func TestInputSetDynamicInputs(t *testing.T) {
+	s := NewInputSet()
+	if got := s.SafeTime(); !math.IsInf(got, 1) {
+		t.Errorf("empty SafeTime = %v, want +Inf", got)
+	}
+	s.AddInput("late", 2)
+	if got := s.SafeTime(); got != 2 {
+		t.Errorf("SafeTime = %v", got)
+	}
+	if s.Inputs() != 1 {
+		t.Errorf("Inputs = %d", s.Inputs())
+	}
+	s.RemoveInput("late")
+	if got := s.SafeTime(); !math.IsInf(got, 1) {
+		t.Errorf("SafeTime after removal = %v", got)
+	}
+}
+
+func TestRegulator(t *testing.T) {
+	if _, err := NewRegulator(-1); err == nil {
+		t.Error("negative lookahead accepted")
+	}
+	r, err := NewRegulator(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Advance(2)
+	if got := r.Now(); got != 2 {
+		t.Errorf("Now = %v", got)
+	}
+	r.Advance(1) // regression ignored
+	if got := r.Now(); got != 2 {
+		t.Errorf("Now after regression = %v", got)
+	}
+	if got := r.StampEvent(); got != 2 {
+		t.Errorf("StampEvent = %v", got)
+	}
+	if got := r.NullTime(); got != 2.5 {
+		t.Errorf("NullTime = %v", got)
+	}
+	// Monotone sends: after promising 2.5, an event at local time 2 must
+	// not be stamped earlier than 2.5.
+	if got := r.StampEvent(); got != 2.5 {
+		t.Errorf("StampEvent after null = %v, want 2.5", got)
+	}
+}
+
+func TestEventQueueOrdering(t *testing.T) {
+	var q EventQueue
+	rng := rand.New(rand.NewSource(5))
+	var want []float64
+	for i := 0; i < 200; i++ {
+		ts := rng.Float64() * 100
+		want = append(want, ts)
+		q.Push(Event{Time: ts, Data: i})
+	}
+	sort.Float64s(want)
+	got := q.PopUpTo(math.Inf(1))
+	if len(got) != len(want) {
+		t.Fatalf("popped %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Time != want[i] {
+			t.Fatalf("event %d time = %v, want %v", i, got[i].Time, want[i])
+		}
+	}
+	if q.Len() != 0 {
+		t.Errorf("Len = %d after drain", q.Len())
+	}
+}
+
+func TestEventQueuePopUpTo(t *testing.T) {
+	var q EventQueue
+	for _, ts := range []float64{5, 1, 3, 2, 4} {
+		q.Push(Event{Time: ts})
+	}
+	got := q.PopUpTo(3)
+	if len(got) != 3 || got[0].Time != 1 || got[2].Time != 3 {
+		t.Errorf("PopUpTo(3) = %+v", got)
+	}
+	if q.PeekTime() != 4 {
+		t.Errorf("PeekTime = %v", q.PeekTime())
+	}
+	if got := q.PopUpTo(3.5); len(got) != 0 {
+		t.Errorf("PopUpTo(3.5) = %+v, want empty", got)
+	}
+}
+
+func TestEventQueuePeekEmpty(t *testing.T) {
+	var q EventQueue
+	if got := q.PeekTime(); !math.IsInf(got, 1) {
+		t.Errorf("PeekTime on empty = %v", got)
+	}
+}
+
+// TestConservativeSimulationNoCausalityViolation runs a miniature two-LP
+// federation with a cyclic dependency and verifies (a) every event is
+// processed in timestamp order and (b) the federation never deadlocks,
+// thanks to null messages with positive lookahead.
+func TestConservativeSimulationNoCausalityViolation(t *testing.T) {
+	const (
+		lookahead = 0.1
+		horizon   = 10.0
+	)
+	type lpState struct {
+		reg    *Regulator
+		inputs *InputSet
+		queue  EventQueue
+		proc   []float64 // processed timestamps
+	}
+	newLP := func(peer string) *lpState {
+		reg, err := NewRegulator(lookahead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &lpState{reg: reg, inputs: NewInputSet(peer)}
+	}
+	a := newLP("b")
+	b := newLP("a")
+	rng := rand.New(rand.NewSource(11))
+
+	// Each LP, when processing an event at time t, sends a follow-up event
+	// to the other at t+lookahead+delta (respecting its promise).
+	a.queue.Push(Event{Time: 0.05})
+
+	step := func(me, other *lpState, myName string) bool {
+		safe := me.inputs.SafeTime()
+		events := me.queue.PopUpTo(safe)
+		progressed := false
+		for _, ev := range events {
+			if n := len(me.proc); n > 0 && ev.Time < me.proc[n-1] {
+				t.Fatalf("%s: causality violation: %v after %v", myName, ev.Time, me.proc[n-1])
+			}
+			me.proc = append(me.proc, ev.Time)
+			me.reg.Advance(ev.Time)
+			if ev.Time < horizon {
+				// Send a real message to the peer.
+				st := me.reg.StampEvent() + lookahead + rng.Float64()*0.2
+				other.queue.Push(Event{Time: st})
+				if err := other.inputs.Observe(myName, st); err != nil {
+					t.Fatal(err)
+				}
+			}
+			progressed = true
+		}
+		// Idle: promise the future with a null message.
+		nt := me.reg.NullTime()
+		if err := other.inputs.Observe(myName, nt); err != nil {
+			t.Fatal(err)
+		}
+		me.reg.Advance(me.inputs.SafeTime())
+		return progressed
+	}
+
+	idleRounds := 0
+	for rounds := 0; rounds < 100000; rounds++ {
+		p1 := step(a, b, "a")
+		p2 := step(b, a, "b")
+		if !p1 && !p2 {
+			idleRounds++
+			if a.queue.Len() == 0 && b.queue.Len() == 0 {
+				break // drained: simulation complete
+			}
+			if idleRounds > 1000 {
+				t.Fatalf("deadlock: queues a=%d b=%d, safe a=%v b=%v",
+					a.queue.Len(), b.queue.Len(), a.inputs.SafeTime(), b.inputs.SafeTime())
+			}
+		} else {
+			idleRounds = 0
+		}
+	}
+	if len(a.proc)+len(b.proc) < 50 {
+		t.Errorf("too little progress: a=%d b=%d events", len(a.proc), len(b.proc))
+	}
+	// Both LPs advanced past the horizon.
+	if a.reg.Now() < horizon && b.reg.Now() < horizon {
+		t.Errorf("clocks stalled: a=%v b=%v", a.reg.Now(), b.reg.Now())
+	}
+}

@@ -1,0 +1,194 @@
+package trace
+
+import (
+	"math"
+
+	"codsim/internal/fom"
+	"codsim/internal/mathx"
+	"codsim/internal/scenario"
+)
+
+// Autopilot is the synthetic trainee: a feedback controller that completes
+// the licensing scenario from crane-state and scenario-state telemetry. It
+// carries the cargo above the bar tops, which is a legal (if cautious)
+// strategy — the exam deducts for collisions, not for altitude.
+type Autopilot struct {
+	course scenario.Course
+
+	// Working geometry of the boom (matches dynamics.DefaultConfig).
+	pivotUp  float64 // boom pivot height over the carrier origin
+	pivotFwd float64 // boom pivot offset toward the rear (+Z body)
+	workLuff float64 // luff angle held during cargo work
+
+	latched    bool
+	settleTime float64
+	released   bool
+}
+
+// NewAutopilot builds an autopilot for the course.
+func NewAutopilot(course scenario.Course) *Autopilot {
+	return &Autopilot{
+		course:   course,
+		pivotUp:  2.4,
+		pivotFwd: 1.0,
+		workLuff: mathx.Rad(50),
+	}
+}
+
+// Control produces the next operator input for the current telemetry.
+func (a *Autopilot) Control(st fom.CraneState, scen fom.ScenarioState, dt float64) fom.ControlInput {
+	in := fom.ControlInput{Ignition: true}
+	switch scen.Phase {
+	case fom.PhaseIdle:
+		// Engine on and wait for the scenario to arm.
+	case fom.PhaseDriving:
+		a.drive(&in, st)
+	case fom.PhaseLifting:
+		a.parkBrake(&in)
+		a.lift(&in, st, dt)
+	case fom.PhaseTraverse:
+		a.parkBrake(&in)
+		a.traverse(&in, st, scen)
+	case fom.PhaseReturn:
+		a.parkBrake(&in)
+		a.putDown(&in, st, dt)
+	case fom.PhaseComplete, fom.PhaseFailed:
+		in.Ignition = false
+	}
+	return in
+}
+
+func (a *Autopilot) parkBrake(in *fom.ControlInput) {
+	in.Brake = 1
+	in.Gear = 0
+}
+
+// drive steers the carrier toward the parking spot.
+func (a *Autopilot) drive(in *fom.ControlInput, st fom.CraneState) {
+	target := a.course.DriveTarget
+	dx := target.X - st.Position.X
+	dz := target.Z - st.Position.Z
+	dist := math.Hypot(dx, dz)
+
+	bearing := math.Atan2(dx, -dz) // compass heading toward the target
+	headErr := mathx.AngleDiff(bearing, st.Heading)
+	in.Steering = mathx.Clamp(2.2*headErr, -1, 1)
+
+	// Speed proportional to remaining distance, capped under the site
+	// limit, braking into the parking spot.
+	targetSpeed := mathx.Clamp(dist*0.35, 0, 7.0)
+	if dist < a.course.DriveRadius*1.5 {
+		targetSpeed = 1.0
+	}
+	if st.Speed < targetSpeed {
+		in.Gear = 1
+		in.Throttle = mathx.Clamp(0.25*(targetSpeed-st.Speed)+0.25, 0, 1)
+	} else {
+		in.Brake = mathx.Clamp(0.4*(st.Speed-targetSpeed), 0, 1)
+	}
+}
+
+// boomTo commands swing/telescope/hoist so the hook approaches the point
+// `target` (world space) at height targetY.
+func (a *Autopilot) boomTo(in *fom.ControlInput, st fom.CraneState, target mathx.Vec3, targetY float64) {
+	// Pivot position in world space (carrier assumed near-level while
+	// parked on the test ground).
+	sinH, cosH := math.Sincos(st.Heading)
+	fwd := mathx.V3(sinH, 0, -cosH)
+	pivot := st.Position.Add(fwd.Scale(-a.pivotFwd)) // pivot sits behind center
+	pivot.Y += a.pivotUp
+
+	dx := target.X - pivot.X
+	dz := target.Z - pivot.Z
+	wantRadius := math.Hypot(dx, dz)
+	bearing := math.Atan2(dx, -dz)
+	wantSwing := mathx.AngleDiff(bearing, st.Heading)
+
+	// Swing toward the bearing.
+	swingErr := mathx.AngleDiff(wantSwing, st.BoomSwing)
+	in.BoomJoyX = mathx.Clamp(3*swingErr, -1, 1)
+
+	// Hold the working luff.
+	luffErr := a.workLuff - st.BoomLuff
+	in.BoomJoyY = mathx.Clamp(4*luffErr, -1, 1)
+
+	// Telescope to the required radius.
+	curRadius := st.BoomLen * math.Cos(st.BoomLuff)
+	radiusErr := wantRadius - curRadius
+	in.HoistJoyX = mathx.Clamp(1.5*radiusErr, -1, 1)
+
+	// Hoist the cable so the hook sits at targetY. Positive joystick
+	// pays cable out (hook descends).
+	hookErr := st.HookPos.Y - targetY
+	in.HoistJoyY = mathx.Clamp(0.8*hookErr, -1, 1)
+}
+
+// barTop returns a safe carry height above the tallest bar.
+func (a *Autopilot) barTop() float64 {
+	top := 0.0
+	for _, b := range a.course.Bars {
+		if h := b.Pos.Y + b.Half.Y; h > top {
+			top = h
+		}
+	}
+	return top + 1.6
+}
+
+// lift positions the hook over the cargo, descends and latches.
+func (a *Autopilot) lift(in *fom.ControlInput, st fom.CraneState, dt float64) {
+	cargoTop := st.CargoPos.Add(mathx.V3(0, 0.6, 0))
+	horiz := math.Hypot(st.HookPos.X-cargoTop.X, st.HookPos.Z-cargoTop.Z)
+	if horiz > 0.8 {
+		// Align above the cargo first, hook held high.
+		a.boomTo(in, st, cargoTop, cargoTop.Y+3)
+		a.settleTime = 0
+		return
+	}
+	// Descend onto the cargo and close the latch when near.
+	a.boomTo(in, st, cargoTop, cargoTop.Y)
+	if st.HookPos.Dist(cargoTop) < 1.2 {
+		a.settleTime += dt
+		if a.settleTime > 0.3 { // let the hook settle before latching
+			in.HookLatch = true
+			a.latched = true
+		}
+	}
+}
+
+// traverse carries the cargo through the course waypoints above bar height.
+func (a *Autopilot) traverse(in *fom.ControlInput, st fom.CraneState, scen fom.ScenarioState) {
+	in.HookLatch = true // keep holding
+	wpIdx := int(scen.Waypoint)
+	if wpIdx >= len(a.course.Waypoints) {
+		wpIdx = len(a.course.Waypoints) - 1
+	}
+	wp := a.course.Waypoints[wpIdx]
+	carryY := a.barTop() + 0.8 // cargo bottom clears the bars
+	// The hook rides 0.6 m above the cargo center (latch offset) plus the
+	// 0.6 m cargo half height.
+	a.boomTo(in, st, wp, carryY+1.2)
+}
+
+// putDown returns the cargo to the circle, lowers it and releases.
+func (a *Autopilot) putDown(in *fom.ControlInput, st fom.CraneState, dt float64) {
+	if a.released {
+		in.HookLatch = false
+		return
+	}
+	in.HookLatch = true
+	circle := a.course.Circle
+	horiz := math.Hypot(st.CargoPos.X-circle.X, st.CargoPos.Z-circle.Z)
+	if horiz > 1.2 {
+		a.boomTo(in, st, circle, a.barTop()+2)
+		return
+	}
+	// Over the circle: lower until the cargo grounds, then let go.
+	a.boomTo(in, st, circle, st.Position.Y+1.2)
+	if st.CargoPos.Y < st.Position.Y+1.4 {
+		a.settleTime += dt
+		if a.settleTime > 0.4 {
+			in.HookLatch = false
+			a.released = true
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"codsim/internal/fom"
+)
+
+func TestTraceAtZeroOrderHold(t *testing.T) {
+	tr := NewTrace([]Sample{
+		{T: 1, In: fom.ControlInput{Throttle: 0.5}},
+		{T: 3, In: fom.ControlInput{Throttle: 1, Gear: 1}},
+	})
+	if got := tr.At(0.5); got != (fom.ControlInput{}) {
+		t.Errorf("At(0.5) = %+v, want zero", got)
+	}
+	if got := tr.At(1); got.Throttle != 0.5 {
+		t.Errorf("At(1) = %+v", got)
+	}
+	if got := tr.At(2.9); got.Throttle != 0.5 {
+		t.Errorf("At(2.9) = %+v", got)
+	}
+	if got := tr.At(3); got.Throttle != 1 || got.Gear != 1 {
+		t.Errorf("At(3) = %+v", got)
+	}
+	if got := tr.At(99); got.Throttle != 1 {
+		t.Errorf("At(99) = %+v", got)
+	}
+	if tr.Duration() != 3 {
+		t.Errorf("Duration = %v", tr.Duration())
+	}
+}
+
+func TestTraceSortsSamples(t *testing.T) {
+	tr := NewTrace([]Sample{
+		{T: 5, In: fom.ControlInput{Gear: 2}},
+		{T: 1, In: fom.ControlInput{Gear: 1}},
+	})
+	if got := tr.At(2); got.Gear != 1 {
+		t.Errorf("At(2) = %+v, want first sample", got)
+	}
+}
+
+func TestRecorderCoalesces(t *testing.T) {
+	var r Recorder
+	in := fom.ControlInput{Throttle: 0.4}
+	for i := 0; i < 100; i++ {
+		r.Record(float64(i)*0.1, in)
+	}
+	in.Throttle = 0.8
+	r.Record(10.0, in)
+	tr := r.Trace()
+	if tr.Len() != 2 {
+		t.Errorf("samples = %d, want 2 (coalesced)", tr.Len())
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	orig := NewTrace([]Sample{
+		{T: 0, In: fom.ControlInput{Ignition: true}},
+		{T: 1.5, In: fom.ControlInput{Ignition: true, Gear: 1, Throttle: 0.75, Steering: -0.3}},
+		{T: 4, In: fom.ControlInput{Ignition: true, BoomJoyX: 0.5, HoistJoyY: -1, HookLatch: true}},
+	})
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != orig.Len() {
+		t.Fatalf("len = %d, want %d", got.Len(), orig.Len())
+	}
+	for _, probe := range []float64{0, 1.5, 2, 4, 10} {
+		if got.At(probe) != orig.At(probe) {
+			t.Errorf("At(%v): %+v vs %+v", probe, got.At(probe), orig.At(probe))
+		}
+	}
+}
+
+func TestReadToleratesCommentsAndBlanks(t *testing.T) {
+	in := "# header comment\n\n0 0 0.5 0 0 0 0 0 1 1 0\n"
+	tr, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1 || tr.At(0).Throttle != 0.5 {
+		t.Errorf("parsed = %+v", tr.At(0))
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"1 2 3",                     // too few fields
+		"x 0 0 0 0 0 0 0 0 0 0",     // bad float
+		"0 0 0 0 0 0 0 0 y 0 0",     // bad ignition
+		"0 0 0 0 0 0 0 0 0 -1 0",    // bad gear
+		"0 0 0 0 0 0 0 0 0 0 blorp", // bad latch
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("Read(%q) succeeded", c)
+		}
+	}
+}

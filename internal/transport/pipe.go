@@ -1,0 +1,146 @@
+package transport
+
+import (
+	"io"
+	"sync"
+	"time"
+)
+
+// linkParams model one direction of a simulated link.
+type linkParams struct {
+	latency   time.Duration // propagation delay
+	jitter    time.Duration // max extra random delay (resolved by caller)
+	bandwidth float64       // bytes/second; 0 = infinite
+}
+
+// pipeHalf is one direction of an in-memory stream: a FIFO of byte chunks,
+// each stamped with its arrival time, so the reader observes propagation and
+// serialization delay without any background copier goroutine.
+type pipeHalf struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	chunks    [][]byte
+	arrivals  []time.Time
+	busyUntil time.Time // link serialization horizon
+	lastArr   time.Time // monotone arrival guard (jitter must not reorder)
+	closed    bool
+	params    linkParams
+	// jitterFn returns the next jitter sample; nil means no jitter.
+	jitterFn func() time.Duration
+}
+
+func newPipeHalf(p linkParams, jitterFn func() time.Duration) *pipeHalf {
+	h := &pipeHalf{params: p, jitterFn: jitterFn}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+// write enqueues data (copied) with a computed arrival time.
+func (h *pipeHalf) write(data []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return 0, io.ErrClosedPipe
+	}
+	now := time.Now()
+
+	depart := now
+	if h.busyUntil.After(depart) {
+		depart = h.busyUntil
+	}
+	if h.params.bandwidth > 0 {
+		tx := time.Duration(float64(len(data)) / h.params.bandwidth * float64(time.Second))
+		depart = depart.Add(tx)
+	}
+	h.busyUntil = depart
+
+	arrive := depart.Add(h.params.latency)
+	if h.jitterFn != nil {
+		arrive = arrive.Add(h.jitterFn())
+	}
+	if arrive.Before(h.lastArr) { // keep FIFO despite jitter
+		arrive = h.lastArr
+	}
+	h.lastArr = arrive
+
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	h.chunks = append(h.chunks, cp)
+	h.arrivals = append(h.arrivals, arrive)
+
+	if wait := time.Until(arrive); wait > 0 {
+		time.AfterFunc(wait, h.cond.Broadcast)
+	} else {
+		h.cond.Broadcast()
+	}
+	return len(data), nil
+}
+
+// read copies available, already-arrived bytes into p, blocking until data
+// arrives or the half is closed.
+func (h *pipeHalf) read(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for {
+		if len(h.chunks) > 0 {
+			now := time.Now()
+			if !h.arrivals[0].After(now) {
+				n := copy(p, h.chunks[0])
+				if n == len(h.chunks[0]) {
+					h.chunks = h.chunks[1:]
+					h.arrivals = h.arrivals[1:]
+				} else {
+					h.chunks[0] = h.chunks[0][n:]
+				}
+				return n, nil
+			}
+			// Head chunk still in flight; its AfterFunc will wake us.
+		} else if h.closed {
+			return 0, io.EOF
+		}
+		h.cond.Wait()
+	}
+}
+
+func (h *pipeHalf) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.closed = true
+	h.cond.Broadcast()
+}
+
+// memConn is one endpoint of an in-memory duplex stream.
+type memConn struct {
+	readHalf  *pipeHalf
+	writeHalf *pipeHalf
+	local     string
+	remote    string
+	closeOnce sync.Once
+}
+
+var _ Conn = (*memConn)(nil)
+
+func (c *memConn) Read(p []byte) (int, error)  { return c.readHalf.read(p) }
+func (c *memConn) Write(p []byte) (int, error) { return c.writeHalf.write(p) }
+func (c *memConn) LocalAddr() string           { return c.local }
+func (c *memConn) RemoteAddr() string          { return c.remote }
+
+// Close shuts both directions: the peer's pending reads drain then hit EOF,
+// and writes from either side fail.
+func (c *memConn) Close() error {
+	c.closeOnce.Do(func() {
+		c.readHalf.close()
+		c.writeHalf.close()
+	})
+	return nil
+}
+
+// newMemPipe builds a connected pair of stream endpoints with the given link
+// parameters applied independently to each direction.
+func newMemPipe(localAddr, remoteAddr string, p linkParams, jitterFn func() time.Duration) (client, server *memConn) {
+	aToB := newPipeHalf(p, jitterFn)
+	bToA := newPipeHalf(p, jitterFn)
+	client = &memConn{readHalf: bToA, writeHalf: aToB, local: localAddr, remote: remoteAddr}
+	server = &memConn{readHalf: aToB, writeHalf: bToA, local: remoteAddr, remote: localAddr}
+	return client, server
+}

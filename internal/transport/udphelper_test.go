@@ -1,0 +1,23 @@
+package transport
+
+import "net"
+
+// udpSender is a bare UDP socket used by tests to inject raw packets.
+type udpSender struct {
+	conn *net.UDPConn
+}
+
+func newUDPSender() (*udpSender, error) {
+	c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, err
+	}
+	return &udpSender{conn: c}, nil
+}
+
+func (s *udpSender) sendTo(host string, port int, b []byte) error {
+	_, err := s.conn.WriteToUDP(b, &net.UDPAddr{IP: net.ParseIP(host), Port: port})
+	return err
+}
+
+func (s *udpSender) close() error { return s.conn.Close() }

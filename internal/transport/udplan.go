@@ -1,0 +1,216 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// UDPLAN is a LAN backed by real sockets on one host: broadcast datagrams
+// are UDP packets fanned out to every port of the segment's port range, and
+// streams are TCP connections. One UDP port stands in for one "computer" of
+// the paper's rack.
+type UDPLAN struct {
+	host     string
+	basePort int
+	size     int
+
+	mu     sync.Mutex
+	inUse  map[int]string // port → node
+	closed bool
+}
+
+// NewUDPLAN creates a segment of `size` computer slots with UDP ports
+// [basePort, basePort+size) on host (normally "127.0.0.1").
+func NewUDPLAN(host string, basePort, size int) (*UDPLAN, error) {
+	if size <= 0 || basePort <= 0 || basePort+size > 65536 {
+		return nil, fmt.Errorf("transport: invalid segment [%d,%d)", basePort, basePort+size)
+	}
+	return &UDPLAN{
+		host:     host,
+		basePort: basePort,
+		size:     size,
+		inUse:    make(map[int]string, size),
+	}, nil
+}
+
+var _ LAN = (*UDPLAN)(nil)
+
+// Attach implements LAN: binds the next free UDP port of the segment plus
+// an ephemeral TCP listener.
+func (l *UDPLAN) Attach(node string) (Interface, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, used := range l.inUse {
+		if used == node {
+			return nil, fmt.Errorf("%w: %q", ErrDuplicate, node)
+		}
+	}
+
+	var (
+		udp  *net.UDPConn
+		port int
+	)
+	for p := l.basePort; p < l.basePort+l.size; p++ {
+		if _, taken := l.inUse[p]; taken {
+			continue
+		}
+		conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.ParseIP(l.host), Port: p})
+		if err != nil {
+			continue // port busy outside our bookkeeping; try next
+		}
+		udp, port = conn, p
+		break
+	}
+	if udp == nil {
+		return nil, ErrSegmentFull
+	}
+
+	tcp, err := net.Listen("tcp", net.JoinHostPort(l.host, "0"))
+	if err != nil {
+		_ = udp.Close()
+		return nil, fmt.Errorf("transport: tcp listen: %w", err)
+	}
+
+	ifc := &udpIface{
+		lan:     l,
+		name:    node,
+		udp:     udp,
+		tcp:     tcp,
+		port:    port,
+		dgramCh: make(chan Datagram, recvBuffer),
+		done:    make(chan struct{}),
+	}
+	l.inUse[port] = node
+	ifc.wg.Add(1)
+	go ifc.readLoop()
+	return ifc, nil
+}
+
+// udpIface is one node's real-socket attachment.
+type udpIface struct {
+	lan  *UDPLAN
+	name string
+	udp  *net.UDPConn
+	tcp  net.Listener
+	port int
+
+	dgramCh chan Datagram
+	done    chan struct{}
+
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+var _ Interface = (*udpIface)(nil)
+
+func (i *udpIface) Node() string { return i.name }
+func (i *udpIface) Addr() string { return i.tcp.Addr().String() }
+
+// Dial implements Interface.
+func (i *udpIface) Dial(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q: %v", ErrUnknownAddr, addr, err)
+	}
+	return netConn{Conn: c}, nil
+}
+
+// Accept implements Interface.
+func (i *udpIface) Accept() (Conn, error) {
+	c, err := i.tcp.Accept()
+	if err != nil {
+		select {
+		case <-i.done:
+			return nil, ErrClosed
+		default:
+			return nil, fmt.Errorf("transport: accept: %w", err)
+		}
+	}
+	return netConn{Conn: c}, nil
+}
+
+// Broadcast implements Interface: sends one UDP datagram to every other
+// port in the segment range. Ports without a listener silently discard,
+// exactly like an Ethernet broadcast reaching an empty slot in the rack.
+func (i *udpIface) Broadcast(payload []byte) error {
+	if len(payload) > MaxDatagram {
+		return fmt.Errorf("%w: %d bytes", ErrPayloadLarge, len(payload))
+	}
+	select {
+	case <-i.done:
+		return ErrClosed
+	default:
+	}
+	// Datagram layout: uvarint(len(node)) || node || payload.
+	buf := make([]byte, 0, len(i.name)+len(payload)+binary.MaxVarintLen32)
+	buf = binary.AppendUvarint(buf, uint64(len(i.name)))
+	buf = append(buf, i.name...)
+	buf = append(buf, payload...)
+
+	ip := net.ParseIP(i.lan.host)
+	var firstErr error
+	for p := i.lan.basePort; p < i.lan.basePort+i.lan.size; p++ {
+		if p == i.port {
+			continue
+		}
+		if _, err := i.udp.WriteToUDP(buf, &net.UDPAddr{IP: ip, Port: p}); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("transport: broadcast to :%d: %w", p, err)
+		}
+	}
+	return firstErr
+}
+
+// Recv implements Interface.
+func (i *udpIface) Recv() <-chan Datagram { return i.dgramCh }
+
+// readLoop pumps UDP packets into dgramCh until the socket closes.
+func (i *udpIface) readLoop() {
+	defer i.wg.Done()
+	defer close(i.dgramCh)
+	buf := make([]byte, MaxDatagram+64)
+	for {
+		n, _, err := i.udp.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		nameLen, sz := binary.Uvarint(buf[:n])
+		if sz <= 0 || uint64(n-sz) < nameLen {
+			continue // malformed; drop like a bad checksum
+		}
+		from := string(buf[sz : sz+int(nameLen)])
+		payload := make([]byte, n-sz-int(nameLen))
+		copy(payload, buf[sz+int(nameLen):n])
+		select {
+		case i.dgramCh <- Datagram{From: from, Payload: payload}:
+		default:
+			// Receiver buffer full: drop, as the kernel would.
+		}
+	}
+}
+
+// Close implements Interface.
+func (i *udpIface) Close() error {
+	var err error
+	i.closeOnce.Do(func() {
+		close(i.done)
+		err = errors.Join(i.udp.Close(), i.tcp.Close())
+		i.wg.Wait()
+		i.lan.mu.Lock()
+		delete(i.lan.inUse, i.port)
+		i.lan.mu.Unlock()
+	})
+	return err
+}
+
+// netConn adapts net.Conn to the transport.Conn interface.
+type netConn struct {
+	net.Conn
+}
+
+var _ Conn = netConn{}
+
+func (c netConn) LocalAddr() string  { return c.Conn.LocalAddr().String() }
+func (c netConn) RemoteAddr() string { return c.Conn.RemoteAddr().String() }

@@ -1,0 +1,178 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// AttrID identifies one attribute of an object class, the HLA "attribute
+// handle". IDs are assigned by the object model (package fom).
+type AttrID uint16
+
+// AttrSet carries the attribute values of one UPDATE/REFLECT frame. Values
+// are opaque byte strings at this layer; package fom assigns them types.
+// A nil AttrSet is a valid empty set.
+type AttrSet map[AttrID][]byte
+
+// Clone returns a deep copy of the set, so received frames can be retained
+// past the decoder's buffer lifetime (copy-at-boundary rule).
+func (a AttrSet) Clone() AttrSet {
+	if a == nil {
+		return nil
+	}
+	out := make(AttrSet, len(a))
+	for id, v := range a {
+		cp := make([]byte, len(v))
+		copy(cp, v)
+		out[id] = cp
+	}
+	return out
+}
+
+// ids returns the attribute IDs in ascending order, for deterministic
+// encoding.
+func (a AttrSet) ids() []AttrID {
+	ids := make([]AttrID, 0, len(a))
+	for id := range a {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func (a AttrSet) encodedSize() int {
+	n := binary.MaxVarintLen32
+	for _, v := range a {
+		n += 2 + binary.MaxVarintLen32 + len(v)
+	}
+	return n
+}
+
+// append serializes the set: uvarint count, then per attribute a big-endian
+// uint16 ID and a uvarint-length-prefixed value.
+func (a AttrSet) append(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(a)))
+	for _, id := range a.ids() {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(id))
+		v := a[id]
+		buf = binary.AppendUvarint(buf, uint64(len(v)))
+		buf = append(buf, v...)
+	}
+	return buf
+}
+
+func readAttrSet(b []byte) (AttrSet, []byte, error) {
+	count, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, nil, ErrTruncated
+	}
+	b = b[sz:]
+	if count == 0 {
+		return nil, b, nil
+	}
+	if count > MaxFrameSize/3 {
+		return nil, nil, fmt.Errorf("%w: %d attributes", ErrTooLarge, count)
+	}
+	set := make(AttrSet, count)
+	for i := uint64(0); i < count; i++ {
+		if len(b) < 2 {
+			return nil, nil, ErrTruncated
+		}
+		id := AttrID(binary.BigEndian.Uint16(b))
+		b = b[2:]
+		n, sz := binary.Uvarint(b)
+		if sz <= 0 {
+			return nil, nil, ErrTruncated
+		}
+		b = b[sz:]
+		if uint64(len(b)) < n {
+			return nil, nil, ErrTruncated
+		}
+		v := make([]byte, n)
+		copy(v, b[:n])
+		set[id] = v
+		b = b[n:]
+	}
+	return set, b, nil
+}
+
+// PutFloat64 stores a float64 value under id.
+func (a AttrSet) PutFloat64(id AttrID, v float64) {
+	a[id] = binary.BigEndian.AppendUint64(make([]byte, 0, 8), math.Float64bits(v))
+}
+
+// Float64 reads a float64 value; ok is false when absent or mis-sized.
+func (a AttrSet) Float64(id AttrID) (v float64, ok bool) {
+	b, present := a[id]
+	if !present || len(b) != 8 {
+		return 0, false
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(b)), true
+}
+
+// PutUint32 stores a uint32 value under id.
+func (a AttrSet) PutUint32(id AttrID, v uint32) {
+	a[id] = binary.BigEndian.AppendUint32(make([]byte, 0, 4), v)
+}
+
+// Uint32 reads a uint32 value; ok is false when absent or mis-sized.
+func (a AttrSet) Uint32(id AttrID) (v uint32, ok bool) {
+	b, present := a[id]
+	if !present || len(b) != 4 {
+		return 0, false
+	}
+	return binary.BigEndian.Uint32(b), true
+}
+
+// PutBool stores a boolean value under id.
+func (a AttrSet) PutBool(id AttrID, v bool) {
+	if v {
+		a[id] = []byte{1}
+	} else {
+		a[id] = []byte{0}
+	}
+}
+
+// Bool reads a boolean value; ok is false when absent or mis-sized.
+func (a AttrSet) Bool(id AttrID) (v, ok bool) {
+	b, present := a[id]
+	if !present || len(b) != 1 {
+		return false, false
+	}
+	return b[0] != 0, true
+}
+
+// PutString stores a string value under id.
+func (a AttrSet) PutString(id AttrID, s string) { a[id] = []byte(s) }
+
+// String reads a string value; ok is false when absent.
+func (a AttrSet) String(id AttrID) (s string, ok bool) {
+	b, present := a[id]
+	if !present {
+		return "", false
+	}
+	return string(b), true
+}
+
+// PutVec3 stores three float64 components under id.
+func (a AttrSet) PutVec3(id AttrID, x, y, z float64) {
+	buf := make([]byte, 0, 24)
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(x))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(y))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(z))
+	a[id] = buf
+}
+
+// Vec3 reads three float64 components; ok is false when absent or mis-sized.
+func (a AttrSet) Vec3(id AttrID) (x, y, z float64, ok bool) {
+	b, present := a[id]
+	if !present || len(b) != 24 {
+		return 0, 0, 0, false
+	}
+	x = math.Float64frombits(binary.BigEndian.Uint64(b[0:8]))
+	y = math.Float64frombits(binary.BigEndian.Uint64(b[8:16]))
+	z = math.Float64frombits(binary.BigEndian.Uint64(b[16:24]))
+	return x, y, z, true
+}

@@ -1,0 +1,244 @@
+// Package wire defines the binary message format spoken between
+// Communication Backbones (CBs) on the COD cluster.
+//
+// The message kinds mirror the protocol of the paper (§2.3): a subscriber's
+// CB broadcasts SUBSCRIPTION until it receives ACKNOWLEDGE, then sends
+// CHANNEL CONNECTION to build the virtual channel, confirmed by a second
+// ACKNOWLEDGE. After that, publishers push UPDATE ATTRIBUTE VALUE frames and
+// subscribers receive them as REFLECT ATTRIBUTE VALUE. Additional kinds carry
+// liveness (HEARTBEAT), conservative time synchronization (NULL, after
+// Chandy–Misra), the display frame barrier (FRAME READY / FRAME SWAP), and
+// orderly departure (BYE).
+//
+// All multi-byte integers are big-endian; strings and byte blobs are
+// uvarint-length-prefixed. A frame on a stream transport is preceded by a
+// uint32 payload length.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Protocol constants.
+const (
+	// Magic opens every frame so misdirected traffic fails fast.
+	Magic uint16 = 0xCB15
+	// Version is the protocol version byte.
+	Version byte = 1
+	// MaxFrameSize bounds a single frame (header + payload) to keep a
+	// malformed or hostile peer from forcing huge allocations.
+	MaxFrameSize = 1 << 20
+)
+
+// Kind identifies the message type of a frame.
+type Kind uint8
+
+// Frame kinds. Values start at 1 so the zero Kind is invalid.
+const (
+	KindSubscription Kind = iota + 1 // subscriber CB broadcast (§2.3)
+	KindAcknowledge                  // publisher CB acknowledgement
+	KindChannelConn                  // subscriber → publisher channel build
+	KindUpdateAttrs                  // publisher LP → CB data push
+	KindReflectAttrs                 // CB → subscriber LP data delivery
+	KindHeartbeat                    // node liveness beacon
+	KindNull                         // Chandy–Misra null message (time only)
+	KindFrameReady                   // display node → sync server
+	KindFrameSwap                    // sync server → display nodes
+	KindBye                          // orderly leave announcement
+
+	kindMax // sentinel, keep last
+)
+
+var kindNames = map[Kind]string{
+	KindSubscription: "SUBSCRIPTION",
+	KindAcknowledge:  "ACKNOWLEDGE",
+	KindChannelConn:  "CHANNEL_CONNECTION",
+	KindUpdateAttrs:  "UPDATE_ATTRIBUTE_VALUE",
+	KindReflectAttrs: "REFLECT_ATTRIBUTE_VALUE",
+	KindHeartbeat:    "HEARTBEAT",
+	KindNull:         "NULL",
+	KindFrameReady:   "FRAME_READY",
+	KindFrameSwap:    "FRAME_SWAP",
+	KindBye:          "BYE",
+}
+
+// String returns the HLA-style service name of the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Valid reports whether k is a defined message kind.
+func (k Kind) Valid() bool { return k >= KindSubscription && k < kindMax }
+
+// Ack phases carried in Frame.Phase for KindAcknowledge.
+const (
+	// AckSubscription acknowledges a SUBSCRIPTION broadcast: "I publish
+	// this class, connect to me".
+	AckSubscription uint8 = 1
+	// AckChannelUp confirms a CHANNEL CONNECTION: the virtual channel is
+	// established and data will flow.
+	AckChannelUp uint8 = 2
+)
+
+// Frame is the unit of exchange between CBs. A single struct covers every
+// kind; unused fields stay at their zero values and cost one byte each on
+// the wire.
+type Frame struct {
+	Kind    Kind
+	Phase   uint8   // ACK phase (AckSubscription / AckChannelUp)
+	Channel uint32  // virtual-channel ID; 0 = not channel-scoped
+	Seq     uint32  // per-channel sequence number
+	Time    float64 // simulation time for UPDATE/NULL; frame index for barrier frames
+	Node    string  // origin node name
+	LP      string  // origin logical-process name
+	Class   string  // object-class name
+	Addr    string  // dialable address (CHANNEL CONNECTION, ACKNOWLEDGE)
+	Attrs   AttrSet // attribute values (UPDATE/REFLECT)
+}
+
+// Errors returned by the codec.
+var (
+	ErrBadMagic   = errors.New("wire: bad magic")
+	ErrBadVersion = errors.New("wire: unsupported version")
+	ErrBadKind    = errors.New("wire: invalid message kind")
+	ErrTooLarge   = errors.New("wire: frame exceeds MaxFrameSize")
+	ErrTruncated  = errors.New("wire: truncated frame")
+)
+
+// Encode serializes the frame to a fresh byte slice.
+func (f Frame) Encode() ([]byte, error) {
+	if !f.Kind.Valid() {
+		return nil, ErrBadKind
+	}
+	buf := make([]byte, 0, 64+f.Attrs.encodedSize())
+	var hdr [4]byte
+	binary.BigEndian.PutUint16(hdr[0:2], Magic)
+	hdr[2] = Version
+	hdr[3] = byte(f.Kind)
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, f.Phase)
+	buf = binary.BigEndian.AppendUint32(buf, f.Channel)
+	buf = binary.BigEndian.AppendUint32(buf, f.Seq)
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(f.Time))
+	buf = appendString(buf, f.Node)
+	buf = appendString(buf, f.LP)
+	buf = appendString(buf, f.Class)
+	buf = appendString(buf, f.Addr)
+	buf = f.Attrs.append(buf)
+	if len(buf) > MaxFrameSize {
+		return nil, ErrTooLarge
+	}
+	return buf, nil
+}
+
+// Decode parses a frame from b, which must contain exactly one encoded frame.
+func Decode(b []byte) (Frame, error) {
+	var f Frame
+	if len(b) > MaxFrameSize {
+		return f, ErrTooLarge
+	}
+	if len(b) < 21 { // header(4)+phase(1)+channel(4)+seq(4)+time(8)
+		return f, ErrTruncated
+	}
+	if binary.BigEndian.Uint16(b[0:2]) != Magic {
+		return f, ErrBadMagic
+	}
+	if b[2] != Version {
+		return f, fmt.Errorf("%w: %d", ErrBadVersion, b[2])
+	}
+	f.Kind = Kind(b[3])
+	if !f.Kind.Valid() {
+		return f, fmt.Errorf("%w: %d", ErrBadKind, b[3])
+	}
+	f.Phase = b[4]
+	f.Channel = binary.BigEndian.Uint32(b[5:9])
+	f.Seq = binary.BigEndian.Uint32(b[9:13])
+	f.Time = math.Float64frombits(binary.BigEndian.Uint64(b[13:21]))
+	rest := b[21:]
+
+	var err error
+	if f.Node, rest, err = readString(rest); err != nil {
+		return f, fmt.Errorf("wire: node: %w", err)
+	}
+	if f.LP, rest, err = readString(rest); err != nil {
+		return f, fmt.Errorf("wire: lp: %w", err)
+	}
+	if f.Class, rest, err = readString(rest); err != nil {
+		return f, fmt.Errorf("wire: class: %w", err)
+	}
+	if f.Addr, rest, err = readString(rest); err != nil {
+		return f, fmt.Errorf("wire: addr: %w", err)
+	}
+	if f.Attrs, rest, err = readAttrSet(rest); err != nil {
+		return f, fmt.Errorf("wire: attrs: %w", err)
+	}
+	if len(rest) != 0 {
+		return f, fmt.Errorf("wire: %d trailing bytes", len(rest))
+	}
+	return f, nil
+}
+
+// WriteTo writes the frame to w with a uint32 length prefix, the stream
+// (TCP) framing. It returns the total bytes written.
+func (f Frame) WriteTo(w io.Writer) (int64, error) {
+	body, err := f.Encode()
+	if err != nil {
+		return 0, err
+	}
+	var pfx [4]byte
+	binary.BigEndian.PutUint32(pfx[:], uint32(len(body)))
+	n1, err := w.Write(pfx[:])
+	if err != nil {
+		return int64(n1), fmt.Errorf("wire: write length: %w", err)
+	}
+	n2, err := w.Write(body)
+	if err != nil {
+		return int64(n1 + n2), fmt.Errorf("wire: write body: %w", err)
+	}
+	return int64(n1 + n2), nil
+}
+
+// ReadFrame reads one length-prefixed frame from r (stream framing).
+func ReadFrame(r io.Reader) (Frame, error) {
+	var pfx [4]byte
+	if _, err := io.ReadFull(r, pfx[:]); err != nil {
+		// Propagate io.EOF untouched so callers can detect orderly close.
+		if errors.Is(err, io.EOF) {
+			return Frame{}, io.EOF
+		}
+		return Frame{}, fmt.Errorf("wire: read length: %w", err)
+	}
+	n := binary.BigEndian.Uint32(pfx[:])
+	if n > MaxFrameSize {
+		return Frame{}, ErrTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Frame{}, fmt.Errorf("wire: read body: %w", err)
+	}
+	return Decode(body)
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readString(b []byte) (string, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return "", nil, ErrTruncated
+	}
+	b = b[sz:]
+	if uint64(len(b)) < n {
+		return "", nil, ErrTruncated
+	}
+	return string(b[:n]), b[n:], nil
+}

@@ -1,0 +1,320 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sampleFrame() Frame {
+	attrs := AttrSet{}
+	attrs.PutFloat64(1, 3.14159)
+	attrs.PutUint32(2, 42)
+	attrs.PutString(3, "cargo")
+	attrs.PutBool(4, true)
+	attrs.PutVec3(5, 1, -2, 3.5)
+	return Frame{
+		Kind:    KindUpdateAttrs,
+		Phase:   0,
+		Channel: 7,
+		Seq:     1001,
+		Time:    12.5,
+		Node:    "display-1",
+		LP:      "visual",
+		Class:   "CraneState",
+		Addr:    "",
+		Attrs:   attrs,
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := sampleFrame()
+	b, err := f.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, f) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, f)
+	}
+}
+
+func TestEncodeDecodeAllKinds(t *testing.T) {
+	for k := KindSubscription; k < kindMax; k++ {
+		f := Frame{Kind: k, Node: "n", Class: "c", Phase: AckChannelUp}
+		b, err := f.Encode()
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", k, err)
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", k, err)
+		}
+		if got.Kind != k {
+			t.Errorf("kind %v decoded as %v", k, got.Kind)
+		}
+	}
+}
+
+func TestEncodeInvalidKind(t *testing.T) {
+	f := Frame{Kind: 0}
+	if _, err := f.Encode(); !errors.Is(err, ErrBadKind) {
+		t.Errorf("Encode zero kind err = %v, want ErrBadKind", err)
+	}
+	f = Frame{Kind: kindMax}
+	if _, err := f.Encode(); !errors.Is(err, ErrBadKind) {
+		t.Errorf("Encode kindMax err = %v, want ErrBadKind", err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	valid, err := sampleFrame().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("bad magic", func(t *testing.T) {
+		b := append([]byte(nil), valid...)
+		b[0] ^= 0xFF
+		if _, err := Decode(b); !errors.Is(err, ErrBadMagic) {
+			t.Errorf("err = %v, want ErrBadMagic", err)
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		b := append([]byte(nil), valid...)
+		b[2] = 99
+		if _, err := Decode(b); !errors.Is(err, ErrBadVersion) {
+			t.Errorf("err = %v, want ErrBadVersion", err)
+		}
+	})
+	t.Run("bad kind", func(t *testing.T) {
+		b := append([]byte(nil), valid...)
+		b[3] = 200
+		if _, err := Decode(b); !errors.Is(err, ErrBadKind) {
+			t.Errorf("err = %v, want ErrBadKind", err)
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		if _, err := Decode(nil); !errors.Is(err, ErrTruncated) {
+			t.Errorf("err = %v, want ErrTruncated", err)
+		}
+	})
+	t.Run("truncated everywhere", func(t *testing.T) {
+		// Every prefix of a valid frame must fail, never panic.
+		for i := 0; i < len(valid); i++ {
+			if _, err := Decode(valid[:i]); err == nil {
+				t.Fatalf("Decode of %d-byte prefix succeeded", i)
+			}
+		}
+	})
+	t.Run("trailing garbage", func(t *testing.T) {
+		b := append(append([]byte(nil), valid...), 0xAA)
+		if _, err := Decode(b); err == nil {
+			t.Error("Decode with trailing byte succeeded")
+		}
+	})
+}
+
+func TestDecodeFuzzResilience(t *testing.T) {
+	// Random mutations of a valid frame must never panic.
+	valid, err := sampleFrame().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(pos int, val byte) bool {
+		b := append([]byte(nil), valid...)
+		b[abs(pos)%len(b)] = val
+		_, _ = Decode(b) // outcome irrelevant; must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(n int) int {
+	if n < 0 {
+		return -n
+	}
+	return n
+}
+
+func TestStreamFraming(t *testing.T) {
+	var buf bytes.Buffer
+	frames := []Frame{
+		{Kind: KindSubscription, Node: "a", LP: "lp1", Class: "X"},
+		sampleFrame(),
+		{Kind: KindBye, Node: "a"},
+	}
+	for i := range frames {
+		if _, err := frames[i].WriteTo(&buf); err != nil {
+			t.Fatalf("WriteTo[%d]: %v", i, err)
+		}
+	}
+	for i := range frames {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrame[%d]: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, frames[i]) {
+			t.Errorf("frame %d mismatch: got %+v want %+v", i, got, frames[i])
+		}
+	}
+	if _, err := ReadFrame(&buf); !errors.Is(err, io.EOF) {
+		t.Errorf("ReadFrame on empty stream = %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameOversize(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // 4 GiB claimed length
+	if _, err := ReadFrame(&buf); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if got := KindUpdateAttrs.String(); got != "UPDATE_ATTRIBUTE_VALUE" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Kind(250).String(); got != "Kind(250)" {
+		t.Errorf("unknown kind String = %q", got)
+	}
+}
+
+func TestAttrSetTypes(t *testing.T) {
+	a := AttrSet{}
+
+	a.PutFloat64(1, -1.5)
+	if v, ok := a.Float64(1); !ok || v != -1.5 {
+		t.Errorf("Float64 = %v,%v", v, ok)
+	}
+	a.PutUint32(2, 7)
+	if v, ok := a.Uint32(2); !ok || v != 7 {
+		t.Errorf("Uint32 = %v,%v", v, ok)
+	}
+	a.PutBool(3, true)
+	if v, ok := a.Bool(3); !ok || !v {
+		t.Errorf("Bool = %v,%v", v, ok)
+	}
+	a.PutBool(4, false)
+	if v, ok := a.Bool(4); !ok || v {
+		t.Errorf("Bool false = %v,%v", v, ok)
+	}
+	a.PutString(5, "hello")
+	if v, ok := a.String(5); !ok || v != "hello" {
+		t.Errorf("String = %q,%v", v, ok)
+	}
+	a.PutVec3(6, 1, 2, 3)
+	if x, y, z, ok := a.Vec3(6); !ok || x != 1 || y != 2 || z != 3 {
+		t.Errorf("Vec3 = %v,%v,%v,%v", x, y, z, ok)
+	}
+
+	// Missing and mis-sized reads.
+	if _, ok := a.Float64(99); ok {
+		t.Error("Float64 on missing id ok=true")
+	}
+	a[7] = []byte{1, 2}
+	if _, ok := a.Float64(7); ok {
+		t.Error("Float64 on 2-byte value ok=true")
+	}
+	if _, _, _, ok := a.Vec3(7); ok {
+		t.Error("Vec3 on 2-byte value ok=true")
+	}
+
+	// NaN round-trips bit-exactly through encode/decode.
+	a.PutFloat64(8, math.NaN())
+	f := Frame{Kind: KindUpdateAttrs, Attrs: a}
+	b, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := got.Attrs.Float64(8); !ok || !math.IsNaN(v) {
+		t.Errorf("NaN round trip = %v,%v", v, ok)
+	}
+}
+
+func TestAttrSetClone(t *testing.T) {
+	a := AttrSet{}
+	a.PutString(1, "original")
+	c := a.Clone()
+	c[1][0] = 'X'
+	if v, _ := a.String(1); v != "original" {
+		t.Errorf("Clone aliases storage: %q", v)
+	}
+	if got := AttrSet(nil).Clone(); got != nil {
+		t.Errorf("Clone(nil) = %v, want nil", got)
+	}
+}
+
+func TestAttrSetDeterministicEncoding(t *testing.T) {
+	// Map iteration order must not leak into the encoding.
+	a := AttrSet{}
+	for i := AttrID(1); i <= 20; i++ {
+		a.PutUint32(i, uint32(i))
+	}
+	f := Frame{Kind: KindUpdateAttrs, Attrs: a}
+	first, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		b, err := f.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, b) {
+			t.Fatal("encoding not deterministic")
+		}
+	}
+}
+
+func TestEmptyAttrSetRoundTrip(t *testing.T) {
+	f := Frame{Kind: KindHeartbeat, Node: "n1"}
+	b, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Attrs != nil {
+		t.Errorf("empty attrs decoded as %v, want nil", got.Attrs)
+	}
+}
+
+func BenchmarkFrameEncode(b *testing.B) {
+	f := sampleFrame()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Encode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFrameDecode(b *testing.B) {
+	f := sampleFrame()
+	buf, err := f.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package wire
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// TestFrameRoundTripProperty: any frame built from generated values must
+// survive Encode→Decode bit-exactly.
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(kindRaw uint8, phase uint8, channel, seq uint32, timeBits uint64,
+		node, lp, class, addr string, a1 float64, a2 uint32, a3 []byte) bool {
+		kind := Kind(kindRaw%uint8(kindMax-1)) + 1 // valid kinds only
+		tm := math.Float64frombits(timeBits)
+		attrs := AttrSet{}
+		attrs.PutFloat64(1, a1)
+		attrs.PutUint32(2, a2)
+		if a3 != nil {
+			if len(a3) > 1024 {
+				a3 = a3[:1024]
+			}
+			attrs[3] = a3
+		}
+		in := Frame{
+			Kind:    kind,
+			Phase:   phase,
+			Channel: channel,
+			Seq:     seq,
+			Time:    tm,
+			Node:    node,
+			LP:      lp,
+			Class:   class,
+			Addr:    addr,
+			Attrs:   attrs,
+		}
+		b, err := in.Encode()
+		if err != nil {
+			// Only oversized frames may fail; generated strings are small.
+			return len(b) == 0 && err == ErrTooLarge
+		}
+		out, err := Decode(b)
+		if err != nil {
+			return false
+		}
+		// NaN time breaks == comparison; compare bits instead.
+		if math.Float64bits(out.Time) != math.Float64bits(in.Time) {
+			return false
+		}
+		out.Time, in.Time = 0, 0
+		return reflect.DeepEqual(out, in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAttrSetRoundTripProperty: arbitrary attribute maps survive the
+// encoding inside a frame.
+func TestAttrSetRoundTripProperty(t *testing.T) {
+	f := func(keys []uint16, blobs [][]byte) bool {
+		attrs := AttrSet{}
+		for i, k := range keys {
+			var v []byte
+			if i < len(blobs) && blobs[i] != nil {
+				v = blobs[i]
+				if len(v) > 512 {
+					v = v[:512]
+				}
+			} else {
+				v = []byte{}
+			}
+			attrs[AttrID(k)] = v
+		}
+		in := Frame{Kind: KindUpdateAttrs, Attrs: attrs}
+		b, err := in.Encode()
+		if err != nil {
+			return err == ErrTooLarge
+		}
+		out, err := Decode(b)
+		if err != nil {
+			return false
+		}
+		if len(attrs) == 0 {
+			return out.Attrs == nil
+		}
+		if len(out.Attrs) != len(attrs) {
+			return false
+		}
+		for k, v := range attrs {
+			got, ok := out.Attrs[k]
+			if !ok || string(got) != string(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
