@@ -8,24 +8,40 @@
 //
 // The publisher synthesizes a circling CraneState; subscribers print the
 // receive rate once per second. All nodes discover each other through the
-// Communication Backbone's broadcast protocol — there is no server.
+// Communication Backbone's broadcast protocol — there is no server. The
+// whole program sits on the public cod SDK: typed classes, context-aware
+// waits, no attribute maps.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
-	"codsim/internal/cb"
-	"codsim/internal/fom"
+	"codsim/cod"
 	"codsim/internal/lp"
-	"codsim/internal/mathx"
-	"codsim/internal/transport"
 )
+
+// CraneState is codnode's object class: the circling crane the publisher
+// synthesizes. Publisher and subscriber processes share this declaration.
+type CraneState struct {
+	X, Z      float64
+	Heading   float64
+	BoomLuff  float64
+	BoomLen   float64
+	CableLen  float64
+	Stability float64
+	EngineOn  bool
+}
+
+const className = "CraneState"
 
 func main() {
 	if err := run(); err != nil {
@@ -47,40 +63,37 @@ func run() error {
 		return fmt.Errorf("-name is required")
 	}
 
-	lan, err := transport.NewUDPLAN("127.0.0.1", *base, *size)
+	node, err := cod.NewNode(*name, cod.WithUDPSegment("127.0.0.1", *base, *size))
 	if err != nil {
 		return err
 	}
-	backbone, err := cb.New(lan, *name, cb.Config{})
-	if err != nil {
-		return err
-	}
-	defer backbone.Close()
+	defer node.Close()
 
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	switch *role {
 	case "pub":
-		return runPublisher(backbone, *hz, stop)
+		return runPublisher(ctx, node, *hz)
 	case "sub":
-		return runSubscriber(backbone, stop)
+		return runSubscriber(ctx, node)
 	default:
 		return fmt.Errorf("unknown role %q", *role)
 	}
 }
 
-func runPublisher(backbone *cb.Backbone, hz float64, stop <-chan os.Signal) error {
-	pub, err := backbone.PublishObjectClass("dynamics", fom.ClassCraneState)
+func runPublisher(ctx context.Context, node *cod.Node, hz float64) error {
+	pub, err := cod.Publish[CraneState](node, "dynamics", className)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("publisher %s: publishing %s at %.0f Hz; waiting for subscribers...\n",
-		backbone.Node(), fom.ClassCraneState, hz)
+		node.Name(), className, hz)
 
 	runner, err := lp.NewRunner("pub", hz, func(simTime, _ float64) error {
-		st := fom.CraneState{
-			Position:  mathx.V3(20*math.Cos(simTime/5), 0, 20*math.Sin(simTime/5)),
+		st := CraneState{
+			X:         20 * math.Cos(simTime/5),
+			Z:         20 * math.Sin(simTime/5),
 			Heading:   simTime / 5,
 			BoomLuff:  0.8,
 			BoomLen:   12,
@@ -88,7 +101,11 @@ func runPublisher(backbone *cb.Backbone, hz float64, stop <-chan os.Signal) erro
 			Stability: 1,
 			EngineOn:  true,
 		}
-		return pub.Update(simTime, st.Encode())
+		err := pub.Update(simTime, st)
+		if errors.Is(err, cod.ErrNoSubscribers) {
+			return nil // free-running ahead of discovery is fine
+		}
+		return err
 	}, lp.Realtime())
 	if err != nil {
 		return err
@@ -100,45 +117,58 @@ func runPublisher(backbone *cb.Backbone, hz float64, stop <-chan os.Signal) erro
 	defer report.Stop()
 	for {
 		select {
-		case <-stop:
+		case <-ctx.Done():
 			runner.Stop()
 			return nil
 		case <-report.C:
 			fmt.Printf("  channels=%d updatesSent=%d\n",
-				pub.Channels(), backbone.Stats().UpdatesSent.Value())
+				pub.Channels(), node.Stats().UpdatesSent.Value())
 		}
 	}
 }
 
-func runSubscriber(backbone *cb.Backbone, stop <-chan os.Signal) error {
-	sub, err := backbone.SubscribeObjectClass("visual", fom.ClassCraneState, cb.WithQueue(256))
+func runSubscriber(ctx context.Context, node *cod.Node) error {
+	sub, err := cod.Subscribe[CraneState](node, "visual", className, cod.WithQueue(256))
 	if err != nil {
 		return err
 	}
 	fmt.Printf("subscriber %s: broadcasting SUBSCRIPTION for %s...\n",
-		backbone.Node(), fom.ClassCraneState)
+		node.Name(), className)
+
+	var received atomic.Int64
+	go func() {
+		for {
+			r, err := sub.Next(ctx)
+			switch {
+			case err == nil:
+			case ctx.Err() != nil || errors.Is(err, cod.ErrHandleClosed):
+				return // shutting down
+			default:
+				// Keep receiving: a decode mismatch (e.g. a peer built
+				// with a different CraneState) must not silently freeze
+				// the counter.
+				fmt.Fprintln(os.Stderr, "  reflect dropped:", err)
+				continue
+			}
+			if received.Add(1) == 1 {
+				fmt.Printf("  first state from %s/%s: pos=%.1f,%.1f\n",
+					r.PubNode, r.PubLP, r.Value.X, r.Value.Z)
+			}
+		}
+	}()
 
 	report := time.NewTicker(time.Second)
 	defer report.Stop()
-	var received, lastCount int64
+	var lastCount int64
 	for {
 		select {
-		case <-stop:
+		case <-ctx.Done():
 			return nil
 		case <-report.C:
-			rate := received - lastCount
-			lastCount = received
-			fmt.Printf("  matched=%v rate=%d msg/s total=%d\n", sub.Matched(), rate, received)
-		default:
-			if r, ok := sub.Next(50 * time.Millisecond); ok {
-				received++
-				if received == 1 {
-					if st, err := fom.DecodeCraneState(r.Attrs); err == nil {
-						fmt.Printf("  first state from %s/%s: pos=%.1f,%.1f\n",
-							r.PubNode, r.PubLP, st.Position.X, st.Position.Z)
-					}
-				}
-			}
+			total := received.Load()
+			fmt.Printf("  matched=%v rate=%d msg/s total=%d\n",
+				sub.Matched(), total-lastCount, total)
+			lastCount = total
 		}
 	}
 }

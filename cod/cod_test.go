@@ -1,0 +1,291 @@
+package cod_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"codsim/cod"
+)
+
+// craneState is the typed quickstart class: every supported field family
+// crossing two nodes of one federation.
+type craneState struct {
+	X, Y, Slew float64
+	Frame      int
+	EngineOn   bool
+	Operator   string
+	Loads      []float64
+	Tags       []string
+}
+
+const waitLong = 10 * time.Second
+
+func ctxLong(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), waitLong)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// TestTypedRoundTrip proves the acceptance path: typed publish on one
+// node, reflect delivery on another, with context-based waiting end to
+// end.
+func TestTypedRoundTrip(t *testing.T) {
+	fed := cod.NewFederation(cod.WithTimers(5*time.Millisecond, 50*time.Millisecond, 25*time.Millisecond))
+	defer fed.Close()
+
+	dyn, err := fed.Node("dynamics-pc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vis, err := fed.Node("display-pc")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pub, err := cod.Publish[craneState](dyn, "dynamics", "CraneState")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := cod.Subscribe[craneState](vis, "visual", "CraneState", cod.WithQueue(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := ctxLong(t)
+	if err := sub.WaitMatched(ctx); err != nil {
+		t.Fatalf("WaitMatched: %v", err)
+	}
+	if err := pub.WaitChannels(ctx, 1); err != nil {
+		t.Fatalf("WaitChannels: %v", err)
+	}
+
+	want := craneState{
+		X: 12.5, Y: -3, Slew: 0.7,
+		Frame:    99,
+		EngineOn: true,
+		Operator: "trainee",
+		Loads:    []float64{2.25, 4.5},
+		Tags:     []string{"hook", "cargo"},
+	}
+	if err := pub.Update(1.5, want); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+
+	r, err := sub.Next(ctx)
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	if r.Value.X != want.X || r.Value.Frame != want.Frame ||
+		r.Value.Operator != want.Operator || !r.Value.EngineOn ||
+		len(r.Value.Loads) != 2 || r.Value.Loads[1] != 4.5 ||
+		len(r.Value.Tags) != 2 || r.Value.Tags[0] != "hook" {
+		t.Fatalf("reflected value mismatch: %+v", r.Value)
+	}
+	if r.PubNode != "dynamics-pc" || r.PubLP != "dynamics" || r.Time != 1.5 {
+		t.Fatalf("reflection metadata mismatch: %+v", r)
+	}
+}
+
+func TestUpdateNoSubscribers(t *testing.T) {
+	fed := cod.NewFederation()
+	defer fed.Close()
+	n, err := fed.Node("lonely-pc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := cod.Publish[craneState](n, "dynamics", "LonelyState")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Update(0, craneState{}); !errors.Is(err, cod.ErrNoSubscribers) {
+		t.Fatalf("Update with no channels: got %v, want ErrNoSubscribers", err)
+	}
+	// Once a subscriber matches, the same call succeeds.
+	sub, err := cod.Subscribe[craneState](n, "visual", "LonelyState")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.WaitMatched(ctxLong(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Update(1, craneState{}); err != nil {
+		t.Fatalf("Update with a subscriber: %v", err)
+	}
+}
+
+func TestNextContextCancel(t *testing.T) {
+	fed := cod.NewFederation()
+	defer fed.Close()
+	n, err := fed.Node("pc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := cod.Subscribe[craneState](n, "visual", "CraneState")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := sub.Next(ctx)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let Next block
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Next after cancel: got %v, want context.Canceled", err)
+		}
+	case <-time.After(waitLong):
+		t.Fatal("Next never returned after cancellation")
+	}
+
+	// A closed subscription unblocks Next with ErrHandleClosed.
+	go func() {
+		_, err := sub.Next(context.Background())
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := sub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, cod.ErrHandleClosed) {
+			t.Fatalf("Next after Close: got %v, want ErrHandleClosed", err)
+		}
+	case <-time.After(waitLong):
+		t.Fatal("Next never returned after Close")
+	}
+}
+
+func TestShapeMismatchSurfaces(t *testing.T) {
+	type narrow struct{ A float64 }
+	type wide struct{ A, B float64 }
+
+	fed := cod.NewFederation(cod.WithTimers(5*time.Millisecond, 50*time.Millisecond, 25*time.Millisecond))
+	defer fed.Close()
+	p, err := fed.Node("pub-pc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := fed.Node("sub-pc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := cod.Publish[narrow](p, "pub", "Mismatch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := cod.Subscribe[wide](s, "sub", "Mismatch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := ctxLong(t)
+	if err := sub.WaitMatched(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Update(0, narrow{A: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Next(ctx); !errors.Is(err, cod.ErrMissingAttr) {
+		t.Fatalf("mismatched shapes: got %v, want ErrMissingAttr", err)
+	}
+}
+
+func TestFederationPropagatesErrorsAndCloses(t *testing.T) {
+	fed := cod.NewFederation()
+	a, err := fed.Node("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fed.Node("a"); err == nil {
+		t.Fatal("duplicate node name was accepted")
+	}
+
+	boom := errors.New("module crashed")
+	fed.Go(func() error { return boom })
+	if err := fed.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("Wait: got %v, want the module error", err)
+	}
+
+	if err := fed.Close(); !errors.Is(err, boom) {
+		t.Fatalf("Close: got %v, want the module error joined in", err)
+	}
+	// Nodes are gone and the federation refuses new ones.
+	if err := a.Close(); err != nil {
+		t.Fatalf("double node close: %v", err)
+	}
+	if _, err := fed.Node("b"); !errors.Is(err, cod.ErrFederationClosed) {
+		t.Fatalf("Node after Close: got %v, want ErrFederationClosed", err)
+	}
+}
+
+// TestFederationSharesUDPSegment pins the defaults-resolved-once rule: a
+// WithUDPSegment default must yield ONE segment whose bookkeeping rejects
+// duplicate node names, not a fresh LAN per node.
+func TestFederationSharesUDPSegment(t *testing.T) {
+	fed := cod.NewFederation(cod.WithUDPSegment("127.0.0.1", 39700, 4))
+	defer fed.Close()
+	if _, err := fed.Node("a"); err != nil {
+		t.Skipf("loopback UDP unavailable: %v", err)
+	}
+	if _, err := fed.Node("a"); err == nil {
+		t.Fatal("duplicate node name accepted on a UDP federation")
+	}
+}
+
+func TestPublishRejectsBadType(t *testing.T) {
+	type bad struct{ C chan int }
+	fed := cod.NewFederation()
+	defer fed.Close()
+	n, err := fed.Node("pc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cod.Publish[bad](n, "lp", "Bad"); !errors.Is(err, cod.ErrUnsupportedType) {
+		t.Fatalf("Publish[bad]: got %v, want ErrUnsupportedType", err)
+	}
+	if _, err := cod.Subscribe[bad](n, "lp", "Bad"); !errors.Is(err, cod.ErrUnsupportedType) {
+		t.Fatalf("Subscribe[bad]: got %v, want ErrUnsupportedType", err)
+	}
+}
+
+// TestLatestConflation exercises the conflated state-class mode through
+// the typed façade.
+func TestLatestConflation(t *testing.T) {
+	fed := cod.NewFederation()
+	defer fed.Close()
+	n, err := fed.Node("pc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := cod.Publish[craneState](n, "dynamics", "CraneState")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := cod.Subscribe[craneState](n, "visual", "CraneState", cod.WithConflation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.WaitMatched(ctxLong(t)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		if err := pub.Update(float64(i), craneState{Frame: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, ok, err := sub.Latest()
+	if err != nil || !ok {
+		t.Fatalf("Latest: ok=%v err=%v", ok, err)
+	}
+	if r.Value.Frame != 5 {
+		t.Fatalf("Latest kept frame %d, want 5 (conflation)", r.Value.Frame)
+	}
+}

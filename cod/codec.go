@@ -1,0 +1,251 @@
+package cod
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+
+	"codsim/internal/wire"
+)
+
+// The codec maps a plain Go struct to and from a wire.AttrSet. Attribute
+// IDs are assigned positionally: the i-th encoded field (exported, not
+// tagged `cod:"-"`, in declaration order) gets AttrID i+1. Both ends of a
+// class therefore interoperate exactly when they declare the same fields
+// in the same order — the struct *is* the object-model entry, the typed
+// analog of a fom class.
+//
+// Supported field kinds: bool, all int/uint sizes, float32/float64,
+// string, []byte, []float64, []int64, []string. Unexported fields are
+// skipped; any other exported kind is rejected when the codec is built,
+// so Publish/Subscribe fail fast instead of dropping data at runtime.
+
+// ErrUnsupportedType reports a struct field the codec cannot map.
+var ErrUnsupportedType = errors.New("cod: unsupported field type")
+
+// ErrMissingAttr reports a reflection that lacks an attribute the
+// subscriber's struct declares — the two ends disagree on the class shape.
+var ErrMissingAttr = errors.New("cod: missing attribute")
+
+type fieldCodec struct {
+	name  string
+	id    wire.AttrID
+	index int
+	enc   func(a wire.AttrSet, id wire.AttrID, v reflect.Value)
+	dec   func(a wire.AttrSet, id wire.AttrID, v reflect.Value) bool
+}
+
+type codec struct {
+	typ    reflect.Type
+	fields []fieldCodec
+}
+
+// codecCache memoizes built codecs by struct type; reflection runs once
+// per type per process, the hot path only walks the cached field table.
+var codecCache sync.Map // reflect.Type → *codec or error
+
+func codecFor(t reflect.Type) (*codec, error) {
+	if cached, ok := codecCache.Load(t); ok {
+		if err, bad := cached.(error); bad {
+			return nil, err
+		}
+		return cached.(*codec), nil
+	}
+	c, err := buildCodec(t)
+	if err != nil {
+		codecCache.Store(t, err)
+		return nil, err
+	}
+	codecCache.Store(t, c)
+	return c, nil
+}
+
+func buildCodec(t reflect.Type) (*codec, error) {
+	if t.Kind() != reflect.Struct {
+		return nil, fmt.Errorf("%w: %s is not a struct", ErrUnsupportedType, t)
+	}
+	c := &codec{typ: t}
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() || f.Tag.Get("cod") == "-" {
+			continue
+		}
+		fc := fieldCodec{
+			name:  f.Name,
+			id:    wire.AttrID(len(c.fields) + 1),
+			index: i,
+		}
+		var err error
+		fc.enc, fc.dec, err = kindCodec(f.Type)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s.%s (%s)", ErrUnsupportedType, t, f.Name, f.Type)
+		}
+		c.fields = append(c.fields, fc)
+	}
+	if len(c.fields) == 0 {
+		return nil, fmt.Errorf("%w: %s has no encodable fields", ErrUnsupportedType, t)
+	}
+	return c, nil
+}
+
+func kindCodec(t reflect.Type) (
+	enc func(wire.AttrSet, wire.AttrID, reflect.Value),
+	dec func(wire.AttrSet, wire.AttrID, reflect.Value) bool,
+	err error,
+) {
+	switch t.Kind() {
+	case reflect.Bool:
+		return func(a wire.AttrSet, id wire.AttrID, v reflect.Value) {
+				a.PutBool(id, v.Bool())
+			}, func(a wire.AttrSet, id wire.AttrID, v reflect.Value) bool {
+				b, ok := a.Bool(id)
+				if ok {
+					v.SetBool(b)
+				}
+				return ok
+			}, nil
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return func(a wire.AttrSet, id wire.AttrID, v reflect.Value) {
+				a.PutInt64(id, v.Int())
+			}, func(a wire.AttrSet, id wire.AttrID, v reflect.Value) bool {
+				n, ok := a.Int64(id)
+				if ok {
+					v.SetInt(n)
+				}
+				return ok
+			}, nil
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return func(a wire.AttrSet, id wire.AttrID, v reflect.Value) {
+				a.PutInt64(id, int64(v.Uint()))
+			}, func(a wire.AttrSet, id wire.AttrID, v reflect.Value) bool {
+				n, ok := a.Int64(id)
+				if ok {
+					v.SetUint(uint64(n))
+				}
+				return ok
+			}, nil
+	case reflect.Float32, reflect.Float64:
+		return func(a wire.AttrSet, id wire.AttrID, v reflect.Value) {
+				a.PutFloat64(id, v.Float())
+			}, func(a wire.AttrSet, id wire.AttrID, v reflect.Value) bool {
+				f, ok := a.Float64(id)
+				if ok {
+					v.SetFloat(f)
+				}
+				return ok
+			}, nil
+	case reflect.String:
+		return func(a wire.AttrSet, id wire.AttrID, v reflect.Value) {
+				a.PutString(id, v.String())
+			}, func(a wire.AttrSet, id wire.AttrID, v reflect.Value) bool {
+				s, ok := a.String(id)
+				if ok {
+					v.SetString(s)
+				}
+				return ok
+			}, nil
+	case reflect.Slice:
+		return sliceCodec(t)
+	default:
+		return nil, nil, ErrUnsupportedType
+	}
+}
+
+// Canonical slice types the codec serializes. Named slice types with these
+// exact element types (type Path []float64) are converted through them;
+// named *element* types ([]MyFloat) are rejected at build time because Go
+// forbids the slice conversion — rejecting keeps the fail-fast contract.
+var (
+	bytesType    = reflect.TypeOf([]byte(nil))
+	float64sType = reflect.TypeOf([]float64(nil))
+	int64sType   = reflect.TypeOf([]int64(nil))
+	stringsType  = reflect.TypeOf([]string(nil))
+)
+
+func sliceCodec(t reflect.Type) (
+	enc func(wire.AttrSet, wire.AttrID, reflect.Value),
+	dec func(wire.AttrSet, wire.AttrID, reflect.Value) bool,
+	err error,
+) {
+	var canon reflect.Type
+	switch t.Elem() {
+	case bytesType.Elem():
+		canon = bytesType
+	case float64sType.Elem():
+		canon = float64sType
+	case int64sType.Elem():
+		canon = int64sType
+	case stringsType.Elem():
+		canon = stringsType
+	default:
+		return nil, nil, ErrUnsupportedType
+	}
+	switch canon {
+	case bytesType:
+		return func(a wire.AttrSet, id wire.AttrID, v reflect.Value) {
+				a.PutBytes(id, v.Bytes())
+			}, func(a wire.AttrSet, id wire.AttrID, v reflect.Value) bool {
+				b, ok := a.Bytes(id)
+				if ok {
+					cp := make([]byte, len(b))
+					copy(cp, b)
+					v.Set(reflect.ValueOf(cp).Convert(t))
+				}
+				return ok
+			}, nil
+	case float64sType:
+		return func(a wire.AttrSet, id wire.AttrID, v reflect.Value) {
+				a.PutFloat64s(id, v.Convert(canon).Interface().([]float64))
+			}, func(a wire.AttrSet, id wire.AttrID, v reflect.Value) bool {
+				vs, ok := a.Float64s(id)
+				if ok {
+					v.Set(reflect.ValueOf(vs).Convert(t))
+				}
+				return ok
+			}, nil
+	case int64sType:
+		return func(a wire.AttrSet, id wire.AttrID, v reflect.Value) {
+				a.PutInt64s(id, v.Convert(canon).Interface().([]int64))
+			}, func(a wire.AttrSet, id wire.AttrID, v reflect.Value) bool {
+				vs, ok := a.Int64s(id)
+				if ok {
+					v.Set(reflect.ValueOf(vs).Convert(t))
+				}
+				return ok
+			}, nil
+	default: // stringsType
+		return func(a wire.AttrSet, id wire.AttrID, v reflect.Value) {
+				a.PutStrings(id, v.Convert(canon).Interface().([]string))
+			}, func(a wire.AttrSet, id wire.AttrID, v reflect.Value) bool {
+				vs, ok := a.Strings(id)
+				if ok {
+					v.Set(reflect.ValueOf(vs).Convert(t))
+				}
+				return ok
+			}, nil
+	}
+}
+
+// encode packs one struct value into a fresh AttrSet.
+func (c *codec) encode(v reflect.Value) wire.AttrSet {
+	a := make(wire.AttrSet, len(c.fields))
+	for i := range c.fields {
+		f := &c.fields[i]
+		f.enc(a, f.id, v.Field(f.index))
+	}
+	return a
+}
+
+// decode unpacks an AttrSet into dst (an addressable struct value). Every
+// declared field must be present and well-sized, or the reflection is
+// rejected: a silent partial fill would hand modules half-stale state.
+func (c *codec) decode(a wire.AttrSet, dst reflect.Value) error {
+	for i := range c.fields {
+		f := &c.fields[i]
+		if !f.dec(a, f.id, dst.Field(f.index)) {
+			return fmt.Errorf("%w: %s.%s (attr %d)", ErrMissingAttr, c.typ, f.name, f.id)
+		}
+	}
+	return nil
+}

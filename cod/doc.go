@@ -1,0 +1,55 @@
+// Package cod is the public SDK of the codsim simulator runtime: a typed
+// publish/subscribe façade over the Communication Backbone, the paper's
+// transparent communication layer for a Cluster Of Desktop computers
+// (Huang, Bai, Tai, Gau — ICDCS 2001, §2). It is the one supported way to
+// build COD federations; the internal/ packages are implementation.
+//
+// A module joins the cluster by creating a Node, then registering its
+// logical processes as typed publishers or subscribers of object classes:
+//
+//	type CraneState struct {
+//		X, Y, Slew float64
+//	}
+//
+//	fed := cod.NewFederation()
+//	defer fed.Close()
+//
+//	dyn, _ := fed.Node("dynamics-pc")
+//	vis, _ := fed.Node("display-pc")
+//
+//	pub, _ := cod.Publish[CraneState](dyn, "dynamics", "CraneState")
+//	sub, _ := cod.Subscribe[CraneState](vis, "visual", "CraneState")
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+//	defer cancel()
+//	_ = sub.WaitMatched(ctx) // discovery: SUBSCRIPTION broadcast → channel
+//
+//	_ = pub.Update(0.1, CraneState{X: 1, Slew: 0.2})
+//	r, _ := sub.Next(ctx)    // r.Value is a CraneState again
+//
+// Nodes on one in-memory LAN model the paper's Ethernet segment; WithUDP
+// runs the same protocol over real sockets for multi-process clusters
+// (see cmd/codnode). Discovery, virtual-channel construction, heartbeats
+// and dynamic join all happen inside the backbone — callers never see a
+// socket, which is the transparency the paper claims for the CB.
+//
+// # Codec contract
+//
+// Publish[T] and Subscribe[T] map the struct T to the backbone's
+// attribute sets positionally: the i-th exported, un-tagged field gets
+// attribute ID i+1. Publisher and subscriber interoperate exactly when
+// they declare the same field sequence. Supported kinds: bool, int/uint
+// of any size, float32/float64, string, []byte, []float64, []int64,
+// []string. Tag a field `cod:"-"` to exclude it. Unsupported kinds are
+// rejected by Publish/Subscribe, and a reflection missing a declared
+// attribute is rejected by Next/Poll/Latest — shape mismatches surface as
+// errors, never as silently zeroed fields.
+//
+// # Blocking and errors
+//
+// Every blocking call takes a context: Sub.Next, Sub.WaitMatched,
+// Pub.WaitChannels. Cancellation returns ctx.Err(); an update racing a
+// cancellation is still delivered. Pub.Update reports ErrNoSubscribers
+// when it routed to zero channels, which fire-and-forget publishers
+// ignore with errors.Is.
+package cod

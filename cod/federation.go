@@ -1,0 +1,150 @@
+package cod
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrFederationClosed reports node creation on a closed federation.
+var ErrFederationClosed = errors.New("cod: federation closed")
+
+// Federation groups the nodes of one simulator instance: it hands every
+// node the same LAN segment, collects background errors, and tears the
+// whole cluster down on one Close. It replaces the hand-rolled
+// "slice of backbones plus deferred Closes" pattern of the old examples.
+type Federation struct {
+	defaults []Option
+
+	mu       sync.Mutex
+	base     nodeConfig // defaults resolved once, so all nodes share one LAN
+	resolved bool
+	nodes    []*Node
+	closed   bool
+	err      error // first background error
+
+	wg sync.WaitGroup
+}
+
+// NewFederation creates an empty federation. The defaults apply to every
+// node it creates (before the node's own options); when none of them
+// names a transport, the federation shares one in-memory LAN across its
+// nodes.
+func NewFederation(defaults ...Option) *Federation {
+	return &Federation{defaults: defaults}
+}
+
+// Node creates a node named name on the federation's segment and tracks
+// it for Close. Per-node options override the federation defaults —
+// except the segment itself, which the defaults establish exactly once
+// (a WithUDP default must not build a fresh LAN per node, or the
+// segment's duplicate-name bookkeeping would be lost).
+func (f *Federation) Node(name string, opts ...Option) (*Node, error) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil, ErrFederationClosed
+	}
+	if !f.resolved {
+		f.resolved = true
+		for _, o := range f.defaults {
+			o(&f.base)
+		}
+		if f.base.lan == nil && f.base.lanErr == nil {
+			f.base.lan = NewMemLAN()
+		}
+	}
+	c := f.base
+	f.mu.Unlock()
+
+	for _, o := range opts {
+		o(&c)
+	}
+
+	n, err := newNode(name, &c)
+	if err != nil {
+		return nil, err
+	}
+
+	f.mu.Lock()
+	if f.closed { // raced with Close: don't leak the node
+		f.mu.Unlock()
+		_ = n.Close()
+		return nil, ErrFederationClosed
+	}
+	f.nodes = append(f.nodes, n)
+	f.mu.Unlock()
+	return n, nil
+}
+
+// Go runs fn on a goroutine of the federation. The first non-nil error
+// any such goroutine returns is recorded and reported by Err and Wait —
+// the propagation channel for module loops.
+func (f *Federation) Go(fn func() error) {
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		if err := fn(); err != nil {
+			f.fail(err)
+		}
+	}()
+}
+
+// fail records the first background error.
+func (f *Federation) fail(err error) {
+	f.mu.Lock()
+	if f.err == nil {
+		f.err = err
+	}
+	f.mu.Unlock()
+}
+
+// Err returns the first background error recorded so far, nil if none.
+func (f *Federation) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+// Wait blocks until every Go goroutine has returned, then reports the
+// first background error.
+func (f *Federation) Wait() error {
+	f.wg.Wait()
+	return f.Err()
+}
+
+// Nodes returns the federation's live nodes in creation order.
+func (f *Federation) Nodes() []*Node {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]*Node(nil), f.nodes...)
+}
+
+// Close stops every node of the federation (newest first, so late joiners
+// release channels before the nodes they discovered), waits for Go
+// goroutines, and reports the joined node-close errors plus the first
+// background error. Close is idempotent.
+func (f *Federation) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		f.wg.Wait()
+		return f.Err()
+	}
+	f.closed = true
+	nodes := f.nodes
+	f.nodes = nil
+	f.mu.Unlock()
+
+	var errs []error
+	for i := len(nodes) - 1; i >= 0; i-- {
+		if err := nodes[i].Close(); err != nil {
+			errs = append(errs, fmt.Errorf("close %s: %w", nodes[i].Name(), err))
+		}
+	}
+	f.wg.Wait()
+	if err := f.Err(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}

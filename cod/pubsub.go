@@ -1,0 +1,230 @@
+package cod
+
+import (
+	"context"
+	"errors"
+	"reflect"
+
+	"codsim/internal/cb"
+)
+
+// Errors of the typed façade.
+var (
+	// ErrNoSubscribers reports an Update that was routed into zero virtual
+	// channels — nobody is listening (yet). The update is not an error of
+	// the backbone, so publishers free-running ahead of discovery ignore
+	// it with errors.Is; publishers that must be heard treat it as fatal
+	// or WaitChannels first.
+	ErrNoSubscribers = errors.New("cod: no subscribers")
+	// ErrClosed re-exports the backbone's closed error.
+	ErrClosed = cb.ErrClosed
+	// ErrHandleClosed re-exports the registration-handle closed error,
+	// returned by Sub.Next when the subscription is closed mid-wait.
+	ErrHandleClosed = cb.ErrHandleClosed
+)
+
+// SubOption configures a subscription; the SDK re-exports the backbone's
+// delivery modes under the same names.
+type SubOption = cb.SubscribeOption
+
+// WithQueue sets the mailbox depth; the oldest reflection is dropped on
+// overflow. Use for event classes where every message matters.
+func WithQueue(depth int) SubOption { return cb.WithQueue(depth) }
+
+// WithConflation keeps only the newest reflection — the natural mode for
+// state classes sampled by a display loop.
+func WithConflation() SubOption { return cb.WithConflation() }
+
+// Reflection is one delivered update, decoded into the subscriber's type:
+// the typed view of REFLECT ATTRIBUTE VALUE.
+type Reflection[T any] struct {
+	// Value is the decoded update.
+	Value T
+	// Class is the object class the update belongs to.
+	Class string
+	// PubNode and PubLP identify the publishing node and logical process.
+	PubNode string
+	PubLP   string
+	// Seq is the per-channel sequence number.
+	Seq uint32
+	// Time is the publisher's simulation time.
+	Time float64
+}
+
+// Pub is a typed publisher registration: LP lp publishes object class
+// class as values of T. Obtain it from Publish.
+type Pub[T any] struct {
+	pub   *cb.Publication
+	codec *codec
+}
+
+// Publish registers lp on node as a publisher of class, exchanging values
+// of struct type T (see the codec contract in this package's doc). It
+// fails fast when T has a field the codec cannot map.
+func Publish[T any](node *Node, lp, class string) (*Pub[T], error) {
+	c, err := codecFor(reflect.TypeFor[T]())
+	if err != nil {
+		return nil, err
+	}
+	p, err := node.bb.PublishObjectClass(lp, class)
+	if err != nil {
+		return nil, err
+	}
+	return &Pub[T]{pub: p, codec: c}, nil
+}
+
+// Update pushes v into every virtual channel of the class (UPDATE
+// ATTRIBUTE VALUE) at simulation time simTime. When the class currently
+// has no channels the call still succeeds at the backbone but reports
+// ErrNoSubscribers, so callers choose between fire-and-forget
+// (errors.Is-ignore) and must-be-heard semantics.
+func (p *Pub[T]) Update(simTime float64, v T) error {
+	routed, err := p.pub.UpdateRouted(simTime, p.codec.encode(reflect.ValueOf(v)))
+	if err != nil {
+		return err
+	}
+	if routed == 0 {
+		return ErrNoSubscribers
+	}
+	return nil
+}
+
+// SendNull pushes a Chandy–Misra null message carrying only the
+// publisher's simulation-time lower bound.
+func (p *Pub[T]) SendNull(simTime float64) error { return p.pub.SendNull(simTime) }
+
+// Channels returns the number of virtual channels currently carrying the
+// class.
+func (p *Pub[T]) Channels() int { return p.pub.Channels() }
+
+// WaitChannels blocks until the class has at least n channels or ctx is
+// done, in which case it returns ctx.Err().
+func (p *Pub[T]) WaitChannels(ctx context.Context, n int) error {
+	return p.pub.WaitChannelsContext(ctx, n)
+}
+
+// Raw exposes the untyped backbone registration, for callers mixing typed
+// and attribute-level traffic.
+func (p *Pub[T]) Raw() *cb.Publication { return p.pub }
+
+// Close withdraws the publisher registration.
+func (p *Pub[T]) Close() error { return p.pub.Close() }
+
+// Sub is a typed subscriber registration: LP lp receives class updates
+// decoded into T. Obtain it from Subscribe.
+type Sub[T any] struct {
+	sub   *cb.Subscription
+	codec *codec
+}
+
+// Subscribe registers lp on node as a subscriber of class, receiving
+// values of struct type T. The node's backbone broadcasts SUBSCRIPTION
+// until a publisher is found and keeps refreshing afterwards, so late
+// publishers still match (dynamic join). It fails fast when T has a field
+// the codec cannot map.
+func Subscribe[T any](node *Node, lp, class string, opts ...SubOption) (*Sub[T], error) {
+	c, err := codecFor(reflect.TypeFor[T]())
+	if err != nil {
+		return nil, err
+	}
+	s, err := node.bb.SubscribeObjectClass(lp, class, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Sub[T]{sub: s, codec: c}, nil
+}
+
+// decode converts one backbone reflection into the typed form.
+func (s *Sub[T]) decode(r cb.Reflection) (Reflection[T], error) {
+	out := Reflection[T]{
+		Class:   r.Class,
+		PubNode: r.PubNode,
+		PubLP:   r.PubLP,
+		Seq:     r.Seq,
+		Time:    r.Time,
+	}
+	err := s.codec.decode(r.Attrs, reflect.ValueOf(&out.Value).Elem())
+	return out, err
+}
+
+// Next blocks until an update arrives, ctx is done (ctx.Err()), or the
+// subscription closes (ErrHandleClosed). Null messages — time-only, no
+// attributes — are skipped; use Raw for conservative-time consumers that
+// need them. A decode failure (class shape mismatch) is returned as an
+// ErrMissingAttr error.
+func (s *Sub[T]) Next(ctx context.Context) (Reflection[T], error) {
+	for {
+		r, err := s.sub.NextContext(ctx)
+		if err != nil {
+			return Reflection[T]{}, err
+		}
+		if r.Null {
+			continue
+		}
+		return s.decode(r)
+	}
+}
+
+// Poll returns the oldest buffered update without blocking; ok is false
+// when none is buffered. Null messages are skipped.
+func (s *Sub[T]) Poll() (r Reflection[T], ok bool, err error) {
+	for {
+		raw, got := s.sub.Poll()
+		if !got {
+			return Reflection[T]{}, false, nil
+		}
+		if raw.Null {
+			continue
+		}
+		r, err = s.decode(raw)
+		return r, true, err
+	}
+}
+
+// Latest drains the mailbox and returns the newest update; ok is false
+// when the mailbox held none. Convenient for conflated state classes.
+func (s *Sub[T]) Latest() (r Reflection[T], ok bool, err error) {
+	var (
+		last    cb.Reflection
+		gotLast bool
+	)
+	for {
+		raw, got := s.sub.Poll()
+		if !got {
+			break
+		}
+		if raw.Null {
+			continue
+		}
+		last, gotLast = raw, true
+	}
+	if !gotLast {
+		return Reflection[T]{}, false, nil
+	}
+	r, err = s.decode(last)
+	return r, true, err
+}
+
+// WaitMatched blocks until the subscription has at least one fully
+// established virtual channel or ctx is done, in which case it returns
+// ctx.Err().
+func (s *Sub[T]) WaitMatched(ctx context.Context) error {
+	return s.sub.WaitMatchedContext(ctx)
+}
+
+// Matched reports whether at least one virtual channel is fully
+// established.
+func (s *Sub[T]) Matched() bool { return s.sub.Matched() }
+
+// Pending returns the number of buffered updates (nulls included).
+func (s *Sub[T]) Pending() int { return s.sub.Pending() }
+
+// NotifyC returns a channel receiving a token whenever the mailbox goes
+// from empty to non-empty, for select-based consumers.
+func (s *Sub[T]) NotifyC() <-chan struct{} { return s.sub.NotifyC() }
+
+// Raw exposes the untyped backbone registration.
+func (s *Sub[T]) Raw() *cb.Subscription { return s.sub }
+
+// Close withdraws the subscriber registration and releases its channels.
+func (s *Sub[T]) Close() error { return s.sub.Close() }

@@ -4,7 +4,15 @@
 // from commodity desktop computers connected by a transparent
 // publish/subscribe layer, the Communication Backbone (CB).
 //
-// The implementation lives under internal/:
+// The supported programming surface is the cod package: a typed,
+// context-aware SDK over the backbone. Modules create a cod.Node (one per
+// "computer"), register plain Go structs as published or subscribed object
+// classes with cod.Publish[T] and cod.Subscribe[T], and group nodes into a
+// cod.Federation that shares a LAN and tears down on one Close. Start with
+// examples/quickstart, then cmd/codnode for real multi-process sockets.
+//
+// The implementation lives under internal/, which is no longer a
+// supported entry point:
 //
 //   - cb, lp, fom, wire, transport, timesync — the COD runtime: the CB's
 //     virtual channels, the HLA-style initialization protocol, the LAN
@@ -20,5 +28,5 @@
 //
 // The benchmarks in bench_test.go regenerate the paper's quantitative
 // artifacts; cmd/experiments prints the full tables recorded in
-// EXPERIMENTS.md. Start with examples/quickstart.
+// EXPERIMENTS.md.
 package codsim

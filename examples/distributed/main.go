@@ -1,21 +1,30 @@
-// Distributed runs the quickstart exchange over real UDP and TCP sockets on
-// the loopback device — the same code path a multi-machine deployment would
-// use, with each "computer" of the paper's rack owning one UDP port of the
-// segment. Compare examples/quickstart, which uses the in-memory LAN.
+// Distributed runs the quickstart exchange over real UDP and TCP sockets
+// on the loopback device — the same code path a multi-machine deployment
+// would use, with each "computer" of the paper's rack owning one UDP port
+// of the segment. Compare examples/quickstart, which uses the in-memory
+// LAN; the only difference is the transport option.
 //
 // For a true multi-process run, see cmd/codnode.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"codsim/internal/cb"
-	"codsim/internal/fom"
-	"codsim/internal/mathx"
-	"codsim/internal/transport"
+	"codsim/cod"
 )
+
+// CraneState mirrors the dynamics module's state vector as a typed class.
+type CraneState struct {
+	X, Y, Z   float64
+	BoomLuff  float64
+	BoomLen   float64
+	CableLen  float64
+	Stability float64
+	EngineOn  bool
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -24,59 +33,52 @@ func main() {
 }
 
 func run() error {
-	// A 16-slot segment on loopback: ports 39900..39915.
-	lan, err := transport.NewUDPLAN("127.0.0.1", 39900, 16)
+	// A 16-slot segment on loopback: ports 39900..39915. Both nodes name
+	// the same segment, exactly as two processes on two machines would.
+	fed := cod.NewFederation(cod.WithUDP("127.0.0.1:39900"))
+	defer fed.Close()
+
+	dyn, err := fed.Node("dynamics-pc")
+	if err != nil {
+		return err
+	}
+	disp, err := fed.Node("display-pc")
 	if err != nil {
 		return err
 	}
 
-	dyn, err := cb.New(lan, "dynamics-pc", cb.Config{})
+	pub, err := cod.Publish[CraneState](dyn, "dynamics", "CraneState")
 	if err != nil {
 		return err
 	}
-	defer dyn.Close()
-	disp, err := cb.New(lan, "display-pc", cb.Config{})
+	sub, err := cod.Subscribe[CraneState](disp, "visual", "CraneState", cod.WithQueue(64))
 	if err != nil {
 		return err
 	}
-	defer disp.Close()
-
-	pub, err := dyn.PublishObjectClass("dynamics", fom.ClassCraneState)
-	if err != nil {
-		return err
-	}
-	sub, err := disp.SubscribeObjectClass("visual", fom.ClassCraneState, cb.WithQueue(64))
-	if err != nil {
-		return err
-	}
-	if !sub.WaitMatched(5 * time.Second) {
-		return fmt.Errorf("no virtual channel over real sockets")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := sub.WaitMatched(ctx); err != nil {
+		return fmt.Errorf("no virtual channel over real sockets: %w", err)
 	}
 	fmt.Println("virtual channel up over UDP discovery + TCP stream")
 
 	const n = 30
 	start := time.Now()
 	for i := 0; i < n; i++ {
-		st := fom.CraneState{
-			Position: mathx.V3(float64(i), 0, 0),
-			BoomLuff: 0.5, BoomLen: 12, CableLen: 4,
-			Stability: 1,
+		st := CraneState{
+			X: float64(i), BoomLuff: 0.5, BoomLen: 12, CableLen: 4, Stability: 1,
 		}
-		if err := pub.Update(float64(i), st.Encode()); err != nil {
+		if err := pub.Update(float64(i), st); err != nil {
 			return err
 		}
 	}
 	for i := 0; i < n; i++ {
-		r, ok := sub.Next(5 * time.Second)
-		if !ok {
-			return fmt.Errorf("reflection %d lost", i)
-		}
-		st, err := fom.DecodeCraneState(r.Attrs)
+		r, err := sub.Next(ctx)
 		if err != nil {
-			return err
+			return fmt.Errorf("reflection %d lost: %w", i, err)
 		}
 		if i == 0 || i == n-1 {
-			fmt.Printf("  reflect t=%.0f position.X=%.0f\n", r.Time, st.Position.X)
+			fmt.Printf("  reflect t=%.0f position.X=%.0f\n", r.Time, r.Value.X)
 		}
 	}
 	elapsed := time.Since(start)

@@ -1,9 +1,12 @@
 // Dynamicjoin demonstrates the §2.3 claim: "an LP (an extra display, for
 // example) can be dynamically added to the system without restarting the
 // entire system." Two displays run the synchronized surround view; mid-run
-// a third display node attaches to the LAN, its CB discovers the running
-// federation through the broadcast protocol, and the synchronization
-// server admits it into the frame barrier — while frames keep flowing.
+// a third display node joins the federation, its CB discovers the running
+// system through the broadcast protocol, and the synchronization server
+// admits it into the frame barrier — while frames keep flowing.
+//
+// Nodes come from the cod SDK; the displaysync module (an internal
+// simulator component) plugs into a node through its Backbone handle.
 package main
 
 import (
@@ -12,9 +15,8 @@ import (
 	"sync"
 	"time"
 
-	"codsim/internal/cb"
+	"codsim/cod"
 	"codsim/internal/displaysync"
-	"codsim/internal/transport"
 )
 
 func main() {
@@ -24,14 +26,14 @@ func main() {
 }
 
 func run() error {
-	lan := transport.NewMemLAN()
+	fed := cod.NewFederation()
+	defer fed.Close()
 
-	serverBB, err := cb.New(lan, "sync-server", cb.Config{})
+	server, err := fed.Node("sync-server")
 	if err != nil {
 		return err
 	}
-	defer serverBB.Close()
-	srv, err := displaysync.NewServer(serverBB, "sync", displaysync.ServerConfig{
+	srv, err := displaysync.NewServer(server.Backbone(), "sync", displaysync.ServerConfig{
 		Expected: []string{"display-1", "display-2"},
 	})
 	if err != nil {
@@ -41,11 +43,11 @@ func run() error {
 	defer srv.Stop()
 
 	newDisplay := func(i int) (*displaysync.Display, error) {
-		bb, err := cb.New(lan, fmt.Sprintf("display-pc-%d", i), cb.Config{})
+		node, err := fed.Node(fmt.Sprintf("display-pc-%d", i))
 		if err != nil {
 			return nil, err
 		}
-		d, err := displaysync.NewDisplay(bb, fmt.Sprintf("display-%d", i))
+		d, err := displaysync.NewDisplay(node.Backbone(), fmt.Sprintf("display-%d", i))
 		if err != nil {
 			return nil, err
 		}

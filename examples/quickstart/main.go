@@ -1,67 +1,75 @@
-// Quickstart: the smallest COD program. Two desktop computers on an
-// in-memory LAN; a publisher LP on one, a subscriber LP on the other. The
-// Communication Backbone discovers the match through broadcast (§2.3),
-// builds the virtual channel, and routes ten updates.
+// Quickstart: the smallest COD program, on the public cod SDK. Two
+// desktop computers on an in-memory LAN; a publisher LP on one, a
+// subscriber LP on the other. The Communication Backbone discovers the
+// match through broadcast (§2.3), builds the virtual channel, and routes
+// ten typed updates — no sockets, no attribute maps, no internal imports.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"codsim/internal/cb"
-	"codsim/internal/transport"
-	"codsim/internal/wire"
+	"codsim/cod"
 )
 
+// CraneState is the object class the two LPs exchange: a plain struct,
+// mapped to the backbone's attribute sets by the SDK's codec.
+type CraneState struct {
+	BoomAngle float64
+	Frame     int
+}
+
 func main() {
-	lan := transport.NewMemLAN()
+	// One federation = one simulator instance: its nodes share a LAN and
+	// a single Close tears everything down.
+	fed := cod.NewFederation()
+	defer fed.Close()
 
 	// Computer 1 runs the dynamics LP, a publisher of CraneState.
-	pc1, err := cb.New(lan, "dynamics-pc", cb.Config{})
+	pc1, err := fed.Node("dynamics-pc")
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer pc1.Close()
-	pub, err := pc1.PublishObjectClass("dynamics", "CraneState")
+	pub, err := cod.Publish[CraneState](pc1, "dynamics", "CraneState")
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Computer 2 runs a display LP, a subscriber of the same class.
-	pc2, err := cb.New(lan, "display-pc", cb.Config{})
+	pc2, err := fed.Node("display-pc")
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer pc2.Close()
-	sub, err := pc2.SubscribeObjectClass("visual", "CraneState", cb.WithQueue(32))
+	sub, err := cod.Subscribe[CraneState](pc2, "visual", "CraneState", cod.WithQueue(32))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// The subscriber's CB broadcasts SUBSCRIPTION until the publisher's CB
 	// acknowledges and the virtual channel comes up.
-	if !sub.WaitMatched(5 * time.Second) {
-		log.Fatal("virtual channel was never established")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := sub.WaitMatched(ctx); err != nil {
+		log.Fatalf("virtual channel was never established: %v", err)
 	}
 	fmt.Println("virtual channel established between dynamics-pc and display-pc")
 
-	// Push ten updates; pull them on the other side.
+	// Push ten typed updates; pull them on the other side.
 	for i := 1; i <= 10; i++ {
-		attrs := wire.AttrSet{}
-		attrs.PutFloat64(1, float64(i)*1.5) // e.g. a boom angle
-		if err := pub.Update(float64(i), attrs); err != nil {
+		st := CraneState{BoomAngle: float64(i) * 1.5, Frame: i}
+		if err := pub.Update(float64(i), st); err != nil {
 			log.Fatal(err)
 		}
 	}
 	for i := 1; i <= 10; i++ {
-		r, ok := sub.Next(5 * time.Second)
-		if !ok {
-			log.Fatal("reflection lost")
+		r, err := sub.Next(ctx)
+		if err != nil {
+			log.Fatalf("reflection lost: %v", err)
 		}
-		v, _ := r.Attrs.Float64(1)
-		fmt.Printf("  reflect #%d from %s/%s: t=%.0f value=%.1f\n",
-			i, r.PubNode, r.PubLP, r.Time, v)
+		fmt.Printf("  reflect #%d from %s/%s: t=%.0f boom=%.1f\n",
+			i, r.PubNode, r.PubLP, r.Time, r.Value.BoomAngle)
 	}
-	fmt.Println("done — 10 updates routed through the Communication Backbone")
+	fmt.Println("done — 10 typed updates routed through the Communication Backbone")
 }

@@ -13,14 +13,13 @@ import (
 	"sync"
 	"time"
 
-	"codsim/internal/cb"
+	"codsim/cod"
 	"codsim/internal/displaysync"
 	"codsim/internal/fom"
 	"codsim/internal/mathx"
 	"codsim/internal/metrics"
 	"codsim/internal/render"
 	"codsim/internal/terrain"
-	"codsim/internal/transport"
 )
 
 const (
@@ -83,13 +82,13 @@ func run() error {
 		freeTracker.FPS(), builder.PolygonCount())
 
 	// --- Three displays + synchronization server over the CB. ---
-	lan := transport.NewMemLAN()
-	serverBB, err := cb.New(lan, "sync-server", cb.Config{})
+	fed := cod.NewFederation()
+	defer fed.Close()
+	server, err := fed.Node("sync-server")
 	if err != nil {
 		return err
 	}
-	defer serverBB.Close()
-	srv, err := displaysync.NewServer(serverBB, "sync", displaysync.ServerConfig{
+	srv, err := displaysync.NewServer(server.Backbone(), "sync", displaysync.ServerConfig{
 		Expected: []string{"display-1", "display-2", "display-3"},
 	})
 	if err != nil {
@@ -108,12 +107,11 @@ func run() error {
 	}
 	rigs := make([]*displayRig, 3)
 	for i := range rigs {
-		bb, err := cb.New(lan, fmt.Sprintf("display-pc-%d", i+1), cb.Config{})
+		node, err := fed.Node(fmt.Sprintf("display-pc-%d", i+1))
 		if err != nil {
 			return err
 		}
-		defer bb.Close()
-		client, err := displaysync.NewDisplay(bb, fmt.Sprintf("display-%d", i+1))
+		client, err := displaysync.NewDisplay(node.Backbone(), fmt.Sprintf("display-%d", i+1))
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,3 @@
+module codsim
+
+go 1.24

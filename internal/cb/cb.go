@@ -35,13 +35,18 @@ import (
 )
 
 // Errors returned by the backbone.
+//
+// Note: Update deliberately succeeds when a class has no channels yet —
+// publishing into the void is legal pub/sub, and modules start pushing
+// before discovery completes. Callers that want "did anyone hear me"
+// semantics use the cod SDK, whose typed Update reports cod.ErrNoSubscribers
+// on the no-channel path.
 var (
-	ErrClosed        = errors.New("cb: backbone closed")
-	ErrDuplicateLP   = errors.New("cb: LP already registered for class")
-	ErrUnknownClass  = errors.New("cb: class name must not be empty")
-	ErrUnknownLP     = errors.New("cb: LP name must not be empty")
-	ErrHandleClosed  = errors.New("cb: registration handle closed")
-	ErrNoSubscribers = errors.New("cb: no subscribers") // informational, never returned by Update
+	ErrClosed       = errors.New("cb: backbone closed")
+	ErrDuplicateLP  = errors.New("cb: LP already registered for class")
+	ErrUnknownClass = errors.New("cb: class name must not be empty")
+	ErrUnknownLP    = errors.New("cb: LP name must not be empty")
+	ErrHandleClosed = errors.New("cb: registration handle closed")
 )
 
 // Config tunes the protocol timers. The zero value is replaced by defaults.
@@ -62,6 +67,11 @@ type Config struct {
 	HeartbeatTimeout time.Duration
 	// MailboxDepth is the default per-subscription buffer depth.
 	MailboxDepth int
+	// Now supplies the backbone's clock for timestamping (last-receive
+	// times, establish-latency measurements, broadcast due times). Nil
+	// means time.Now. Timer *scheduling* still runs on real tickers; the
+	// hook exists so tests and the cod SDK can pin timestamps.
+	Now func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -79,6 +89,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MailboxDepth <= 0 {
 		c.MailboxDepth = 64
+	}
+	if c.Now == nil {
+		c.Now = time.Now
 	}
 	return c
 }
@@ -173,6 +186,9 @@ func New(lan transport.LAN, node string, cfg Config) (*Backbone, error) {
 
 // Node returns the backbone's node name.
 func (b *Backbone) Node() string { return b.node }
+
+// now reads the configured clock.
+func (b *Backbone) now() time.Time { return b.cfg.Now() }
 
 // Addr returns the backbone's dialable stream address.
 func (b *Backbone) Addr() string { return b.ifc.Addr() }
@@ -282,12 +298,13 @@ func (b *Backbone) timerLoop() {
 	}
 	ticker := time.NewTicker(tick)
 	defer ticker.Stop()
-	lastHB := time.Now()
+	lastHB := b.now()
 	for {
 		select {
 		case <-b.done:
 			return
-		case now := <-ticker.C:
+		case <-ticker.C:
+			now := b.now()
 			b.broadcastPending(now)
 			if now.Sub(lastHB) >= b.cfg.HeartbeatInterval {
 				lastHB = now

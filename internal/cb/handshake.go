@@ -1,6 +1,7 @@
 package cb
 
 import (
+	"context"
 	"time"
 
 	"codsim/internal/wire"
@@ -228,17 +229,16 @@ func (b *Backbone) dropChannel(l *peerLink, id uint32) {
 	}
 }
 
-// WaitMatched blocks until the subscription has at least one channel or the
-// timeout elapses; it reports success. Handy for startup sequencing.
+// WaitMatchedContext blocks until the subscription has at least one fully
+// established channel or ctx is done, in which case it returns ctx.Err().
+func (s *Subscription) WaitMatchedContext(ctx context.Context) error {
+	return waitCond(ctx, s.Matched)
+}
+
+// WaitMatched is the duration-based shim over WaitMatchedContext; it
+// reports whether a channel came up within the timeout.
 func (s *Subscription) WaitMatched(timeout time.Duration) bool {
-	deadline := time.Now().Add(timeout)
-	for {
-		if s.Matched() {
-			return true
-		}
-		if time.Now().After(deadline) {
-			return false
-		}
-		time.Sleep(time.Millisecond)
-	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return s.WaitMatchedContext(ctx) == nil
 }

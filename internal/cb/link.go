@@ -29,7 +29,7 @@ type peerLink struct {
 // empty for accepted connections; it is learned from the first frame.
 // Returns nil when the backbone is already closed (the conn is dropped).
 func (b *Backbone) startLink(conn transport.Conn, peerName string) *peerLink {
-	l := &peerLink{b: b, conn: conn, node: peerName, lastRecv: time.Now()}
+	l := &peerLink{b: b, conn: conn, node: peerName, lastRecv: b.now()}
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
@@ -119,7 +119,7 @@ func (l *peerLink) readLoop() {
 			return
 		}
 		l.mu.Lock()
-		l.lastRecv = time.Now()
+		l.lastRecv = l.b.now()
 		if l.node == "" && f.Node != "" {
 			l.node = f.Node
 			l.mu.Unlock()

@@ -1,6 +1,7 @@
 package cb
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -173,7 +174,7 @@ func (b *Backbone) SubscribeObjectClass(lp, class string, opts ...SubscribeOptio
 		mbox:         newMailbox(depth, &b.stats.MailboxDropped),
 		onReflect:    cfg.onReflect,
 		channels:     make(map[uint32]*inChannel),
-		registeredAt: time.Now(),
+		registeredAt: b.now(),
 	}
 	b.subs[key] = s
 	// In-process fast path: link to local publishers right away.
@@ -217,7 +218,7 @@ func (b *Backbone) noteMatchedLocked(s *Subscription) {
 		return
 	}
 	s.everMatched = true
-	b.stats.EstablishLatency.Observe(time.Since(s.registeredAt).Seconds())
+	b.stats.EstablishLatency.Observe(b.now().Sub(s.registeredAt).Seconds())
 }
 
 // Update pushes one attribute update into every virtual channel of the
@@ -225,20 +226,30 @@ func (b *Backbone) noteMatchedLocked(s *Subscription) {
 // time. The attrs map is cloned before the call returns, so the caller may
 // reuse it.
 func (p *Publication) Update(simTime float64, attrs wire.AttrSet) error {
+	_, err := p.push(simTime, attrs, false)
+	return err
+}
+
+// UpdateRouted is Update reporting the number of virtual channels the
+// update was routed into, read atomically with the push (the cod SDK's
+// ErrNoSubscribers detection rides on this — a separate Channels() sample
+// would race with channel establishment).
+func (p *Publication) UpdateRouted(simTime float64, attrs wire.AttrSet) (int, error) {
 	return p.push(simTime, attrs, false)
 }
 
 // SendNull pushes a Chandy–Misra null message carrying only the publisher's
 // time lower bound, letting conservative subscribers advance (§2, ref [7]).
 func (p *Publication) SendNull(simTime float64) error {
-	return p.push(simTime, nil, true)
+	_, err := p.push(simTime, nil, true)
+	return err
 }
 
-func (p *Publication) push(simTime float64, attrs wire.AttrSet, null bool) error {
+func (p *Publication) push(simTime float64, attrs wire.AttrSet, null bool) (int, error) {
 	p.mu.Lock()
 	if p.close {
 		p.mu.Unlock()
-		return ErrHandleClosed
+		return 0, ErrHandleClosed
 	}
 	p.mu.Unlock()
 
@@ -246,7 +257,7 @@ func (p *Publication) push(simTime float64, attrs wire.AttrSet, null bool) error
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
-		return ErrClosed
+		return 0, ErrClosed
 	}
 	chans := make([]*outChannel, len(b.outs[p.key.class]))
 	copy(chans, b.outs[p.key.class])
@@ -293,7 +304,7 @@ func (p *Publication) push(simTime float64, attrs wire.AttrSet, null bool) error
 		}
 		b.stats.UpdatesSent.Inc()
 	}
-	return nil
+	return len(chans), nil
 }
 
 // Channels returns the number of virtual channels currently carrying this
@@ -305,18 +316,42 @@ func (p *Publication) Channels() int {
 	return len(b.outs[p.key.class])
 }
 
-// WaitChannels blocks until the class has at least n channels or the
-// timeout elapses; it reports success. Handy for startup sequencing.
+// WaitChannelsContext blocks until the class has at least n channels or ctx
+// is done, in which case it returns ctx.Err(). Handy for startup sequencing.
+func (p *Publication) WaitChannelsContext(ctx context.Context, n int) error {
+	return waitCond(ctx, func() bool { return p.Channels() >= n })
+}
+
+// WaitChannels is the duration-based shim over WaitChannelsContext; it
+// reports whether n channels came up within the timeout.
 func (p *Publication) WaitChannels(n int, timeout time.Duration) bool {
-	deadline := time.Now().Add(timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return p.WaitChannelsContext(ctx, n) == nil
+}
+
+// waitCond polls cond once per millisecond until it holds (nil) or ctx is
+// done (ctx.Err()). The backbone's state transitions have no subscribable
+// edge, so condition waits poll — at this period the cost is negligible
+// against the protocol's broadcast intervals.
+func waitCond(ctx context.Context, cond func() bool) error {
+	if cond() {
+		return nil
+	}
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
 	for {
-		if p.Channels() >= n {
-			return true
+		select {
+		case <-ctx.Done():
+			if cond() {
+				return nil
+			}
+			return ctx.Err()
+		case <-tick.C:
+			if cond() {
+				return nil
+			}
 		}
-		if time.Now().After(deadline) {
-			return false
-		}
-		time.Sleep(time.Millisecond)
 	}
 }
 
@@ -418,10 +453,20 @@ func (s *Subscription) Latest() (Reflection, bool) {
 	}
 }
 
-// Next blocks until a reflection arrives, the timeout elapses (ok=false),
-// or the subscription closes (ok=false).
+// NextContext blocks until a reflection arrives, ctx is done (ctx.Err()),
+// or the subscription closes (ErrHandleClosed). A reflection that races
+// with the cancellation is still delivered.
+func (s *Subscription) NextContext(ctx context.Context) (Reflection, error) {
+	return s.mbox.nextCtx(ctx)
+}
+
+// Next is the duration-based shim over NextContext; ok is false on timeout
+// or when the subscription closes.
 func (s *Subscription) Next(timeout time.Duration) (Reflection, bool) {
-	return s.mbox.next(timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	r, err := s.mbox.nextCtx(ctx)
+	return r, err == nil
 }
 
 // NotifyC returns a channel that receives a token whenever the mailbox goes
@@ -550,23 +595,25 @@ func (m *mailbox) poll() (Reflection, bool) {
 	return r, true
 }
 
-func (m *mailbox) next(timeout time.Duration) (Reflection, bool) {
-	deadline := time.NewTimer(timeout)
-	defer deadline.Stop()
+func (m *mailbox) nextCtx(ctx context.Context) (Reflection, error) {
 	for {
 		if r, ok := m.poll(); ok {
-			return r, true
+			return r, nil
 		}
 		m.mu.Lock()
 		closed := m.closed
 		m.mu.Unlock()
 		if closed {
-			return Reflection{}, false
+			return Reflection{}, ErrHandleClosed
 		}
 		select {
 		case <-m.notify:
-		case <-deadline.C:
-			return Reflection{}, false
+		case <-ctx.Done():
+			// A push may have raced with the cancellation; prefer data.
+			if r, ok := m.poll(); ok {
+				return r, nil
+			}
+			return Reflection{}, ctx.Err()
 		}
 	}
 }

@@ -156,6 +156,115 @@ func (a AttrSet) String(id AttrID) (s string, ok bool) {
 	return string(b), true
 }
 
+// PutInt64 stores a signed 64-bit value under id (big-endian two's
+// complement). The cod SDK's codec uses this for every Go integer kind.
+func (a AttrSet) PutInt64(id AttrID, v int64) {
+	a[id] = binary.BigEndian.AppendUint64(make([]byte, 0, 8), uint64(v))
+}
+
+// Int64 reads a signed 64-bit value; ok is false when absent or mis-sized.
+func (a AttrSet) Int64(id AttrID) (v int64, ok bool) {
+	b, present := a[id]
+	if !present || len(b) != 8 {
+		return 0, false
+	}
+	return int64(binary.BigEndian.Uint64(b)), true
+}
+
+// PutFloat64s stores a []float64 under id, 8 bytes per element.
+func (a AttrSet) PutFloat64s(id AttrID, vs []float64) {
+	buf := make([]byte, 0, 8*len(vs))
+	for _, v := range vs {
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	a[id] = buf
+}
+
+// Float64s reads a []float64; ok is false when absent or mis-sized. An
+// empty value decodes to a non-nil empty slice.
+func (a AttrSet) Float64s(id AttrID) (vs []float64, ok bool) {
+	b, present := a[id]
+	if !present || len(b)%8 != 0 {
+		return nil, false
+	}
+	vs = make([]float64, len(b)/8)
+	for i := range vs {
+		vs[i] = math.Float64frombits(binary.BigEndian.Uint64(b[8*i:]))
+	}
+	return vs, true
+}
+
+// PutInt64s stores a []int64 under id, 8 bytes per element.
+func (a AttrSet) PutInt64s(id AttrID, vs []int64) {
+	buf := make([]byte, 0, 8*len(vs))
+	for _, v := range vs {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(v))
+	}
+	a[id] = buf
+}
+
+// Int64s reads a []int64; ok is false when absent or mis-sized.
+func (a AttrSet) Int64s(id AttrID) (vs []int64, ok bool) {
+	b, present := a[id]
+	if !present || len(b)%8 != 0 {
+		return nil, false
+	}
+	vs = make([]int64, len(b)/8)
+	for i := range vs {
+		vs[i] = int64(binary.BigEndian.Uint64(b[8*i:]))
+	}
+	return vs, true
+}
+
+// PutStrings stores a []string under id: a uvarint count, then each
+// element uvarint-length-prefixed.
+func (a AttrSet) PutStrings(id AttrID, vs []string) {
+	buf := binary.AppendUvarint(nil, uint64(len(vs)))
+	for _, s := range vs {
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		buf = append(buf, s...)
+	}
+	a[id] = buf
+}
+
+// Strings reads a []string; ok is false when absent or malformed.
+func (a AttrSet) Strings(id AttrID) (vs []string, ok bool) {
+	b, present := a[id]
+	if !present {
+		return nil, false
+	}
+	count, sz := binary.Uvarint(b)
+	if sz <= 0 || count > uint64(len(b)) {
+		return nil, false
+	}
+	b = b[sz:]
+	vs = make([]string, 0, count)
+	for i := uint64(0); i < count; i++ {
+		n, sz := binary.Uvarint(b)
+		if sz <= 0 || uint64(len(b[sz:])) < n {
+			return nil, false
+		}
+		b = b[sz:]
+		vs = append(vs, string(b[:n]))
+		b = b[n:]
+	}
+	return vs, true
+}
+
+// PutBytes stores a raw byte string under id (copied).
+func (a AttrSet) PutBytes(id AttrID, v []byte) {
+	cp := make([]byte, len(v))
+	copy(cp, v)
+	a[id] = cp
+}
+
+// Bytes reads a raw byte string; ok is false when absent. The returned
+// slice aliases the set's storage.
+func (a AttrSet) Bytes(id AttrID) (v []byte, ok bool) {
+	v, ok = a[id]
+	return v, ok
+}
+
 // PutVec3 stores three float64 components under id.
 func (a AttrSet) PutVec3(id AttrID, x, y, z float64) {
 	buf := make([]byte, 0, 24)

@@ -1,0 +1,22 @@
+#!/bin/sh
+# check.sh mirrors the CI workflow (.github/workflows/ci.yml) locally:
+# formatting, vet, and the full test suite. Run it from anywhere.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test =="
+go test ./...
+
+echo "OK"
