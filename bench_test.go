@@ -379,6 +379,27 @@ func BenchmarkExamScenario(b *testing.B) {
 	}
 }
 
+// BenchmarkScenarioLibrary: one op = one shipped scenario completed
+// headless by the generalized autopilot — the per-scenario cost floor the
+// batch runner multiplies out.
+func BenchmarkScenarioLibrary(b *testing.B) {
+	for _, spec := range scenario.Library() {
+		spec := spec
+		b.Run(spec.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := trace.Run(spec, 900)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Passed {
+					b.Fatalf("%s: %v score=%.1f", spec.Name, res.State.Phase, res.State.Score)
+				}
+			}
+		})
+	}
+}
+
 // --- EXP-7: full federation (§2.1, §5) ----------------------------------
 
 // BenchmarkFullSimulatorBoot: one op = construct, start and stop the whole

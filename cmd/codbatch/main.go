@@ -1,0 +1,124 @@
+// Command codbatch runs a batch of training scenarios at cluster scale and
+// prints a score/pass-rate report: one full COD federation per scenario —
+// displays, synchronization server, dashboard, motion, instructor and
+// simulation PCs on a private in-memory LAN — N federations in parallel,
+// each driven by the autopilot trainee.
+//
+// Usage:
+//
+//	codbatch [-scenarios all|name,name,...] [-parallel N] [-timescale 15]
+//	         [-repeat N] [-timeout 3m] [-headless] [-list] [-strict]
+//
+// -headless skips the federation and couples dynamics, scenario engine and
+// autopilot directly — the fast path for smoke runs and CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"codsim/internal/scenario"
+	"codsim/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "codbatch:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		names     = flag.String("scenarios", "all", `comma-separated scenario names, or "all"`)
+		parallel  = flag.Int("parallel", 0, "concurrent federations (0 = auto)")
+		timescale = flag.Float64("timescale", 15, "simulation speed multiplier per federation")
+		repeat    = flag.Int("repeat", 1, "run the selection N times (load/regression sweeps)")
+		timeout   = flag.Duration("timeout", 3*time.Minute, "wall-clock limit per federation run (headless runs are budgeted in sim time)")
+		headless  = flag.Bool("headless", false, "run without the federation (direct coupling)")
+		list      = flag.Bool("list", false, "list the shipped scenario library and exit")
+		strict    = flag.Bool("strict", false, "exit nonzero unless every scenario passes")
+		displays  = flag.Int("displays", 3, "surround-view displays per federation")
+		polygons  = flag.Int("polygons", 400, "scene polygon budget per display")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range scenario.Library() {
+			extras := describe(s)
+			fmt.Printf("%-18s %-34s %d phases%s\n", s.Name, s.Title, len(s.Phases), extras)
+		}
+		return nil
+	}
+
+	selection, err := selectSpecs(*names)
+	if err != nil {
+		return err
+	}
+	var specs []scenario.Spec
+	for i := 0; i < *repeat; i++ {
+		specs = append(specs, selection...)
+	}
+
+	start := time.Now()
+	results := sim.RunBatch(specs, sim.BatchConfig{
+		Base: sim.Config{
+			TimeScale: *timescale,
+			Displays:  *displays,
+			Width:     96,
+			Height:    72,
+			Polygons:  *polygons,
+		},
+		Parallel: *parallel,
+		Timeout:  *timeout,
+		Headless: *headless,
+	})
+	fmt.Printf("ran %d scenario federations in %.1fs wall\n", len(results), time.Since(start).Seconds())
+	sim.WriteBatchReport(os.Stdout, results)
+
+	if *strict {
+		for _, r := range results {
+			if !r.Passed {
+				return fmt.Errorf("scenario %s did not pass", r.Scenario)
+			}
+		}
+	}
+	return nil
+}
+
+// selectSpecs resolves the -scenarios flag against the library.
+func selectSpecs(names string) ([]scenario.Spec, error) {
+	if names == "all" || names == "" {
+		return scenario.Library(), nil
+	}
+	var specs []scenario.Spec
+	for _, name := range strings.Split(names, ",") {
+		s, err := scenario.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, s)
+	}
+	return specs, nil
+}
+
+// describe summarizes a spec's special conditions for -list.
+func describe(s scenario.Spec) string {
+	var parts []string
+	if !s.Wind.IsZero() {
+		parts = append(parts, "wind")
+	}
+	if s.Visibility > 0 && s.Visibility < 1 {
+		parts = append(parts, "night")
+	}
+	if len(s.Cargos) > 1 {
+		parts = append(parts, fmt.Sprintf("%d cargos", len(s.Cargos)))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return " (" + strings.Join(parts, ", ") + ")"
+}

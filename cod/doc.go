@@ -52,4 +52,12 @@
 // cancellation is still delivered. Pub.Update reports ErrNoSubscribers
 // when it routed to zero channels, which fire-and-forget publishers
 // ignore with errors.Is.
+//
+// # Delivery ordering
+//
+// On any single virtual channel — one publisher node to one subscriber
+// LP — updates are delivered in publish (sequence) order, even when
+// Update is called from several goroutines concurrently. No ordering is
+// promised across channels, across different publishers of a class, or
+// between classes.
 package cod

@@ -24,9 +24,21 @@
 //     following, and the safety envelope;
 //   - motion, audio, dashboard, instructor, scenario, trace — the other
 //     simulator modules of Fig. 3 plus the autopilot trainee;
-//   - sim — the full eight-computer federation.
+//   - sim — the full eight-computer federation and the parallel batch
+//     runner.
+//
+// # Scenarios
+//
+// Workloads are data: a scenario.Spec declares site geometry, a cargo
+// set, a phase graph (drive / lift / traverse / place nodes the engine
+// interprets), a deduction schedule, wind, and visibility. Six specs ship
+// in the library (classic and advanced exams, blind lift, heavy derate,
+// windy lift, night precision placement); sim.Config.Scenario loads any
+// of them — or your own — into the full federation, trace.Run executes
+// one headless, and sim.RunBatch runs N federations concurrently
+// (cmd/codbatch is the CLI).
 //
 // The benchmarks in bench_test.go regenerate the paper's quantitative
 // artifacts; cmd/experiments prints the full tables recorded in
-// EXPERIMENTS.md.
+// EXPERIMENTS.md, and BENCH_baseline.json records a reference run.
 package codsim

@@ -1,11 +1,14 @@
-// Exam runs the licensing scenario of Fig. 8/9 end to end with the
+// Exam runs a scenario from the shipped library end to end with the
 // autopilot trainee and prints the instructor's status window (Fig. 5)
-// while the exam progresses: drive to the test ground, lift the cargo from
-// the white circle, carry it along the bar trajectory and back, and set it
-// down — with the live score and alarm lamps.
+// while it progresses. The default scenario is the licensing exam of
+// Fig. 8/9: drive to the test ground, lift the cargo from the white
+// circle, carry it along the bar trajectory and back, and set it down —
+// with the live score and alarm lamps. Pick any other library entry with
+// -scenario (windy-lift, night-precision, ...).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -19,34 +22,41 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	name := flag.String("scenario", "classic-exam", "library scenario to run")
+	flag.Parse()
+	if err := run(*name); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(name string) error {
+	spec, err := scenario.ByName(name)
+	if err != nil {
+		return err
+	}
 	ter, err := terrain.GenerateSite(terrain.DefaultSite())
 	if err != nil {
 		return err
 	}
-	course := scenario.DefaultCourse()
-	model, err := dynamics.New(dynamics.DefaultConfig(), ter, course.Start, course.StartYaw)
+	model, err := dynamics.New(dynamics.DefaultConfig(), ter, spec.Course.Start, spec.Course.StartYaw)
 	if err != nil {
 		return err
 	}
-	cargoPos := course.Circle
-	cargoPos.Y = ter.HeightAt(cargoPos.X, cargoPos.Z) + 0.6
-	model.PlaceCargo(cargoPos, course.CargoMass)
+	spec.Install(model, ter)
 
-	spec := crane.DefaultSpec()
-	eng := scenario.NewEngine(course, spec, scenario.DefaultScore())
+	craneSpec := crane.DefaultSpec()
+	eng, err := scenario.NewEngineSpec(spec, craneSpec)
+	if err != nil {
+		return err
+	}
 	eng.Start()
-	ap := trace.NewAutopilot(course)
-	mon := instructor.NewMonitor(spec)
+	ap := trace.New(spec)
+	mon := instructor.NewMonitor(craneSpec)
 
+	fmt.Printf("=== %s ===\n", spec.Title)
 	const dt = 1.0 / 60
 	nextWindow := 0.0
-	for simT := 0.0; simT < 600; simT += dt {
+	for simT := 0.0; simT < 900; simT += dt {
 		st := model.State()
 		scen := eng.State()
 		mon.ObserveCrane(st, dt)
@@ -58,8 +68,8 @@ func run() error {
 			nextWindow += 15
 		}
 		if scen.Phase == fom.PhaseComplete || scen.Phase == fom.PhaseFailed {
-			fmt.Printf("\n=== EXAM %s: score %.1f, %d collisions, %.0f s ===\n",
-				scen.Phase, scen.Score, scen.Collisions, scen.Elapsed)
+			fmt.Printf("\n=== %s %s: score %.1f, %d collisions, %.0f s ===\n",
+				spec.Title, scen.Phase, scen.Score, scen.Collisions, scen.Elapsed)
 			fmt.Println("\nmisconduct log:")
 			for _, ev := range mon.AlarmLog() {
 				fmt.Printf("  t=%6.1f  alarm bits %06b\n", ev.At, ev.Raised)
@@ -71,5 +81,5 @@ func run() error {
 		model.Step(in, dt)
 		eng.Step(model.State(), dt)
 	}
-	return fmt.Errorf("exam did not finish within 600 simulated seconds")
+	return fmt.Errorf("scenario did not finish within 900 simulated seconds")
 }

@@ -31,7 +31,12 @@ type outChannel struct {
 	link       *peerLink     // nil → local delivery
 	local      *Subscription // set when link == nil
 	remoteChan uint32
-	seq        uint32
+
+	// sendMu serializes sequence assignment *and* the matching deliver/send
+	// on this channel, so the per-channel delivery order always equals the
+	// sequence order even when several goroutines Update concurrently.
+	sendMu sync.Mutex
+	seq    uint32 // guarded by sendMu
 }
 
 // inChannel is the subscriber half: the binding from a channel ID to the
@@ -225,6 +230,11 @@ func (b *Backbone) noteMatchedLocked(s *Subscription) {
 // class (UPDATE ATTRIBUTE VALUE). simTime is the publisher's simulation
 // time. The attrs map is cloned before the call returns, so the caller may
 // reuse it.
+//
+// Updates on one virtual channel are delivered to the subscriber in
+// sequence (Seq) order, even when Update is called from several goroutines
+// concurrently. Ordering across different channels — different subscriber
+// LPs, or different publishers of the same class — is unspecified.
 func (p *Publication) Update(simTime float64, attrs wire.AttrSet) error {
 	_, err := p.push(simTime, attrs, false)
 	return err
@@ -245,6 +255,14 @@ func (p *Publication) SendNull(simTime float64) error {
 	return err
 }
 
+// push routes one update into every virtual channel of the class.
+//
+// Ordering guarantee: on any single virtual channel (one publisher node →
+// one subscriber LP), updates are delivered in sequence order — each
+// channel's sendMu is held across both the Seq assignment and the matching
+// deliver/send, so two concurrent Update calls cannot deliver Seq n+1
+// before Seq n. No ordering is promised *across* channels or across
+// different publishers of the same class.
 func (p *Publication) push(simTime float64, attrs wire.AttrSet, null bool) (int, error) {
 	p.mu.Lock()
 	if p.close {
@@ -261,44 +279,45 @@ func (p *Publication) push(simTime float64, attrs wire.AttrSet, null bool) (int,
 	}
 	chans := make([]*outChannel, len(b.outs[p.key.class]))
 	copy(chans, b.outs[p.key.class])
-	seqs := make([]uint32, len(chans))
-	for i, oc := range chans {
-		oc.seq++
-		seqs[i] = oc.seq
-	}
 	b.mu.Unlock()
 
 	kind := wire.KindUpdateAttrs
 	if null {
 		kind = wire.KindNull
 	}
-	for i, oc := range chans {
+	for _, oc := range chans {
+		oc.sendMu.Lock()
+		oc.seq++
+		seq := oc.seq
 		if oc.link == nil {
 			r := Reflection{
 				Class:   p.key.class,
 				PubNode: b.node,
 				PubLP:   p.key.lp,
 				Channel: oc.remoteChan,
-				Seq:     seqs[i],
+				Seq:     seq,
 				Time:    simTime,
 				Null:    null,
 				Attrs:   attrs.Clone(),
 			}
 			b.deliver(oc.local, r)
+			oc.sendMu.Unlock()
 			b.stats.UpdatesSent.Inc()
 			continue
 		}
 		f := wire.Frame{
 			Kind:    kind,
 			Channel: oc.remoteChan,
-			Seq:     seqs[i],
+			Seq:     seq,
 			Time:    simTime,
 			Node:    b.node,
 			LP:      p.key.lp,
 			Class:   p.key.class,
 			Attrs:   attrs,
 		}
-		if err := oc.link.send(f); err != nil {
+		err := oc.link.send(f)
+		oc.sendMu.Unlock()
+		if err != nil {
 			b.linkDown(oc.link)
 			continue
 		}

@@ -62,6 +62,10 @@ type Config struct {
 	HookMass  float64 // kg
 	CableDrag float64 // 1/s, linear velocity damping at hook mass
 	LatchDist float64 // m, max hook-to-cargo distance for latching
+	// WindResponse couples the hook to the site wind (SetWind): the
+	// fraction per second by which the hook's velocity relaxes toward the
+	// wind velocity, before the suspended-mass derate. 0 disables wind.
+	WindResponse float64 // 1/s
 
 	// Stability.
 	TipMomentMax float64 // N·m, load moment that fully consumes the margin
@@ -96,9 +100,10 @@ func DefaultConfig() Config {
 		CableMax:   28.0,
 		ControlLag: 0.35,
 
-		HookMass:  250,
-		CableDrag: 0.28,
-		LatchDist: 1.6,
+		HookMass:     250,
+		CableDrag:    0.28,
+		LatchDist:    1.6,
+		WindResponse: 0.35,
 
 		TipMomentMax: 9.0e5,
 	}
@@ -168,14 +173,29 @@ type Model struct {
 	hookVel   mathx.Vec3
 	cargoHeld bool
 	cargoMass float64
-	cargoPos  mathx.Vec3 // resting or carried position
+	cargoPos  mathx.Vec3 // carried or last-touched resting position
 	latchArm  bool       // debounced latch input edge
 
-	// Cargo pickup site registered by the scenario layout.
-	cargoSiteMass float64
+	// Cargo pickup sites registered by the scenario layout. The latch
+	// grabs the nearest site within LatchDist; releasing drops the cargo
+	// back as a new site where it lands. Each site keeps the stable ID it
+	// was registered with (its position in the AddCargo sequence), so the
+	// scenario engine can tell which load is on the hook.
+	sites  []cargoSite
+	heldID int64 // registration ID of the held cargo; -1 when none
+	nextID int64
+
+	wind Wind
 
 	events []Event
 	t      float64
+}
+
+// cargoSite is one resting cargo the hook can latch onto.
+type cargoSite struct {
+	id   int64
+	pos  mathx.Vec3
+	mass float64
 }
 
 // New creates a model resting at start on the given terrain, heading along
@@ -195,6 +215,7 @@ func New(cfg Config, ter *terrain.Map, start mathx.Vec3, heading float64) (*Mode
 		luff:     cfg.LuffMin,
 		boomLen:  cfg.BoomLenMin,
 		cableLen: 4.0,
+		heldID:   -1,
 	}
 	m.pos.Y = ter.HeightAt(start.X, start.Z)
 	m.pitch, m.roll = ter.Posture(m.pos.X, m.pos.Z, m.heading, cfg.Wheelbase, cfg.Track)
@@ -204,13 +225,42 @@ func New(cfg Config, ter *terrain.Map, start mathx.Vec3, heading float64) (*Mode
 	return m, nil
 }
 
-// PlaceCargo registers a cargo of the given mass resting at pos; the hook
-// latches onto it when the operator closes the latch nearby.
+// PlaceCargo registers a single cargo of the given mass resting at pos,
+// replacing any previously registered sites; the hook latches onto it when
+// the operator closes the latch nearby. Use AddCargo to register further
+// cargos for multi-lift scenarios.
 func (m *Model) PlaceCargo(pos mathx.Vec3, mass float64) {
-	m.cargoPos = pos
-	m.cargoSiteMass = mass
+	m.sites = m.sites[:0]
 	m.cargoHeld = false
 	m.cargoMass = 0
+	m.heldID = -1
+	m.nextID = 0
+	m.AddCargo(pos, mass)
+}
+
+// AddCargo registers one more resting cargo site. The latch always grabs
+// the nearest site within the latch distance. Sites are identified by
+// their registration order (0, 1, ...), matching the scenario cargo-set
+// index when the layout is installed in spec order.
+func (m *Model) AddCargo(pos mathx.Vec3, mass float64) {
+	m.sites = append(m.sites, cargoSite{id: m.nextID, pos: pos, mass: mass})
+	m.nextID++
+	if !m.cargoHeld {
+		m.cargoPos = m.restingCargoPos()
+	}
+}
+
+// restingCargoPos returns the site nearest to the hook, for publication
+// while no cargo is held.
+func (m *Model) restingCargoPos() mathx.Vec3 {
+	best := m.cargoPos
+	bestD := math.Inf(1)
+	for _, s := range m.sites {
+		if d := m.hookPos.Dist(s.pos); d < bestD {
+			best, bestD = s.pos, d
+		}
+	}
+	return best
 }
 
 // CarrierRot returns the carrier body rotation mapping body axes (forward
@@ -384,6 +434,14 @@ func (m *Model) stepPendulum(dt float64) {
 
 	m.hookVel.Y -= Gravity * dt
 	m.hookVel = m.hookVel.Sub(m.hookVel.Scale(drag * dt))
+
+	// Site wind: aerodynamic drag relaxes the hook velocity toward the
+	// wind velocity. Heavier suspended loads respond relatively less.
+	if m.cfg.WindResponse > 0 && !m.wind.IsZero() {
+		rel := m.wind.VelocityAt(m.t).Sub(m.hookVel)
+		m.hookVel = m.hookVel.Add(rel.Scale(m.cfg.WindResponse / massFactor * dt))
+	}
+
 	m.hookPos = m.hookPos.Add(m.hookVel.Scale(dt))
 
 	// Cable constraint: the hook may not be farther than cableLen from
@@ -417,6 +475,8 @@ func (m *Model) stepPendulum(dt float64) {
 
 	if m.cargoHeld {
 		m.cargoPos = m.hookPos.Sub(mathx.V3(0, 0.6, 0))
+	} else if len(m.sites) > 0 {
+		m.cargoPos = m.restingCargoPos()
 	}
 }
 
@@ -424,23 +484,42 @@ func (m *Model) stepPendulum(dt float64) {
 func (m *Model) stepLatch(in fom.ControlInput) {
 	if in.HookLatch && !m.latchArm {
 		m.latchArm = true
-		if !m.cargoHeld && m.cargoSiteMass > 0 &&
-			m.hookPos.Dist(m.cargoPos.Add(mathx.V3(0, 0.6, 0))) <= m.cfg.LatchDist {
-			m.cargoHeld = true
-			m.cargoMass = m.cargoSiteMass
-			m.events = append(m.events, EventCargoLatched)
+		if !m.cargoHeld {
+			if i, ok := m.latchableSite(); ok {
+				m.cargoHeld = true
+				m.cargoMass = m.sites[i].mass
+				m.cargoPos = m.sites[i].pos
+				m.heldID = m.sites[i].id
+				m.sites = append(m.sites[:i], m.sites[i+1:]...)
+				m.events = append(m.events, EventCargoLatched)
+			}
 		}
 	}
 	if !in.HookLatch && m.latchArm {
 		m.latchArm = false
 		if m.cargoHeld {
 			m.cargoHeld = false
-			m.cargoMass = 0
-			// The cargo drops to the ground below its release point.
+			// The cargo drops to the ground below its release point and
+			// becomes a pickup site again, keeping its identity.
 			m.cargoPos.Y = m.ter.HeightAt(m.cargoPos.X, m.cargoPos.Z) + 0.5
+			m.sites = append(m.sites, cargoSite{id: m.heldID, pos: m.cargoPos, mass: m.cargoMass})
+			m.cargoMass = 0
+			m.heldID = -1
 			m.events = append(m.events, EventCargoReleased)
 		}
 	}
+}
+
+// latchableSite returns the index of the nearest cargo site within the
+// latch distance of the hook.
+func (m *Model) latchableSite() (int, bool) {
+	best, bestD := -1, m.cfg.LatchDist
+	for i, s := range m.sites {
+		if d := m.hookPos.Dist(s.pos.Add(mathx.V3(0, 0.6, 0))); d <= bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, best >= 0
 }
 
 // Stability returns the tip-over margin in [0,1]: 1 fully stable, 0 at the
@@ -478,6 +557,7 @@ func (m *Model) State() fom.CraneState {
 		EngineOn:  m.engineOn,
 		Stability: m.Stability(),
 		CargoPos:  m.cargoPos,
+		CargoID:   m.heldID,
 	}
 }
 

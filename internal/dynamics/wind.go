@@ -1,0 +1,57 @@
+package dynamics
+
+import (
+	"math"
+
+	"codsim/internal/mathx"
+)
+
+// Wind is a deterministic site wind disturbance: a steady mean flow plus
+// periodic gusting, applied as aerodynamic drag on the suspended load. The
+// model is intentionally simple — the point is the training effect (the
+// hook drifts downwind and keeps swinging), not micro-meteorology — and it
+// is fully repeatable, so a scenario run scores the same every time.
+type Wind struct {
+	// Mean is the steady wind velocity in world space (m/s). Y is ignored.
+	Mean mathx.Vec3
+	// Gust is the peak extra speed (m/s) superimposed along and across the
+	// mean direction.
+	Gust float64
+	// Period is the gust cycle length in seconds (default 8 when gusting).
+	Period float64
+}
+
+// IsZero reports whether the wind carries no disturbance at all.
+func (w Wind) IsZero() bool {
+	return w.Mean.X == 0 && w.Mean.Z == 0 && w.Gust == 0
+}
+
+// VelocityAt returns the wind velocity at simulation time t. Gusts combine
+// two incommensurate sinusoids so the pattern does not feel like a
+// metronome, yet stays deterministic.
+func (w Wind) VelocityAt(t float64) mathx.Vec3 {
+	v := mathx.V3(w.Mean.X, 0, w.Mean.Z)
+	if w.Gust == 0 {
+		return v
+	}
+	period := w.Period
+	if period <= 0 {
+		period = 8
+	}
+	along := math.Sin(2 * math.Pi * t / period)
+	across := math.Sin(2*math.Pi*t/(period*1.73) + 1.1)
+	dir := v
+	if l := dir.Len(); l > 1e-9 {
+		dir = dir.Scale(1 / l)
+	} else {
+		dir = mathx.V3(1, 0, 0)
+	}
+	side := mathx.V3(-dir.Z, 0, dir.X)
+	return v.Add(dir.Scale(w.Gust * 0.7 * along)).Add(side.Scale(w.Gust * 0.5 * across))
+}
+
+// SetWind installs the wind disturbance; the zero value disables it.
+func (m *Model) SetWind(w Wind) { m.wind = w }
+
+// Wind returns the installed wind disturbance.
+func (m *Model) Wind() Wind { return m.wind }

@@ -160,6 +160,7 @@ const (
 	SSAttrCollisions wire.AttrID = 4 // bar collisions so far
 	SSAttrWaypoint   wire.AttrID = 5 // next waypoint index in the course
 	SSAttrMessage    wire.AttrID = 6 // operator-facing status text
+	SSAttrPhaseIndex wire.AttrID = 7 // index into the scenario's phase graph
 )
 
 // ScenarioState is the scenario module's published training state (§3.5).
@@ -170,17 +171,30 @@ type ScenarioState struct {
 	Collisions uint32
 	Waypoint   uint32
 	Message    string
+	// PhaseIndex locates the active node of the scenario's phase graph
+	// (scenario.Spec.Phases). Phase is the coarse classification of that
+	// node; PhaseIndex disambiguates scenarios with several phases of the
+	// same kind (two lifts, two traverses). Meaningless while Phase is
+	// idle, complete or failed. PhaseIndexUnknown marks telemetry from
+	// builds predating the attribute — consumers fall back to the coarse
+	// Phase then.
+	PhaseIndex uint32
 }
+
+// PhaseIndexUnknown is the PhaseIndex sentinel for telemetry that carries
+// no phase-graph index (older publishers).
+const PhaseIndexUnknown = ^uint32(0)
 
 // Encode packs the struct into an attribute set.
 func (s ScenarioState) Encode() wire.AttrSet {
-	a := make(wire.AttrSet, 6)
+	a := make(wire.AttrSet, 7)
 	a.PutUint32(SSAttrPhase, uint32(s.Phase))
 	a.PutFloat64(SSAttrScore, s.Score)
 	a.PutFloat64(SSAttrElapsed, s.Elapsed)
 	a.PutUint32(SSAttrCollisions, s.Collisions)
 	a.PutUint32(SSAttrWaypoint, s.Waypoint)
 	a.PutString(SSAttrMessage, s.Message)
+	a.PutUint32(SSAttrPhaseIndex, s.PhaseIndex)
 	return a
 }
 
@@ -207,6 +221,12 @@ func DecodeScenarioState(a wire.AttrSet) (ScenarioState, error) {
 	}
 	if s.Message, ok = a.String(SSAttrMessage); !ok {
 		return s, missing(ClassScenarioState, SSAttrMessage)
+	}
+	// PhaseIndex was added after the first FOM revision; absent means
+	// PhaseIndexUnknown so recordings and peers from older builds still
+	// decode without masquerading as phase 0.
+	if s.PhaseIndex, ok = a.Uint32(SSAttrPhaseIndex); !ok {
+		s.PhaseIndex = PhaseIndexUnknown
 	}
 	return s, nil
 }

@@ -151,14 +151,24 @@ func TestFrameMarkRoundTrip(t *testing.T) {
 }
 
 func TestDecodeMissingAttr(t *testing.T) {
-	// Removing any attribute from a full set must produce ErrMissingAttr.
+	// Removing any required attribute from a full set must produce
+	// ErrMissingAttr. CargoID was added after the first FOM revision and
+	// decodes leniently (absent → -1) so older recordings still load.
 	full := CraneState{}.Encode()
 	for id := range full {
+		if id == CSAttrCargoID {
+			continue
+		}
 		broken := full.Clone()
 		delete(broken, id)
 		if _, err := DecodeCraneState(broken); !errors.Is(err, ErrMissingAttr) {
 			t.Errorf("attr %d removed: err = %v, want ErrMissingAttr", id, err)
 		}
+	}
+	noID := full.Clone()
+	delete(noID, CSAttrCargoID)
+	if st, err := DecodeCraneState(noID); err != nil || st.CargoID != -1 {
+		t.Errorf("CargoID absent: st.CargoID=%d err=%v, want -1,<nil>", st.CargoID, err)
 	}
 	if _, err := DecodeControlInput(wire.AttrSet{}); !errors.Is(err, ErrMissingAttr) {
 		t.Errorf("empty set: %v", err)

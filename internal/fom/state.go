@@ -107,6 +107,7 @@ const (
 	CSAttrEngineOn  wire.AttrID = 15 // engine running
 	CSAttrStability wire.AttrID = 16 // tip-over margin [0,1], 1 = fully stable
 	CSAttrCargoPos  wire.AttrID = 17 // cargo world position (m)
+	CSAttrCargoID   wire.AttrID = 18 // held cargo's scenario index; -1 = none
 )
 
 // CraneState is the dynamics module's authoritative crane state (§3.6),
@@ -129,6 +130,10 @@ type CraneState struct {
 	EngineOn  bool
 	Stability float64
 	CargoPos  mathx.Vec3
+	// CargoID identifies the held cargo by its scenario cargo-set index;
+	// -1 while nothing is held, and on telemetry from builds predating
+	// the attribute (the scenario engine treats -1 as "unknown").
+	CargoID int64
 }
 
 // Encode packs the struct into an attribute set.
@@ -151,6 +156,7 @@ func (s CraneState) Encode() wire.AttrSet {
 	a.PutBool(CSAttrEngineOn, s.EngineOn)
 	a.PutFloat64(CSAttrStability, s.Stability)
 	a.PutVec3(CSAttrCargoPos, s.CargoPos.X, s.CargoPos.Y, s.CargoPos.Z)
+	a.PutInt64(CSAttrCargoID, s.CargoID)
 	return a
 }
 
@@ -208,6 +214,11 @@ func DecodeCraneState(a wire.AttrSet) (CraneState, error) {
 	}
 	if s.CargoPos.X, s.CargoPos.Y, s.CargoPos.Z, ok = a.Vec3(CSAttrCargoPos); !ok {
 		return s, missing(ClassCraneState, CSAttrCargoPos)
+	}
+	// CargoID was added after the first FOM revision; absent means -1
+	// (none/unknown) so recordings made by older builds still decode.
+	if s.CargoID, ok = a.Int64(CSAttrCargoID); !ok {
+		s.CargoID = -1
 	}
 	return s, nil
 }

@@ -66,6 +66,19 @@ func TerrainMesh(ter *terrain.Map, step float64) (*Mesh, error) {
 	return NewMesh(verts, tris, colors)
 }
 
+// SetVisibility darkens the baked scene for night or fog work: v = 1 keeps
+// full daylight, lower values dim the ambient term and the sky toward a
+// night exterior. Call it after NewSceneBuilder, before the first Frame.
+func (b *SceneBuilder) SetVisibility(v float64) {
+	v = mathx.Clamp(v, 0.05, 1)
+	b.scene.Ambient *= v
+	b.scene.Background = RGB{
+		R: uint8(float64(b.scene.Background.R) * v * 0.6),
+		G: uint8(float64(b.scene.Background.G) * v * 0.6),
+		B: uint8(float64(b.scene.Background.B) * v * 0.8),
+	}
+}
+
 // craneParts indexes the articulated crane instances inside the scene's
 // instance list, so Frame can update their transforms in place.
 type craneParts struct {

@@ -12,7 +12,7 @@ import (
 // ScoreConfig sets the exam's deduction schedule.
 type ScoreConfig struct {
 	Initial       float64 // starting score
-	BarHit        float64 // deduction per bar contact episode
+	BarHit        float64 // deduction per bar contact episode (and per drop)
 	SafetyAlarm   float64 // deduction per new safety-alarm episode
 	OvertimePer10 float64 // deduction per 10 s beyond par time
 	PassMark      float64 // minimum passing score
@@ -47,18 +47,21 @@ const (
 	EventAlarmRaised
 )
 
-// Engine is the scenario state machine. Not safe for concurrent use; it
-// belongs to the scenario LP's tick loop.
+// Engine is the scenario state machine: an interpreter over a declarative
+// Spec's phase graph. Not safe for concurrent use; it belongs to the
+// scenario LP's tick loop.
 type Engine struct {
-	course Course
-	spec   crane.Spec
-	cfg    ScoreConfig
+	spec      Spec
+	course    Course // == spec.Course, kept hot for the judge
+	craneSpec crane.Spec
+	cfg       ScoreConfig
 
-	phase      fom.Phase
+	phase      fom.Phase // coarse published phase
+	idx        int       // active phase-graph node while running
 	score      float64
 	elapsed    float64
 	collisions uint32
-	waypoint   int
+	waypoint   int // gate index within the active traverse
 	message    string
 
 	world    *collision.World
@@ -69,18 +72,23 @@ type Engine struct {
 	alarms   fom.Alarm // latched extra alarms (collision)
 }
 
-// NewEngine builds an engine for the course.
-func NewEngine(course Course, spec crane.Spec, cfg ScoreConfig) *Engine {
-	e := &Engine{
-		course: course,
-		spec:   spec,
-		cfg:    cfg,
-		phase:  fom.PhaseIdle,
-		score:  cfg.Initial,
-		barHit: make(map[string]bool, len(course.Bars)),
-		world:  &collision.World{},
+// NewEngineSpec builds an engine interpreting the scenario spec.
+func NewEngineSpec(spec Spec, craneSpec crane.Spec) (*Engine, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
 	}
-	for _, b := range course.Bars {
+	spec.Score = spec.score()
+	e := &Engine{
+		spec:      spec,
+		course:    spec.Course,
+		craneSpec: craneSpec,
+		cfg:       spec.Score,
+		phase:     fom.PhaseIdle,
+		score:     spec.Score.Initial,
+		barHit:    make(map[string]bool, len(spec.Course.Bars)),
+		world:     &collision.World{},
+	}
+	for _, b := range spec.Course.Bars {
 		obj := collision.NewObject(b.Name, collision.BoxMesh(b.Half.X, b.Half.Y, b.Half.Z))
 		obj.SetPose(b.Pos, mathx.QuatAxisAngle(mathx.V3(0, 1, 0), -b.Yaw))
 		e.world.Add(obj)
@@ -89,23 +97,41 @@ func NewEngine(course Course, spec crane.Spec, cfg ScoreConfig) *Engine {
 	e.cargoObj = collision.NewObject("cargo", collision.BoxMesh(0.9, 0.6, 0.9))
 	e.world.Add(e.hookObj)
 	e.world.Add(e.cargoObj)
-	e.message = "engine off — start the engine and drive to the test ground"
+	e.message = "engine off — start the engine and await the scenario"
+	return e, nil
+}
+
+// NewEngine builds an engine for the classic linear exam over the given
+// course geometry. For any other workload, describe it as a Spec and use
+// NewEngineSpec.
+func NewEngine(course Course, craneSpec crane.Spec, cfg ScoreConfig) *Engine {
+	spec := SpecFromCourse("exam", "Licensing exam", course)
+	spec.Score = cfg
+	e, err := NewEngineSpec(spec, craneSpec)
+	if err != nil {
+		// SpecFromCourse always yields a structurally valid spec.
+		panic(fmt.Sprintf("scenario: %v", err))
+	}
 	return e
 }
 
-// Course returns the engine's course.
+// Spec returns the engine's scenario spec.
+func (e *Engine) Spec() Spec { return e.spec }
+
+// Course returns the engine's course geometry.
 func (e *Engine) Course() Course { return e.course }
 
-// Start begins the exam (OpStartScenario).
+// Start begins the scenario (OpStartScenario).
 func (e *Engine) Start() {
 	if e.phase == fom.PhaseIdle {
-		e.setPhase(fom.PhaseDriving, "drive to the test ground")
+		e.enter(0)
 	}
 }
 
 // Reset returns the engine to the idle state with a fresh score.
 func (e *Engine) Reset() {
 	e.phase = fom.PhaseIdle
+	e.idx = 0
 	e.score = e.cfg.Initial
 	e.elapsed = 0
 	e.collisions = 0
@@ -118,9 +144,62 @@ func (e *Engine) Reset() {
 	e.message = "reset — awaiting start"
 }
 
-func (e *Engine) setPhase(p fom.Phase, msg string) {
-	e.phase = p
-	e.message = msg
+// enter activates phase-graph node i (or ends the scenario on Terminal).
+func (e *Engine) enter(i int) {
+	if i == Terminal {
+		e.finish()
+		return
+	}
+	e.idx = i
+	e.waypoint = 0
+	ps := e.spec.Phases[i]
+	e.phase = ps.Kind.FOMPhase()
+	switch ps.Kind {
+	case PhaseDrive:
+		e.message = fmt.Sprintf("drive to %s", phaseLabel(ps))
+	case PhaseLift:
+		e.message = fmt.Sprintf("lift %s", e.cargoName(ps.Cargo))
+	case PhaseTraverse:
+		e.message = fmt.Sprintf("carry the cargo through %s", phaseLabel(ps))
+	case PhasePlace:
+		e.message = fmt.Sprintf("set the cargo down at %s", phaseLabel(ps))
+	}
+}
+
+func phaseLabel(ps PhaseSpec) string {
+	if ps.Name != "" {
+		return ps.Name
+	}
+	return ps.Kind.String()
+}
+
+func (e *Engine) cargoName(i int) string {
+	if i >= 0 && i < len(e.spec.Cargos) && e.spec.Cargos[i].Name != "" {
+		return e.spec.Cargos[i].Name
+	}
+	return "the cargo"
+}
+
+// finish evaluates the terminal pass/fail verdict.
+func (e *Engine) finish() {
+	e.applyOvertime()
+	if e.score < 0 {
+		e.score = 0
+	}
+	if e.score >= e.cfg.PassMark {
+		e.phase = fom.PhaseComplete
+		e.message = fmt.Sprintf("%s passed — score %.1f", e.title(), e.score)
+	} else {
+		e.phase = fom.PhaseFailed
+		e.message = fmt.Sprintf("%s failed — score %.1f", e.title(), e.score)
+	}
+}
+
+func (e *Engine) title() string {
+	if e.spec.Title != "" {
+		return e.spec.Title
+	}
+	return "scenario"
 }
 
 // Step advances the scenario with the latest crane state and returns the
@@ -130,7 +209,7 @@ func (e *Engine) Step(st fom.CraneState, dt float64) []Event {
 	if e.phase == fom.PhaseIdle || e.phase == fom.PhaseComplete || e.phase == fom.PhaseFailed {
 		return nil
 	}
-	prevPhase := e.phase
+	prevPhase, prevIdx := e.phase, e.idx
 	e.elapsed += dt
 
 	// Collision judging runs in every active phase: move the dynamic
@@ -140,62 +219,84 @@ func (e *Engine) Step(st fom.CraneState, dt float64) []Event {
 	events = append(events, e.judgeCollisions(st)...)
 
 	// Safety-alarm deductions on rising edges.
-	al := e.spec.Alarms(st)
+	al := e.craneSpec.Alarms(st)
 	if newBits := al &^ e.lastAl; newBits != 0 {
 		e.score -= e.cfg.SafetyAlarm
 		events = append(events, Event{Kind: EventAlarmRaised, At: e.elapsed})
 	}
 	e.lastAl = al
 
-	switch e.phase {
-	case fom.PhaseDriving:
-		d := horizDist(st.Position, e.course.DriveTarget)
-		e.message = fmt.Sprintf("drive to the test ground (%.0f m to go)", d)
-		if d <= e.course.DriveRadius {
-			e.setPhase(fom.PhaseLifting, "lift the cargo from the white circle")
+	ps := e.spec.Phases[e.idx]
+	switch ps.Kind {
+	case PhaseDrive:
+		d := horizDist(st.Position, ps.Target)
+		e.message = fmt.Sprintf("drive to %s (%.0f m to go)", phaseLabel(ps), d)
+		if d <= ps.Radius {
+			e.enter(e.spec.next(e.idx))
 		}
-	case fom.PhaseLifting:
-		if st.CargoHeld {
-			e.waypoint = 0
-			e.setPhase(fom.PhaseTraverse, "carry the cargo along the bar course")
+	case PhaseLift:
+		switch {
+		case st.CargoHeld && (st.CargoID < 0 || st.CargoID == int64(ps.Cargo)):
+			// CargoID < 0 means the telemetry cannot identify the load
+			// (older builds); accept any latch then.
+			e.enter(e.spec.next(e.idx))
+		case st.CargoHeld:
+			e.message = fmt.Sprintf("that is not %s — set it down and lift %s",
+				e.cargoName(int(st.CargoID)), e.cargoName(ps.Cargo))
 		}
-	case fom.PhaseTraverse:
+	case PhaseTraverse:
 		if !st.CargoHeld {
 			// Dropped mid-course: heavy deduction, back to lifting.
 			e.score -= e.cfg.BarHit
-			e.setPhase(fom.PhaseLifting, "cargo dropped — pick it up again")
+			e.fallback()
 			break
 		}
-		wp := e.course.Waypoints[e.waypoint]
+		wp := ps.Waypoints[e.waypoint]
 		d := horizDist(st.CargoPos, wp)
-		e.message = fmt.Sprintf("waypoint %d/%d (%.1f m)", e.waypoint+1, len(e.course.Waypoints), d)
-		if d <= e.course.WaypointRadius {
+		e.message = fmt.Sprintf("waypoint %d/%d (%.1f m)", e.waypoint+1, len(ps.Waypoints), d)
+		if d <= ps.Radius {
 			e.waypoint++
-			if e.waypoint >= len(e.course.Waypoints) {
-				e.setPhase(fom.PhaseReturn, "set the cargo down in the circle")
+			if e.waypoint >= len(ps.Waypoints) {
+				e.enter(e.spec.next(e.idx))
 			}
 		}
-	case fom.PhaseReturn:
-		inCircle := horizDist(st.CargoPos, e.course.Circle) <= e.course.CircleRadius
-		if inCircle && !st.CargoHeld {
-			e.applyOvertime()
-			if e.score >= e.cfg.PassMark {
-				e.setPhase(fom.PhaseComplete, fmt.Sprintf("exam passed — score %.1f", e.score))
-			} else {
-				e.setPhase(fom.PhaseFailed, fmt.Sprintf("exam failed — score %.1f", e.score))
-			}
-		} else {
-			e.message = "lower and release the cargo inside the circle"
+	case PhasePlace:
+		d := horizDist(st.CargoPos, ps.Target)
+		switch {
+		case !st.CargoHeld && d <= ps.Radius:
+			e.enter(e.spec.next(e.idx))
+		case !st.CargoHeld:
+			// Released anywhere outside the target: that cargo is on the
+			// ground in the wrong place — deduct and re-lift.
+			e.score -= e.cfg.BarHit
+			e.fallback()
+		default:
+			e.message = fmt.Sprintf("lower and release the cargo at %s", phaseLabel(ps))
 		}
 	}
 
 	if e.score < 0 {
 		e.score = 0
 	}
-	if e.phase != prevPhase {
+	if e.phase != prevPhase || (e.running() && e.idx != prevIdx) {
 		events = append(events, Event{Kind: EventPhaseChange, At: e.elapsed})
 	}
 	return events
+}
+
+// running reports whether the engine is interpreting a phase node.
+func (e *Engine) running() bool {
+	return e.phase != fom.PhaseIdle && e.phase != fom.PhaseComplete && e.phase != fom.PhaseFailed
+}
+
+// fallback returns to the nearest preceding lift phase after a drop.
+func (e *Engine) fallback() {
+	if j, ok := e.spec.fallbackLift(e.idx); ok {
+		e.enter(j)
+		e.message = "cargo dropped — pick it up again"
+		return
+	}
+	e.message = "cargo dropped"
 }
 
 // judgeCollisions deducts score once per contact episode per bar.
@@ -231,6 +332,9 @@ func (e *Engine) judgeCollisions(fom.CraneState) []Event {
 }
 
 func (e *Engine) applyOvertime() {
+	if e.course.ParTime <= 0 {
+		return
+	}
 	if over := e.elapsed - e.course.ParTime; over > 0 {
 		e.score -= over / 10 * e.cfg.OvertimePer10
 	}
@@ -250,6 +354,7 @@ func (e *Engine) State() fom.ScenarioState {
 		Collisions: e.collisions,
 		Waypoint:   uint32(e.waypoint),
 		Message:    e.message,
+		PhaseIndex: uint32(e.idx),
 	}
 }
 
@@ -257,7 +362,7 @@ func (e *Engine) State() fom.ScenarioState {
 // window.
 func (e *Engine) ExtraAlarms() fom.Alarm { return e.alarms }
 
-// Phase returns the current phase.
+// Phase returns the current coarse phase.
 func (e *Engine) Phase() fom.Phase { return e.phase }
 
 // Score returns the current score.

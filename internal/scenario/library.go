@@ -1,0 +1,192 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"codsim/internal/dynamics"
+	"codsim/internal/mathx"
+)
+
+// The shipped scenario library. Every entry is a plain Spec — the engine
+// has no knowledge of any of them — and every entry is completable headless
+// by the trace autopilot (the library test proves it). Geometry rule of
+// thumb: all cargo work targets must keep a horizontal radius of roughly
+// 7–15 m from the parking spot so the default crane reaches them with boom
+// work alone, as in Fig. 9.
+
+// Classic is the paper's licensing exam (Fig. 8/9) expressed as a Spec.
+func Classic() Spec {
+	return SpecFromCourse("classic-exam", "Licensing exam", DefaultCourse())
+}
+
+// Advanced is the harder licensed-operator variant: six bars, heavier
+// cargo, tighter gates.
+func Advanced() Spec {
+	return SpecFromCourse("advanced-exam", "Advanced licensing exam", AdvancedCourse())
+}
+
+// baseCourse returns the shared site frame of the non-exam scenarios: the
+// default start pose and test-ground circle with no bars (each scenario
+// installs its own) and no legacy waypoint trajectory.
+func baseCourse() Course {
+	c := DefaultCourse()
+	c.Bars = nil
+	c.Waypoints = nil
+	return c
+}
+
+// wallBar builds one obstruction bar named in sequence.
+func wallBar(i int, pos, half mathx.Vec3) Bar {
+	return Bar{Name: barName(i), Pos: pos, Half: half}
+}
+
+// BlindLift hides the cargo behind a three-bar wall between the parking
+// spot and the pickup: the operator cannot see the load go down, so the
+// carry runs above the wall and lands on a pad off to the side.
+func BlindLift() Spec {
+	c := baseCourse()
+	c.CargoMass = 1800
+	c.ParTime = 360
+	for i, dz := range []float64{-3, 0, 3} {
+		c.Bars = append(c.Bars, wallBar(i,
+			c.Circle.Add(mathx.V3(3.5, 1.5, dz)),
+			mathx.V3(0.15, 1.5, 1.6)))
+	}
+	pad := c.Circle.Add(mathx.V3(-3, 0, 5))
+	return Spec{
+		Name:   "blind-lift",
+		Title:  "Blind lift behind the wall",
+		Course: c,
+		Cargos: []Cargo{{Name: "the hidden crate", Pos: c.Circle, Mass: c.CargoMass}},
+		Phases: []PhaseSpec{
+			{Name: "the test ground", Kind: PhaseDrive, Target: c.DriveTarget, Radius: c.DriveRadius},
+			{Name: "blind pick", Kind: PhaseLift, Cargo: 0},
+			{Name: "over the wall", Kind: PhaseTraverse, Radius: 2.4, Waypoints: []mathx.Vec3{
+				c.Circle.Add(mathx.V3(0, 0, 2)),
+				c.Circle.Add(mathx.V3(-2, 0, 4)),
+				pad,
+			}},
+			{Name: "the laydown pad", Kind: PhasePlace, Target: pad, Radius: 2.4},
+		},
+	}
+}
+
+// HeavyDerate is the load-chart workout: a 4.2 t block that the chart only
+// allows at short radius, carried through wide gates kept close to the
+// crane. Wander outward and the overload lamp (and its deduction) fires.
+func HeavyDerate() Spec {
+	c := baseCourse()
+	c.CargoMass = 4200
+	c.ParTime = 480
+	for i, d := range []mathx.Vec3{mathx.V3(4.5, 1.0, 4.5), mathx.V3(7.5, 1.0, -4.5)} {
+		c.Bars = append(c.Bars, wallBar(i, c.Circle.Add(d), mathx.V3(0.15, 1.0, 1.4)))
+	}
+	return Spec{
+		Name:   "heavy-derate",
+		Title:  "Heavy lift inside the load chart",
+		Course: c,
+		Cargos: []Cargo{{Name: "the 4.2 t block", Pos: c.Circle, Mass: c.CargoMass}},
+		Phases: []PhaseSpec{
+			{Name: "the test ground", Kind: PhaseDrive, Target: c.DriveTarget, Radius: c.DriveRadius},
+			{Name: "heavy pick", Kind: PhaseLift, Cargo: 0},
+			{Name: "short-radius carry", Kind: PhaseTraverse, Radius: 2.8, Waypoints: []mathx.Vec3{
+				c.Circle.Add(mathx.V3(3, 0, 3)),
+				c.Circle.Add(mathx.V3(6, 0, -3)),
+				c.Circle.Add(mathx.V3(9, 0, 0)),
+			}},
+			{Name: "the circle", Kind: PhasePlace, Target: c.Circle, Radius: 3.5},
+		},
+	}
+}
+
+// WindyLift runs the bar course in a gusting cross-wind: the suspended
+// load drifts downwind and keeps swinging, so the operator must lead the
+// gates instead of aiming at them.
+func WindyLift() Spec {
+	c := baseCourse()
+	c.CargoMass = 1500
+	c.ParTime = 480
+	for i, dx := range []float64{3, 6, 9} {
+		c.Bars = append(c.Bars, wallBar(i,
+			c.Circle.Add(mathx.V3(dx, 1.2, 0)),
+			mathx.V3(0.15, 1.2, 1.5)))
+	}
+	return Spec{
+		Name:   "windy-lift",
+		Title:  "Windy-day lift",
+		Course: c,
+		Cargos: []Cargo{{Name: "the swinging crate", Pos: c.Circle, Mass: c.CargoMass}},
+		Wind:   dynamics.Wind{Mean: mathx.V3(3.2, 0, 2.4), Gust: 2.8, Period: 7},
+		Phases: []PhaseSpec{
+			{Name: "the test ground", Kind: PhaseDrive, Target: c.DriveTarget, Radius: c.DriveRadius},
+			{Name: "windy pick", Kind: PhaseLift, Cargo: 0},
+			{Name: "the gusty gates", Kind: PhaseTraverse, Radius: 2.6, Waypoints: []mathx.Vec3{
+				c.Circle.Add(mathx.V3(1.5, 0, 3.2)),
+				c.Circle.Add(mathx.V3(4.5, 0, -3.2)),
+				c.Circle.Add(mathx.V3(7.5, 0, 3.2)),
+				c.Circle.Add(mathx.V3(10.5, 0, 0)),
+			}},
+			{Name: "the circle", Kind: PhasePlace, Target: c.Circle, Radius: 3.0},
+		},
+	}
+}
+
+// NightPrecision is low-visibility precision placement: set the load on a
+// small pad, then bring it back to the circle — a phase graph with two
+// lifts and two placements of the same cargo.
+func NightPrecision() Spec {
+	c := baseCourse()
+	c.CargoMass = 1200
+	c.ParTime = 540
+	for i, d := range []mathx.Vec3{mathx.V3(4.5, 1.2, 3), mathx.V3(7, 1.2, -3)} {
+		c.Bars = append(c.Bars, wallBar(i, c.Circle.Add(d), mathx.V3(0.15, 1.2, 1.4)))
+	}
+	pad := c.Circle.Add(mathx.V3(9, 0, 1))
+	return Spec{
+		Name:       "night-precision",
+		Title:      "Night precision placement",
+		Course:     c,
+		Visibility: 0.25,
+		Cargos:     []Cargo{{Name: "the pallet", Pos: c.Circle, Mass: c.CargoMass}},
+		Phases: []PhaseSpec{
+			{Name: "the test ground", Kind: PhaseDrive, Target: c.DriveTarget, Radius: c.DriveRadius},
+			{Name: "night pick", Kind: PhaseLift, Cargo: 0},
+			{Name: "out to the pad", Kind: PhaseTraverse, Radius: 1.7, Waypoints: []mathx.Vec3{
+				c.Circle.Add(mathx.V3(3, 0, 2.5)),
+				c.Circle.Add(mathx.V3(6, 0, -2.5)),
+			}},
+			{Name: "the small pad", Kind: PhasePlace, Target: pad, Radius: 1.8},
+			{Name: "re-pick", Kind: PhaseLift, Cargo: 0},
+			{Name: "back home", Kind: PhaseTraverse, Radius: 1.7, Waypoints: []mathx.Vec3{
+				c.Circle.Add(mathx.V3(6, 0, 2.5)),
+				c.Circle.Add(mathx.V3(3, 0, -2.5)),
+			}},
+			{Name: "the circle", Kind: PhasePlace, Target: c.Circle, Radius: 2.0},
+		},
+	}
+}
+
+// Library returns every shipped scenario, sorted by name.
+func Library() []Spec {
+	specs := []Spec{
+		Classic(),
+		Advanced(),
+		BlindLift(),
+		HeavyDerate(),
+		WindyLift(),
+		NightPrecision(),
+	}
+	sort.Slice(specs, func(i, j int) bool { return specs[i].Name < specs[j].Name })
+	return specs
+}
+
+// ByName finds a shipped scenario by its library key.
+func ByName(name string) (Spec, error) {
+	for _, s := range Library() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("scenario: unknown scenario %q", name)
+}

@@ -1,0 +1,252 @@
+package scenario
+
+import (
+	"fmt"
+
+	"codsim/internal/dynamics"
+	"codsim/internal/fom"
+	"codsim/internal/mathx"
+	"codsim/internal/terrain"
+)
+
+// PhaseKind classifies one node of a scenario's phase graph. The engine
+// interprets the kind; the FOM's coarse fom.Phase published on the wire is
+// derived from it, so existing consumers (status window, audio, displays)
+// keep working for any scenario.
+type PhaseKind int
+
+// Phase kinds. Values start at 1; 0 is invalid.
+const (
+	// PhaseDrive: drive the carrier to Target within Radius.
+	PhaseDrive PhaseKind = iota + 1
+	// PhaseLift: latch and raise the cargo indexed by Cargo.
+	PhaseLift
+	// PhaseTraverse: carry the held cargo through Waypoints (gate radius
+	// Radius); dropping the cargo falls back to the preceding lift.
+	PhaseTraverse
+	// PhasePlace: set the held cargo down and release it within Radius of
+	// Target.
+	PhasePlace
+)
+
+var phaseKindNames = map[PhaseKind]string{
+	PhaseDrive:    "drive",
+	PhaseLift:     "lift",
+	PhaseTraverse: "traverse",
+	PhasePlace:    "place",
+}
+
+// String returns the lowercase kind name.
+func (k PhaseKind) String() string {
+	if s, ok := phaseKindNames[k]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// FOMPhase maps the kind onto the coarse wire-level phase enum.
+func (k PhaseKind) FOMPhase() fom.Phase {
+	switch k {
+	case PhaseDrive:
+		return fom.PhaseDriving
+	case PhaseLift:
+		return fom.PhaseLifting
+	case PhaseTraverse:
+		return fom.PhaseTraverse
+	case PhasePlace:
+		return fom.PhaseReturn
+	}
+	return fom.PhaseIdle
+}
+
+// PhaseSpec is one node of the phase graph.
+type PhaseSpec struct {
+	Name string // short label for logs and reports
+	Kind PhaseKind
+
+	// Target and Radius parameterize drive and place phases; Radius is
+	// also the gate radius of a traverse.
+	Target mathx.Vec3
+	Radius float64
+
+	// Waypoints is the trajectory of a traverse phase.
+	Waypoints []mathx.Vec3
+
+	// Cargo indexes Spec.Cargos for a lift phase.
+	Cargo int
+
+	// Next is the phase index entered when this phase completes. The zero
+	// value means "the next phase in the list" (so plain linear scenarios
+	// need no wiring); Terminal ends the scenario with pass/fail
+	// evaluation. Explicit jumps to phase 0 are not representable — phase
+	// 0 is always the entry node.
+	Next int
+}
+
+// Terminal is the Next sentinel that ends the scenario after a phase.
+const Terminal = -1
+
+// Cargo is one liftable load placed in the world at scenario start.
+type Cargo struct {
+	Name string
+	Pos  mathx.Vec3 // resting position; Y is recomputed from the terrain
+	Mass float64    // kg
+}
+
+// Spec is a complete declarative scenario: the engine interprets it, the
+// autopilot can fly it, and the cluster loads it — nothing about a
+// particular workload is hardcoded anywhere else.
+type Spec struct {
+	// Name is the library key (kebab-case); Title the human heading.
+	Name  string
+	Title string
+
+	// Course is the site geometry: start pose, obstruction bars, and the
+	// circle zone. Phase targets live in Phases, not here.
+	Course Course
+
+	// Cargos are the liftable loads placed at scenario start.
+	Cargos []Cargo
+
+	// Phases is the phase graph, entered at index 0.
+	Phases []PhaseSpec
+
+	// Score is the deduction schedule; the zero value means DefaultScore.
+	Score ScoreConfig
+
+	// Wind is the site wind disturbance threaded into the dynamics.
+	Wind dynamics.Wind
+
+	// Visibility darkens the displays: 1 (or 0, the zero value) is full
+	// daylight, lower values approach night work.
+	Visibility float64
+}
+
+// Validate reports structural errors in the spec.
+//
+// The "preceding lift" requirement on traverse and place nodes is checked
+// in list order, deliberately matching the drop edge's runtime semantics:
+// fallbackLift scans the phase LIST backwards from the active node, not
+// the Next-graph, so a lift that only precedes a traverse via Next jumps
+// would still leave the drop edge with nowhere to go (a per-tick
+// deduction loop). List order is therefore the invariant that makes every
+// reachable drop recoverable, whatever the jump structure.
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario %q: empty name", s.Title)
+	}
+	if len(s.Phases) == 0 {
+		return fmt.Errorf("scenario %s: no phases", s.Name)
+	}
+	liftSeen := false
+	for i, p := range s.Phases {
+		switch p.Kind {
+		case PhaseDrive:
+			if p.Radius <= 0 {
+				return fmt.Errorf("scenario %s: phase %d (%s): radius %v", s.Name, i, p.Kind, p.Radius)
+			}
+		case PhasePlace:
+			if p.Radius <= 0 {
+				return fmt.Errorf("scenario %s: phase %d (%s): radius %v", s.Name, i, p.Kind, p.Radius)
+			}
+			// The drop edge falls back to the nearest preceding lift;
+			// without one the engine would deduct every tick forever.
+			if !liftSeen {
+				return fmt.Errorf("scenario %s: phase %d: place with no preceding lift", s.Name, i)
+			}
+		case PhaseLift:
+			if p.Cargo < 0 || p.Cargo >= len(s.Cargos) {
+				return fmt.Errorf("scenario %s: phase %d: cargo index %d of %d", s.Name, i, p.Cargo, len(s.Cargos))
+			}
+			liftSeen = true
+		case PhaseTraverse:
+			if len(p.Waypoints) == 0 {
+				return fmt.Errorf("scenario %s: phase %d: traverse without waypoints", s.Name, i)
+			}
+			if p.Radius <= 0 {
+				return fmt.Errorf("scenario %s: phase %d: gate radius %v", s.Name, i, p.Radius)
+			}
+			if !liftSeen {
+				return fmt.Errorf("scenario %s: phase %d: traverse with no preceding lift", s.Name, i)
+			}
+		default:
+			return fmt.Errorf("scenario %s: phase %d: unknown kind %d", s.Name, i, p.Kind)
+		}
+		if p.Next != 0 && p.Next != Terminal && (p.Next <= 0 || p.Next >= len(s.Phases)) {
+			return fmt.Errorf("scenario %s: phase %d: next %d out of graph", s.Name, i, p.Next)
+		}
+	}
+	if s.Visibility < 0 || s.Visibility > 1 {
+		return fmt.Errorf("scenario %s: visibility %v", s.Name, s.Visibility)
+	}
+	return nil
+}
+
+// next resolves the successor of phase i: the explicit Next, or the
+// following list entry, or Terminal past the end.
+func (s Spec) next(i int) int {
+	p := s.Phases[i]
+	if p.Next != 0 {
+		return p.Next
+	}
+	if i+1 >= len(s.Phases) {
+		return Terminal
+	}
+	return i + 1
+}
+
+// fallbackLift returns the nearest lift phase at or before i — where a
+// traverse or place returns after the cargo is dropped. ok is false when
+// no lift precedes i.
+func (s Spec) fallbackLift(i int) (int, bool) {
+	for j := i; j >= 0; j-- {
+		if s.Phases[j].Kind == PhaseLift {
+			return j, true
+		}
+	}
+	return 0, false
+}
+
+// score returns the spec's deduction schedule, defaulted.
+func (s Spec) score() ScoreConfig {
+	if s.Score == (ScoreConfig{}) {
+		return DefaultScore()
+	}
+	return s.Score
+}
+
+// Install loads the spec's physical side into a dynamics model: the wind
+// disturbance and the cargo set, each cargo resting on the terrain. Every
+// host of a scenario (the sim PC, the headless runner, the examples) goes
+// through here so the resting-height convention lives in one place.
+func (s Spec) Install(m *dynamics.Model, ter *terrain.Map) {
+	m.SetWind(s.Wind)
+	for i, c := range s.Cargos {
+		pos := c.Pos
+		pos.Y = ter.HeightAt(pos.X, pos.Z) + 0.6
+		if i == 0 {
+			m.PlaceCargo(pos, c.Mass) // clears any previous site set
+		} else {
+			m.AddCargo(pos, c.Mass)
+		}
+	}
+}
+
+// SpecFromCourse builds the classic linear exam graph — drive, lift,
+// traverse, place back in the circle — from course geometry, preserving
+// the original hardwired sequence as just another data point in the
+// scenario space.
+func SpecFromCourse(name, title string, c Course) Spec {
+	return Spec{
+		Name:   name,
+		Title:  title,
+		Course: c,
+		Cargos: []Cargo{{Name: "cargo", Pos: c.Circle, Mass: c.CargoMass}},
+		Phases: []PhaseSpec{
+			{Name: "approach", Kind: PhaseDrive, Target: c.DriveTarget, Radius: c.DriveRadius},
+			{Name: "lift", Kind: PhaseLift, Cargo: 0},
+			{Name: "course", Kind: PhaseTraverse, Waypoints: c.Waypoints, Radius: c.WaypointRadius},
+			{Name: "set-down", Kind: PhasePlace, Target: c.Circle, Radius: c.CircleRadius},
+		},
+	}
+}

@@ -1,0 +1,241 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"codsim/internal/crane"
+	"codsim/internal/fom"
+	"codsim/internal/mathx"
+)
+
+func TestSpecValidate(t *testing.T) {
+	base := SpecFromCourse("t", "T", DefaultCourse())
+	if err := base.Validate(); err != nil {
+		t.Fatalf("classic spec invalid: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+		want   string
+	}{
+		{"empty name", func(s *Spec) { s.Name = "" }, "empty name"},
+		{"no phases", func(s *Spec) { s.Phases = nil }, "no phases"},
+		{"bad cargo index", func(s *Spec) { s.Phases[1].Cargo = 5 }, "cargo index"},
+		{"traverse without waypoints", func(s *Spec) { s.Phases[2].Waypoints = nil }, "without waypoints"},
+		{"zero drive radius", func(s *Spec) { s.Phases[0].Radius = 0 }, "radius"},
+		{"unknown kind", func(s *Spec) { s.Phases[0].Kind = 99 }, "unknown kind"},
+		{"next out of graph", func(s *Spec) { s.Phases[0].Next = 17 }, "out of graph"},
+		{"bad visibility", func(s *Spec) { s.Visibility = 1.5 }, "visibility"},
+		// A traverse or place with no lift before it would make the drop
+		// edge deduct every tick forever — Validate must reject it.
+		{"traverse before any lift", func(s *Spec) {
+			s.Phases = []PhaseSpec{s.Phases[0], s.Phases[2]}
+		}, "no preceding lift"},
+		{"place before any lift", func(s *Spec) {
+			s.Phases = []PhaseSpec{s.Phases[0], s.Phases[3]}
+		}, "no preceding lift"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := SpecFromCourse("t", "T", DefaultCourse())
+			tc.mutate(&s)
+			err := s.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Validate() = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestSpecGraphResolution(t *testing.T) {
+	s := SpecFromCourse("t", "T", DefaultCourse())
+	if got := s.next(0); got != 1 {
+		t.Errorf("next(0) = %d", got)
+	}
+	if got := s.next(len(s.Phases) - 1); got != Terminal {
+		t.Errorf("next(last) = %d, want Terminal", got)
+	}
+	s.Phases[1].Next = 3
+	if got := s.next(1); got != 3 {
+		t.Errorf("explicit next = %d", got)
+	}
+	s.Phases[2].Next = Terminal
+	if got := s.next(2); got != Terminal {
+		t.Errorf("explicit terminal = %d", got)
+	}
+
+	if j, ok := s.fallbackLift(3); !ok || j != 1 {
+		t.Errorf("fallbackLift(3) = %d,%v", j, ok)
+	}
+	if _, ok := s.fallbackLift(0); ok {
+		t.Error("fallback before any lift should report !ok")
+	}
+}
+
+func TestPhaseKindFOMMapping(t *testing.T) {
+	want := map[PhaseKind]fom.Phase{
+		PhaseDrive:    fom.PhaseDriving,
+		PhaseLift:     fom.PhaseLifting,
+		PhaseTraverse: fom.PhaseTraverse,
+		PhasePlace:    fom.PhaseReturn,
+	}
+	for k, p := range want {
+		if got := k.FOMPhase(); got != p {
+			t.Errorf("%v -> %v, want %v", k, got, p)
+		}
+	}
+	if PhaseKind(99).FOMPhase() != fom.PhaseIdle {
+		t.Error("unknown kind should map to idle")
+	}
+}
+
+// TestEngineInterpretsGraph drives a two-lift graph through the engine with
+// synthetic crane states: lift A, place A on the pad, re-lift, place home.
+func TestEngineInterpretsGraph(t *testing.T) {
+	c := DefaultCourse()
+	c.Bars = nil
+	pad := c.Circle.Add(mathx.V3(9, 0, 1))
+	spec := Spec{
+		Name:   "graph",
+		Title:  "Graph walk",
+		Course: c,
+		Cargos: []Cargo{{Name: "crate", Pos: c.Circle, Mass: 1000}},
+		Phases: []PhaseSpec{
+			{Name: "park", Kind: PhaseDrive, Target: c.DriveTarget, Radius: c.DriveRadius},
+			{Name: "pick", Kind: PhaseLift, Cargo: 0},
+			{Name: "out", Kind: PhasePlace, Target: pad, Radius: 2},
+			{Name: "re-pick", Kind: PhaseLift, Cargo: 0},
+			{Name: "home", Kind: PhasePlace, Target: c.Circle, Radius: 2},
+		},
+	}
+	e, err := NewEngineSpec(spec, crane.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+
+	at := func(cargo mathx.Vec3, held bool) fom.CraneState {
+		st := stateAt(c.DriveTarget)
+		st.CargoPos = cargo
+		st.CargoHeld = held
+		return st
+	}
+
+	e.Step(at(c.Circle, false), 0.1) // parked → pick
+	if got := e.State(); got.Phase != fom.PhaseLifting || got.PhaseIndex != 1 {
+		t.Fatalf("after park: %v idx=%d", got.Phase, got.PhaseIndex)
+	}
+	e.Step(at(c.Circle, true), 0.1) // latched → out
+	if got := e.State(); got.Phase != fom.PhaseReturn || got.PhaseIndex != 2 {
+		t.Fatalf("after pick: %v idx=%d", got.Phase, got.PhaseIndex)
+	}
+	e.Step(at(pad, false), 0.1) // released on pad → re-pick
+	if got := e.State(); got.Phase != fom.PhaseLifting || got.PhaseIndex != 3 {
+		t.Fatalf("after out: %v idx=%d", got.Phase, got.PhaseIndex)
+	}
+	e.Step(at(pad, true), 0.1) // latched again → home
+	if got := e.State(); got.Phase != fom.PhaseReturn || got.PhaseIndex != 4 {
+		t.Fatalf("after re-pick: %v idx=%d", got.Phase, got.PhaseIndex)
+	}
+	e.Step(at(c.Circle, false), 0.1) // released home → terminal
+	if got := e.State(); got.Phase != fom.PhaseComplete {
+		t.Fatalf("terminal: %v (%q)", got.Phase, got.Message)
+	}
+}
+
+// TestEngineLiftChecksCargoIdentity pins the multi-cargo lift gate: a
+// lift phase only completes when the latched load is the one it names
+// (telemetry that cannot identify the load, CargoID < 0, is accepted).
+func TestEngineLiftChecksCargoIdentity(t *testing.T) {
+	c := DefaultCourse()
+	c.Bars = nil
+	decoyPos := c.Circle.Add(mathx.V3(-4, 0, -4))
+	spec := Spec{
+		Name:   "identity",
+		Title:  "Identity",
+		Course: c,
+		Cargos: []Cargo{
+			{Name: "the decoy", Pos: decoyPos, Mass: 500},
+			{Name: "the target", Pos: c.Circle, Mass: 1500},
+		},
+		Phases: []PhaseSpec{
+			{Name: "park", Kind: PhaseDrive, Target: c.DriveTarget, Radius: c.DriveRadius},
+			{Name: "pick", Kind: PhaseLift, Cargo: 1},
+			{Name: "home", Kind: PhasePlace, Target: c.Circle, Radius: 3},
+		},
+	}
+	e, err := NewEngineSpec(spec, crane.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	st := stateAt(c.DriveTarget)
+	e.Step(st, 0.1) // parked → pick
+
+	st.CargoHeld = true
+	st.CargoID = 0 // latched the decoy
+	e.Step(st, 0.1)
+	if got := e.State(); got.Phase != fom.PhaseLifting {
+		t.Fatalf("decoy latch advanced the graph: %v", got.Phase)
+	}
+	if msg := e.State().Message; !strings.Contains(msg, "the decoy") {
+		t.Errorf("wrong-cargo message = %q", msg)
+	}
+
+	st.CargoID = 1 // the right load
+	e.Step(st, 0.1)
+	if got := e.State(); got.Phase != fom.PhaseReturn {
+		t.Fatalf("target latch did not advance: %v", got.Phase)
+	}
+
+	// Legacy telemetry (no cargo identity) is accepted.
+	e2, _ := NewEngineSpec(spec, crane.DefaultSpec())
+	e2.Start()
+	st2 := stateAt(c.DriveTarget)
+	e2.Step(st2, 0.1)
+	st2.CargoHeld = true
+	st2.CargoID = -1
+	e2.Step(st2, 0.1)
+	if got := e2.State(); got.Phase != fom.PhaseReturn {
+		t.Fatalf("legacy latch did not advance: %v", got.Phase)
+	}
+}
+
+// TestEnginePlaceDropFallback pins the drop edge: releasing the cargo far
+// from the place target deducts and falls back to the preceding lift.
+func TestEnginePlaceDropFallback(t *testing.T) {
+	c := DefaultCourse()
+	c.Bars = nil
+	spec := SpecFromCourse("drop", "Drop", c)
+	e, err := NewEngineSpec(spec, crane.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	st := stateAt(c.DriveTarget)
+	e.Step(st, 0.1) // → lift
+	st.CargoHeld = true
+	e.Step(st, 0.1) // → traverse
+	// Fly all gates.
+	for _, wp := range spec.Phases[2].Waypoints {
+		st.CargoPos = wp.Add(mathx.V3(0, 6, 0))
+		st.HookPos = st.CargoPos
+		e.Step(st, 1)
+	}
+	if e.State().Phase != fom.PhaseReturn {
+		t.Fatalf("not in place: %v", e.State().Phase)
+	}
+	before := e.Score()
+	// Drop far outside the circle.
+	st.CargoPos = c.Circle.Add(mathx.V3(20, 0, 0))
+	st.CargoHeld = false
+	e.Step(st, 0.1)
+	if got := e.State(); got.Phase != fom.PhaseLifting {
+		t.Fatalf("after far drop: %v", got.Phase)
+	}
+	if e.Score() >= before {
+		t.Error("far drop cost nothing")
+	}
+}

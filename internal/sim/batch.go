@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"codsim/internal/fom"
+	"codsim/internal/scenario"
+	"codsim/internal/trace"
+)
+
+// BatchConfig tunes a batch run.
+type BatchConfig struct {
+	// Base is the cluster template for every federation. Its LAN must be
+	// nil (each run gets a private in-memory LAN) and its Scenario field
+	// is ignored; Autopilot and AutoStart are forced on. Unused when
+	// Headless is set.
+	Base Config
+	// Parallel caps how many runs execute concurrently. Default for
+	// federations: max(1, NumCPU/4) — a full federation is eight busy
+	// virtual computers, so oversubscribing stalls the paced LP loops.
+	// Default for headless runs: NumCPU (they are plain CPU-bound loops).
+	Parallel int
+	// Timeout bounds each federation's wall-clock run; default 120 s.
+	// Headless runs are bounded in simulation time instead (three par
+	// times, at least 900 sim-seconds) — they finish in a fraction of
+	// real time, so a wall clock would be the wrong budget.
+	Timeout time.Duration
+	// Headless skips the federation and couples dynamics, engine and
+	// autopilot directly (trace.Run) — the fast path for smoke sweeps.
+	Headless bool
+}
+
+// BatchResult is one scenario's outcome in a batch.
+type BatchResult struct {
+	Scenario string
+	Title    string
+	State    fom.ScenarioState
+	Passed   bool
+	Err      error
+	Wall     time.Duration
+}
+
+// RunBatch executes one full federation per scenario spec, Parallel at a
+// time, and reports per-scenario outcomes in input order. This is the
+// cluster-scale counterpart of trace.Run: every run boots the whole
+// eight-computer COD — displays, sync server, dashboard, motion,
+// instructor, sim PC — on its own in-memory LAN, drives the scenario with
+// the autopilot, and waits for the terminal phase.
+func RunBatch(specs []scenario.Spec, cfg BatchConfig) []BatchResult {
+	if cfg.Parallel <= 0 {
+		if cfg.Headless {
+			cfg.Parallel = runtime.NumCPU()
+		} else {
+			cfg.Parallel = runtime.NumCPU() / 4
+		}
+		if cfg.Parallel < 1 {
+			cfg.Parallel = 1
+		}
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 120 * time.Second
+	}
+	run := runOne
+	if cfg.Headless {
+		run = runOneHeadless
+	}
+
+	results := make([]BatchResult, len(specs))
+	sem := make(chan struct{}, cfg.Parallel)
+	var wg sync.WaitGroup
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = run(specs[i], cfg)
+		}(i)
+	}
+	wg.Wait()
+	return results
+}
+
+// runOneHeadless executes one spec without a federation, budgeted in
+// simulation time from the scenario's own par time.
+func runOneHeadless(spec scenario.Spec, _ BatchConfig) (res BatchResult) {
+	res = BatchResult{Scenario: spec.Name, Title: spec.Title}
+	start := time.Now()
+	defer func() { res.Wall = time.Since(start) }()
+
+	maxSim := 3 * spec.Course.ParTime
+	if maxSim < 900 {
+		maxSim = 900
+	}
+	r, err := trace.Run(spec, maxSim)
+	res.State = r.State
+	res.Passed = r.Passed
+	res.Err = err
+	return res
+}
+
+// runOne boots one federation for the spec and runs it to a verdict.
+func runOne(spec scenario.Spec, cfg BatchConfig) (res BatchResult) {
+	res = BatchResult{Scenario: spec.Name, Title: spec.Title}
+	start := time.Now()
+	defer func() { res.Wall = time.Since(start) }()
+
+	ccfg := cfg.Base
+	ccfg.LAN = nil // private segment per federation
+	ccfg.Scenario = &spec
+	ccfg.Autopilot = true
+	ccfg.AutoStart = true
+
+	cluster, err := New(ccfg)
+	if err != nil {
+		res.Err = fmt.Errorf("build: %w", err)
+		return res
+	}
+	defer cluster.Stop()
+	if err := cluster.Start(); err != nil {
+		res.Err = fmt.Errorf("start: %w", err)
+		return res
+	}
+	state, err := cluster.WaitExam(cfg.Timeout)
+	res.State = state
+	res.Err = err
+	res.Passed = err == nil && state.Phase == fom.PhaseComplete
+	return res
+}
+
+// WriteBatchReport renders the score/pass-rate table for a finished batch.
+func WriteBatchReport(w io.Writer, results []BatchResult) {
+	fmt.Fprintf(w, "%-18s %-34s %8s %8s %8s  %s\n",
+		"SCENARIO", "TITLE", "SCORE", "SIM-SEC", "WALL", "VERDICT")
+	passed := 0
+	for _, r := range results {
+		verdict := "FAIL"
+		switch {
+		case r.Err != nil:
+			verdict = "ERROR: " + r.Err.Error()
+		case r.Passed:
+			verdict = "pass"
+			passed++
+		}
+		fmt.Fprintf(w, "%-18s %-34s %8.1f %8.1f %7.1fs  %s\n",
+			r.Scenario, r.Title, r.State.Score, r.State.Elapsed,
+			r.Wall.Seconds(), verdict)
+	}
+	rate := 0.0
+	if len(results) > 0 {
+		rate = float64(passed) / float64(len(results)) * 100
+	}
+	fmt.Fprintf(w, "pass rate: %d/%d (%.0f%%)\n", passed, len(results), rate)
+}

@@ -29,20 +29,19 @@ func (c *Cluster) runner(name string, hz float64, fn lp.TickFunc) error {
 
 // buildSimPC hosts the dynamics, scenario and audio LPs on one computer
 // (§2.1: one or many LPs can run on a computer).
-func (c *Cluster) buildSimPC(ter *terrain.Map, course scenario.Course) error {
+func (c *Cluster) buildSimPC(ter *terrain.Map, spec scenario.Spec) error {
 	b, err := c.backbone(NodeSim)
 	if err != nil {
 		return err
 	}
 
 	// --- Dynamics LP (60 Hz) ---
+	course := spec.Course
 	model, err := dynamics.New(dynamics.DefaultConfig(), ter, course.Start, course.StartYaw)
 	if err != nil {
 		return fmt.Errorf("sim: dynamics: %w", err)
 	}
-	cargoPos := course.Circle
-	cargoPos.Y = ter.HeightAt(cargoPos.X, cargoPos.Z) + 0.6
-	model.PlaceCargo(cargoPos, course.CargoMass)
+	spec.Install(model, ter)
 
 	statePub, err := b.PublishObjectClass("dynamics", fom.ClassCraneState)
 	if err != nil {
@@ -106,7 +105,10 @@ func (c *Cluster) buildSimPC(ter *terrain.Map, course scenario.Course) error {
 	}
 
 	// --- Scenario LP (30 Hz) ---
-	eng := scenario.NewEngine(course, crane.DefaultSpec(), scenario.DefaultScore())
+	eng, err := scenario.NewEngineSpec(spec, crane.DefaultSpec())
+	if err != nil {
+		return fmt.Errorf("sim: scenario: %w", err)
+	}
 	if c.cfg.AutoStart {
 		eng.Start()
 	}
@@ -209,7 +211,7 @@ func (c *Cluster) buildSimPC(ter *terrain.Map, course scenario.Course) error {
 }
 
 // buildDashboard hosts the dashboard LP: operator input → ControlInput.
-func (c *Cluster) buildDashboard(course scenario.Course) error {
+func (c *Cluster) buildDashboard(spec scenario.Spec) error {
 	b, err := c.backbone(NodeDashboard)
 	if err != nil {
 		return err
@@ -235,7 +237,7 @@ func (c *Cluster) buildDashboard(course scenario.Course) error {
 	}
 	var ap *trace.Autopilot
 	if c.cfg.Autopilot {
-		ap = trace.NewAutopilot(course)
+		ap = trace.New(spec)
 	}
 	var lastState fom.CraneState
 	var lastScen fom.ScenarioState

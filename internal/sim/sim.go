@@ -59,7 +59,12 @@ type Config struct {
 	// RenderFrames caps how many frames each display renders; 0 = until
 	// Stop.
 	RenderFrames int
-	// Autopilot drives the exam when true; otherwise the dashboard
+	// Scenario selects the workload the cluster loads; nil runs the
+	// classic licensing exam. Any scenario.Spec works: the scenario LP
+	// interprets its phase graph, the dynamics LP hosts its cargo set and
+	// wind, and the displays apply its visibility.
+	Scenario *scenario.Spec
+	// Autopilot drives the scenario when true; otherwise the dashboard
 	// publishes neutral controls.
 	Autopilot bool
 	// AutoStart arms the scenario immediately.
@@ -157,21 +162,27 @@ func New(cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sim: terrain: %w", err)
 	}
-	course := scenario.DefaultCourse()
+	spec := scenario.Classic()
+	if cfg.Scenario != nil {
+		spec = *cfg.Scenario
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
 
 	if err := c.buildSyncServer(); err != nil {
 		c.teardown()
 		return nil, err
 	}
-	if err := c.buildDisplays(ter, course); err != nil {
+	if err := c.buildDisplays(ter, spec); err != nil {
 		c.teardown()
 		return nil, err
 	}
-	if err := c.buildSimPC(ter, course); err != nil {
+	if err := c.buildSimPC(ter, spec); err != nil {
 		c.teardown()
 		return nil, err
 	}
-	if err := c.buildDashboard(course); err != nil {
+	if err := c.buildDashboard(spec); err != nil {
 		c.teardown()
 		return nil, err
 	}
@@ -379,7 +390,8 @@ func (c *Cluster) buildSyncServer() error {
 }
 
 // buildDisplays sets up the display computers with their surround cameras.
-func (c *Cluster) buildDisplays(ter *terrain.Map, course scenario.Course) error {
+func (c *Cluster) buildDisplays(ter *terrain.Map, spec scenario.Spec) error {
+	course := spec.Course
 	obstacles := make([]render.Obstacle, 0, len(course.Bars))
 	for _, bar := range course.Bars {
 		obstacles = append(obstacles, render.Obstacle{
@@ -402,6 +414,9 @@ func (c *Cluster) buildDisplays(ter *terrain.Map, course scenario.Course) error 
 		builder, err := render.NewSceneBuilder(ter, obstacles, c.cfg.Polygons)
 		if err != nil {
 			return fmt.Errorf("sim: scene %d: %w", i+1, err)
+		}
+		if spec.Visibility > 0 && spec.Visibility < 1 {
+			builder.SetVisibility(spec.Visibility)
 		}
 		rend, err := render.NewRenderer(c.cfg.Width, c.cfg.Height)
 		if err != nil {

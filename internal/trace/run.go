@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"fmt"
+
+	"codsim/internal/crane"
+	"codsim/internal/dynamics"
+	"codsim/internal/fom"
+	"codsim/internal/scenario"
+	"codsim/internal/terrain"
+)
+
+// RunResult reports one headless scenario run.
+type RunResult struct {
+	Scenario string
+	State    fom.ScenarioState // terminal scenario state
+	SimTime  float64           // simulated seconds consumed
+	Passed   bool
+}
+
+// Run executes a scenario spec headless — dynamics, engine and autopilot
+// coupled directly at 60 Hz, no federation — until the scenario reaches a
+// terminal phase or maxSim simulated seconds elapse. This is the fast path
+// for regression tables and batch smoke runs; the cluster path in package
+// sim runs the same spec across the full federation.
+func Run(spec scenario.Spec, maxSim float64) (RunResult, error) {
+	res := RunResult{Scenario: spec.Name}
+	ter, err := terrain.GenerateSite(terrain.DefaultSite())
+	if err != nil {
+		return res, err
+	}
+	model, err := dynamics.New(dynamics.DefaultConfig(), ter, spec.Course.Start, spec.Course.StartYaw)
+	if err != nil {
+		return res, err
+	}
+	spec.Install(model, ter)
+
+	eng, err := scenario.NewEngineSpec(spec, crane.DefaultSpec())
+	if err != nil {
+		return res, err
+	}
+	eng.Start()
+	ap := New(spec)
+
+	const dt = 1.0 / 60
+	for res.SimTime = 0; res.SimTime < maxSim; res.SimTime += dt {
+		scen := eng.State()
+		if scen.Phase == fom.PhaseComplete || scen.Phase == fom.PhaseFailed {
+			break
+		}
+		in := ap.Control(model.State(), scen, dt)
+		model.Step(in, dt)
+		eng.Step(model.State(), dt)
+	}
+	res.State = eng.State()
+	res.Passed = res.State.Phase == fom.PhaseComplete
+	if res.State.Phase != fom.PhaseComplete && res.State.Phase != fom.PhaseFailed {
+		return res, fmt.Errorf("trace: scenario %s still %v after %.0f sim-seconds (%s)",
+			spec.Name, res.State.Phase, maxSim, res.State.Message)
+	}
+	return res, nil
+}

@@ -38,11 +38,25 @@ func NewUDPLAN(host string, basePort, size int) (*UDPLAN, error) {
 
 var _ LAN = (*UDPLAN)(nil)
 
+// Close marks the segment closed: subsequent Attach calls return ErrClosed.
+// Interfaces already attached keep working until they are closed
+// individually — closing the segment models unplugging the switch from
+// future computers, not powering the rack down.
+func (l *UDPLAN) Close() error {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	return nil
+}
+
 // Attach implements LAN: binds the next free UDP port of the segment plus
 // an ephemeral TCP listener.
 func (l *UDPLAN) Attach(node string) (Interface, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.closed {
+		return nil, ErrClosed
+	}
 	for _, used := range l.inUse {
 		if used == node {
 			return nil, fmt.Errorf("%w: %q", ErrDuplicate, node)
@@ -74,12 +88,28 @@ func (l *UDPLAN) Attach(node string) (Interface, error) {
 		return nil, fmt.Errorf("transport: tcp listen: %w", err)
 	}
 
+	// Resolve the peer addresses and preassemble the datagram name header
+	// once: Broadcast is the discovery hot path and must not re-parse the
+	// host IP or re-encode the node name per datagram.
+	ip := net.ParseIP(l.host)
+	peers := make([]*net.UDPAddr, 0, l.size-1)
+	for p := l.basePort; p < l.basePort+l.size; p++ {
+		if p == port {
+			continue
+		}
+		peers = append(peers, &net.UDPAddr{IP: ip, Port: p})
+	}
+	hdr := binary.AppendUvarint(make([]byte, 0, len(node)+binary.MaxVarintLen32), uint64(len(node)))
+	hdr = append(hdr, node...)
+
 	ifc := &udpIface{
 		lan:     l,
 		name:    node,
 		udp:     udp,
 		tcp:     tcp,
 		port:    port,
+		peers:   peers,
+		hdr:     hdr,
 		dgramCh: make(chan Datagram, recvBuffer),
 		done:    make(chan struct{}),
 	}
@@ -91,11 +121,13 @@ func (l *UDPLAN) Attach(node string) (Interface, error) {
 
 // udpIface is one node's real-socket attachment.
 type udpIface struct {
-	lan  *UDPLAN
-	name string
-	udp  *net.UDPConn
-	tcp  net.Listener
-	port int
+	lan   *UDPLAN
+	name  string
+	udp   *net.UDPConn
+	tcp   net.Listener
+	port  int
+	peers []*net.UDPAddr // every other segment port, resolved at attach
+	hdr   []byte         // preassembled uvarint(len(name)) || name
 
 	dgramCh chan Datagram
 	done    chan struct{}
@@ -144,20 +176,16 @@ func (i *udpIface) Broadcast(payload []byte) error {
 		return ErrClosed
 	default:
 	}
-	// Datagram layout: uvarint(len(node)) || node || payload.
-	buf := make([]byte, 0, len(i.name)+len(payload)+binary.MaxVarintLen32)
-	buf = binary.AppendUvarint(buf, uint64(len(i.name)))
-	buf = append(buf, i.name...)
+	// Datagram layout: uvarint(len(node)) || node || payload. The header
+	// and peer addresses were built at attach time.
+	buf := make([]byte, 0, len(i.hdr)+len(payload))
+	buf = append(buf, i.hdr...)
 	buf = append(buf, payload...)
 
-	ip := net.ParseIP(i.lan.host)
 	var firstErr error
-	for p := i.lan.basePort; p < i.lan.basePort+i.lan.size; p++ {
-		if p == i.port {
-			continue
-		}
-		if _, err := i.udp.WriteToUDP(buf, &net.UDPAddr{IP: ip, Port: p}); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("transport: broadcast to :%d: %w", p, err)
+	for _, addr := range i.peers {
+		if _, err := i.udp.WriteToUDP(buf, addr); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("transport: broadcast to :%d: %w", addr.Port, err)
 		}
 	}
 	return firstErr

@@ -195,3 +195,85 @@ func TestUDPLANMalformedDatagramIgnored(t *testing.T) {
 		t.Fatal("reader died on malformed datagram")
 	}
 }
+
+func TestUDPLANSegmentClose(t *testing.T) {
+	l := newTestUDPLAN(t, 4)
+	a := attach(t, l, "a")
+	b := attach(t, l, "b")
+
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := l.Attach("late"); !errors.Is(err, ErrClosed) {
+		t.Errorf("Attach after Close = %v, want ErrClosed", err)
+	}
+	// Close is idempotent.
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+
+	// Interfaces attached before Close keep working.
+	if err := a.Broadcast([]byte("still-up")); err != nil {
+		t.Fatalf("Broadcast after segment close: %v", err)
+	}
+	select {
+	case dg := <-b.Recv():
+		if string(dg.Payload) != "still-up" {
+			t.Errorf("payload = %q", dg.Payload)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no datagram after segment close")
+	}
+	// And they can still detach cleanly.
+	if err := a.Close(); err != nil {
+		t.Errorf("iface close: %v", err)
+	}
+}
+
+// TestUDPLANBroadcastUsesCachedHeader checks the attach-time preassembly:
+// the cached header must decode back to the node name on the receivers.
+func TestUDPLANBroadcastUsesCachedHeader(t *testing.T) {
+	l := newTestUDPLAN(t, 3)
+	a := attach(t, l, "node-with-a-longer-name")
+	b := attach(t, l, "b")
+	if got, want := len(a.(*udpIface).peers), 2; got != want {
+		t.Fatalf("cached peers = %d, want %d", got, want)
+	}
+	for n := 0; n < 3; n++ {
+		if err := a.Broadcast([]byte{byte('0' + n)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for n := 0; n < 3; n++ {
+		select {
+		case dg := <-b.Recv():
+			if dg.From != "node-with-a-longer-name" {
+				t.Fatalf("From = %q", dg.From)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("datagram %d lost", n)
+		}
+	}
+}
+
+// BenchmarkUDPLANBroadcast measures the discovery hot path: one op = one
+// datagram fanned out to the whole segment.
+func BenchmarkUDPLANBroadcast(b *testing.B) {
+	l, err := NewUDPLAN("127.0.0.1", udpBase+200, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ifc, err := l.Attach("bench")
+	if err != nil {
+		b.Skipf("attach: %v", err)
+	}
+	defer ifc.Close()
+	payload := make([]byte, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ifc.Broadcast(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -19,4 +19,10 @@ go vet ./...
 echo "== go test =="
 go test ./...
 
+echo "== go test -race =="
+go test -race ./...
+
+echo "== bench smoke (1 iteration) =="
+go test -bench . -benchtime 1x -run '^$' ./...
+
 echo "OK"
