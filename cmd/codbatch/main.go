@@ -1,25 +1,43 @@
-// Command codbatch runs a batch of training scenarios at cluster scale and
-// prints a score/pass-rate report: one full COD federation per scenario —
-// displays, synchronization server, dashboard, motion, instructor and
-// simulation PCs on a private in-memory LAN — N federations in parallel,
-// each driven by the autopilot trainee.
+// Command codbatch runs batches of training scenarios at cluster scale —
+// locally or sharded across worker hosts — and reports scores, pass rates
+// and percentile analytics: one full COD federation (or headless coupling)
+// per scenario run.
 //
-// Usage:
+// Local batch (the default): N runs in parallel inside this process.
 //
-//	codbatch [-scenarios all|name,name,...] [-parallel N] [-timescale 15]
-//	         [-repeat N] [-timeout 3m] [-headless] [-list] [-strict]
+//	codbatch [-scenarios all|name,...] [-specs dir] [-repeat N] [-headless]
+//	         [-parallel N] [-timescale 15] [-timeout 3m] [-strict]
+//	         [-out results.jsonl] [-compare old.jsonl]
 //
-// -headless skips the federation and couples dynamics, scenario engine and
-// autopilot directly — the fast path for smoke runs and CI.
+// Distributed batch: start one worker per host, then one coordinator that
+// shards the same work list over them via the dist protocol (UDPLAN
+// discovery + TCP virtual channels on a shared segment):
+//
+//	host1$ codbatch -serve -lan 192.168.0.10:47700 -name host1 -headless
+//	host2$ codbatch -serve -lan 192.168.0.10:47700 -name host2 -headless
+//	any$   codbatch -coordinator host1,host2 -lan 192.168.0.10:47700 \
+//	           -repeat 5 -headless -out results.jsonl
+//
+// -out persists one JSON-lines record per run; -compare old.jsonl diffs
+// the fresh results against a previous sweep and exits nonzero on
+// regressions (lower pass rate, or p50 score drops). -specs dir loads
+// scenario JSON files instead of the built-in library.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
+	"codsim/cod"
+	"codsim/internal/dist"
 	"codsim/internal/scenario"
 	"codsim/internal/sim"
 )
@@ -34,37 +52,48 @@ func main() {
 func run() error {
 	var (
 		names     = flag.String("scenarios", "all", `comma-separated scenario names, or "all"`)
-		parallel  = flag.Int("parallel", 0, "concurrent federations (0 = auto)")
+		specsDir  = flag.String("specs", "", "load scenario JSON files from this directory instead of the built-in library")
+		parallel  = flag.Int("parallel", 0, "concurrent runs (0 = auto); worker slots in -serve mode")
 		timescale = flag.Float64("timescale", 15, "simulation speed multiplier per federation")
 		repeat    = flag.Int("repeat", 1, "run the selection N times (load/regression sweeps)")
-		timeout   = flag.Duration("timeout", 3*time.Minute, "wall-clock limit per federation run (headless runs are budgeted in sim time)")
+		timeout   = flag.Duration("timeout", 3*time.Minute, "per-run cap: wall clock for federations, simulation seconds for -headless (0 = scenario default)")
 		headless  = flag.Bool("headless", false, "run without the federation (direct coupling)")
-		list      = flag.Bool("list", false, "list the shipped scenario library and exit")
-		strict    = flag.Bool("strict", false, "exit nonzero unless every scenario passes")
+		list      = flag.Bool("list", false, "list the scenario selection and exit")
+		strict    = flag.Bool("strict", false, "exit nonzero unless every run passes")
 		displays  = flag.Int("displays", 3, "surround-view displays per federation")
 		polygons  = flag.Int("polygons", 400, "scene polygon budget per display")
+		outPath   = flag.String("out", "", "persist per-run records to this JSON-lines file")
+		compare   = flag.String("compare", "", "diff results against this JSON-lines file; regressions exit nonzero")
+		serve     = flag.Bool("serve", false, "worker mode: serve batch jobs to a coordinator on the segment")
+		coordAt   = flag.String("coordinator", "", "coordinator mode: comma-separated worker names to shard over")
+		lanAddr   = flag.String("lan", "127.0.0.1:47700", "UDPLAN segment (host:basePort) for -serve/-coordinator")
+		name      = flag.String("name", "", "worker name on the segment (default worker-<pid>)")
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// In headless mode Timeout is a simulation-time cap, where the 3 m
+	// wall-clock default would cut scenarios off mid-course; only an
+	// explicit -timeout carries over.
+	if *headless && !flagSet("timeout") {
+		*timeout = 0
+	}
+
+	selection, err := selectSpecs(*specsDir, *names)
+	if err != nil {
+		return err
+	}
+
 	if *list {
-		for _, s := range scenario.Library() {
-			extras := describe(s)
-			fmt.Printf("%-18s %-34s %d phases%s\n", s.Name, s.Title, len(s.Phases), extras)
+		for _, s := range selection {
+			fmt.Printf("%-18s %-34s %d phases%s\n", s.Name, s.Title, len(s.Phases), describe(s))
 		}
 		return nil
 	}
 
-	selection, err := selectSpecs(*names)
-	if err != nil {
-		return err
-	}
-	var specs []scenario.Spec
-	for i := 0; i < *repeat; i++ {
-		specs = append(specs, selection...)
-	}
-
-	start := time.Now()
-	results := sim.RunBatch(specs, sim.BatchConfig{
+	batch := sim.BatchConfig{
 		Base: sim.Config{
 			TimeScale: *timescale,
 			Displays:  *displays,
@@ -75,30 +104,213 @@ func run() error {
 		Parallel: *parallel,
 		Timeout:  *timeout,
 		Headless: *headless,
-	})
-	fmt.Printf("ran %d scenario federations in %.1fs wall\n", len(results), time.Since(start).Seconds())
+	}
+
+	switch {
+	case *serve && *coordAt != "":
+		return errors.New("-serve and -coordinator are mutually exclusive")
+	case *serve:
+		return runWorker(ctx, *lanAddr, *name, *parallel, batch)
+	case *coordAt != "":
+		return runCoordinator(ctx, *lanAddr, *coordAt, selection, *repeat, *timeout,
+			*outPath, *compare, *strict)
+	default:
+		return runLocal(ctx, selection, *repeat, batch, *outPath, *compare, *strict)
+	}
+}
+
+// runLocal is the classic in-process batch, now with record persistence
+// and regression compare.
+func runLocal(ctx context.Context, selection []scenario.Spec, repeat int,
+	batch sim.BatchConfig, outPath, compare string, strict bool) error {
+	jobs := dist.JobsFor(selection, repeat)
+	specs := make([]scenario.Spec, len(jobs))
+	for i, j := range jobs {
+		specs[i] = j.Spec
+	}
+
+	start := time.Now()
+	results := sim.RunBatch(ctx, specs, batch)
+	fmt.Printf("ran %d scenario runs in %.1fs wall\n", len(results), time.Since(start).Seconds())
 	sim.WriteBatchReport(os.Stdout, results)
 
-	if *strict {
-		for _, r := range results {
+	if err := ctx.Err(); err != nil {
+		// Interrupted mid-sweep: persist only the runs that really
+		// finished (matching the coordinator path) and fail — the
+		// canceled placeholders must not overwrite a good baseline.
+		var done []dist.Record
+		for i, res := range results {
+			if !errors.Is(res.Err, context.Canceled) {
+				done = append(done, dist.NewRecord(jobs[i], res, "local"))
+			}
+		}
+		if outPath != "" && len(done) > 0 {
+			_ = dist.SaveRecords(outPath, done)
+		}
+		return fmt.Errorf("sweep aborted with %d/%d records: %w", len(done), len(jobs), err)
+	}
+	recs := make([]dist.Record, len(results))
+	for i, res := range results {
+		recs[i] = dist.NewRecord(jobs[i], res, "local")
+	}
+	return finishSweep(recs, outPath, compare, strict)
+}
+
+// runWorker serves this host's slots to whatever coordinator shows up on
+// the segment, until interrupted.
+func runWorker(ctx context.Context, lanAddr, name string, slots int, batch sim.BatchConfig) error {
+	if name == "" {
+		name = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	if slots <= 0 {
+		if batch.Headless {
+			slots = runtime.NumCPU()
+		} else {
+			slots = max(1, runtime.NumCPU()/4)
+		}
+	}
+	node, err := cod.NewNode(name+"-node", cod.WithUDP(lanAddr))
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	w, err := dist.NewWorker(node, dist.WorkerConfig{
+		Name:  name,
+		Slots: slots,
+		Batch: batch,
+	})
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+
+	mode := "federation"
+	if batch.Headless {
+		mode = "headless"
+	}
+	fmt.Printf("worker %s serving %d %s slots on %s (Ctrl-C to stop)\n",
+		name, slots, mode, lanAddr)
+	if err := w.Run(ctx); !errors.Is(err, context.Canceled) {
+		return err
+	}
+	return nil
+}
+
+// runCoordinator shards the work list over the named workers and reports
+// the merged results.
+func runCoordinator(ctx context.Context, lanAddr, workerList string,
+	selection []scenario.Spec, repeat int, timeout time.Duration,
+	outPath, compare string, strict bool) error {
+	var workers []string
+	for _, w := range strings.Split(workerList, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			workers = append(workers, w)
+		}
+	}
+	if len(workers) == 0 {
+		return errors.New("-coordinator needs at least one worker name")
+	}
+
+	node, err := cod.NewNode("codbatch-coordinator", cod.WithUDP(lanAddr))
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	// Give every run its per-run budget plus generous dispatch slack
+	// before declaring the attempt lost; workers run what they claim
+	// immediately, so queue wait does not count against this. timeout 0
+	// means "scenario default" (up to 120 s of federation wall clock),
+	// so substitute a budget at least that large.
+	budget := timeout
+	if budget <= 0 {
+		budget = 2 * time.Minute
+	}
+	jobTimeout := 2*budget + time.Minute
+	coord, err := dist.NewCoordinator(node, dist.CoordinatorConfig{JobTimeout: jobTimeout})
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+
+	fmt.Printf("waiting for workers %s on %s\n", strings.Join(workers, ", "), lanAddr)
+	if err := coord.WaitWorkers(ctx, workers); err != nil {
+		return err
+	}
+
+	jobs := dist.JobsFor(selection, repeat)
+	fmt.Printf("dispatching %d jobs (%d scenarios × %d) to %d workers\n",
+		len(jobs), len(selection), repeat, len(workers))
+	start := time.Now()
+	recs, err := coord.Run(ctx, jobs)
+	if err != nil {
+		// Persist whatever completed before reporting the failure.
+		if outPath != "" && len(recs) > 0 {
+			_ = dist.SaveRecords(outPath, recs)
+		}
+		return fmt.Errorf("sweep aborted with %d/%d records: %w", len(recs), len(jobs), err)
+	}
+	fmt.Printf("completed %d jobs in %.1fs wall\n", len(recs), time.Since(start).Seconds())
+	return finishSweep(recs, outPath, compare, strict)
+}
+
+// finishSweep is the shared tail of every batch mode: aggregate report,
+// JSONL persistence, regression compare, strict verdict.
+func finishSweep(recs []dist.Record, outPath, compare string, strict bool) error {
+	dist.WriteReport(os.Stdout, dist.BuildReport(recs))
+	if outPath != "" {
+		if err := dist.SaveRecords(outPath, recs); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d records to %s\n", len(recs), outPath)
+	}
+	if compare != "" {
+		old, err := dist.LoadRecords(compare)
+		if err != nil {
+			return err
+		}
+		if n := dist.WriteCompare(os.Stdout, old, recs); n > 0 {
+			return fmt.Errorf("%d scenario(s) regressed vs %s", n, compare)
+		}
+	}
+	if strict {
+		for _, r := range recs {
 			if !r.Passed {
-				return fmt.Errorf("scenario %s did not pass", r.Scenario)
+				return fmt.Errorf("job %d (%s) did not pass", r.Job, r.Scenario)
 			}
 		}
 	}
 	return nil
 }
 
-// selectSpecs resolves the -scenarios flag against the library.
-func selectSpecs(names string) ([]scenario.Spec, error) {
+// flagSet reports whether the named flag was given on the command line.
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) { set = set || f.Name == name })
+	return set
+}
+
+// selectSpecs resolves the scenario source (-specs dir or the built-in
+// library) and the -scenarios name filter.
+func selectSpecs(specsDir, names string) ([]scenario.Spec, error) {
+	source := scenario.Library()
+	if specsDir != "" {
+		var err error
+		if source, err = scenario.LoadSpecDir(specsDir); err != nil {
+			return nil, err
+		}
+	}
 	if names == "all" || names == "" {
-		return scenario.Library(), nil
+		return source, nil
+	}
+	byName := make(map[string]scenario.Spec, len(source))
+	for _, s := range source {
+		byName[s.Name] = s
 	}
 	var specs []scenario.Spec
 	for _, name := range strings.Split(names, ",") {
-		s, err := scenario.ByName(strings.TrimSpace(name))
-		if err != nil {
-			return nil, err
+		s, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown scenario %q in this selection", strings.TrimSpace(name))
 		}
 		specs = append(specs, s)
 	}

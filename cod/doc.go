@@ -60,4 +60,11 @@
 // Update is called from several goroutines concurrently. No ordering is
 // promised across channels, across different publishers of a class, or
 // between classes.
+//
+// The SDK carries application traffic beyond the simulator's FOM: the
+// distributed batch layer (internal/dist, cmd/codbatch) runs its whole
+// coordinator/worker protocol — job announces, claims, grants, results,
+// result acks and worker heartbeats, as the dist.Job, dist.Claim,
+// dist.Grant, dist.Result, dist.Ack and dist.Heartbeat classes — over
+// these same typed channels.
 package cod

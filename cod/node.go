@@ -50,12 +50,17 @@ type nodeConfig struct {
 // node of a federation).
 type Option func(*nodeConfig)
 
-// WithMemLAN attaches the node to an in-memory LAN segment. Every node of
-// a single-process federation must share the same segment. A nil lan
-// falls back to the process-wide default segment.
-func WithMemLAN(lan LAN) Option {
+// WithLAN attaches the node to an existing LAN segment — an in-memory one
+// from NewMemLAN or any other transport.LAN the caller already holds.
+// Every node of the federation must share the same segment. A nil lan
+// falls back to the process-wide default in-memory segment.
+func WithLAN(lan LAN) Option {
 	return func(c *nodeConfig) { c.lan = lan }
 }
+
+// WithMemLAN is WithLAN under its historical name: it predates segments
+// other than MemLAN being shareable this way.
+func WithMemLAN(lan LAN) Option { return WithLAN(lan) }
 
 // defaultUDPSlots is the segment size WithUDP assumes: the paper's rack
 // held eight computers, sixteen leaves room to double it.

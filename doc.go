@@ -25,7 +25,12 @@
 //   - motion, audio, dashboard, instructor, scenario, trace — the other
 //     simulator modules of Fig. 3 plus the autopilot trainee;
 //   - sim — the full eight-computer federation and the parallel batch
-//     runner.
+//     runner;
+//   - dist — the distributed batch layer: a coordinator shards scenario
+//     jobs over worker hosts through typed cod channels (dist.Job /
+//     dist.Claim / dist.Grant / dist.Result / dist.Ack /
+//     dist.Heartbeat), with re-dispatch on worker death, acknowledged
+//     at-least-once results, and JSON-lines score analytics.
 //
 // # Scenarios
 //
@@ -33,10 +38,13 @@
 // set, a phase graph (drive / lift / traverse / place nodes the engine
 // interprets), a deduction schedule, wind, and visibility. Six specs ship
 // in the library (classic and advanced exams, blind lift, heavy derate,
-// windy lift, night precision placement); sim.Config.Scenario loads any
-// of them — or your own — into the full federation, trace.Run executes
-// one headless, and sim.RunBatch runs N federations concurrently
-// (cmd/codbatch is the CLI).
+// windy lift, night precision placement), and specs serialize to JSON
+// (scenario.LoadSpecDir reads a directory of them); sim.Config.Scenario
+// loads any of them — or your own — into the full federation, trace.Run
+// executes one headless, and sim.RunBatch runs N federations
+// concurrently. cmd/codbatch is the CLI, locally or sharded across
+// worker hosts with -serve/-coordinator, persisting per-run JSON-lines
+// records with percentile and regression reports.
 //
 // The benchmarks in bench_test.go regenerate the paper's quantitative
 // artifacts; cmd/experiments prints the full tables recorded in

@@ -1,0 +1,449 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"codsim/cod"
+	"codsim/internal/scenario"
+)
+
+// CoordinatorConfig tunes dispatch and failure detection.
+type CoordinatorConfig struct {
+	// Sweep identifies this work list on the segment; workers key their
+	// job state by it, so two sweeps reusing job IDs never mix. 0 derives
+	// one from the wall clock.
+	Sweep int64
+	// Announce is the re-announce period for unassigned jobs (default
+	// 250 ms). This is also the coordinator's bookkeeping tick, so dead
+	// workers are detected within roughly one Announce of DeadAfter.
+	Announce time.Duration
+	// DeadAfter declares a worker dead this long after its last
+	// heartbeat, re-dispatching its granted jobs (default 3 s — six of
+	// the workers' default 500 ms beacons).
+	DeadAfter time.Duration
+	// JobTimeout re-dispatches a granted job that has produced no result
+	// after this long, even from a live worker (default 10 min; a full
+	// federation run at timescale 1 is slow, headless shards are not).
+	JobTimeout time.Duration
+	// MaxAttempts gives up on a job after this many dispatches and
+	// records a synthetic failure (default 3).
+	MaxAttempts int
+	// Logf, when set, receives dispatch-state transitions (grants,
+	// results, re-dispatches) for debugging a sweep; nil is silent.
+	Logf func(format string, args ...any)
+}
+
+// logf logs one dispatch event when a sink is configured.
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf("dist: "+format, args...)
+	}
+}
+
+func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
+	if c.Sweep == 0 {
+		c.Sweep = time.Now().UnixNano()
+	}
+	if c.Announce <= 0 {
+		c.Announce = 250 * time.Millisecond
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 3 * time.Second
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 10 * time.Minute
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	return c
+}
+
+// workerInfo is the coordinator's liveness view of one worker.
+type workerInfo struct {
+	seen    time.Time // when the last heartbeat arrived
+	sweep   int64     // the sweep that heartbeat reported
+	working map[int64]bool
+}
+
+// Coordinator owns a sweep's work list: it announces jobs, grants claims,
+// collects results, and re-dispatches work lost to dead or stalled
+// workers. One coordinator per segment at a time.
+type Coordinator struct {
+	cfg CoordinatorConfig
+
+	pubJob   *cod.Pub[jobAnnounce]
+	pubGrant *cod.Pub[jobGrant]
+	pubAck   *cod.Pub[jobAck]
+	subClaim *cod.Sub[jobClaim]
+	subRes   *cod.Sub[jobResult]
+	subHB    *cod.Sub[heartbeat]
+
+	workers map[string]*workerInfo
+}
+
+// NewCoordinator registers the coordinator's channels on the node. The
+// caller keeps ownership of the node; Close withdraws only the
+// registrations.
+func NewCoordinator(node *cod.Node, cfg CoordinatorConfig) (*Coordinator, error) {
+	c := &Coordinator{cfg: cfg.withDefaults(), workers: make(map[string]*workerInfo)}
+	var err error
+	if c.pubJob, err = cod.Publish[jobAnnounce](node, coordinatorLP, ClassJob); err != nil {
+		return nil, fmt.Errorf("dist: coordinator: %w", err)
+	}
+	if c.pubGrant, err = cod.Publish[jobGrant](node, coordinatorLP, ClassGrant); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("dist: coordinator: %w", err)
+	}
+	if c.pubAck, err = cod.Publish[jobAck](node, coordinatorLP, ClassAck); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("dist: coordinator: %w", err)
+	}
+	if c.subClaim, err = cod.Subscribe[jobClaim](node, coordinatorLP, ClassClaim, cod.WithQueue(1024)); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("dist: coordinator: %w", err)
+	}
+	if c.subRes, err = cod.Subscribe[jobResult](node, coordinatorLP, ClassResult, cod.WithQueue(1024)); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("dist: coordinator: %w", err)
+	}
+	if c.subHB, err = cod.Subscribe[heartbeat](node, coordinatorLP, ClassHeartbeat, cod.WithQueue(256)); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("dist: coordinator: %w", err)
+	}
+	return c, nil
+}
+
+// Close withdraws the coordinator's channel registrations.
+func (c *Coordinator) Close() error {
+	var errs []error
+	if c.pubJob != nil {
+		errs = append(errs, c.pubJob.Close())
+	}
+	if c.pubGrant != nil {
+		errs = append(errs, c.pubGrant.Close())
+	}
+	if c.pubAck != nil {
+		errs = append(errs, c.pubAck.Close())
+	}
+	if c.subClaim != nil {
+		errs = append(errs, c.subClaim.Close())
+	}
+	if c.subRes != nil {
+		errs = append(errs, c.subRes.Close())
+	}
+	if c.subHB != nil {
+		errs = append(errs, c.subHB.Close())
+	}
+	return errors.Join(errs...)
+}
+
+// WaitWorkers blocks until every named worker has heartbeated at least
+// once (or ctx is done), so a sweep doesn't start before the pool it was
+// sized for is live.
+func (c *Coordinator) WaitWorkers(ctx context.Context, names []string) error {
+	missing := make(map[string]bool, len(names))
+	for _, n := range names {
+		if _, seen := c.workers[n]; !seen {
+			missing[n] = true
+		}
+	}
+	for len(missing) > 0 {
+		hb, err := c.subHB.Next(ctx)
+		if errors.Is(err, cod.ErrMissingAttr) {
+			continue // shape mismatch from a foreign build: skip, like drainHeartbeats
+		}
+		if err != nil {
+			return fmt.Errorf("dist: waiting for workers %v: %w", keys(missing), err)
+		}
+		c.noteHeartbeat(hb.Value)
+		delete(missing, hb.Value.Worker)
+	}
+	return nil
+}
+
+// noteHeartbeat folds one heartbeat into the worker table.
+func (c *Coordinator) noteHeartbeat(hb heartbeat) {
+	working := make(map[int64]bool, len(hb.Working))
+	for _, id := range hb.Working {
+		working[id] = true
+	}
+	c.workers[hb.Worker] = &workerInfo{seen: time.Now(), sweep: hb.Sweep, working: working}
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// jobPhase is a dispatch state of one job.
+type jobPhase int
+
+const (
+	jobPending jobPhase = iota
+	jobGranted
+	jobDone
+)
+
+// jobState is the coordinator's view of one job.
+type jobState struct {
+	job      Job
+	specJSON []byte
+	phase    jobPhase
+	attempt  int64
+	worker   string    // grantee while granted
+	granted  time.Time // when the grant was sent
+	deadline time.Time // JobTimeout while granted, and while re-dispatched
+	announce time.Time // last announce while pending
+	rec      Record
+}
+
+// Run dispatches the jobs and blocks until every one has a Record or ctx
+// is done. Records come back sorted by job ID; on cancellation the
+// partial set is returned with ctx.Err(). Jobs that exhaust MaxAttempts
+// get a synthetic failed Record rather than stalling the sweep.
+func (c *Coordinator) Run(ctx context.Context, jobs []Job) ([]Record, error) {
+	states := make(map[int64]*jobState, len(jobs))
+	for _, j := range jobs {
+		data, err := scenario.MarshalSpec(j.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("dist: %s: %w", j, err)
+		}
+		if _, dup := states[j.ID]; dup {
+			return nil, fmt.Errorf("dist: duplicate job id %d", j.ID)
+		}
+		states[j.ID] = &jobState{job: j, specJSON: data, attempt: 1}
+	}
+
+	done := 0
+	tick := time.NewTicker(c.cfg.Announce)
+	defer tick.Stop()
+	for done < len(states) {
+		c.drainHeartbeats()
+		if n := c.drainResults(states); n > 0 {
+			done += n
+			// A result frees a worker slot; re-announce the backlog now
+			// instead of waiting out the period, or every slot refill
+			// costs a full Announce of idle time.
+			for _, s := range states {
+				if s.phase == jobPending {
+					s.announce = time.Time{}
+				}
+			}
+		}
+		c.drainClaims(states)
+		done += c.redispatch(states)
+		c.announcePending(states)
+
+		select {
+		case <-ctx.Done():
+			return collect(jobs, states), ctx.Err()
+		case <-tick.C:
+		case <-c.subClaim.NotifyC():
+		case <-c.subRes.NotifyC():
+		case <-c.subHB.NotifyC():
+		}
+	}
+	return collect(jobs, states), nil
+}
+
+// collect gathers finished records in job-ID order.
+func collect(jobs []Job, states map[int64]*jobState) []Record {
+	out := make([]Record, 0, len(jobs))
+	for _, j := range jobs {
+		if s := states[j.ID]; s.phase == jobDone {
+			out = append(out, s.rec)
+		}
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Job < out[k].Job })
+	return out
+}
+
+func (c *Coordinator) drainHeartbeats() {
+	for {
+		hb, ok, err := c.subHB.Poll()
+		if err != nil {
+			continue // shape mismatch from a foreign build: skip
+		}
+		if !ok {
+			return
+		}
+		c.noteHeartbeat(hb.Value)
+	}
+}
+
+// drainResults records finished jobs; the first Record per job wins and
+// stale attempts are accepted — the work is identical.
+func (c *Coordinator) drainResults(states map[int64]*jobState) (newlyDone int) {
+	for {
+		r, ok, err := c.subRes.Poll()
+		if err != nil {
+			continue // shape mismatch from a foreign build: skip
+		}
+		if !ok {
+			return newlyDone
+		}
+		res := r.Value
+		s := states[res.Job]
+		if res.Sweep != c.cfg.Sweep || s == nil {
+			continue
+		}
+		if s.phase == jobDone {
+			c.ack(res.Job) // duplicate re-send: re-ack so the worker stops
+			continue
+		}
+		var rec Record
+		if err := unmarshalRecord(res.Record, &rec); err != nil {
+			continue // corrupt record: let the job be re-dispatched
+		}
+		s.phase = jobDone
+		s.rec = rec
+		newlyDone++
+		c.ack(res.Job)
+		c.logf("job %d done by %s (attempt %d)", res.Job, res.Worker, res.Attempt)
+	}
+}
+
+// drainClaims grants each claimed pending job to its first bidder; claims
+// for already-granted or done jobs re-send the standing grant so losing
+// bidders release their slot.
+func (c *Coordinator) drainClaims(states map[int64]*jobState) {
+	for {
+		r, ok, err := c.subClaim.Poll()
+		if err != nil {
+			continue
+		}
+		if !ok {
+			return
+		}
+		claim := r.Value
+		s := states[claim.Job]
+		if claim.Sweep != c.cfg.Sweep || s == nil {
+			continue
+		}
+		switch s.phase {
+		case jobPending:
+			if claim.Attempt != s.attempt {
+				continue // bid on a stale announce; re-announce solicits a fresh one
+			}
+			s.phase = jobGranted
+			s.worker = claim.Worker
+			s.granted = time.Now()
+			s.deadline = s.granted.Add(c.cfg.JobTimeout)
+			c.sendGrant(s)
+			c.logf("job %d granted to %s (attempt %d)", s.job.ID, s.worker, s.attempt)
+		case jobGranted, jobDone:
+			if s.worker != "" {
+				c.sendGrant(s) // idempotent re-send releases the loser
+			}
+		}
+	}
+}
+
+// ack confirms a recorded result. A lost ack only costs another result
+// re-send, which is re-acked here — both messages are idempotent.
+func (c *Coordinator) ack(job int64) {
+	_ = c.pubAck.Update(0, jobAck{Sweep: c.cfg.Sweep, Job: job})
+}
+
+func (c *Coordinator) sendGrant(s *jobState) {
+	grant := jobGrant{Sweep: c.cfg.Sweep, Job: s.job.ID, Attempt: s.attempt, Worker: s.worker}
+	// A failed grant is recovered by JobTimeout; no subscribers means the
+	// last worker vanished between claim and grant.
+	_ = c.pubGrant.Update(0, grant)
+}
+
+// redispatch returns granted jobs to pending when their worker died or
+// the job outlived its timeout, failing them outright past MaxAttempts.
+// A re-dispatched job that stays unclaimed for another JobTimeout burns
+// an attempt too — a sole worker stuck running the job ignores its
+// re-announces, and the sweep must fail the job rather than hang.
+// First-attempt pending jobs never expire: an empty segment is a pool
+// that has not joined yet, not a failure.
+func (c *Coordinator) redispatch(states map[int64]*jobState) (newlyDone int) {
+	now := time.Now()
+	// grantSlack is how long after a grant the grantee's heartbeats may
+	// still omit the job before the grant counts as lost: long enough
+	// for grant delivery plus one beat, well under any real job.
+	grantSlack := 2 * c.cfg.Announce
+	if grantSlack < 500*time.Millisecond {
+		grantSlack = 500 * time.Millisecond
+	}
+	for _, s := range states {
+		switch s.phase {
+		case jobGranted:
+			w := c.workers[s.worker]
+			dead := w != nil && now.Sub(w.seen) > c.cfg.DeadAfter
+			// Lost grant: the grantee beats on this sweep, its latest
+			// beat postdates the grant by the slack, yet it never lists
+			// the job — its claim expired before the grant arrived
+			// (e.g. the grant channel was still being established), so
+			// nobody is running this job. Without this check the sweep
+			// stalls for the whole JobTimeout.
+			lost := w != nil && w.sweep == c.cfg.Sweep &&
+				w.seen.After(s.granted.Add(grantSlack)) && !w.working[s.job.ID]
+			if !dead && !lost && now.Before(s.deadline) {
+				continue
+			}
+			c.logf("job %d: grant to %s failed (dead=%v lost=%v timeout=%v), attempt %d",
+				s.job.ID, s.worker, dead, lost, !now.Before(s.deadline), s.attempt)
+		case jobPending:
+			if s.attempt == 1 || now.Before(s.deadline) {
+				continue
+			}
+			c.logf("job %d: re-dispatch unclaimed past deadline, attempt %d", s.job.ID, s.attempt)
+		default:
+			continue
+		}
+		if int(s.attempt) >= c.cfg.MaxAttempts {
+			s.phase = jobDone
+			s.rec = Record{
+				Job:      s.job.ID,
+				Attempt:  s.attempt,
+				Scenario: s.job.Spec.Name,
+				Title:    s.job.Spec.Title,
+				Seed:     s.job.Seed,
+				Worker:   s.worker,
+				Err:      fmt.Sprintf("dist: gave up after %d attempts (last worker %s)", s.attempt, s.worker),
+			}
+			newlyDone++
+			continue
+		}
+		s.phase = jobPending
+		s.attempt++
+		s.worker = ""
+		s.deadline = now.Add(c.cfg.JobTimeout)
+		s.announce = time.Time{} // re-announce immediately
+	}
+	return newlyDone
+}
+
+// announcePending publishes every pending job whose announce period
+// elapsed. ErrNoSubscribers just means no worker has joined yet — the
+// next period retries.
+func (c *Coordinator) announcePending(states map[int64]*jobState) {
+	now := time.Now()
+	for _, s := range states {
+		if s.phase != jobPending || now.Sub(s.announce) < c.cfg.Announce {
+			continue
+		}
+		s.announce = now
+		// Failures — ErrNoSubscribers or channel-level — are all retried
+		// at the next period; the announce timestamp is already set.
+		_ = c.pubJob.Update(0, jobAnnounce{
+			Sweep:   c.cfg.Sweep,
+			Job:     s.job.ID,
+			Attempt: s.attempt,
+			Seed:    s.job.Seed,
+			Spec:    s.specJSON,
+		})
+	}
+}

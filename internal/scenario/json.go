@@ -1,0 +1,140 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Spec JSON serialization. A scenario file is the JSON encoding of a Spec
+// with phase kinds spelled as their lowercase names ("drive", "lift",
+// "traverse", "place"), so files read like the phase graph they describe:
+//
+//	{
+//	  "Name": "my-lift",
+//	  "Title": "My custom lift",
+//	  "Course": { "Start": {"X": ...}, ... },
+//	  "Cargos": [ {"Name": "crate", "Pos": {...}, "Mass": 1500} ],
+//	  "Phases": [
+//	    {"Name": "approach", "Kind": "drive", "Target": {...}, "Radius": 4},
+//	    {"Name": "pick",     "Kind": "lift",  "Cargo": 0},
+//	    ...
+//	  ]
+//	}
+//
+// Every load path validates the spec, so a malformed file fails at load
+// time, not mid-federation. This is also the wire format of the dist
+// protocol: a coordinator ships each job's Spec to its worker as this
+// JSON.
+
+// MarshalJSON encodes the kind as its lowercase name.
+func (k PhaseKind) MarshalJSON() ([]byte, error) {
+	s, ok := phaseKindNames[k]
+	if !ok {
+		return nil, fmt.Errorf("scenario: cannot marshal unknown phase kind %d", int(k))
+	}
+	return json.Marshal(s)
+}
+
+// UnmarshalJSON accepts a kind name ("drive") or its numeric value.
+func (k *PhaseKind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		for kind, name := range phaseKindNames {
+			if name == s {
+				*k = kind
+				return nil
+			}
+		}
+		return fmt.Errorf("scenario: unknown phase kind %q", s)
+	}
+	var n int
+	if err := json.Unmarshal(data, &n); err != nil {
+		return fmt.Errorf("scenario: phase kind must be a name or number, got %s", data)
+	}
+	if _, ok := phaseKindNames[PhaseKind(n)]; !ok {
+		return fmt.Errorf("scenario: unknown phase kind %d", n)
+	}
+	*k = PhaseKind(n)
+	return nil
+}
+
+// MarshalSpec encodes a validated spec as indented JSON, suitable both for
+// scenario files and for the dist protocol's job payloads.
+func MarshalSpec(s Spec) ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// UnmarshalSpec decodes a spec from JSON and validates it. Unknown fields
+// are rejected — a typoed field name in a hand-written scenario file must
+// not silently become the zero value.
+func UnmarshalSpec(data []byte) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("scenario: decode spec: %w", err)
+	}
+	// One spec per file: trailing data (a second concatenated object, a
+	// stray JSONL paste) must fail loudly, not load half the file.
+	if dec.More() {
+		return Spec{}, fmt.Errorf("scenario: trailing data after spec %q", s.Name)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// LoadSpec reads one scenario file.
+func LoadSpec(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("scenario: %w", err)
+	}
+	s, err := UnmarshalSpec(data)
+	if err != nil {
+		return Spec{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// LoadSpecDir reads every *.json file of a directory as a scenario, in
+// filename order, and rejects duplicate scenario names across files.
+func LoadSpecDir(dir string) ([]Spec, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("scenario: no *.json files in %s", dir)
+	}
+	specs := make([]Spec, 0, len(files))
+	seen := make(map[string]string, len(files))
+	for _, f := range files {
+		s, err := LoadSpec(filepath.Join(dir, f))
+		if err != nil {
+			return nil, err
+		}
+		if prev, dup := seen[s.Name]; dup {
+			return nil, fmt.Errorf("scenario: %s and %s both define %q", prev, f, s.Name)
+		}
+		seen[s.Name] = f
+		specs = append(specs, s)
+	}
+	return specs, nil
+}

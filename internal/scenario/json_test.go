@@ -1,0 +1,91 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestSpecJSONRoundTrip proves every library scenario survives the JSON
+// encoding unchanged — the dist protocol ships specs this way, so a lossy
+// codec would silently run a different scenario on the worker.
+func TestSpecJSONRoundTrip(t *testing.T) {
+	for _, want := range Library() {
+		data, err := MarshalSpec(want)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", want.Name, err)
+		}
+		got, err := UnmarshalSpec(data)
+		if err != nil {
+			t.Fatalf("%s: unmarshal: %v", want.Name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: round trip changed the spec:\n got %+v\nwant %+v", want.Name, got, want)
+		}
+	}
+}
+
+// TestSpecJSONKindNames pins the readable phase-kind encoding.
+func TestSpecJSONKindNames(t *testing.T) {
+	data, err := MarshalSpec(Classic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"drive"`, `"lift"`, `"traverse"`, `"place"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("encoding missing %s:\n%s", want, data)
+		}
+	}
+}
+
+func TestUnmarshalSpecRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown kind":  `{"Name":"x","Phases":[{"Kind":"swim","Radius":1}]}`,
+		"unknown field": `{"Name":"x","Phasez":[]}`,
+		"invalid spec":  `{"Name":"x","Phases":[]}`,
+		"bad kind type": `{"Name":"x","Phases":[{"Kind":true}]}`,
+		"trailing data": `{"Name":"x","Phases":[{"Kind":"drive","Radius":1}]} {"Name":"y"}`,
+	}
+	for name, in := range cases {
+		if _, err := UnmarshalSpec([]byte(in)); err == nil {
+			t.Errorf("%s: UnmarshalSpec accepted %s", name, in)
+		}
+	}
+}
+
+// TestLoadSpecDir writes the library to files and loads it back.
+func TestLoadSpecDir(t *testing.T) {
+	dir := t.TempDir()
+	lib := Library()
+	for _, s := range lib {
+		data, err := MarshalSpec(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, s.Name+".json"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	specs, err := LoadSpecDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(specs, lib) {
+		t.Errorf("LoadSpecDir: got %d specs, want the library back", len(specs))
+	}
+
+	// A duplicate name across files is a configuration error.
+	dup, _ := MarshalSpec(lib[0])
+	if err := os.WriteFile(filepath.Join(dir, "zz-dup.json"), dup, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSpecDir(dir); err == nil || !strings.Contains(err.Error(), "both define") {
+		t.Errorf("duplicate scenario name not rejected: %v", err)
+	}
+
+	if _, err := LoadSpecDir(t.TempDir()); err == nil {
+		t.Error("empty dir not rejected")
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -24,10 +25,13 @@ type BatchConfig struct {
 	// virtual computers, so oversubscribing stalls the paced LP loops.
 	// Default for headless runs: NumCPU (they are plain CPU-bound loops).
 	Parallel int
-	// Timeout bounds each federation's wall-clock run; default 120 s.
-	// Headless runs are bounded in simulation time instead (three par
-	// times, at least 900 sim-seconds) — they finish in a fraction of
-	// real time, so a wall clock would be the wrong budget.
+	// Timeout bounds each run. This is the one rule, for both modes:
+	//
+	//   - Federation runs: a wall-clock cap on the run (default 120 s).
+	//   - Headless runs: a simulation-time cap of Timeout's seconds —
+	//     they finish in a fraction of real time, so a wall clock would
+	//     be the wrong budget. Default: three par times, at least 900
+	//     sim-seconds, from the scenario's own course.
 	Timeout time.Duration
 	// Headless skips the federation and couples dynamics, engine and
 	// autopilot directly (trace.Run) — the fast path for smoke sweeps.
@@ -50,7 +54,11 @@ type BatchResult struct {
 // eight-computer COD — displays, sync server, dashboard, motion,
 // instructor, sim PC — on its own in-memory LAN, drives the scenario with
 // the autopilot, and waits for the terminal phase.
-func RunBatch(specs []scenario.Spec, cfg BatchConfig) []BatchResult {
+//
+// Canceling ctx abandons the batch: queued runs never start and in-flight
+// runs stop early; both report ctx's error in their BatchResult. The
+// result slice always has one entry per spec.
+func RunBatch(ctx context.Context, specs []scenario.Spec, cfg BatchConfig) []BatchResult {
 	if cfg.Parallel <= 0 {
 		if cfg.Headless {
 			cfg.Parallel = runtime.NumCPU()
@@ -61,7 +69,7 @@ func RunBatch(specs []scenario.Spec, cfg BatchConfig) []BatchResult {
 			cfg.Parallel = 1
 		}
 	}
-	if cfg.Timeout <= 0 {
+	if cfg.Timeout <= 0 && !cfg.Headless {
 		cfg.Timeout = 120 * time.Second
 	}
 	run := runOne
@@ -76,9 +84,26 @@ func RunBatch(specs []scenario.Spec, cfg BatchConfig) []BatchResult {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i] = run(specs[i], cfg)
+			canceled := func() {
+				results[i] = BatchResult{
+					Scenario: specs[i].Name, Title: specs[i].Title, Err: ctx.Err(),
+				}
+			}
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				canceled()
+				return
+			}
+			// Re-check after the acquire: with both select cases ready the
+			// choice is random, and a canceled batch must not boot a whole
+			// federation just to tear it down.
+			if ctx.Err() != nil {
+				canceled()
+				return
+			}
+			results[i] = run(ctx, specs[i], cfg)
 		}(i)
 	}
 	wg.Wait()
@@ -86,17 +111,20 @@ func RunBatch(specs []scenario.Spec, cfg BatchConfig) []BatchResult {
 }
 
 // runOneHeadless executes one spec without a federation, budgeted in
-// simulation time from the scenario's own par time.
-func runOneHeadless(spec scenario.Spec, _ BatchConfig) (res BatchResult) {
+// simulation time (see BatchConfig.Timeout).
+func runOneHeadless(ctx context.Context, spec scenario.Spec, cfg BatchConfig) (res BatchResult) {
 	res = BatchResult{Scenario: spec.Name, Title: spec.Title}
 	start := time.Now()
 	defer func() { res.Wall = time.Since(start) }()
 
-	maxSim := 3 * spec.Course.ParTime
-	if maxSim < 900 {
-		maxSim = 900
+	maxSim := cfg.Timeout.Seconds()
+	if maxSim <= 0 {
+		maxSim = 3 * spec.Course.ParTime
+		if maxSim < 900 {
+			maxSim = 900
+		}
 	}
-	r, err := trace.Run(spec, maxSim)
+	r, err := trace.RunContext(ctx, spec, maxSim)
 	res.State = r.State
 	res.Passed = r.Passed
 	res.Err = err
@@ -104,7 +132,7 @@ func runOneHeadless(spec scenario.Spec, _ BatchConfig) (res BatchResult) {
 }
 
 // runOne boots one federation for the spec and runs it to a verdict.
-func runOne(spec scenario.Spec, cfg BatchConfig) (res BatchResult) {
+func runOne(ctx context.Context, spec scenario.Spec, cfg BatchConfig) (res BatchResult) {
 	res = BatchResult{Scenario: spec.Name, Title: spec.Title}
 	start := time.Now()
 	defer func() { res.Wall = time.Since(start) }()
@@ -125,7 +153,7 @@ func runOne(spec scenario.Spec, cfg BatchConfig) (res BatchResult) {
 		res.Err = fmt.Errorf("start: %w", err)
 		return res
 	}
-	state, err := cluster.WaitExam(cfg.Timeout)
+	state, err := cluster.WaitExamContext(ctx, cfg.Timeout)
 	res.State = state
 	res.Err = err
 	res.Passed = err == nil && state.Phase == fom.PhaseComplete

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -17,7 +18,7 @@ func TestBatchRunsScenariosConcurrently(t *testing.T) {
 		t.Skip("two full federation runs")
 	}
 	specs := []scenario.Spec{scenario.BlindLift(), scenario.Classic()}
-	results := RunBatch(specs, BatchConfig{
+	results := RunBatch(context.Background(), specs, BatchConfig{
 		Base: Config{
 			CB:        fastCB(),
 			TimeScale: 15,
@@ -59,7 +60,7 @@ func TestBatchRunsScenariosConcurrently(t *testing.T) {
 // par time.
 func TestBatchHeadless(t *testing.T) {
 	specs := scenario.Library()
-	results := RunBatch(specs, BatchConfig{Headless: true})
+	results := RunBatch(context.Background(), specs, BatchConfig{Headless: true})
 	if len(results) != len(specs) {
 		t.Fatalf("results = %d", len(results))
 	}
@@ -89,12 +90,50 @@ func TestBatchReportCountsFailures(t *testing.T) {
 	}
 }
 
+// TestBatchHeadlessTimeoutIsSimTimeCap pins the BatchConfig.Timeout rule
+// for headless runs: the cap is simulation time, so an absurdly small
+// Timeout must abort the scenario unfinished instead of being ignored.
+func TestBatchHeadlessTimeoutIsSimTimeCap(t *testing.T) {
+	specs := []scenario.Spec{scenario.Classic()}
+	results := RunBatch(context.Background(), specs, BatchConfig{
+		Headless: true,
+		Timeout:  2 * time.Second, // 2 sim-seconds: not even enough to drive off
+	})
+	r := results[0]
+	if r.Err == nil || r.Passed {
+		t.Fatalf("2 sim-second budget produced a verdict: passed=%v err=%v", r.Passed, r.Err)
+	}
+	if r.State.Elapsed > 30 {
+		t.Errorf("scenario ran %v sim-seconds past a 2 s budget", r.State.Elapsed)
+	}
+}
+
+// TestBatchCancel proves a canceled context abandons both the queue and
+// in-flight headless runs.
+func TestBatchCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before the batch starts: nothing may run
+	specs := scenario.Library()
+	results := RunBatch(ctx, specs, BatchConfig{Headless: true})
+	if len(results) != len(specs) {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", r.Scenario, r.Err)
+		}
+		if r.Passed {
+			t.Errorf("%s: passed after cancellation", r.Scenario)
+		}
+	}
+}
+
 // TestBatchScenarioValidationError surfaces a broken spec as a per-run
 // error instead of a panic or hang.
 func TestBatchScenarioValidationError(t *testing.T) {
 	bad := scenario.Classic()
 	bad.Phases = nil
-	results := RunBatch([]scenario.Spec{bad}, BatchConfig{
+	results := RunBatch(context.Background(), []scenario.Spec{bad}, BatchConfig{
 		Base:    Config{CB: fastCB(), TimeScale: 8, Width: 96, Height: 72, Polygons: 400},
 		Timeout: 5 * time.Second,
 	})

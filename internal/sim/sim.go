@@ -8,6 +8,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -268,11 +269,21 @@ func (c *Cluster) ScenarioState() fom.ScenarioState {
 // WaitExam blocks until the exam reaches a terminal phase or the timeout
 // elapses.
 func (c *Cluster) WaitExam(timeout time.Duration) (fom.ScenarioState, error) {
+	return c.WaitExamContext(context.Background(), timeout)
+}
+
+// WaitExamContext is WaitExam with cancellation: a canceled context stops
+// the wait and returns ctx.Err() with the last observed state, letting a
+// batch coordinator abandon a run instead of leaking the federation.
+func (c *Cluster) WaitExamContext(ctx context.Context, timeout time.Duration) (fom.ScenarioState, error) {
 	deadline := time.Now().Add(timeout)
 	for {
 		s := c.ScenarioState()
 		if s.Phase == fom.PhaseComplete || s.Phase == fom.PhaseFailed {
 			return s, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return s, err
 		}
 		if err := c.Err(); err != nil {
 			return s, err

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"context"
 	"fmt"
 
 	"codsim/internal/crane"
@@ -24,6 +25,14 @@ type RunResult struct {
 // for regression tables and batch smoke runs; the cluster path in package
 // sim runs the same spec across the full federation.
 func Run(spec scenario.Spec, maxSim float64) (RunResult, error) {
+	return RunContext(context.Background(), spec, maxSim)
+}
+
+// RunContext is Run with cancellation: a canceled context stops the
+// stepping loop within one simulated second and returns ctx.Err() with the
+// state reached so far, so a batch coordinator can abandon a shard without
+// waiting out its sim-time budget.
+func RunContext(ctx context.Context, spec scenario.Spec, maxSim float64) (RunResult, error) {
 	res := RunResult{Scenario: spec.Name}
 	ter, err := terrain.GenerateSite(terrain.DefaultSite())
 	if err != nil {
@@ -43,7 +52,15 @@ func Run(spec scenario.Spec, maxSim float64) (RunResult, error) {
 	ap := New(spec)
 
 	const dt = 1.0 / 60
+	steps := 0
 	for res.SimTime = 0; res.SimTime < maxSim; res.SimTime += dt {
+		// Checking the context every simulated second keeps the hot loop
+		// free of per-step synchronization.
+		if steps%60 == 0 && ctx.Err() != nil {
+			res.State = eng.State()
+			return res, ctx.Err()
+		}
+		steps++
 		scen := eng.State()
 		if scen.Phase == fom.PhaseComplete || scen.Phase == fom.PhaseFailed {
 			break

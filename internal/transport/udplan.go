@@ -36,6 +36,48 @@ func NewUDPLAN(host string, basePort, size int) (*UDPLAN, error) {
 	}, nil
 }
 
+// FreeUDPSegment probes for a basePort whose whole [base, base+size) UDP
+// port range is currently free on host, for tests and tools that must
+// place a segment without a coordinated port plan. The kernel picks an
+// anchor port, then every port of the candidate range is bound to verify
+// it. The ports are released again before returning, so a racing process
+// can still steal one — callers seeing a busy slot at Attach should
+// simply probe again.
+func FreeUDPSegment(host string, size int) (int, error) {
+	if size <= 0 || size > 1024 {
+		return 0, fmt.Errorf("transport: invalid segment size %d", size)
+	}
+	ip := net.ParseIP(host)
+	for attempt := 0; attempt < 64; attempt++ {
+		anchor, err := net.ListenUDP("udp", &net.UDPAddr{IP: ip})
+		if err != nil {
+			return 0, fmt.Errorf("transport: probe: %w", err)
+		}
+		base := anchor.LocalAddr().(*net.UDPAddr).Port
+		_ = anchor.Close()
+		if base+size > 65536 {
+			continue
+		}
+		conns := make([]*net.UDPConn, 0, size)
+		free := true
+		for p := base; p < base+size; p++ {
+			c, err := net.ListenUDP("udp", &net.UDPAddr{IP: ip, Port: p})
+			if err != nil {
+				free = false
+				break
+			}
+			conns = append(conns, c)
+		}
+		for _, c := range conns {
+			_ = c.Close()
+		}
+		if free {
+			return base, nil
+		}
+	}
+	return 0, fmt.Errorf("transport: no free %d-port segment found: %w", size, ErrSegmentFull)
+}
+
 var _ LAN = (*UDPLAN)(nil)
 
 // Close marks the segment closed: subsequent Attach calls return ErrClosed.

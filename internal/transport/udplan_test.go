@@ -20,6 +20,35 @@ func newTestUDPLAN(t *testing.T, size int) *UDPLAN {
 	return l
 }
 
+func TestFreeUDPSegment(t *testing.T) {
+	base, err := FreeUDPSegment("127.0.0.1", 8)
+	if err != nil {
+		t.Fatalf("FreeUDPSegment: %v", err)
+	}
+	// The range it found must immediately host a working segment.
+	l, err := NewUDPLAN("127.0.0.1", base, 8)
+	if err != nil {
+		t.Fatalf("NewUDPLAN at probed base %d: %v", base, err)
+	}
+	a := attach(t, l, "a")
+	b := attach(t, l, "b")
+	if err := a.Broadcast([]byte("hi")); err != nil {
+		t.Fatalf("broadcast on probed segment: %v", err)
+	}
+	select {
+	case dg := <-b.Recv():
+		if dg.From != "a" || string(dg.Payload) != "hi" {
+			t.Errorf("datagram = %+v", dg)
+		}
+	case <-time.After(2 * time.Second):
+		t.Error("broadcast never arrived on probed segment")
+	}
+
+	if _, err := FreeUDPSegment("127.0.0.1", 0); err == nil {
+		t.Error("size 0 accepted")
+	}
+}
+
 func TestUDPLANValidation(t *testing.T) {
 	if _, err := NewUDPLAN("127.0.0.1", 0, 4); err == nil {
 		t.Error("base port 0 accepted")

@@ -25,4 +25,35 @@ go test -race ./...
 echo "== bench smoke (1 iteration) =="
 go test -bench . -benchtime 1x -run '^$' ./...
 
+echo "== dist smoke (coordinator + workers, MemLAN) =="
+go test -run 'TestCoordinatorWorkersMemLAN|TestRedispatchOnWorkerDeath' -count=1 ./internal/dist
+
+out=$(mktemp -d)
+w1=; w2=
+cleanup() {
+    # || true throughout: under set -e a failed kill (process already
+    # gone) must not abort the trap before the rest of the cleanup.
+    [ -z "$w1" ] || kill "$w1" 2>/dev/null || true
+    [ -z "$w2" ] || kill "$w2" 2>/dev/null || true
+    rm -rf "$out" || true
+}
+trap cleanup EXIT
+
+echo "== batch smoke (headless sweep, JSONL report) =="
+go build -o "$out/codbatch" ./cmd/codbatch
+"$out/codbatch" -headless -strict -out "$out/results.jsonl" >"$out/report.txt"
+tail -n 3 "$out/report.txt"
+
+echo "== dist CLI smoke (codbatch coordinator + 2 worker processes, UDPLAN loopback) =="
+"$out/codbatch" -serve -lan 127.0.0.1:47901 -name smoke1 -headless >"$out/w1.log" 2>&1 &
+w1=$!
+"$out/codbatch" -serve -lan 127.0.0.1:47901 -name smoke2 -headless >"$out/w2.log" 2>&1 &
+w2=$!
+# timeout: if a worker failed at startup (port clash with a stray run),
+# the coordinator would otherwise wait for its heartbeat forever.
+timeout 120 "$out/codbatch" -coordinator smoke1,smoke2 -lan 127.0.0.1:47901 \
+    -scenarios classic-exam,blind-lift -repeat 2 -headless -strict \
+    -out "$out/dist-results.jsonl" >"$out/dist-report.txt"
+tail -n 3 "$out/dist-report.txt"
+
 echo "OK"
