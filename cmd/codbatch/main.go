@@ -40,6 +40,7 @@ import (
 	"codsim/internal/dist"
 	"codsim/internal/scenario"
 	"codsim/internal/sim"
+	"codsim/internal/trace"
 )
 
 func main() {
@@ -68,8 +69,24 @@ func run() error {
 		coordAt   = flag.String("coordinator", "", "coordinator mode: comma-separated worker names to shard over")
 		lanAddr   = flag.String("lan", "127.0.0.1:47700", "UDPLAN segment (host:basePort) for -serve/-coordinator")
 		name      = flag.String("name", "", "worker name on the segment (default worker-<pid>)")
+		skillName = flag.String("skill", "", `autopilot skill preset (expert, intermediate, novice; "" = expert)`)
+		trendDir  = flag.String("trend", "", "report pass-rate/p50-score trends across every *.jsonl sweep in this directory and exit")
 	)
 	flag.Parse()
+
+	if *trendDir != "" {
+		sweeps, err := dist.LoadSweepDir(*trendDir)
+		if err != nil {
+			return err
+		}
+		dist.WriteTrend(os.Stdout, sweeps)
+		return nil
+	}
+
+	skill, err := trace.SkillByName(*skillName)
+	if err != nil {
+		return err
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -104,6 +121,7 @@ func run() error {
 		Parallel: *parallel,
 		Timeout:  *timeout,
 		Headless: *headless,
+		Skill:    skill,
 	}
 
 	switch {
@@ -325,6 +343,15 @@ func describe(s scenario.Spec) string {
 	}
 	if s.Visibility > 0 && s.Visibility < 1 {
 		parts = append(parts, "night")
+	}
+	if n := s.CraneCount(); n > 1 {
+		parts = append(parts, fmt.Sprintf("%d cranes", n))
+	}
+	for _, c := range s.Cargos {
+		if c.HooksNeeded() > 1 {
+			parts = append(parts, "tandem")
+			break
+		}
 	}
 	if len(s.Cargos) > 1 {
 		parts = append(parts, fmt.Sprintf("%d cargos", len(s.Cargos)))

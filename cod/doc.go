@@ -61,6 +61,18 @@
 // promised across channels, across different publishers of a class, or
 // between classes.
 //
+// # Multiple publishers per class
+//
+// Several LPs may publish the same object class — the simulator's
+// multi-crane federation runs one dynamics publisher per carrier on the
+// CraneState class. Subscribers receive the interleaved stream and tell
+// the instances apart by a discriminating attribute; the simulator's FOM
+// uses CraneID, with the legacy rule that an absent CraneID decodes as
+// crane 0 so single-publisher peers and old recordings stay valid. When
+// consuming such a class, prefer a queued subscription (WithQueue) folded
+// into a newest-per-key view over conflation, which would keep only the
+// newest reflection across all publishers.
+//
 // The SDK carries application traffic beyond the simulator's FOM: the
 // distributed batch layer (internal/dist, cmd/codbatch) runs its whole
 // coordinator/worker protocol — job announces, claims, grants, results,

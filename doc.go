@@ -36,15 +36,34 @@
 //
 // Workloads are data: a scenario.Spec declares site geometry, a cargo
 // set, a phase graph (drive / lift / traverse / place nodes the engine
-// interprets), a deduction schedule, wind, and visibility. Six specs ship
-// in the library (classic and advanced exams, blind lift, heavy derate,
-// windy lift, night precision placement), and specs serialize to JSON
+// interprets), a deduction schedule, wind, and visibility. Eight specs
+// ship in the library (classic and advanced exams, blind lift, heavy
+// derate, windy lift, night precision placement, tandem beam lift,
+// staggered two-crane yard), and specs serialize to JSON
 // (scenario.LoadSpecDir reads a directory of them); sim.Config.Scenario
 // loads any of them — or your own — into the full federation, trace.Run
 // executes one headless, and sim.RunBatch runs N federations
 // concurrently. cmd/codbatch is the CLI, locally or sharded across
 // worker hosts with -serve/-coordinator, persisting per-run JSON-lines
-// records with percentile and regression reports.
+// records with percentile, regression and trend reports (-trend dir/).
+//
+// # Multi-crane federation and tandem lifts
+//
+// A Spec may declare several carriers (Spec.Cranes); each phase node
+// carries a crane index and every crane walks its own sub-graph of the
+// phase list with an independent cursor. A cargo declaring Hooks: 2 is a
+// tandem load: the dynamics keep it grounded until two rigs latch it
+// (both rigs share one dynamics.World), the scenario engine's tandem
+// gate holds the first crane until its partner arrives, and the carried
+// load then splits evenly between the cables. The federation scales with
+// the declaration — sim.New spawns one dynamics, motion and autopilot
+// participant per crane, all publishing on the same FOM classes (the
+// paper's multiple-publishers-per-object-class rule) and demultiplexed
+// by the CraneID attribute; absent on the wire means crane 0, so
+// pre-multi-crane peers and recordings keep decoding. The autopilot
+// takes a trace.SkillProfile (expert / intermediate / novice presets)
+// parameterizing reaction lag, overshoot and slack, so batch sweeps
+// yield realistic score distributions.
 //
 // The benchmarks in bench_test.go regenerate the paper's quantitative
 // artifacts; cmd/experiments prints the full tables recorded in

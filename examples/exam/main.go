@@ -38,11 +38,20 @@ func run(name string) error {
 	if err != nil {
 		return err
 	}
-	model, err := dynamics.New(dynamics.DefaultConfig(), ter, spec.Course.Start, spec.Course.StartYaw)
-	if err != nil {
-		return err
+	// One rig and one autopilot per declared crane, all over one shared
+	// cargo world — a single-crane spec declares exactly one.
+	decls := spec.CraneDecls()
+	world := dynamics.NewWorld()
+	models := make([]*dynamics.Model, len(decls))
+	pilots := make([]*trace.Autopilot, len(decls))
+	for c, d := range decls {
+		models[c], err = dynamics.NewCrane(dynamics.DefaultConfig(), ter, world, d.Start, d.StartYaw, c)
+		if err != nil {
+			return err
+		}
+		pilots[c] = trace.ForCrane(spec, c)
 	}
-	spec.Install(model, ter)
+	spec.Install(ter, models...)
 
 	craneSpec := crane.DefaultSpec()
 	eng, err := scenario.NewEngineSpec(spec, craneSpec)
@@ -50,16 +59,17 @@ func run(name string) error {
 		return err
 	}
 	eng.Start()
-	ap := trace.New(spec)
 	mon := instructor.NewMonitor(craneSpec)
 
 	fmt.Printf("=== %s ===\n", spec.Title)
 	const dt = 1.0 / 60
 	nextWindow := 0.0
+	states := make([]fom.CraneState, len(models))
 	for simT := 0.0; simT < 900; simT += dt {
-		st := model.State()
 		scen := eng.State()
-		mon.ObserveCrane(st, dt)
+		for _, m := range models {
+			mon.ObserveCrane(m.State(), dt)
+		}
 		mon.ObserveScenario(scen)
 
 		if simT >= nextWindow {
@@ -72,14 +82,20 @@ func run(name string) error {
 				spec.Title, scen.Phase, scen.Score, scen.Collisions, scen.Elapsed)
 			fmt.Println("\nmisconduct log:")
 			for _, ev := range mon.AlarmLog() {
-				fmt.Printf("  t=%6.1f  alarm bits %06b\n", ev.At, ev.Raised)
+				fmt.Printf("  t=%6.1f  crane %d  alarm bits %06b\n", ev.At, ev.Crane, ev.Raised)
 			}
 			return nil
 		}
 
-		in := ap.Control(st, scen, dt)
-		model.Step(in, dt)
-		eng.Step(model.State(), dt)
+		for c, m := range models {
+			in := pilots[c].Control(m.State(), eng.StateFor(c), dt)
+			in.CraneID = int64(c)
+			m.Step(in, dt)
+		}
+		for c, m := range models {
+			states[c] = m.State()
+		}
+		eng.StepAll(states, dt)
 	}
 	return fmt.Errorf("scenario did not finish within 900 simulated seconds")
 }

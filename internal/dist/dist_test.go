@@ -217,15 +217,15 @@ func TestRedispatchOnWorkerDeath(t *testing.T) {
 	}
 }
 
-// TestUDPLANSweepMatchesLocal is the acceptance sweep: 30 headless jobs
-// (6 library scenarios × 5 repeats) sharded across two workers over a
-// real UDPLAN loopback segment, with each participant attaching through
-// its own UDPLAN instance exactly like separate OS processes would. The
-// dist verdicts must match a local sim.RunBatch of the same specs, and
-// the persisted JSONL must aggregate into a complete report.
+// TestUDPLANSweepMatchesLocal is the acceptance sweep: the whole library
+// × 5 repeats of headless jobs sharded across two workers over a real
+// UDPLAN loopback segment, with each participant attaching through its
+// own UDPLAN instance exactly like separate OS processes would. The dist
+// verdicts must match a local sim.RunBatch of the same specs, and the
+// persisted JSONL must aggregate into a complete report.
 func TestUDPLANSweepMatchesLocal(t *testing.T) {
 	if testing.Short() {
-		t.Skip("30 headless scenario runs")
+		t.Skip("whole-library headless scenario sweep")
 	}
 	const (
 		host  = "127.0.0.1"
@@ -303,15 +303,16 @@ func TestUDPLANSweepMatchesLocal(t *testing.T) {
 	}
 
 	jobs := JobsFor(scenario.Library(), 5)
-	if len(jobs) != 30 {
-		t.Fatalf("jobs = %d, want 30", len(jobs))
+	want := len(scenario.Library()) * 5
+	if len(jobs) != want {
+		t.Fatalf("jobs = %d, want %d", len(jobs), want)
 	}
 	recs, err := coord.Run(ctx, jobs)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
-	if len(recs) != 30 {
-		t.Fatalf("records = %d, want 30", len(recs))
+	if len(recs) != want {
+		t.Fatalf("records = %d, want %d", len(recs), want)
 	}
 
 	// The same specs locally, through the same headless path.
@@ -347,7 +348,7 @@ func TestUDPLANSweepMatchesLocal(t *testing.T) {
 		t.Fatal(err)
 	}
 	rep := BuildReport(loaded)
-	if rep.Total.Runs != 30 || len(rep.Scenarios) != 6 {
+	if rep.Total.Runs != want || len(rep.Scenarios) != len(scenario.Library()) {
 		t.Fatalf("report: %d runs, %d scenarios", rep.Total.Runs, len(rep.Scenarios))
 	}
 	for _, g := range rep.Scenarios {

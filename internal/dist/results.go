@@ -26,7 +26,10 @@ type Record struct {
 	Phase    string  `json:"phase"`
 	SimSec   float64 `json:"sim_sec"`
 	WallSec  float64 `json:"wall_sec"`
-	Err      string  `json:"err,omitempty"`
+	// Alarms is the instructor-side misconduct count of the run: alarm
+	// lamps lit (safety alarms plus collisions) across every crane.
+	Alarms int64  `json:"alarms,omitempty"`
+	Err    string `json:"err,omitempty"`
 }
 
 // NewRecord converts one sim.BatchResult into its persisted form.
@@ -42,6 +45,7 @@ func NewRecord(job Job, res sim.BatchResult, worker string) Record {
 		Phase:    res.State.Phase.String(),
 		SimSec:   res.State.Elapsed,
 		WallSec:  res.Wall.Seconds(),
+		Alarms:   int64(res.Alarms),
 	}
 	if res.Err != nil {
 		r.Err = res.Err.Error()
@@ -149,6 +153,7 @@ type Group struct {
 	Runs     int
 	Passed   int
 	Errors   int
+	Alarms   int64 // instructor alarm lamps lit, summed over the runs
 	Score    Stats // final score percentiles
 	Wall     Stats // wall-clock seconds percentiles
 	Sim      Stats // simulated seconds percentiles
@@ -201,6 +206,7 @@ func groupOf(name string, recs []Record) Group {
 		if r.Err != "" {
 			g.Errors++
 		}
+		g.Alarms += r.Alarms
 		scores = append(scores, r.Score)
 		walls = append(walls, r.WallSec)
 		sims = append(sims, r.SimSec)
@@ -213,11 +219,11 @@ func groupOf(name string, recs []Record) Group {
 
 // WriteReport renders the aggregate table.
 func WriteReport(w io.Writer, rep Report) {
-	fmt.Fprintf(w, "%-18s %5s %6s %7s  %-17s %-17s\n",
-		"SCENARIO", "RUNS", "PASS%", "ERRORS", "SCORE p50/90/99", "WALL-S p50/90/99")
+	fmt.Fprintf(w, "%-18s %5s %6s %7s %7s  %-17s %-17s\n",
+		"SCENARIO", "RUNS", "PASS%", "ERRORS", "ALARMS", "SCORE p50/90/99", "WALL-S p50/90/99")
 	line := func(g Group) {
-		fmt.Fprintf(w, "%-18s %5d %5.0f%% %7d  %5.1f/%5.1f/%5.1f %5.1f/%5.1f/%5.1f\n",
-			g.Scenario, g.Runs, g.PassRate()*100, g.Errors,
+		fmt.Fprintf(w, "%-18s %5d %5.0f%% %7d %7d  %5.1f/%5.1f/%5.1f %5.1f/%5.1f/%5.1f\n",
+			g.Scenario, g.Runs, g.PassRate()*100, g.Errors, g.Alarms,
 			g.Score.P50, g.Score.P90, g.Score.P99,
 			g.Wall.P50, g.Wall.P90, g.Wall.P99)
 	}

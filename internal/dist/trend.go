@@ -1,0 +1,102 @@
+package dist
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Sweep is one stored result file inside a trend directory: its label
+// (the file name without extension) and the aggregated report.
+type Sweep struct {
+	Name   string
+	Report Report
+}
+
+// LoadSweepDir reads every *.jsonl file of a directory as one sweep, in
+// filename order — name sweep files sortably (timestamps, CI run
+// numbers) and the order is the time axis.
+func LoadSweepDir(dir string) ([]Sweep, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("dist: %w", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".jsonl") {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("dist: no *.jsonl files in %s", dir)
+	}
+	sweeps := make([]Sweep, 0, len(files))
+	for _, f := range files {
+		recs, err := LoadRecords(filepath.Join(dir, f))
+		if err != nil {
+			return nil, err
+		}
+		sweeps = append(sweeps, Sweep{
+			Name:   strings.TrimSuffix(f, ".jsonl"),
+			Report: BuildReport(recs),
+		})
+	}
+	return sweeps, nil
+}
+
+// WriteTrend renders the time-series view over many stored sweeps: one
+// block per scenario (union of all sweeps, sorted), one row per sweep
+// with its pass rate and p50 score, so drifts stand out as a column you
+// can read top to bottom. A trailing TOTAL block tracks the sweep-wide
+// rollup.
+func WriteTrend(w io.Writer, sweeps []Sweep) {
+	names := make(map[string]bool)
+	for _, s := range sweeps {
+		for _, g := range s.Report.Scenarios {
+			names[g.Scenario] = true
+		}
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	width := 10
+	for _, s := range sweeps {
+		if len(s.Name) > width {
+			width = len(s.Name)
+		}
+	}
+	row := func(label string, g Group, present bool) {
+		if !present {
+			fmt.Fprintf(w, "  %-*s %s\n", width, label, "(not in sweep)")
+			return
+		}
+		fmt.Fprintf(w, "  %-*s %3d runs  %4.0f%% pass  p50 score %5.1f  %d alarms\n",
+			width, label, g.Runs, g.PassRate()*100, g.Score.P50, g.Alarms)
+	}
+	find := func(rep Report, name string) (Group, bool) {
+		for _, g := range rep.Scenarios {
+			if g.Scenario == name {
+				return g, true
+			}
+		}
+		return Group{}, false
+	}
+	for _, name := range sorted {
+		fmt.Fprintf(w, "%s\n", name)
+		for _, s := range sweeps {
+			g, ok := find(s.Report, name)
+			row(s.Name, g, ok)
+		}
+	}
+	fmt.Fprintln(w, "TOTAL")
+	for _, s := range sweeps {
+		row(s.Name, s.Report.Total, true)
+	}
+}

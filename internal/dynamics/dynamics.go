@@ -172,18 +172,20 @@ type Model struct {
 	hookPos   mathx.Vec3
 	hookVel   mathx.Vec3
 	cargoHeld bool
-	cargoMass float64
+	cargoMass float64    // this rig's share of the latched load (kg)
 	cargoPos  mathx.Vec3 // carried or last-touched resting position
 	latchArm  bool       // debounced latch input edge
 
-	// Cargo pickup sites registered by the scenario layout. The latch
-	// grabs the nearest site within LatchDist; releasing drops the cargo
-	// back as a new site where it lands. Each site keeps the stable ID it
-	// was registered with (its position in the AddCargo sequence), so the
-	// scenario engine can tell which load is on the hook.
-	sites  []cargoSite
-	heldID int64 // registration ID of the held cargo; -1 when none
-	nextID int64
+	// Cargo lives in the (possibly shared) World: the latch grabs the
+	// nearest grounded unit within LatchDist; releasing drops the cargo
+	// back as a new unit where it lands. Units keep the stable ID they
+	// were registered with (their position in the AddCargo sequence), so
+	// the scenario engine can tell which load is on which hook. cargoRef
+	// is this rig's latched unit (nil when the hook is empty); only this
+	// rig's goroutine touches it.
+	world    *World
+	cargoRef *cargoUnit
+	craneID  int64
 
 	wind Wind
 
@@ -191,31 +193,37 @@ type Model struct {
 	t      float64
 }
 
-// cargoSite is one resting cargo the hook can latch onto.
-type cargoSite struct {
-	id   int64
-	pos  mathx.Vec3
-	mass float64
+// New creates a single-crane model resting at start on the given terrain,
+// heading along -Z, with boom stowed and cable short. The model owns a
+// private cargo World; use NewCrane to place several rigs on one site.
+func New(cfg Config, ter *terrain.Map, start mathx.Vec3, heading float64) (*Model, error) {
+	return NewCrane(cfg, ter, NewWorld(), start, heading, 0)
 }
 
-// New creates a model resting at start on the given terrain, heading along
-// -Z, with boom stowed and cable short.
-func New(cfg Config, ter *terrain.Map, start mathx.Vec3, heading float64) (*Model, error) {
+// NewCrane creates one rig of a (possibly multi-carrier) site: the model
+// rests at start on the terrain and latches cargo out of the shared
+// world. craneID tags the published CraneState so federation consumers
+// can tell the carriers apart; single-crane setups use 0.
+func NewCrane(cfg Config, ter *terrain.Map, w *World, start mathx.Vec3, heading float64, craneID int) (*Model, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if ter == nil {
 		return nil, fmt.Errorf("dynamics: nil terrain")
 	}
+	if w == nil {
+		return nil, fmt.Errorf("dynamics: nil world")
+	}
 	m := &Model{
 		cfg:      cfg,
 		ter:      ter,
+		world:    w,
+		craneID:  int64(craneID),
 		pos:      start,
 		heading:  heading,
 		luff:     cfg.LuffMin,
 		boomLen:  cfg.BoomLenMin,
 		cableLen: 4.0,
-		heldID:   -1,
 	}
 	m.pos.Y = ter.HeightAt(start.X, start.Z)
 	m.pitch, m.roll = ter.Posture(m.pos.X, m.pos.Z, m.heading, cfg.Wheelbase, cfg.Track)
@@ -225,42 +233,39 @@ func New(cfg Config, ter *terrain.Map, start mathx.Vec3, heading float64) (*Mode
 	return m, nil
 }
 
-// PlaceCargo registers a single cargo of the given mass resting at pos,
-// replacing any previously registered sites; the hook latches onto it when
-// the operator closes the latch nearby. Use AddCargo to register further
-// cargos for multi-lift scenarios.
-func (m *Model) PlaceCargo(pos mathx.Vec3, mass float64) {
-	m.sites = m.sites[:0]
+// World returns the model's cargo world (shared across rigs in
+// multi-crane setups).
+func (m *Model) World() *World { return m.world }
+
+// CraneID returns the rig's carrier index.
+func (m *Model) CraneID() int64 { return m.craneID }
+
+// detachCargo clears the rig's held-load bookkeeping (World.Reset calls
+// it when the site layout is replaced under a latched hook).
+func (m *Model) detachCargo() {
 	m.cargoHeld = false
 	m.cargoMass = 0
-	m.heldID = -1
-	m.nextID = 0
+	m.cargoRef = nil
+}
+
+// PlaceCargo registers a single cargo of the given mass resting at pos,
+// replacing any previously registered units in the world; the hook
+// latches onto it when the operator closes the latch nearby. Use AddCargo
+// to register further cargos for multi-lift scenarios.
+func (m *Model) PlaceCargo(pos mathx.Vec3, mass float64) {
+	m.world.Reset()
 	m.AddCargo(pos, mass)
 }
 
-// AddCargo registers one more resting cargo site. The latch always grabs
-// the nearest site within the latch distance. Sites are identified by
-// their registration order (0, 1, ...), matching the scenario cargo-set
-// index when the layout is installed in spec order.
+// AddCargo registers one more resting cargo unit in the world. The latch
+// always grabs the nearest unit within the latch distance. Units are
+// identified by their registration order (0, 1, ...), matching the
+// scenario cargo-set index when the layout is installed in spec order.
 func (m *Model) AddCargo(pos mathx.Vec3, mass float64) {
-	m.sites = append(m.sites, cargoSite{id: m.nextID, pos: pos, mass: mass})
-	m.nextID++
+	m.world.AddCargo(pos, mass)
 	if !m.cargoHeld {
-		m.cargoPos = m.restingCargoPos()
+		m.cargoPos = m.world.nearestRestingPos(m.hookPos, m.cargoPos)
 	}
-}
-
-// restingCargoPos returns the site nearest to the hook, for publication
-// while no cargo is held.
-func (m *Model) restingCargoPos() mathx.Vec3 {
-	best := m.cargoPos
-	bestD := math.Inf(1)
-	for _, s := range m.sites {
-		if d := m.hookPos.Dist(s.pos); d < bestD {
-			best, bestD = s.pos, d
-		}
-	}
-	return best
 }
 
 // CarrierRot returns the carrier body rotation mapping body axes (forward
@@ -459,8 +464,11 @@ func (m *Model) stepPendulum(dt float64) {
 	}
 
 	// Ground: the hook (and carried cargo) cannot sink into the terrain.
+	// A latched tandem cargo still waiting for its partner hooks rests on
+	// the ground, so it grants no hanging clearance.
+	carrying := m.world.isCarrying(m, m.cargoRef)
 	minY := m.ter.HeightAt(m.hookPos.X, m.hookPos.Z) + 0.15
-	if m.cargoHeld {
+	if carrying {
 		minY += 0.6 // carried cargo hangs below the hook
 	}
 	if m.hookPos.Y < minY {
@@ -473,24 +481,25 @@ func (m *Model) stepPendulum(dt float64) {
 		m.hookVel.Z *= 0.7
 	}
 
-	if m.cargoHeld {
-		m.cargoPos = m.hookPos.Sub(mathx.V3(0, 0.6, 0))
-	} else if len(m.sites) > 0 {
-		m.cargoPos = m.restingCargoPos()
+	if m.cargoRef != nil {
+		m.cargoPos = m.world.trackHook(m, m.cargoRef, m.hookPos)
+	} else {
+		m.cargoPos = m.world.nearestRestingPos(m.hookPos, m.cargoPos)
 	}
 }
 
-// stepLatch handles cargo pickup and release on latch edges.
+// stepLatch handles cargo pickup and release on latch edges. The load
+// the rig feels is its share of the unit's mass — half a tandem beam,
+// the whole of an ordinary crate.
 func (m *Model) stepLatch(in fom.ControlInput) {
 	if in.HookLatch && !m.latchArm {
 		m.latchArm = true
 		if !m.cargoHeld {
-			if i, ok := m.latchableSite(); ok {
+			if u, ok := m.world.latch(m, m.hookPos, m.cfg.LatchDist); ok {
 				m.cargoHeld = true
-				m.cargoMass = m.sites[i].mass
-				m.cargoPos = m.sites[i].pos
-				m.heldID = m.sites[i].id
-				m.sites = append(m.sites[:i], m.sites[i+1:]...)
+				m.cargoRef = u
+				m.cargoMass = u.mass / float64(u.hooks)
+				m.cargoPos = u.pos
 				m.events = append(m.events, EventCargoLatched)
 			}
 		}
@@ -498,28 +507,16 @@ func (m *Model) stepLatch(in fom.ControlInput) {
 	if !in.HookLatch && m.latchArm {
 		m.latchArm = false
 		if m.cargoHeld {
+			// A carried unit drops to the ground below its release point
+			// and becomes a pickup site again, keeping its identity; a
+			// grounded tandem unit just loses this rig's hook.
+			m.cargoPos = m.world.release(m, m.cargoRef, m.ter.HeightAt)
 			m.cargoHeld = false
-			// The cargo drops to the ground below its release point and
-			// becomes a pickup site again, keeping its identity.
-			m.cargoPos.Y = m.ter.HeightAt(m.cargoPos.X, m.cargoPos.Z) + 0.5
-			m.sites = append(m.sites, cargoSite{id: m.heldID, pos: m.cargoPos, mass: m.cargoMass})
+			m.cargoRef = nil
 			m.cargoMass = 0
-			m.heldID = -1
 			m.events = append(m.events, EventCargoReleased)
 		}
 	}
-}
-
-// latchableSite returns the index of the nearest cargo site within the
-// latch distance of the hook.
-func (m *Model) latchableSite() (int, bool) {
-	best, bestD := -1, m.cfg.LatchDist
-	for i, s := range m.sites {
-		if d := m.hookPos.Dist(s.pos.Add(mathx.V3(0, 0.6, 0))); d <= bestD {
-			best, bestD = i, d
-		}
-	}
-	return best, best >= 0
 }
 
 // Stability returns the tip-over margin in [0,1]: 1 fully stable, 0 at the
@@ -537,8 +534,15 @@ func (m *Model) Stability() float64 {
 	return mathx.Clamp(margin, 0, 1)
 }
 
-// State exports the authoritative crane state for publication.
+// State exports the authoritative crane state for publication. CargoHeld
+// reports the latch (a tandem cargo may still rest on the ground while
+// latched, waiting for its partner hooks); CargoMass is this rig's share
+// of the load.
 func (m *Model) State() fom.CraneState {
+	heldID := int64(-1)
+	if m.cargoRef != nil {
+		heldID = m.cargoRef.id
+	}
 	return fom.CraneState{
 		Position:  m.pos,
 		Heading:   m.heading,
@@ -557,7 +561,8 @@ func (m *Model) State() fom.CraneState {
 		EngineOn:  m.engineOn,
 		Stability: m.Stability(),
 		CargoPos:  m.cargoPos,
-		CargoID:   m.heldID,
+		CargoID:   heldID,
+		CraneID:   m.craneID,
 	}
 }
 
@@ -579,6 +584,7 @@ func (m *Model) MotionCue(frame uint32) fom.MotionCue {
 		AngularRate:   mathx.V3(0, 0, m.prevYawR),
 		Vibration:     mathx.Clamp(vib, 0, 1),
 		Frame:         frame,
+		CraneID:       m.craneID,
 	}
 }
 

@@ -11,6 +11,7 @@ const (
 	MCAttrAngularRate   wire.AttrID = 2 // cab angular rates (rad/s): roll,pitch,yaw
 	MCAttrVibration     wire.AttrID = 3 // engine vibration intensity [0,1]
 	MCAttrFrame         wire.AttrID = 4 // visual frame index the cue belongs to
+	MCAttrCraneID       wire.AttrID = 5 // cueing carrier; absent = crane 0
 )
 
 // MotionCue carries the cab's inertial cues from the dynamics module to the
@@ -21,6 +22,9 @@ type MotionCue struct {
 	AngularRate   mathx.Vec3 // X=roll rate, Y=pitch rate, Z=yaw rate, rad/s
 	Vibration     float64    // engine vibration intensity [0,1]
 	Frame         uint32
+	// CraneID identifies the cueing carrier in a multi-crane federation;
+	// absent on the wire means crane 0 (the legacy single-cab rule).
+	CraneID int64
 }
 
 // Encode packs the struct into an attribute set.
@@ -30,6 +34,7 @@ func (m MotionCue) Encode() wire.AttrSet {
 	a.PutVec3(MCAttrAngularRate, m.AngularRate.X, m.AngularRate.Y, m.AngularRate.Z)
 	a.PutFloat64(MCAttrVibration, m.Vibration)
 	a.PutUint32(MCAttrFrame, m.Frame)
+	a.PutInt64(MCAttrCraneID, m.CraneID)
 	return a
 }
 
@@ -48,6 +53,11 @@ func DecodeMotionCue(a wire.AttrSet) (MotionCue, error) {
 	}
 	if m.Frame, ok = a.Uint32(MCAttrFrame); !ok {
 		return m, missing(ClassMotionCue, MCAttrFrame)
+	}
+	// CraneID was added with the multi-crane FOM revision; absent means
+	// crane 0.
+	if m.CraneID, ok = a.Int64(MCAttrCraneID); !ok {
+		m.CraneID = 0
 	}
 	return m, nil
 }
@@ -161,6 +171,7 @@ const (
 	SSAttrWaypoint   wire.AttrID = 5 // next waypoint index in the course
 	SSAttrMessage    wire.AttrID = 6 // operator-facing status text
 	SSAttrPhaseIndex wire.AttrID = 7 // index into the scenario's phase graph
+	SSAttrCraneID    wire.AttrID = 8 // crane the state refers to; absent = 0
 )
 
 // ScenarioState is the scenario module's published training state (§3.5).
@@ -179,6 +190,13 @@ type ScenarioState struct {
 	// builds predating the attribute — consumers fall back to the coarse
 	// Phase then.
 	PhaseIndex uint32
+	// CraneID names the crane whose cursor this state describes: in a
+	// multi-crane scenario the engine publishes one ScenarioState per
+	// declared crane, each carrying that crane's PhaseIndex, Waypoint and
+	// Message (Score, Elapsed and Collisions are shared by the whole
+	// scenario). Absent on the wire means crane 0 — the legacy
+	// single-crane rule, so older publishers and recordings keep working.
+	CraneID int64
 }
 
 // PhaseIndexUnknown is the PhaseIndex sentinel for telemetry that carries
@@ -195,6 +213,7 @@ func (s ScenarioState) Encode() wire.AttrSet {
 	a.PutUint32(SSAttrWaypoint, s.Waypoint)
 	a.PutString(SSAttrMessage, s.Message)
 	a.PutUint32(SSAttrPhaseIndex, s.PhaseIndex)
+	a.PutInt64(SSAttrCraneID, s.CraneID)
 	return a
 }
 
@@ -227,6 +246,11 @@ func DecodeScenarioState(a wire.AttrSet) (ScenarioState, error) {
 	// decode without masquerading as phase 0.
 	if s.PhaseIndex, ok = a.Uint32(SSAttrPhaseIndex); !ok {
 		s.PhaseIndex = PhaseIndexUnknown
+	}
+	// CraneID was added with the multi-crane FOM revision; absent means
+	// crane 0 (single-crane scenarios publish exactly one state).
+	if s.CraneID, ok = a.Int64(SSAttrCraneID); !ok {
+		s.CraneID = 0
 	}
 	return s, nil
 }

@@ -152,11 +152,12 @@ func TestFrameMarkRoundTrip(t *testing.T) {
 
 func TestDecodeMissingAttr(t *testing.T) {
 	// Removing any required attribute from a full set must produce
-	// ErrMissingAttr. CargoID was added after the first FOM revision and
-	// decodes leniently (absent → -1) so older recordings still load.
+	// ErrMissingAttr. CargoID and CraneID were added after the first FOM
+	// revision and decode leniently (absent → -1 and crane 0) so older
+	// recordings still load.
 	full := CraneState{}.Encode()
 	for id := range full {
-		if id == CSAttrCargoID {
+		if id == CSAttrCargoID || id == CSAttrCraneID {
 			continue
 		}
 		broken := full.Clone()
@@ -169,6 +170,11 @@ func TestDecodeMissingAttr(t *testing.T) {
 	delete(noID, CSAttrCargoID)
 	if st, err := DecodeCraneState(noID); err != nil || st.CargoID != -1 {
 		t.Errorf("CargoID absent: st.CargoID=%d err=%v, want -1,<nil>", st.CargoID, err)
+	}
+	noCrane := full.Clone()
+	delete(noCrane, CSAttrCraneID)
+	if st, err := DecodeCraneState(noCrane); err != nil || st.CraneID != 0 {
+		t.Errorf("CraneID absent: st.CraneID=%d err=%v, want 0,<nil>", st.CraneID, err)
 	}
 	if _, err := DecodeControlInput(wire.AttrSet{}); !errors.Is(err, ErrMissingAttr) {
 		t.Errorf("empty set: %v", err)

@@ -17,6 +17,7 @@ const (
 	CIAttrIgnition  wire.AttrID = 8  // engine master switch
 	CIAttrGear      wire.AttrID = 9  // 0 neutral, 1 forward, 2 reverse
 	CIAttrHookLatch wire.AttrID = 10 // cargo hook latch engaged
+	CIAttrCraneID   wire.AttrID = 11 // addressed carrier; absent = crane 0
 )
 
 // ControlInput is the dashboard module's sampled operator input (§3.2):
@@ -33,6 +34,11 @@ type ControlInput struct {
 	Ignition  bool
 	Gear      uint32
 	HookLatch bool
+	// CraneID addresses the carrier this input drives in a multi-crane
+	// federation. Absent on the wire means crane 0 — the legacy
+	// single-crane rule, so recordings and peers from older builds keep
+	// working unchanged.
+	CraneID int64
 }
 
 // Encode packs the struct into an attribute set.
@@ -48,6 +54,7 @@ func (c ControlInput) Encode() wire.AttrSet {
 	a.PutBool(CIAttrIgnition, c.Ignition)
 	a.PutUint32(CIAttrGear, c.Gear)
 	a.PutBool(CIAttrHookLatch, c.HookLatch)
+	a.PutInt64(CIAttrCraneID, c.CraneID)
 	return a
 }
 
@@ -85,6 +92,11 @@ func DecodeControlInput(a wire.AttrSet) (ControlInput, error) {
 	if c.HookLatch, ok = a.Bool(CIAttrHookLatch); !ok {
 		return c, missing(ClassControlInput, CIAttrHookLatch)
 	}
+	// CraneID was added with the multi-crane FOM revision; absent means
+	// crane 0 so single-crane publishers keep decoding.
+	if c.CraneID, ok = a.Int64(CIAttrCraneID); !ok {
+		c.CraneID = 0
+	}
 	return c, nil
 }
 
@@ -108,6 +120,7 @@ const (
 	CSAttrStability wire.AttrID = 16 // tip-over margin [0,1], 1 = fully stable
 	CSAttrCargoPos  wire.AttrID = 17 // cargo world position (m)
 	CSAttrCargoID   wire.AttrID = 18 // held cargo's scenario index; -1 = none
+	CSAttrCraneID   wire.AttrID = 19 // publishing carrier; absent = crane 0
 )
 
 // CraneState is the dynamics module's authoritative crane state (§3.6),
@@ -134,6 +147,10 @@ type CraneState struct {
 	// -1 while nothing is held, and on telemetry from builds predating
 	// the attribute (the scenario engine treats -1 as "unknown").
 	CargoID int64
+	// CraneID identifies the publishing carrier in a multi-crane
+	// federation (index into scenario.Spec.Cranes). Absent on the wire
+	// means crane 0 — the legacy single-crane rule.
+	CraneID int64
 }
 
 // Encode packs the struct into an attribute set.
@@ -157,6 +174,7 @@ func (s CraneState) Encode() wire.AttrSet {
 	a.PutFloat64(CSAttrStability, s.Stability)
 	a.PutVec3(CSAttrCargoPos, s.CargoPos.X, s.CargoPos.Y, s.CargoPos.Z)
 	a.PutInt64(CSAttrCargoID, s.CargoID)
+	a.PutInt64(CSAttrCraneID, s.CraneID)
 	return a
 }
 
@@ -219,6 +237,11 @@ func DecodeCraneState(a wire.AttrSet) (CraneState, error) {
 	// (none/unknown) so recordings made by older builds still decode.
 	if s.CargoID, ok = a.Int64(CSAttrCargoID); !ok {
 		s.CargoID = -1
+	}
+	// CraneID was added with the multi-crane FOM revision; absent means
+	// crane 0 (the legacy single-crane publisher).
+	if s.CraneID, ok = a.Int64(CSAttrCraneID); !ok {
+		s.CraneID = 0
 	}
 	return s, nil
 }

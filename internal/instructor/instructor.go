@@ -25,47 +25,56 @@ import (
 type AlarmEvent struct {
 	At     float64 // scenario elapsed seconds
 	Raised fom.Alarm
+	Crane  int64 // carrier that raised it (0 in single-crane runs)
 }
 
 // Monitor is the instructor LP's state. Safe for concurrent use (CB
-// callbacks feed it while the UI loop renders).
+// callbacks feed it while the UI loop renders). In a multi-crane
+// federation it observes every carrier's telemetry — alarm edges are
+// debounced per crane — while the status and dashboard windows mirror
+// crane 0, the operator cab.
 type Monitor struct {
 	mu    sync.Mutex
 	spec  crane.Spec
 	panel *dashboard.Panel // the Fig. 6 duplication
 
-	crane    fom.CraneState
+	crane    fom.CraneState // crane 0, the mirrored cab
 	scen     fom.ScenarioState
 	haveData bool
-	lastAl   fom.Alarm
+	lastAl   map[int64]fom.Alarm // per-crane alarm debounce
 	log      []AlarmEvent
 }
 
 // NewMonitor builds a monitor judging against the given crane spec.
 func NewMonitor(spec crane.Spec) *Monitor {
-	return &Monitor{spec: spec, panel: dashboard.NewPanel()}
+	return &Monitor{spec: spec, panel: dashboard.NewPanel(), lastAl: make(map[int64]fom.Alarm)}
 }
 
-// ObserveCrane ingests a CraneState reflection.
+// ObserveCrane ingests a CraneState reflection from any carrier.
 func (m *Monitor) ObserveCrane(st fom.CraneState, dt float64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.crane = st
-	m.haveData = true
-	m.panel.UpdateFromState(st, dt)
+	if st.CraneID == 0 {
+		m.crane = st
+		m.haveData = true
+		m.panel.UpdateFromState(st, dt)
+	}
 
 	al := m.spec.Alarms(st)
-	if raised := al &^ m.lastAl; raised != 0 {
-		m.log = append(m.log, AlarmEvent{At: m.scen.Elapsed, Raised: raised})
+	if raised := al &^ m.lastAl[st.CraneID]; raised != 0 {
+		m.log = append(m.log, AlarmEvent{At: m.scen.Elapsed, Raised: raised, Crane: st.CraneID})
 	}
-	m.lastAl = al
+	m.lastAl[st.CraneID] = al
 }
 
-// ObserveScenario ingests a ScenarioState reflection.
+// ObserveScenario ingests a ScenarioState reflection. The status window
+// follows crane 0's cursor (score and clock are shared by all cranes).
 func (m *Monitor) ObserveScenario(s fom.ScenarioState) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.scen = s
+	if s.CraneID == 0 {
+		m.scen = s
+	}
 }
 
 // Report digests the current state into the status-window payload.

@@ -352,10 +352,10 @@ func TestSceneBuilderFrame(t *testing.T) {
 	}
 
 	// Moving the crane moves the carrier instance.
-	before := b.scene.Instances[b.parts.carrier].Transform
+	before := b.scene.Instances[b.parts[0].carrier].Transform
 	st.Position = mathx.V3(120, 0, 80)
 	b.Frame(st)
-	after := b.scene.Instances[b.parts.carrier].Transform
+	after := b.scene.Instances[b.parts[0].carrier].Transform
 	if before == after {
 		t.Error("carrier transform did not track state")
 	}

@@ -92,10 +92,12 @@ type craneParts struct {
 }
 
 // SceneBuilder assembles the per-frame scene: static site geometry baked
-// once, plus the articulated crane updated from each CraneState.
+// once, plus one articulated crane per carrier, each updated from its
+// CraneState. NewSceneBuilder registers a single crane (index 0);
+// AddCrane appends more for tandem-lift scenes.
 type SceneBuilder struct {
 	scene Scene
-	parts craneParts
+	parts []craneParts // one instance group per carrier
 
 	carrierMesh *Mesh
 	cabMesh     *Mesh
@@ -150,20 +152,8 @@ func NewSceneBuilder(ter *terrain.Map, obstacles []Obstacle, targetPolys int) (*
 		})
 	}
 
-	// Articulated crane parts (transforms filled by Frame).
-	add := func(m *Mesh) int {
-		b.scene.Instances = append(b.scene.Instances, Instance{Mesh: m, Transform: mathx.Identity4()})
-		return len(b.scene.Instances) - 1
-	}
-	b.parts = craneParts{
-		carrier: add(b.carrierMesh),
-		cab:     add(b.cabMesh),
-		deck:    add(b.deckMesh),
-		boom:    add(b.boomMesh),
-		cable:   add(b.cableMesh),
-		hook:    add(b.hookMesh),
-		cargo:   add(b.cargoMesh),
-	}
+	// Articulated crane parts (transforms filled by UpdateCrane).
+	b.AddCrane()
 
 	// Pad with scenery (site clutter) to reach the polygon budget.
 	if targetPolys > 0 {
@@ -208,20 +198,56 @@ func cableUnitMesh(c RGB) *Mesh {
 // PolygonCount returns the scene's total triangle count.
 func (b *SceneBuilder) PolygonCount() int { return b.scene.PolygonCount() }
 
-// Frame updates the articulated crane from the crane state and returns the
-// scene for rendering. The returned scene is reused across calls; render it
-// before the next Frame call.
+// AddCrane registers one more articulated crane instance group and
+// returns its index. Call during scene setup, before rendering starts.
+func (b *SceneBuilder) AddCrane() int {
+	add := func(m *Mesh) int {
+		b.scene.Instances = append(b.scene.Instances, Instance{Mesh: m, Transform: mathx.Identity4()})
+		return len(b.scene.Instances) - 1
+	}
+	b.parts = append(b.parts, craneParts{
+		carrier: add(b.carrierMesh),
+		cab:     add(b.cabMesh),
+		deck:    add(b.deckMesh),
+		boom:    add(b.boomMesh),
+		cable:   add(b.cableMesh),
+		hook:    add(b.hookMesh),
+		cargo:   add(b.cargoMesh),
+	})
+	return len(b.parts) - 1
+}
+
+// Cranes returns how many articulated cranes the scene holds.
+func (b *SceneBuilder) Cranes() int { return len(b.parts) }
+
+// Frame updates crane 0 from the crane state and returns the scene for
+// rendering — the single-crane path. The returned scene is reused across
+// calls; render it before the next Frame call. Multi-crane displays call
+// UpdateCrane per carrier and Scene once.
 func (b *SceneBuilder) Frame(st fom.CraneState) *Scene {
+	b.UpdateCrane(0, st)
+	return &b.scene
+}
+
+// Scene returns the assembled scene (reused across frames).
+func (b *SceneBuilder) Scene() *Scene { return &b.scene }
+
+// UpdateCrane poses articulated crane `idx` from the crane state.
+func (b *SceneBuilder) UpdateCrane(idx int, st fom.CraneState) {
+	if idx < 0 || idx >= len(b.parts) {
+		return
+	}
+	parts := b.parts[idx]
 	carrier := mathx.Translate(st.Position).MulM(
 		mathx.QuatEuler(-st.Heading, st.Pitch, -st.Roll).Mat4())
 
-	set := func(idx int, t mathx.Mat4) { b.scene.Instances[idx].Transform = t }
+	set := func(i int, t mathx.Mat4) { b.scene.Instances[i].Transform = t }
 
-	set(b.parts.carrier, carrier.MulM(mathx.Translate(mathx.V3(0, 1.0, 0))))
-	set(b.parts.cab, carrier.MulM(mathx.Translate(mathx.V3(-0.55, 2.3, -2.9))))
+	set(parts.carrier, carrier.MulM(mathx.Translate(mathx.V3(0, 1.0, 0))))
+	set(parts.cab, carrier.MulM(mathx.Translate(mathx.V3(-0.55, 2.3, -2.9))))
 	// The deck (superstructure) slews with the boom.
 	deckRot := mathx.RotateY(-st.BoomSwing)
-	set(b.parts.deck, carrier.MulM(mathx.Translate(mathx.V3(0, 2.1, 1.0))).MulM(deckRot))
+	set(parts.deck, carrier.MulM(mathx.Translate(mathx.V3(0, 2.1, 1.0))).MulM(deckRot))
 
 	// Boom: foot at the pivot, slewed and luffed, scaled to length.
 	boomXf := carrier.
@@ -229,7 +255,7 @@ func (b *SceneBuilder) Frame(st fom.CraneState) *Scene {
 		MulM(mathx.RotateY(-st.BoomSwing)).
 		MulM(mathx.RotateX(st.BoomLuff)).
 		MulM(mathx.ScaleM(mathx.V3(1, 1, st.BoomLen)))
-	set(b.parts.boom, boomXf)
+	set(parts.boom, boomXf)
 
 	// Cable: from the boom tip straight toward the hook.
 	tip := boomTipWorld(st)
@@ -239,13 +265,10 @@ func (b *SceneBuilder) Frame(st fom.CraneState) *Scene {
 	cableXf := mathx.Translate(tip).
 		MulM(rotateAlign(mathx.V3(0, -1, 0), span)).
 		MulM(mathx.ScaleM(mathx.V3(1, length, 1)))
-	set(b.parts.cable, cableXf)
+	set(parts.cable, cableXf)
 
-	set(b.parts.hook, mathx.Translate(hook))
-	cargoXf := mathx.Translate(st.CargoPos)
-	set(b.parts.cargo, cargoXf)
-
-	return &b.scene
+	set(parts.hook, mathx.Translate(hook))
+	set(parts.cargo, mathx.Translate(st.CargoPos))
 }
 
 // boomTipWorld mirrors dynamics.Model.BoomTip from the published state, so

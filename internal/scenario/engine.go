@@ -32,9 +32,10 @@ func DefaultScore() ScoreConfig {
 // Event is a discrete scenario occurrence, surfaced for the audio module
 // and the instructor log.
 type Event struct {
-	Kind EventKind
-	Bar  string  // for EventBarCollision
-	At   float64 // scenario elapsed seconds
+	Kind  EventKind
+	Bar   string  // for EventBarCollision
+	At    float64 // scenario elapsed seconds
+	Crane int     // crane the event belongs to (0 in single-crane runs)
 }
 
 // EventKind enumerates scenario events. Values start at 1; 0 is invalid.
@@ -47,29 +48,41 @@ const (
 	EventAlarmRaised
 )
 
+// cursor is one crane's position in its sub-graph of the phase list.
+type cursor struct {
+	idx      int       // active phase-graph node
+	waypoint int       // gate index within an active traverse
+	phase    fom.Phase // this crane's coarse phase
+	message  string
+	done     bool // sub-graph reached Terminal
+}
+
 // Engine is the scenario state machine: an interpreter over a declarative
-// Spec's phase graph. Not safe for concurrent use; it belongs to the
-// scenario LP's tick loop.
+// Spec's phase graph, one cursor per declared crane. Not safe for
+// concurrent use; it belongs to the scenario LP's tick loop.
 type Engine struct {
 	spec      Spec
 	course    Course // == spec.Course, kept hot for the judge
 	craneSpec crane.Spec
 	cfg       ScoreConfig
 
-	phase      fom.Phase // coarse published phase
-	idx        int       // active phase-graph node while running
-	score      float64
-	elapsed    float64
-	collisions uint32
-	waypoint   int // gate index within the active traverse
-	message    string
+	phase       fom.Phase // combined coarse phase (the wire-legacy view)
+	cursors     []cursor  // one per crane; all must finish to end the run
+	score       float64
+	elapsed     float64
+	collisions  uint32
+	alarmEvents uint32 // alarm lamps raised (safety alarms + collisions)
+	message     string // combined status text while idle/terminal
 
-	world    *collision.World
-	hookObj  *collision.Object
-	cargoObj *collision.Object
-	barHit   map[string]bool // per-bar in-contact debounce
-	lastAl   fom.Alarm
-	alarms   fom.Alarm // latched extra alarms (collision)
+	world     *collision.World
+	hookObjs  []*collision.Object // one dynamic proxy pair per crane
+	cargoObjs []*collision.Object
+	// barHit debounces contact episodes per crane: each crane's pass only
+	// clears its own entries, so one crane's sustained contact is never
+	// ended (and instantly re-deducted) by a contact-free partner.
+	barHit []map[string]bool
+	lastAl []fom.Alarm // per-crane alarm debounce
+	alarms fom.Alarm   // latched extra alarms (collision)
 }
 
 // NewEngineSpec builds an engine interpreting the scenario spec.
@@ -78,26 +91,40 @@ func NewEngineSpec(spec Spec, craneSpec crane.Spec) (*Engine, error) {
 		return nil, err
 	}
 	spec.Score = spec.score()
+	n := spec.CraneCount()
 	e := &Engine{
 		spec:      spec,
 		course:    spec.Course,
 		craneSpec: craneSpec,
 		cfg:       spec.Score,
 		phase:     fom.PhaseIdle,
+		cursors:   make([]cursor, n),
 		score:     spec.Score.Initial,
-		barHit:    make(map[string]bool, len(spec.Course.Bars)),
+		barHit:    make([]map[string]bool, n),
+		lastAl:    make([]fom.Alarm, n),
 		world:     &collision.World{},
+	}
+	for c := range e.barHit {
+		e.barHit[c] = make(map[string]bool, len(spec.Course.Bars))
 	}
 	for _, b := range spec.Course.Bars {
 		obj := collision.NewObject(b.Name, collision.BoxMesh(b.Half.X, b.Half.Y, b.Half.Z))
 		obj.SetPose(b.Pos, mathx.QuatAxisAngle(mathx.V3(0, 1, 0), -b.Yaw))
 		e.world.Add(obj)
 	}
-	e.hookObj = collision.NewObject("hook", collision.BoxMesh(0.3, 0.35, 0.3))
-	e.cargoObj = collision.NewObject("cargo", collision.BoxMesh(0.9, 0.6, 0.9))
-	e.world.Add(e.hookObj)
-	e.world.Add(e.cargoObj)
+	for c := 0; c < n; c++ {
+		hook := collision.NewObject(fmt.Sprintf("hook-%d", c), collision.BoxMesh(0.3, 0.35, 0.3))
+		cargo := collision.NewObject(fmt.Sprintf("cargo-%d", c), collision.BoxMesh(0.9, 0.6, 0.9))
+		e.world.Add(hook)
+		e.world.Add(cargo)
+		e.hookObjs = append(e.hookObjs, hook)
+		e.cargoObjs = append(e.cargoObjs, cargo)
+	}
 	e.message = "engine off — start the engine and await the scenario"
+	for c := range e.cursors {
+		e.cursors[c].phase = fom.PhaseIdle
+		e.cursors[c].message = e.message
+	}
 	return e, nil
 }
 
@@ -121,49 +148,98 @@ func (e *Engine) Spec() Spec { return e.spec }
 // Course returns the engine's course geometry.
 func (e *Engine) Course() Course { return e.course }
 
-// Start begins the scenario (OpStartScenario).
+// Start begins the scenario (OpStartScenario): every crane's cursor
+// enters its sub-graph.
 func (e *Engine) Start() {
-	if e.phase == fom.PhaseIdle {
-		e.enter(0)
+	if e.phase != fom.PhaseIdle {
+		return
 	}
+	for c := range e.cursors {
+		if entry, ok := e.spec.EntryFor(c); ok {
+			e.enter(c, entry)
+		} else {
+			e.cursors[c].done = true
+			e.cursors[c].phase = fom.PhaseComplete
+		}
+	}
+	e.syncPhase()
 }
 
 // Reset returns the engine to the idle state with a fresh score.
 func (e *Engine) Reset() {
 	e.phase = fom.PhaseIdle
-	e.idx = 0
 	e.score = e.cfg.Initial
 	e.elapsed = 0
 	e.collisions = 0
-	e.waypoint = 0
+	e.alarmEvents = 0
 	e.alarms = 0
-	e.lastAl = 0
-	for k := range e.barHit {
-		delete(e.barHit, k)
-	}
 	e.message = "reset — awaiting start"
+	for c := range e.cursors {
+		e.cursors[c] = cursor{phase: fom.PhaseIdle, message: e.message}
+		e.lastAl[c] = 0
+		for k := range e.barHit[c] {
+			delete(e.barHit[c], k)
+		}
+	}
 }
 
-// enter activates phase-graph node i (or ends the scenario on Terminal).
-func (e *Engine) enter(i int) {
+// enter moves crane c's cursor to phase-graph node i (or retires the
+// cursor on Terminal; the scenario ends when every cursor has retired).
+func (e *Engine) enter(c, i int) {
+	cur := &e.cursors[c]
 	if i == Terminal {
-		e.finish()
+		cur.done = true
+		cur.phase = fom.PhaseComplete
+		cur.message = "crane done — standing by"
+		if e.allDone() {
+			e.finish()
+		}
 		return
 	}
-	e.idx = i
-	e.waypoint = 0
+	cur.idx = i
+	cur.waypoint = 0
 	ps := e.spec.Phases[i]
-	e.phase = ps.Kind.FOMPhase()
+	cur.phase = ps.Kind.FOMPhase()
 	switch ps.Kind {
 	case PhaseDrive:
-		e.message = fmt.Sprintf("drive to %s", phaseLabel(ps))
+		cur.message = fmt.Sprintf("drive to %s", phaseLabel(ps))
 	case PhaseLift:
-		e.message = fmt.Sprintf("lift %s", e.cargoName(ps.Cargo))
+		cur.message = fmt.Sprintf("lift %s", e.cargoName(ps.Cargo))
 	case PhaseTraverse:
-		e.message = fmt.Sprintf("carry the cargo through %s", phaseLabel(ps))
+		cur.message = fmt.Sprintf("carry the cargo through %s", phaseLabel(ps))
 	case PhasePlace:
-		e.message = fmt.Sprintf("set the cargo down at %s", phaseLabel(ps))
+		cur.message = fmt.Sprintf("set the cargo down at %s", phaseLabel(ps))
 	}
+}
+
+// allDone reports whether every crane's cursor has retired.
+func (e *Engine) allDone() bool {
+	for c := range e.cursors {
+		if !e.cursors[c].done {
+			return false
+		}
+	}
+	return true
+}
+
+// lead returns the cursor the combined legacy view follows: the first
+// crane still working, or the last cursor once everything retired.
+func (e *Engine) lead() *cursor {
+	for c := range e.cursors {
+		if !e.cursors[c].done {
+			return &e.cursors[c]
+		}
+	}
+	return &e.cursors[len(e.cursors)-1]
+}
+
+// syncPhase recomputes the combined coarse phase from the lead cursor
+// while the scenario runs (terminal phases are set by finish).
+func (e *Engine) syncPhase() {
+	if e.phase == fom.PhaseComplete || e.phase == fom.PhaseFailed {
+		return
+	}
+	e.phase = e.lead().phase
 }
 
 func phaseLabel(ps PhaseSpec) string {
@@ -202,133 +278,206 @@ func (e *Engine) title() string {
 	return "scenario"
 }
 
-// Step advances the scenario with the latest crane state and returns the
-// events raised. dt is the scenario tick in seconds.
+// Step advances a single-crane scenario with the latest crane state and
+// returns the events raised; dt is the scenario tick in seconds. It is
+// the legacy shim over StepAll — multi-crane scenarios must supply every
+// carrier's telemetry.
 func (e *Engine) Step(st fom.CraneState, dt float64) []Event {
+	return e.StepAll([]fom.CraneState{st}, dt)
+}
+
+// StepAll advances the scenario with one CraneState per declared crane,
+// indexed by crane (states[c] drives cursor c; extra entries are
+// ignored, missing ones freeze that crane's judging for the tick).
+func (e *Engine) StepAll(states []fom.CraneState, dt float64) []Event {
 	var events []Event
 	if e.phase == fom.PhaseIdle || e.phase == fom.PhaseComplete || e.phase == fom.PhaseFailed {
 		return nil
 	}
-	prevPhase, prevIdx := e.phase, e.idx
+	prevPhase := e.phase
 	e.elapsed += dt
 
-	// Collision judging runs in every active phase: move the dynamic
-	// proxies, find new contact episodes.
-	e.hookObj.SetPose(st.HookPos, mathx.QuatIdentity())
-	e.cargoObj.SetPose(st.CargoPos, mathx.QuatIdentity())
-	events = append(events, e.judgeCollisions(st)...)
-
-	// Safety-alarm deductions on rising edges.
-	al := e.craneSpec.Alarms(st)
-	if newBits := al &^ e.lastAl; newBits != 0 {
-		e.score -= e.cfg.SafetyAlarm
-		events = append(events, Event{Kind: EventAlarmRaised, At: e.elapsed})
+	n := len(e.cursors)
+	if len(states) < n {
+		n = len(states)
 	}
-	e.lastAl = al
 
-	ps := e.spec.Phases[e.idx]
-	switch ps.Kind {
-	case PhaseDrive:
-		d := horizDist(st.Position, ps.Target)
-		e.message = fmt.Sprintf("drive to %s (%.0f m to go)", phaseLabel(ps), d)
-		if d <= ps.Radius {
-			e.enter(e.spec.next(e.idx))
+	// Collision judging runs in every active phase: move each crane's
+	// dynamic proxies, find new contact episodes.
+	for c := 0; c < n; c++ {
+		e.hookObjs[c].SetPose(states[c].HookPos, mathx.QuatIdentity())
+		e.cargoObjs[c].SetPose(states[c].CargoPos, mathx.QuatIdentity())
+		events = append(events, e.judgeCollisions(c)...)
+	}
+
+	// Safety-alarm deductions on rising edges, per crane.
+	for c := 0; c < n; c++ {
+		al := e.craneSpec.Alarms(states[c])
+		if newBits := al &^ e.lastAl[c]; newBits != 0 {
+			e.score -= e.cfg.SafetyAlarm
+			e.alarmEvents++
+			events = append(events, Event{Kind: EventAlarmRaised, At: e.elapsed, Crane: c})
 		}
-	case PhaseLift:
-		switch {
-		case st.CargoHeld && (st.CargoID < 0 || st.CargoID == int64(ps.Cargo)):
-			// CargoID < 0 means the telemetry cannot identify the load
-			// (older builds); accept any latch then.
-			e.enter(e.spec.next(e.idx))
-		case st.CargoHeld:
-			e.message = fmt.Sprintf("that is not %s — set it down and lift %s",
-				e.cargoName(int(st.CargoID)), e.cargoName(ps.Cargo))
+		e.lastAl[c] = al
+	}
+
+	for c := 0; c < n; c++ {
+		cur := &e.cursors[c]
+		if cur.done {
+			continue
 		}
-	case PhaseTraverse:
-		if !st.CargoHeld {
-			// Dropped mid-course: heavy deduction, back to lifting.
-			e.score -= e.cfg.BarHit
-			e.fallback()
-			break
-		}
-		wp := ps.Waypoints[e.waypoint]
-		d := horizDist(st.CargoPos, wp)
-		e.message = fmt.Sprintf("waypoint %d/%d (%.1f m)", e.waypoint+1, len(ps.Waypoints), d)
-		if d <= ps.Radius {
-			e.waypoint++
-			if e.waypoint >= len(ps.Waypoints) {
-				e.enter(e.spec.next(e.idx))
-			}
-		}
-	case PhasePlace:
-		d := horizDist(st.CargoPos, ps.Target)
-		switch {
-		case !st.CargoHeld && d <= ps.Radius:
-			e.enter(e.spec.next(e.idx))
-		case !st.CargoHeld:
-			// Released anywhere outside the target: that cargo is on the
-			// ground in the wrong place — deduct and re-lift.
-			e.score -= e.cfg.BarHit
-			e.fallback()
-		default:
-			e.message = fmt.Sprintf("lower and release the cargo at %s", phaseLabel(ps))
+		prevIdx := cur.idx
+		e.stepCursor(c, states)
+		if e.running() && !cur.done && cur.idx != prevIdx {
+			events = append(events, Event{Kind: EventPhaseChange, At: e.elapsed, Crane: c})
 		}
 	}
 
 	if e.score < 0 {
 		e.score = 0
 	}
-	if e.phase != prevPhase || (e.running() && e.idx != prevIdx) {
+	e.syncPhase()
+	if e.phase != prevPhase && (e.phase == fom.PhaseComplete || e.phase == fom.PhaseFailed) {
 		events = append(events, Event{Kind: EventPhaseChange, At: e.elapsed})
 	}
 	return events
 }
 
-// running reports whether the engine is interpreting a phase node.
+// stepCursor interprets crane c's active node against the telemetry
+// snapshot (the whole slice: tandem gates count partner hooks).
+func (e *Engine) stepCursor(c int, states []fom.CraneState) {
+	cur := &e.cursors[c]
+	st := states[c]
+	ps := e.spec.Phases[cur.idx]
+	switch ps.Kind {
+	case PhaseDrive:
+		d := horizDist(st.Position, ps.Target)
+		cur.message = fmt.Sprintf("drive to %s (%.0f m to go)", phaseLabel(ps), d)
+		if d <= ps.Radius {
+			e.enter(c, e.spec.next(cur.idx))
+		}
+	case PhaseLift:
+		holdsTarget := st.CargoHeld && (st.CargoID < 0 || st.CargoID == int64(ps.Cargo))
+		switch {
+		case holdsTarget && ps.Tandem:
+			// Tandem gate: the shared load leaves the ground only once
+			// every needed hook is latched — count the partners.
+			need := e.spec.Cargos[ps.Cargo].HooksNeeded()
+			holders := 0
+			for _, s := range states {
+				if s.CargoHeld && s.CargoID == int64(ps.Cargo) {
+					holders++
+				}
+			}
+			if holders >= need {
+				e.enter(c, e.spec.next(cur.idx))
+			} else {
+				cur.message = fmt.Sprintf("holding %s — waiting for partner hooks (%d/%d)",
+					e.cargoName(ps.Cargo), holders, need)
+			}
+		case holdsTarget:
+			// CargoID < 0 means the telemetry cannot identify the load
+			// (older builds); accept any latch then.
+			e.enter(c, e.spec.next(cur.idx))
+		case st.CargoHeld:
+			cur.message = fmt.Sprintf("that is not %s — set it down and lift %s",
+				e.cargoName(int(st.CargoID)), e.cargoName(ps.Cargo))
+		}
+	case PhaseTraverse:
+		if !st.CargoHeld {
+			// Dropped mid-course: heavy deduction, back to lifting.
+			e.score -= e.cfg.BarHit
+			e.fallback(c)
+			break
+		}
+		wp := ps.Waypoints[cur.waypoint]
+		d := horizDist(st.CargoPos, wp)
+		cur.message = fmt.Sprintf("waypoint %d/%d (%.1f m)", cur.waypoint+1, len(ps.Waypoints), d)
+		if d <= ps.Radius {
+			cur.waypoint++
+			if cur.waypoint >= len(ps.Waypoints) {
+				e.enter(c, e.spec.next(cur.idx))
+			}
+		}
+	case PhasePlace:
+		d := horizDist(st.CargoPos, ps.Target)
+		switch {
+		case !st.CargoHeld && d <= ps.Radius:
+			e.enter(c, e.spec.next(cur.idx))
+		case !st.CargoHeld:
+			// Released anywhere outside the target: that cargo is on the
+			// ground in the wrong place — deduct and re-lift.
+			e.score -= e.cfg.BarHit
+			e.fallback(c)
+		default:
+			cur.message = fmt.Sprintf("lower and release the cargo at %s", phaseLabel(ps))
+		}
+	}
+	if !cur.done {
+		cur.phase = e.spec.Phases[cur.idx].Kind.FOMPhase()
+	}
+}
+
+// running reports whether the engine is interpreting phase nodes.
 func (e *Engine) running() bool {
 	return e.phase != fom.PhaseIdle && e.phase != fom.PhaseComplete && e.phase != fom.PhaseFailed
 }
 
-// fallback returns to the nearest preceding lift phase after a drop.
-func (e *Engine) fallback() {
-	if j, ok := e.spec.fallbackLift(e.idx); ok {
-		e.enter(j)
-		e.message = "cargo dropped — pick it up again"
+// fallback returns crane c to its nearest preceding lift phase after a
+// drop.
+func (e *Engine) fallback(c int) {
+	if j, ok := e.spec.fallbackLift(e.cursors[c].idx); ok {
+		e.enter(c, j)
+		e.cursors[c].message = "cargo dropped — pick it up again"
 		return
 	}
-	e.message = "cargo dropped"
+	e.cursors[c].message = "cargo dropped"
 }
 
-// judgeCollisions deducts score once per contact episode per bar.
-func (e *Engine) judgeCollisions(fom.CraneState) []Event {
+// judgeCollisions deducts score once per contact episode per bar per
+// crane, testing crane c's hook and cargo proxies against the bars.
+func (e *Engine) judgeCollisions(c int) []Event {
 	var events []Event
 	inContact := make(map[string]bool, 2)
+	hookObj, cargoObj := e.hookObjs[c], e.cargoObjs[c]
 	for _, obj := range e.world.Objects() {
-		if obj == e.hookObj || obj == e.cargoObj {
+		if e.isProxy(obj) {
 			continue
 		}
-		if c, hit := e.world.CheckPair(obj, e.cargoObj); hit {
-			inContact[c.A] = true
+		if ct, hit := e.world.CheckPair(obj, cargoObj); hit {
+			inContact[ct.A] = true
 		}
-		if c, hit := e.world.CheckPair(obj, e.hookObj); hit {
-			inContact[c.A] = true
+		if ct, hit := e.world.CheckPair(obj, hookObj); hit {
+			inContact[ct.A] = true
 		}
 	}
+	barHit := e.barHit[c]
 	for name := range inContact {
-		if !e.barHit[name] {
-			e.barHit[name] = true
+		if !barHit[name] {
+			barHit[name] = true
 			e.collisions++
 			e.score -= e.cfg.BarHit
 			e.alarms |= fom.AlarmCollision
-			events = append(events, Event{Kind: EventBarCollision, Bar: name, At: e.elapsed})
+			e.alarmEvents++
+			events = append(events, Event{Kind: EventBarCollision, Bar: name, At: e.elapsed, Crane: c})
 		}
 	}
-	for name := range e.barHit {
+	for name := range barHit {
 		if !inContact[name] {
-			delete(e.barHit, name) // episode over; future hits count again
+			delete(barHit, name) // episode over; future hits count again
 		}
 	}
 	return events
+}
+
+// isProxy reports whether obj is any crane's hook or cargo proxy.
+func (e *Engine) isProxy(obj *collision.Object) bool {
+	for c := range e.hookObjs {
+		if obj == e.hookObjs[c] || obj == e.cargoObjs[c] {
+			return true
+		}
+	}
+	return false
 }
 
 func (e *Engine) applyOvertime() {
@@ -345,24 +494,73 @@ func horizDist(a, b mathx.Vec3) float64 {
 	return mathx.V3(dx, 0, dz).Len()
 }
 
-// State exports the publishable scenario state.
+// State exports the publishable combined scenario state: the legacy
+// single-state view every pre-multi-crane consumer reads. While several
+// cranes work, it follows the first crane still busy.
 func (e *Engine) State() fom.ScenarioState {
-	return fom.ScenarioState{
+	lead := e.lead()
+	s := fom.ScenarioState{
 		Phase:      e.phase,
 		Score:      e.score,
 		Elapsed:    e.elapsed,
 		Collisions: e.collisions,
-		Waypoint:   uint32(e.waypoint),
-		Message:    e.message,
-		PhaseIndex: uint32(e.idx),
+		Waypoint:   uint32(lead.waypoint),
+		Message:    lead.message,
+		PhaseIndex: uint32(lead.idx),
 	}
+	if e.phase == fom.PhaseIdle || e.phase == fom.PhaseComplete || e.phase == fom.PhaseFailed {
+		s.Message = e.message
+	}
+	return s
 }
+
+// StateFor exports crane c's view of the scenario: its cursor's phase,
+// node index, waypoint and message over the shared score and clock. The
+// scenario LP publishes one of these per declared crane, tagged with
+// CraneID.
+func (e *Engine) StateFor(c int) fom.ScenarioState {
+	cur := &e.cursors[c]
+	s := fom.ScenarioState{
+		Phase:      cur.phase,
+		Score:      e.score,
+		Elapsed:    e.elapsed,
+		Collisions: e.collisions,
+		Waypoint:   uint32(cur.waypoint),
+		Message:    cur.message,
+		PhaseIndex: uint32(cur.idx),
+		CraneID:    int64(c),
+	}
+	if e.phase == fom.PhaseComplete || e.phase == fom.PhaseFailed {
+		// The verdict is collective: once the run ends, every crane's
+		// state reports it.
+		s.Phase = e.phase
+		s.Message = e.message
+	}
+	return s
+}
+
+// States exports every crane's view (see StateFor), indexed by crane.
+func (e *Engine) States() []fom.ScenarioState {
+	out := make([]fom.ScenarioState, len(e.cursors))
+	for c := range out {
+		out[c] = e.StateFor(c)
+	}
+	return out
+}
+
+// CraneCount returns how many carriers the engine interprets.
+func (e *Engine) CraneCount() int { return len(e.cursors) }
 
 // ExtraAlarms returns latched scenario alarms (collision) for the status
 // window.
 func (e *Engine) ExtraAlarms() fom.Alarm { return e.alarms }
 
-// Phase returns the current coarse phase.
+// AlarmEvents returns how many alarm lamps lit during the run — safety
+// alarm episodes plus bar collisions — the misconduct count the batch
+// analytics persist per record.
+func (e *Engine) AlarmEvents() uint32 { return e.alarmEvents }
+
+// Phase returns the current combined coarse phase.
 func (e *Engine) Phase() fom.Phase { return e.phase }
 
 // Score returns the current score.

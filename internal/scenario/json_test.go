@@ -40,6 +40,39 @@ func TestSpecJSONKindNames(t *testing.T) {
 	}
 }
 
+// TestMultiCraneJSONRoundTrip pins the multi-crane extension through the
+// codec: crane declarations, per-node crane indices, tandem markers and
+// hook counts must all survive, and a decoded spec must still enforce the
+// multi-crane Validate rules.
+func TestMultiCraneJSONRoundTrip(t *testing.T) {
+	want := TandemBeam()
+	data, err := MarshalSpec(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{`"Cranes"`, `"Tandem": true`, `"Hooks": 2`, `"Crane": 1`} {
+		if !strings.Contains(string(data), frag) {
+			t.Errorf("encoding missing %s", frag)
+		}
+	}
+	got, err := UnmarshalSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip changed the spec:\n got %+v\nwant %+v", got, want)
+	}
+
+	// A tandem spec stripped to a single declared crane must fail at
+	// (de)serialization time, not mid-federation — both directions
+	// validate.
+	s := TandemBeam()
+	s.Cranes = s.Cranes[:1]
+	if _, err := MarshalSpec(s); err == nil {
+		t.Error("MarshalSpec accepted a tandem spec with one crane")
+	}
+}
+
 func TestUnmarshalSpecRejects(t *testing.T) {
 	cases := map[string]string{
 		"unknown kind":  `{"Name":"x","Phases":[{"Kind":"swim","Radius":1}]}`,

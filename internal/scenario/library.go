@@ -167,6 +167,91 @@ func NightPrecision() Spec {
 	}
 }
 
+// TandemBeam is the multi-crane flagship: a 3.6 t beam too long for one
+// hook, lifted by two cranes parked either side of it. Each crane drives
+// to its spot and latches; the beam only leaves the ground once both
+// hooks are on (the tandem gate), then the pair carries it east through
+// shared gates and sets it on the laydown pad together.
+func TandemBeam() Spec {
+	c := baseCourse()
+	c.CargoMass = 3600
+	c.ParTime = 480
+	beam := c.Circle
+	parkN := beam.Add(mathx.V3(1.5, 0, 9.5))  // north crane's spot
+	parkS := beam.Add(mathx.V3(1.5, 0, -9.5)) // south crane's spot
+	pad := beam.Add(mathx.V3(8, 0, 0))
+	gates := []mathx.Vec3{
+		beam.Add(mathx.V3(3, 0, 0)),
+		beam.Add(mathx.V3(6, 0, 0)),
+		pad,
+	}
+	return Spec{
+		Name:   "tandem-beam",
+		Title:  "Tandem beam lift",
+		Course: c,
+		Cranes: []CraneDecl{
+			{Name: "north", Start: c.Start, StartYaw: c.StartYaw},
+			{Name: "south", Start: mathx.V3(140, 0, 30), StartYaw: 0},
+		},
+		Cargos: []Cargo{{Name: "the long beam", Pos: beam, Mass: c.CargoMass, Hooks: 2}},
+		Phases: []PhaseSpec{
+			{Name: "north spot", Kind: PhaseDrive, Crane: 0, Target: parkN, Radius: 4},
+			{Name: "south spot", Kind: PhaseDrive, Crane: 1, Target: parkS, Radius: 4},
+			{Name: "north hook", Kind: PhaseLift, Crane: 0, Cargo: 0, Tandem: true},
+			{Name: "south hook", Kind: PhaseLift, Crane: 1, Cargo: 0, Tandem: true},
+			{Name: "the shared gates", Kind: PhaseTraverse, Crane: 0, Radius: 3.0, Waypoints: gates},
+			{Name: "the shared gates", Kind: PhaseTraverse, Crane: 1, Radius: 3.0, Waypoints: gates},
+			{Name: "the laydown pad", Kind: PhasePlace, Crane: 0, Target: pad, Radius: 3.5},
+			{Name: "the laydown pad", Kind: PhasePlace, Crane: 1, Target: pad, Radius: 3.5},
+		},
+	}
+}
+
+// TwinYard is the staggered two-crane yard: two independent carriers work
+// their own pick in parallel — no shared load, pure federation scale-out.
+// The south crane's zone sits twenty meters off the circle, both inside
+// the levelled test ground.
+func TwinYard() Spec {
+	c := baseCourse()
+	c.CargoMass = 1500
+	c.ParTime = 480
+	zoneN := c.Circle
+	zoneS := c.Circle.Add(mathx.V3(0, 0, -20))
+	padN := zoneN.Add(mathx.V3(9, 0, 2))
+	padS := zoneS.Add(mathx.V3(9, 0, -2))
+	return Spec{
+		Name:   "twin-yard",
+		Title:  "Staggered two-crane yard",
+		Course: c,
+		Cranes: []CraneDecl{
+			{Name: "north", Start: c.Start, StartYaw: c.StartYaw},
+			{Name: "south", Start: mathx.V3(140, 0, 30), StartYaw: 0},
+		},
+		Cargos: []Cargo{
+			{Name: "the north crate", Pos: zoneN, Mass: c.CargoMass},
+			{Name: "the south crate", Pos: zoneS, Mass: c.CargoMass},
+		},
+		Phases: []PhaseSpec{
+			{Name: "north yard", Kind: PhaseDrive, Crane: 0, Target: zoneN.Add(mathx.V3(7.5, 0, 10)), Radius: 4},
+			{Name: "south yard", Kind: PhaseDrive, Crane: 1, Target: zoneS.Add(mathx.V3(7.5, 0, -10)), Radius: 4},
+			{Name: "north pick", Kind: PhaseLift, Crane: 0, Cargo: 0},
+			{Name: "south pick", Kind: PhaseLift, Crane: 1, Cargo: 1},
+			{Name: "north run", Kind: PhaseTraverse, Crane: 0, Radius: 2.6, Waypoints: []mathx.Vec3{
+				zoneN.Add(mathx.V3(3, 0, 2)),
+				zoneN.Add(mathx.V3(6, 0, -2)),
+				padN,
+			}},
+			{Name: "south run", Kind: PhaseTraverse, Crane: 1, Radius: 2.6, Waypoints: []mathx.Vec3{
+				zoneS.Add(mathx.V3(3, 0, -2)),
+				zoneS.Add(mathx.V3(6, 0, 2)),
+				padS,
+			}},
+			{Name: "north pad", Kind: PhasePlace, Crane: 0, Target: padN, Radius: 2.6},
+			{Name: "south pad", Kind: PhasePlace, Crane: 1, Target: padS, Radius: 2.6},
+		},
+	}
+}
+
 // Library returns every shipped scenario, sorted by name.
 func Library() []Spec {
 	specs := []Spec{
@@ -176,6 +261,8 @@ func Library() []Spec {
 		HeavyDerate(),
 		WindyLift(),
 		NightPrecision(),
+		TandemBeam(),
+		TwinYard(),
 	}
 	sort.Slice(specs, func(i, j int) bool { return specs[i].Name < specs[j].Name })
 	return specs

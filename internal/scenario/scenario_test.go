@@ -120,7 +120,7 @@ func TestPhaseFlowHappyPath(t *testing.T) {
 		e.Step(st, 1)
 	}
 	if e.Phase() != fom.PhaseReturn {
-		t.Fatalf("phase = %v, want return (waypoint %d)", e.Phase(), e.waypoint)
+		t.Fatalf("phase = %v, want return (waypoint %d)", e.Phase(), e.State().Waypoint)
 	}
 
 	// Set it down inside the circle and release.

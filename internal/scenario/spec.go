@@ -75,11 +75,24 @@ type PhaseSpec struct {
 	// Cargo indexes Spec.Cargos for a lift phase.
 	Cargo int
 
+	// Crane indexes Spec.Cranes: the carrier this node belongs to. Each
+	// declared crane walks its own sub-graph — the list entries carrying
+	// its index — with an independent cursor. The zero value is crane 0,
+	// so single-crane scenarios need no wiring.
+	Crane int
+
+	// Tandem marks a lift of a multi-hook cargo (Cargo.Hooks >= 2): the
+	// node completes only once every needed hook is latched, so the crane
+	// that latches first holds and waits for its partners before the
+	// shared load leaves the ground.
+	Tandem bool
+
 	// Next is the phase index entered when this phase completes. The zero
-	// value means "the next phase in the list" (so plain linear scenarios
-	// need no wiring); Terminal ends the scenario with pass/fail
-	// evaluation. Explicit jumps to phase 0 are not representable — phase
-	// 0 is always the entry node.
+	// value means "the next phase of the same crane in the list" (so
+	// plain linear scenarios need no wiring); Terminal ends this crane's
+	// graph — the scenario's pass/fail evaluation runs once every
+	// declared crane is done. Explicit jumps to phase 0 are not
+	// representable — phase 0 is always an entry node.
 	Next int
 }
 
@@ -91,6 +104,30 @@ type Cargo struct {
 	Name string
 	Pos  mathx.Vec3 // resting position; Y is recomputed from the terrain
 	Mass float64    // kg
+
+	// Hooks is how many crane hooks must latch before the load leaves
+	// the ground (a long beam needs a crane on each end). 0 means 1; a
+	// value >= 2 makes this a tandem load: it may only be lifted through
+	// Tandem phase nodes, the load splits evenly between the cables, and
+	// the carried position is the mean of the holding hooks.
+	Hooks int
+}
+
+// HooksNeeded returns the cargo's hook requirement, defaulted to 1.
+func (c Cargo) HooksNeeded() int {
+	if c.Hooks < 1 {
+		return 1
+	}
+	return c.Hooks
+}
+
+// CraneDecl declares one carrier of a multi-crane scenario: where it
+// starts and which way it faces. Phase nodes reference cranes by their
+// index in Spec.Cranes.
+type CraneDecl struct {
+	Name     string // label for logs and reports; optional
+	Start    mathx.Vec3
+	StartYaw float64
 }
 
 // Spec is a complete declarative scenario: the engine interprets it, the
@@ -104,6 +141,14 @@ type Spec struct {
 	// Course is the site geometry: start pose, obstruction bars, and the
 	// circle zone. Phase targets live in Phases, not here.
 	Course Course
+
+	// Cranes declares the scenario's carriers. Empty means the legacy
+	// single crane starting at Course.Start/StartYaw — every Spec written
+	// before the multi-crane revision keeps working unchanged. With N
+	// declarations the federation spawns one dynamics/motion/autopilot
+	// participant per crane and each crane walks its own sub-graph of
+	// Phases (the nodes carrying its index).
+	Cranes []CraneDecl
 
 	// Cargos are the liftable loads placed at scenario start.
 	Cargos []Cargo
@@ -122,15 +167,34 @@ type Spec struct {
 	Visibility float64
 }
 
+// CraneCount returns how many carriers the scenario runs: the declared
+// count, or 1 for a legacy spec with no Cranes block.
+func (s Spec) CraneCount() int {
+	if len(s.Cranes) == 0 {
+		return 1
+	}
+	return len(s.Cranes)
+}
+
+// CraneDecls resolves the carrier declarations: the explicit Cranes
+// block, or the implicit legacy single crane parked at the course start.
+func (s Spec) CraneDecls() []CraneDecl {
+	if len(s.Cranes) == 0 {
+		return []CraneDecl{{Start: s.Course.Start, StartYaw: s.Course.StartYaw}}
+	}
+	return s.Cranes
+}
+
 // Validate reports structural errors in the spec.
 //
 // The "preceding lift" requirement on traverse and place nodes is checked
-// in list order, deliberately matching the drop edge's runtime semantics:
-// fallbackLift scans the phase LIST backwards from the active node, not
-// the Next-graph, so a lift that only precedes a traverse via Next jumps
-// would still leave the drop edge with nowhere to go (a per-tick
-// deduction loop). List order is therefore the invariant that makes every
-// reachable drop recoverable, whatever the jump structure.
+// in list order within each crane's sub-graph, deliberately matching the
+// drop edge's runtime semantics: fallbackLift scans the phase LIST
+// backwards from the active node, not the Next-graph, so a lift that only
+// precedes a traverse via Next jumps would still leave the drop edge with
+// nowhere to go (a per-tick deduction loop). List order is therefore the
+// invariant that makes every reachable drop recoverable, whatever the
+// jump structure.
 func (s Spec) Validate() error {
 	if s.Name == "" {
 		return fmt.Errorf("scenario %q: empty name", s.Title)
@@ -138,8 +202,27 @@ func (s Spec) Validate() error {
 	if len(s.Phases) == 0 {
 		return fmt.Errorf("scenario %s: no phases", s.Name)
 	}
-	liftSeen := false
+	nCranes := s.CraneCount()
+	for ci, c := range s.Cargos {
+		if c.Hooks < 0 {
+			return fmt.Errorf("scenario %s: cargo %d: hooks %d", s.Name, ci, c.Hooks)
+		}
+		if c.HooksNeeded() > nCranes {
+			return fmt.Errorf("scenario %s: cargo %d needs %d hooks but only %d crane(s) declared",
+				s.Name, ci, c.HooksNeeded(), nCranes)
+		}
+	}
+	liftSeen := make([]bool, nCranes)
+	owned := make([]int, nCranes)
+	tandemLifters := make(map[int]map[int]bool) // cargo index → cranes tandem-lifting it
 	for i, p := range s.Phases {
+		if p.Crane < 0 || p.Crane >= nCranes {
+			return fmt.Errorf("scenario %s: phase %d: crane index %d of %d", s.Name, i, p.Crane, nCranes)
+		}
+		owned[p.Crane]++
+		if p.Tandem && p.Kind != PhaseLift {
+			return fmt.Errorf("scenario %s: phase %d: tandem on a %s node (lift only)", s.Name, i, p.Kind)
+		}
 		switch p.Kind {
 		case PhaseDrive:
 			if p.Radius <= 0 {
@@ -149,16 +232,30 @@ func (s Spec) Validate() error {
 			if p.Radius <= 0 {
 				return fmt.Errorf("scenario %s: phase %d (%s): radius %v", s.Name, i, p.Kind, p.Radius)
 			}
-			// The drop edge falls back to the nearest preceding lift;
-			// without one the engine would deduct every tick forever.
-			if !liftSeen {
+			// The drop edge falls back to the nearest preceding lift of
+			// the same crane; without one the engine would deduct every
+			// tick forever.
+			if !liftSeen[p.Crane] {
 				return fmt.Errorf("scenario %s: phase %d: place with no preceding lift", s.Name, i)
 			}
 		case PhaseLift:
 			if p.Cargo < 0 || p.Cargo >= len(s.Cargos) {
 				return fmt.Errorf("scenario %s: phase %d: cargo index %d of %d", s.Name, i, p.Cargo, len(s.Cargos))
 			}
-			liftSeen = true
+			hooks := s.Cargos[p.Cargo].HooksNeeded()
+			switch {
+			case p.Tandem && hooks < 2:
+				return fmt.Errorf("scenario %s: phase %d: tandem lift of single-hook cargo %d", s.Name, i, p.Cargo)
+			case !p.Tandem && hooks >= 2:
+				return fmt.Errorf("scenario %s: phase %d: cargo %d needs %d hooks — lift it with a tandem node",
+					s.Name, i, p.Cargo, hooks)
+			case p.Tandem:
+				if tandemLifters[p.Cargo] == nil {
+					tandemLifters[p.Cargo] = make(map[int]bool)
+				}
+				tandemLifters[p.Cargo][p.Crane] = true
+			}
+			liftSeen[p.Crane] = true
 		case PhaseTraverse:
 			if len(p.Waypoints) == 0 {
 				return fmt.Errorf("scenario %s: phase %d: traverse without waypoints", s.Name, i)
@@ -166,14 +263,36 @@ func (s Spec) Validate() error {
 			if p.Radius <= 0 {
 				return fmt.Errorf("scenario %s: phase %d: gate radius %v", s.Name, i, p.Radius)
 			}
-			if !liftSeen {
+			if !liftSeen[p.Crane] {
 				return fmt.Errorf("scenario %s: phase %d: traverse with no preceding lift", s.Name, i)
 			}
 		default:
 			return fmt.Errorf("scenario %s: phase %d: unknown kind %d", s.Name, i, p.Kind)
 		}
-		if p.Next != 0 && p.Next != Terminal && (p.Next <= 0 || p.Next >= len(s.Phases)) {
-			return fmt.Errorf("scenario %s: phase %d: next %d out of graph", s.Name, i, p.Next)
+		if p.Next != 0 && p.Next != Terminal {
+			if p.Next <= 0 || p.Next >= len(s.Phases) {
+				return fmt.Errorf("scenario %s: phase %d: next %d out of graph", s.Name, i, p.Next)
+			}
+			if s.Phases[p.Next].Crane != p.Crane {
+				return fmt.Errorf("scenario %s: phase %d (crane %d): next %d belongs to crane %d",
+					s.Name, i, p.Crane, p.Next, s.Phases[p.Next].Crane)
+			}
+		}
+	}
+	// A tandem load needs a full complement of lifters: a tandem node
+	// whose cargo only one crane ever lifts would wait for a partner that
+	// never comes.
+	for cargoIdx, lifters := range tandemLifters {
+		if need := s.Cargos[cargoIdx].HooksNeeded(); len(lifters) < need {
+			return fmt.Errorf("scenario %s: cargo %d needs %d tandem cranes but %d lift it",
+				s.Name, cargoIdx, need, len(lifters))
+		}
+	}
+	// Declared cranes must all take part — an idle carrier declaration is
+	// almost certainly a mis-indexed phase.
+	for c, n := range owned {
+		if n == 0 && len(s.Cranes) > 0 {
+			return fmt.Errorf("scenario %s: crane %d declares no phases", s.Name, c)
 		}
 	}
 	if s.Visibility < 0 || s.Visibility > 1 {
@@ -182,25 +301,40 @@ func (s Spec) Validate() error {
 	return nil
 }
 
-// next resolves the successor of phase i: the explicit Next, or the
-// following list entry, or Terminal past the end.
+// next resolves the successor of phase i: the explicit Next, or the next
+// list entry belonging to the same crane, or Terminal when the crane's
+// sub-graph ends.
 func (s Spec) next(i int) int {
 	p := s.Phases[i]
 	if p.Next != 0 {
 		return p.Next
 	}
-	if i+1 >= len(s.Phases) {
-		return Terminal
+	for j := i + 1; j < len(s.Phases); j++ {
+		if s.Phases[j].Crane == p.Crane {
+			return j
+		}
 	}
-	return i + 1
+	return Terminal
 }
 
-// fallbackLift returns the nearest lift phase at or before i — where a
-// traverse or place returns after the cargo is dropped. ok is false when
-// no lift precedes i.
+// EntryFor returns the first phase node of a crane's sub-graph. ok is
+// false when the crane owns no nodes (Validate rejects that for declared
+// cranes).
+func (s Spec) EntryFor(crane int) (int, bool) {
+	for i, p := range s.Phases {
+		if p.Crane == crane {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// fallbackLift returns the nearest same-crane lift phase at or before i —
+// where a traverse or place returns after the cargo is dropped. ok is
+// false when no lift precedes i.
 func (s Spec) fallbackLift(i int) (int, bool) {
 	for j := i; j >= 0; j-- {
-		if s.Phases[j].Kind == PhaseLift {
+		if s.Phases[j].Kind == PhaseLift && s.Phases[j].Crane == s.Phases[i].Crane {
 			return j, true
 		}
 	}
@@ -215,20 +349,26 @@ func (s Spec) score() ScoreConfig {
 	return s.Score
 }
 
-// Install loads the spec's physical side into a dynamics model: the wind
-// disturbance and the cargo set, each cargo resting on the terrain. Every
-// host of a scenario (the sim PC, the headless runner, the examples) goes
-// through here so the resting-height convention lives in one place.
-func (s Spec) Install(m *dynamics.Model, ter *terrain.Map) {
-	m.SetWind(s.Wind)
-	for i, c := range s.Cargos {
+// Install loads the spec's physical side into the rigs of one site: the
+// wind disturbance onto every model and the cargo set into their shared
+// world, each cargo resting on the terrain. Every host of a scenario (the
+// sim PC, the headless runner, the examples) goes through here so the
+// resting-height convention lives in one place. All models must share one
+// dynamics.World — build them with dynamics.NewCrane over the same world,
+// one per entry of CraneDecls.
+func (s Spec) Install(ter *terrain.Map, models ...*dynamics.Model) {
+	if len(models) == 0 {
+		return
+	}
+	w := models[0].World()
+	w.Reset()
+	for _, m := range models {
+		m.SetWind(s.Wind)
+	}
+	for _, c := range s.Cargos {
 		pos := c.Pos
 		pos.Y = ter.HeightAt(pos.X, pos.Z) + 0.6
-		if i == 0 {
-			m.PlaceCargo(pos, c.Mass) // clears any previous site set
-		} else {
-			m.AddCargo(pos, c.Mass)
-		}
+		w.AddCargoHooks(pos, c.Mass, c.HooksNeeded())
 	}
 }
 

@@ -36,6 +36,10 @@ type BatchConfig struct {
 	// Headless skips the federation and couples dynamics, engine and
 	// autopilot directly (trace.Run) — the fast path for smoke sweeps.
 	Headless bool
+	// Skill degrades every run's autopilots (reaction lag, overshoot,
+	// widened slack); the zero value is the flawless expert. Sweeping the
+	// presets over a scenario matrix yields realistic score spreads.
+	Skill trace.SkillProfile
 }
 
 // BatchResult is one scenario's outcome in a batch.
@@ -46,6 +50,10 @@ type BatchResult struct {
 	Passed   bool
 	Err      error
 	Wall     time.Duration
+	// Alarms counts the alarm lamps the run lit (safety alarms plus
+	// collisions) — the instructor-side misconduct count surfaced into
+	// the persisted dist.Record rows.
+	Alarms uint32
 }
 
 // RunBatch executes one full federation per scenario spec, Parallel at a
@@ -124,9 +132,10 @@ func runOneHeadless(ctx context.Context, spec scenario.Spec, cfg BatchConfig) (r
 			maxSim = 900
 		}
 	}
-	r, err := trace.RunContext(ctx, spec, maxSim)
+	r, err := trace.RunSkill(ctx, spec, maxSim, cfg.Skill)
 	res.State = r.State
 	res.Passed = r.Passed
+	res.Alarms = r.Alarms
 	res.Err = err
 	return res
 }
@@ -142,6 +151,7 @@ func runOne(ctx context.Context, spec scenario.Spec, cfg BatchConfig) (res Batch
 	ccfg.Scenario = &spec
 	ccfg.Autopilot = true
 	ccfg.AutoStart = true
+	ccfg.Skill = cfg.Skill
 
 	cluster, err := New(ccfg)
 	if err != nil {
@@ -157,6 +167,7 @@ func runOne(ctx context.Context, spec scenario.Spec, cfg BatchConfig) (res Batch
 	res.State = state
 	res.Err = err
 	res.Passed = err == nil && state.Phase == fom.PhaseComplete
+	res.Alarms = cluster.AlarmEvents()
 	return res
 }
 

@@ -27,43 +27,237 @@ func (c *Cluster) runner(name string, hz float64, fn lp.TickFunc) error {
 	return nil
 }
 
+// lpName derives the LP name for carrier i: the classic name for crane 0
+// (so single-crane federations keep their exact wiring), an indexed one
+// for the extra carriers.
+func lpName(base string, i int) string {
+	if i == 0 {
+		return base
+	}
+	return fmt.Sprintf("%s-%d", base, i+1)
+}
+
+// drainCraneStates folds a queued CraneState subscription into the
+// newest-state-per-crane view (states is indexed by CraneID; out-of-range
+// IDs are dropped).
+func drainCraneStates(sub *cb.Subscription, states []fom.CraneState) {
+	for {
+		r, ok := sub.Poll()
+		if !ok {
+			return
+		}
+		if st, err := fom.DecodeCraneState(r.Attrs); err == nil {
+			if st.CraneID >= 0 && st.CraneID < int64(len(states)) {
+				states[st.CraneID] = st
+			}
+		}
+	}
+}
+
+// drainScenStates folds a queued ScenarioState subscription the same way.
+func drainScenStates(sub *cb.Subscription, states []fom.ScenarioState) {
+	for {
+		r, ok := sub.Poll()
+		if !ok {
+			return
+		}
+		if s, err := fom.DecodeScenarioState(r.Attrs); err == nil {
+			if s.CraneID >= 0 && s.CraneID < int64(len(states)) {
+				states[s.CraneID] = s
+			}
+		}
+	}
+}
+
 // buildSimPC hosts the dynamics, scenario and audio LPs on one computer
-// (§2.1: one or many LPs can run on a computer).
+// (§2.1: one or many LPs can run on a computer). A scenario declaring N
+// cranes gets N dynamics LPs — one rig per carrier — over one shared
+// cargo world, plus the single scenario interpreter stepping every
+// carrier's cursor.
 func (c *Cluster) buildSimPC(ter *terrain.Map, spec scenario.Spec) error {
 	b, err := c.backbone(NodeSim)
 	if err != nil {
 		return err
 	}
 
-	// --- Dynamics LP (60 Hz) ---
-	course := spec.Course
-	model, err := dynamics.New(dynamics.DefaultConfig(), ter, course.Start, course.StartYaw)
-	if err != nil {
-		return fmt.Errorf("sim: dynamics: %w", err)
+	// --- Dynamics LPs (60 Hz, one per carrier) ---
+	decls := spec.CraneDecls()
+	world := dynamics.NewWorld()
+	models := make([]*dynamics.Model, len(decls))
+	for i, d := range decls {
+		models[i], err = dynamics.NewCrane(dynamics.DefaultConfig(), ter, world, d.Start, d.StartYaw, i)
+		if err != nil {
+			return fmt.Errorf("sim: dynamics %d: %w", i, err)
+		}
 	}
-	spec.Install(model, ter)
+	spec.Install(ter, models...)
+	for i := range models {
+		if err := c.buildDynamicsLP(b, lpName("dynamics", i), models[i], int64(i)); err != nil {
+			return err
+		}
+	}
 
-	statePub, err := b.PublishObjectClass("dynamics", fom.ClassCraneState)
+	// --- Scenario LP (30 Hz) ---
+	eng, err := scenario.NewEngineSpec(spec, crane.DefaultSpec())
+	if err != nil {
+		return fmt.Errorf("sim: scenario: %w", err)
+	}
+	if c.cfg.AutoStart {
+		eng.Start()
+	}
+	scenPub, err := b.PublishObjectClass("scenario", fom.ClassScenarioState)
 	if err != nil {
 		return err
 	}
-	cuePub, err := b.PublishObjectClass("dynamics", fom.ClassMotionCue)
+	scenAudioPub, err := b.PublishObjectClass("scenario", fom.ClassAudioEvent)
 	if err != nil {
 		return err
 	}
-	audioPub, err := b.PublishObjectClass("dynamics", fom.ClassAudioEvent)
+	scenStateSub, err := b.SubscribeObjectClass("scenario", fom.ClassCraneState, cb.WithQueue(128))
 	if err != nil {
 		return err
 	}
-	controlSub, err := b.SubscribeObjectClass("dynamics", fom.ClassControlInput, cb.WithConflation())
+	cmdSub, err := b.SubscribeObjectClass("scenario", fom.ClassInstructorCmd, cb.WithQueue(32))
+	if err != nil {
+		return err
+	}
+	states := make([]fom.CraneState, len(models))
+	have := make([]bool, len(models))
+	haveAll := false
+	err = c.runner("scenario", 30, func(simTime, dt float64) error {
+		for {
+			r, ok := cmdSub.Poll()
+			if !ok {
+				break
+			}
+			cmd, err := fom.DecodeInstructorCmd(r.Attrs)
+			if err != nil {
+				continue
+			}
+			switch cmd.Op {
+			case fom.OpStartScenario:
+				eng.Start()
+			case fom.OpResetScenario:
+				eng.Reset()
+			}
+		}
+		for {
+			r, ok := scenStateSub.Poll()
+			if !ok {
+				break
+			}
+			st, err := fom.DecodeCraneState(r.Attrs)
+			if err != nil || st.CraneID < 0 || st.CraneID >= int64(len(states)) {
+				continue
+			}
+			states[st.CraneID] = st
+			have[st.CraneID] = true
+		}
+		if !haveAll {
+			haveAll = true
+			for _, h := range have {
+				haveAll = haveAll && h
+			}
+		}
+		// The engine only judges complete ticks: every carrier's
+		// telemetry must have arrived at least once (matching the classic
+		// rule of not stepping before the first CraneState).
+		if haveAll {
+			for _, ev := range eng.StepAll(states, dt) {
+				if ev.Kind != scenario.EventBarCollision {
+					continue
+				}
+				bang := fom.AudioEvent{Sound: fom.SoundCollision, Gain: 1, Position: states[ev.Crane].CargoPos}
+				if err := scenAudioPub.Update(simTime, bang.Encode()); err != nil {
+					return err
+				}
+			}
+		}
+		s := eng.State()
+		c.mu.Lock()
+		c.scenState = s
+		c.scenAlarms = eng.AlarmEvents()
+		c.mu.Unlock()
+		for _, ps := range eng.States() {
+			if err := scenPub.Update(simTime, ps.Encode()); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// --- Audio LP (~43 Hz: one 1024-sample block per tick) ---
+	mixer, err := audio.NewMixer(audio.SynthesizeAssets(c.cfg.Seed))
+	if err != nil {
+		return fmt.Errorf("sim: audio: %w", err)
+	}
+	c.mixer = mixer
+	audioSub, err := b.SubscribeObjectClass("audio", fom.ClassAudioEvent, cb.WithQueue(64))
+	if err != nil {
+		return err
+	}
+	audioStateSub, err := b.SubscribeObjectClass("audio", fom.ClassCraneState, cb.WithQueue(128))
+	if err != nil {
+		return err
+	}
+	if c.cfg.CaptureAudioSec > 0 {
+		c.pcmRing = make([]float64, int(c.cfg.CaptureAudioSec*audio.SampleRate))
+	}
+	listener := make([]fom.CraneState, len(models))
+	pcmBlock := make([]float64, 1024)
+	err = c.runner("audio", float64(audio.SampleRate)/1024, func(_, _ float64) error {
+		for {
+			r, ok := audioSub.Poll()
+			if !ok {
+				break
+			}
+			if ev, err := fom.DecodeAudioEvent(r.Attrs); err == nil {
+				mixer.Handle(ev)
+			}
+		}
+		// The listener sits in crane 0's cab.
+		drainCraneStates(audioStateSub, listener)
+		mixer.SetListener(listener[0].Position)
+		mixer.Render(pcmBlock)
+		if c.pcmRing != nil {
+			c.capturePCM(pcmBlock)
+		}
+		return nil
+	})
+	return err
+}
+
+// buildDynamicsLP wires one carrier's physics loop: operator input in,
+// authoritative CraneState / MotionCue / AudioEvent out.
+func (c *Cluster) buildDynamicsLP(b *cb.Backbone, lp string, model *dynamics.Model, craneID int64) error {
+	statePub, err := b.PublishObjectClass(lp, fom.ClassCraneState)
+	if err != nil {
+		return err
+	}
+	cuePub, err := b.PublishObjectClass(lp, fom.ClassMotionCue)
+	if err != nil {
+		return err
+	}
+	audioPub, err := b.PublishObjectClass(lp, fom.ClassAudioEvent)
+	if err != nil {
+		return err
+	}
+	controlSub, err := b.SubscribeObjectClass(lp, fom.ClassControlInput, cb.WithQueue(64))
 	if err != nil {
 		return err
 	}
 	var lastIn fom.ControlInput
 	var frame uint32
-	err = c.runner("dynamics", 60, func(simTime, dt float64) error {
-		if r, ok := controlSub.Latest(); ok {
-			if in, err := fom.DecodeControlInput(r.Attrs); err == nil {
+	return c.runner(lp, 60, func(simTime, dt float64) error {
+		for {
+			r, ok := controlSub.Poll()
+			if !ok {
+				break
+			}
+			if in, err := fom.DecodeControlInput(r.Attrs); err == nil && in.CraneID == craneID {
 				lastIn = in
 			}
 		}
@@ -100,117 +294,11 @@ func (c *Cluster) buildSimPC(ter *terrain.Map, spec scenario.Spec) error {
 		}
 		return nil
 	})
-	if err != nil {
-		return err
-	}
-
-	// --- Scenario LP (30 Hz) ---
-	eng, err := scenario.NewEngineSpec(spec, crane.DefaultSpec())
-	if err != nil {
-		return fmt.Errorf("sim: scenario: %w", err)
-	}
-	if c.cfg.AutoStart {
-		eng.Start()
-	}
-	scenPub, err := b.PublishObjectClass("scenario", fom.ClassScenarioState)
-	if err != nil {
-		return err
-	}
-	scenAudioPub, err := b.PublishObjectClass("scenario", fom.ClassAudioEvent)
-	if err != nil {
-		return err
-	}
-	scenStateSub, err := b.SubscribeObjectClass("scenario", fom.ClassCraneState, cb.WithConflation())
-	if err != nil {
-		return err
-	}
-	cmdSub, err := b.SubscribeObjectClass("scenario", fom.ClassInstructorCmd, cb.WithQueue(32))
-	if err != nil {
-		return err
-	}
-	err = c.runner("scenario", 30, func(simTime, dt float64) error {
-		for {
-			r, ok := cmdSub.Poll()
-			if !ok {
-				break
-			}
-			cmd, err := fom.DecodeInstructorCmd(r.Attrs)
-			if err != nil {
-				continue
-			}
-			switch cmd.Op {
-			case fom.OpStartScenario:
-				eng.Start()
-			case fom.OpResetScenario:
-				eng.Reset()
-			}
-		}
-		if r, ok := scenStateSub.Latest(); ok {
-			if st, err := fom.DecodeCraneState(r.Attrs); err == nil {
-				for _, ev := range eng.Step(st, dt) {
-					if ev.Kind != scenario.EventBarCollision {
-						continue
-					}
-					bang := fom.AudioEvent{Sound: fom.SoundCollision, Gain: 1, Position: st.CargoPos}
-					if err := scenAudioPub.Update(simTime, bang.Encode()); err != nil {
-						return err
-					}
-				}
-			}
-		}
-		s := eng.State()
-		c.mu.Lock()
-		c.scenState = s
-		c.mu.Unlock()
-		return scenPub.Update(simTime, s.Encode())
-	})
-	if err != nil {
-		return err
-	}
-
-	// --- Audio LP (~43 Hz: one 1024-sample block per tick) ---
-	mixer, err := audio.NewMixer(audio.SynthesizeAssets(c.cfg.Seed))
-	if err != nil {
-		return fmt.Errorf("sim: audio: %w", err)
-	}
-	c.mixer = mixer
-	audioSub, err := b.SubscribeObjectClass("audio", fom.ClassAudioEvent, cb.WithQueue(64))
-	if err != nil {
-		return err
-	}
-	audioStateSub, err := b.SubscribeObjectClass("audio", fom.ClassCraneState, cb.WithConflation())
-	if err != nil {
-		return err
-	}
-	if c.cfg.CaptureAudioSec > 0 {
-		c.pcmRing = make([]float64, int(c.cfg.CaptureAudioSec*audio.SampleRate))
-	}
-	pcmBlock := make([]float64, 1024)
-	err = c.runner("audio", float64(audio.SampleRate)/1024, func(_, _ float64) error {
-		for {
-			r, ok := audioSub.Poll()
-			if !ok {
-				break
-			}
-			if ev, err := fom.DecodeAudioEvent(r.Attrs); err == nil {
-				mixer.Handle(ev)
-			}
-		}
-		if r, ok := audioStateSub.Latest(); ok {
-			if st, err := fom.DecodeCraneState(r.Attrs); err == nil {
-				mixer.SetListener(st.Position)
-			}
-		}
-		mixer.Render(pcmBlock)
-		if c.pcmRing != nil {
-			c.capturePCM(pcmBlock)
-		}
-		return nil
-	})
-	return err
 }
 
-// buildDashboard hosts the dashboard LP: operator input → ControlInput.
+// buildDashboard hosts the dashboard LP for crane 0 — operator input →
+// ControlInput, with the mockup instrument panel — plus one lean
+// autopilot LP per extra declared crane.
 func (c *Cluster) buildDashboard(spec scenario.Spec) error {
 	b, err := c.backbone(NodeDashboard)
 	if err != nil {
@@ -223,11 +311,11 @@ func (c *Cluster) buildDashboard(spec scenario.Spec) error {
 	if err != nil {
 		return err
 	}
-	stateSub, err := b.SubscribeObjectClass("dashboard", fom.ClassCraneState, cb.WithConflation())
+	stateSub, err := b.SubscribeObjectClass("dashboard", fom.ClassCraneState, cb.WithQueue(128))
 	if err != nil {
 		return err
 	}
-	scenSub, err := b.SubscribeObjectClass("dashboard", fom.ClassScenarioState, cb.WithConflation())
+	scenSub, err := b.SubscribeObjectClass("dashboard", fom.ClassScenarioState, cb.WithQueue(128))
 	if err != nil {
 		return err
 	}
@@ -238,10 +326,11 @@ func (c *Cluster) buildDashboard(spec scenario.Spec) error {
 	var ap *trace.Autopilot
 	if c.cfg.Autopilot {
 		ap = trace.New(spec)
+		ap.SetSkill(c.cfg.Skill)
 	}
-	var lastState fom.CraneState
-	var lastScen fom.ScenarioState
-	return c.runner("dashboard", 50, func(simTime, dt float64) error {
+	states := make([]fom.CraneState, c.craneCount)
+	scens := make([]fom.ScenarioState, c.craneCount)
+	err = c.runner("dashboard", 50, func(simTime, dt float64) error {
 		for {
 			r, ok := cmdSub.Poll()
 			if !ok {
@@ -251,64 +340,124 @@ func (c *Cluster) buildDashboard(spec scenario.Spec) error {
 				_ = panel.Apply(cmd) // unknown instruments are instructor typos
 			}
 		}
-		if r, ok := stateSub.Latest(); ok {
-			if st, err := fom.DecodeCraneState(r.Attrs); err == nil {
-				lastState = st
-				panel.UpdateFromState(st, dt)
-			}
-		}
-		if r, ok := scenSub.Latest(); ok {
-			if s, err := fom.DecodeScenarioState(r.Attrs); err == nil {
-				lastScen = s
-			}
-		}
+		drainCraneStates(stateSub, states)
+		drainScenStates(scenSub, scens)
+		panel.UpdateFromState(states[0], dt)
 		var in fom.ControlInput
 		if ap != nil {
-			in = ap.Control(lastState, lastScen, dt)
+			in = ap.Control(states[0], scens[0], dt)
 		}
 		return ctrlPub.Update(simTime, shaping.Shape(in).Encode())
 	})
+	if err != nil {
+		return err
+	}
+	// Extra carriers: an autopilot each, no instrument panel — the cab
+	// mockup is crane 0's.
+	for i := 1; i < c.craneCount; i++ {
+		if err := c.buildPilotLP(b, i, spec); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-// buildMotion hosts the motion-platform controller LP.
+// buildPilotLP wires the synthetic operator of one extra carrier.
+func (c *Cluster) buildPilotLP(b *cb.Backbone, craneIdx int, spec scenario.Spec) error {
+	lp := lpName("dashboard", craneIdx)
+	ctrlPub, err := b.PublishObjectClass(lp, fom.ClassControlInput)
+	if err != nil {
+		return err
+	}
+	stateSub, err := b.SubscribeObjectClass(lp, fom.ClassCraneState, cb.WithQueue(128))
+	if err != nil {
+		return err
+	}
+	scenSub, err := b.SubscribeObjectClass(lp, fom.ClassScenarioState, cb.WithQueue(128))
+	if err != nil {
+		return err
+	}
+	shaping := dashboard.DefaultShaping()
+	var ap *trace.Autopilot
+	if c.cfg.Autopilot {
+		ap = trace.ForCrane(spec, craneIdx)
+		ap.SetSkill(c.cfg.Skill)
+	}
+	states := make([]fom.CraneState, c.craneCount)
+	scens := make([]fom.ScenarioState, c.craneCount)
+	return c.runner(lp, 50, func(simTime, dt float64) error {
+		drainCraneStates(stateSub, states)
+		drainScenStates(scenSub, scens)
+		var in fom.ControlInput
+		if ap != nil {
+			in = ap.Control(states[craneIdx], scens[craneIdx], dt)
+		}
+		in = shaping.Shape(in)
+		in.CraneID = int64(craneIdx)
+		return ctrlPub.Update(simTime, in.Encode())
+	})
+}
+
+// buildMotion hosts one motion-platform controller LP per carrier (the
+// paper's rack has one cab; extra carriers model remote-cab platforms).
 func (c *Cluster) buildMotion() error {
 	b, err := c.backbone(NodeMotion)
 	if err != nil {
 		return err
 	}
-	ctrl, err := motion.NewController(motion.DefaultGeometry(), motion.DefaultWashout(), 16, c.cfg.Seed)
-	if err != nil {
-		return fmt.Errorf("sim: motion: %w", err)
-	}
-	cueSub, err := b.SubscribeObjectClass("motion", fom.ClassMotionCue, cb.WithConflation())
-	if err != nil {
-		return err
-	}
-	return c.runner("motion", 120, func(_, dt float64) error {
-		if r, ok := cueSub.Latest(); ok {
-			if cue, err := fom.DecodeMotionCue(r.Attrs); err == nil {
-				ctrl.Cue(cue, dt)
+	for i := 0; i < c.craneCount; i++ {
+		lp := lpName("motion", i)
+		ctrl, err := motion.NewController(motion.DefaultGeometry(), motion.DefaultWashout(), 16, c.cfg.Seed)
+		if err != nil {
+			return fmt.Errorf("sim: motion: %w", err)
+		}
+		cueSub, err := b.SubscribeObjectClass(lp, fom.ClassMotionCue, cb.WithQueue(128))
+		if err != nil {
+			return err
+		}
+		craneID := int64(i)
+		var lastCue fom.MotionCue
+		haveCue := false
+		err = c.runner(lp, 120, func(_, dt float64) error {
+			for {
+				r, ok := cueSub.Poll()
+				if !ok {
+					break
+				}
+				if cue, err := fom.DecodeMotionCue(r.Attrs); err == nil && cue.CraneID == craneID {
+					lastCue = cue
+					haveCue = true
+				}
 			}
+			if haveCue {
+				ctrl.Cue(lastCue, dt)
+				haveCue = false
+			}
+			if st := ctrl.Step(dt); st.Saturated {
+				c.motionSat.Inc()
+			}
+			return nil
+		})
+		if err != nil {
+			return err
 		}
-		if st := ctrl.Step(dt); st.Saturated {
-			c.motionSat.Inc()
-		}
-		return nil
-	})
+	}
+	return nil
 }
 
-// buildInstructor hosts the instructor monitor LP.
+// buildInstructor hosts the instructor monitor LP, observing every
+// carrier (alarm edges per crane) while mirroring crane 0's cab.
 func (c *Cluster) buildInstructor() error {
 	b, err := c.backbone(NodeInstructor)
 	if err != nil {
 		return err
 	}
 	c.monitor = instructor.NewMonitor(crane.DefaultSpec())
-	stateSub, err := b.SubscribeObjectClass("instructor", fom.ClassCraneState, cb.WithConflation())
+	stateSub, err := b.SubscribeObjectClass("instructor", fom.ClassCraneState, cb.WithQueue(128))
 	if err != nil {
 		return err
 	}
-	scenSub, err := b.SubscribeObjectClass("instructor", fom.ClassScenarioState, cb.WithConflation())
+	scenSub, err := b.SubscribeObjectClass("instructor", fom.ClassScenarioState, cb.WithQueue(128))
 	if err != nil {
 		return err
 	}
@@ -320,13 +469,31 @@ func (c *Cluster) buildInstructor() error {
 	if err != nil {
 		return err
 	}
+	states := make([]fom.CraneState, c.craneCount)
+	have := make([]bool, c.craneCount)
 	return c.runner("instructor", 10, func(simTime, dt float64) error {
-		if r, ok := stateSub.Latest(); ok {
+		for {
+			r, ok := stateSub.Poll()
+			if !ok {
+				break
+			}
 			if st, err := fom.DecodeCraneState(r.Attrs); err == nil {
-				c.monitor.ObserveCrane(st, dt)
+				if st.CraneID >= 0 && st.CraneID < int64(len(states)) {
+					states[st.CraneID] = st
+					have[st.CraneID] = true
+				}
 			}
 		}
-		if r, ok := scenSub.Latest(); ok {
+		for i := range states {
+			if have[i] {
+				c.monitor.ObserveCrane(states[i], dt)
+			}
+		}
+		for {
+			r, ok := scenSub.Poll()
+			if !ok {
+				break
+			}
 			if s, err := fom.DecodeScenarioState(r.Attrs); err == nil {
 				c.monitor.ObserveScenario(s)
 			}

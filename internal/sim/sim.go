@@ -26,6 +26,7 @@ import (
 	"codsim/internal/render"
 	"codsim/internal/scenario"
 	"codsim/internal/terrain"
+	"codsim/internal/trace"
 	"codsim/internal/transport"
 )
 
@@ -62,12 +63,20 @@ type Config struct {
 	RenderFrames int
 	// Scenario selects the workload the cluster loads; nil runs the
 	// classic licensing exam. Any scenario.Spec works: the scenario LP
-	// interprets its phase graph, the dynamics LP hosts its cargo set and
-	// wind, and the displays apply its visibility.
+	// interprets its phase graph, the dynamics LPs host its cargo set and
+	// wind, and the displays apply its visibility. A spec declaring N
+	// cranes spawns one dynamics, motion and autopilot participant per
+	// carrier — the FOM's multiple-publishers-per-class rule carries the
+	// extra CraneState/MotionCue/ControlInput traffic on the same
+	// channels, demultiplexed by CraneID.
 	Scenario *scenario.Spec
 	// Autopilot drives the scenario when true; otherwise the dashboard
-	// publishes neutral controls.
+	// publishes neutral controls. Multi-crane scenarios get one autopilot
+	// per declared crane.
 	Autopilot bool
+	// Skill degrades the autopilots (reaction lag, overshoot, widened
+	// slack); the zero value is the flawless expert.
+	Skill trace.SkillProfile
 	// AutoStart arms the scenario immediately.
 	AutoStart bool
 	// CaptureAudioSec keeps the last N seconds of the audio module's
@@ -109,6 +118,7 @@ type Summary struct {
 	MotionSat   int64
 	AudioVoices int64
 	Alarms      []instructor.AlarmEvent
+	AlarmEvents uint32 // scenario-engine alarm lamp count (all cranes)
 	Status      fom.StatusReport
 }
 
@@ -126,12 +136,15 @@ type Cluster struct {
 	panel    *dashboard.Panel // the mockup dashboard on dashboard-pc
 	cmdPub   *cb.Publication  // instructor-pc's InstructorCmd publication
 
-	mu        sync.Mutex
-	scenState fom.ScenarioState
-	motionSat metrics.Counter
-	pcmRing   []float64 // captured audio, ring of cfg.CaptureAudioSec
-	pcmPos    int
-	pcmFull   bool
+	craneCount int // carriers declared by the loaded scenario
+
+	mu         sync.Mutex
+	scenState  fom.ScenarioState
+	scenAlarms uint32 // engine alarm-lamp count, cached per tick
+	motionSat  metrics.Counter
+	pcmRing    []float64 // captured audio, ring of cfg.CaptureAudioSec
+	pcmPos     int
+	pcmFull    bool
 
 	stopOnce sync.Once
 	stopCh   chan struct{}
@@ -170,6 +183,7 @@ func New(cfg Config) (*Cluster, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
+	c.craneCount = spec.CraneCount()
 
 	if err := c.buildSyncServer(); err != nil {
 		c.teardown()
@@ -295,6 +309,14 @@ func (c *Cluster) WaitExamContext(ctx context.Context, timeout time.Duration) (f
 	}
 }
 
+// AlarmEvents returns the scenario engine's alarm-lamp count so far
+// (safety alarms plus collisions, all cranes).
+func (c *Cluster) AlarmEvents() uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.scenAlarms
+}
+
 // Summary collects the run's results.
 func (c *Cluster) Summary() Summary {
 	s := Summary{
@@ -303,6 +325,7 @@ func (c *Cluster) Summary() Summary {
 		Evicted:     c.server.Evicted(),
 		MotionSat:   c.motionSat.Value(),
 		Alarms:      c.monitor.AlarmLog(),
+		AlarmEvents: c.AlarmEvents(),
 		Status:      c.monitor.Report(0),
 	}
 	for _, d := range c.displays {
@@ -426,6 +449,9 @@ func (c *Cluster) buildDisplays(ter *terrain.Map, spec scenario.Spec) error {
 		if err != nil {
 			return fmt.Errorf("sim: scene %d: %w", i+1, err)
 		}
+		for extra := 1; extra < c.craneCount; extra++ {
+			builder.AddCrane()
+		}
 		if spec.Visibility > 0 && spec.Visibility < 1 {
 			builder.SetVisibility(spec.Visibility)
 		}
@@ -433,7 +459,10 @@ func (c *Cluster) buildDisplays(ter *terrain.Map, spec scenario.Spec) error {
 		if err != nil {
 			return fmt.Errorf("sim: renderer %d: %w", i+1, err)
 		}
-		stateIn, err := b.SubscribeObjectClass(displayName(i), fom.ClassCraneState, cb.WithConflation())
+		// Every carrier publishes on the CraneState class; a queued
+		// mailbox (instead of the classic conflating one) lets the
+		// display fold the stream into a newest-state-per-crane view.
+		stateIn, err := b.SubscribeObjectClass(displayName(i), fom.ClassCraneState, cb.WithQueue(128))
 		if err != nil {
 			return fmt.Errorf("sim: display %d subscribe: %w", i+1, err)
 		}
@@ -456,7 +485,7 @@ func (c *Cluster) displayLoop(d *displayNode) {
 		c.reportErr(errors.New("sim: display never linked to sync server"))
 		return
 	}
-	var last fom.CraneState
+	last := make([]fom.CraneState, c.craneCount)
 	frames := 0
 	for {
 		select {
@@ -468,14 +497,14 @@ func (c *Cluster) displayLoop(d *displayNode) {
 			return
 		}
 		err := d.client.RunFrames(1, 10*time.Second, func(uint32) {
-			if r, ok := d.stateIn.Latest(); ok {
-				if st, err := fom.DecodeCraneState(r.Attrs); err == nil {
-					last = st
-				}
+			drainCraneStates(d.stateIn, last)
+			for idx := range last {
+				d.builder.UpdateCrane(idx, last[idx])
 			}
-			scene := d.builder.Frame(last)
-			eye := last.Position.Add(mathx.V3(0, 3.2, 0))
-			cams := render.SurroundCameras(eye, last.Heading, c.cfg.Displays,
+			scene := d.builder.Scene()
+			// The surround view rides crane 0 — the operator cab.
+			eye := last[0].Position.Add(mathx.V3(0, 3.2, 0))
+			cams := render.SurroundCameras(eye, last[0].Heading, c.cfg.Displays,
 				mathx.Rad(40), float64(c.cfg.Width)/float64(c.cfg.Height))
 			d.rend.Render(scene, cams[d.camIdx])
 		})

@@ -3,6 +3,7 @@ package trace
 import (
 	"math"
 
+	"codsim/internal/dynamics"
 	"codsim/internal/fom"
 	"codsim/internal/mathx"
 	"codsim/internal/scenario"
@@ -12,8 +13,17 @@ import (
 // any scenario spec's phase graph from crane-state and scenario-state
 // telemetry. It carries the cargo above the bar tops, which is a legal (if
 // cautious) strategy — the exam deducts for collisions, not for altitude.
+// In a multi-crane scenario one autopilot drives one assigned crane,
+// walking only that crane's sub-graph; on tandem lift nodes it latches,
+// then holds position until every partner hook arrives.
 type Autopilot struct {
-	spec scenario.Spec
+	spec  scenario.Spec
+	crane int // assigned carrier (index into spec.Cranes)
+
+	// skill degrades the controller output (reaction lag, overshoot,
+	// widened slack); the zero value is the flawless expert.
+	skill   SkillProfile
+	skillSt skillState
 
 	// pickups[i] is the estimated cargo position when phase i (a lift)
 	// becomes active: the cargo's spec position, or the target of the
@@ -25,6 +35,7 @@ type Autopilot struct {
 	pivotFwd   float64 // boom pivot offset toward the rear (+Z body)
 	workLuff   float64 // preferred luff angle during cargo work
 	boomLenMin float64 // shortest boom, bounding the reachable radius band
+	snatchDist float64 // skill-mode latch reach, just inside LatchDist
 
 	lastIdx    int // phase index the transient state below belongs to
 	settleTime float64
@@ -32,19 +43,35 @@ type Autopilot struct {
 	curPickup  mathx.Vec3 // live pickup estimate for the active lift node
 }
 
-// New builds an autopilot for the scenario spec.
-func New(spec scenario.Spec) *Autopilot {
+// New builds an autopilot for crane 0 of the scenario spec.
+func New(spec scenario.Spec) *Autopilot { return ForCrane(spec, 0) }
+
+// ForCrane builds an autopilot assigned to one declared crane: it acts on
+// the ScenarioState telemetry carrying that CraneID and interprets only
+// the phase nodes owned by the crane.
+func ForCrane(spec scenario.Spec, crane int) *Autopilot {
 	a := &Autopilot{
-		spec:       spec,
-		pivotUp:    2.4,
-		pivotFwd:   1.0,
-		workLuff:   mathx.Rad(50),
+		spec:     spec,
+		crane:    crane,
+		pivotUp:  2.4,
+		pivotFwd: 1.0,
+		workLuff: mathx.Rad(50),
+		// Slightly inside the rig's latch reach: asserting the latch any
+		// farther out would burn the rising edge on a miss and stall the
+		// lift (the dynamics only retry on a fresh edge).
+		snatchDist: dynamics.DefaultConfig().LatchDist * 0.97,
 		boomLenMin: 10.2,
 		lastIdx:    -1,
 	}
 	a.pickups = estimatePickups(spec)
 	return a
 }
+
+// SetSkill installs a skill profile (the zero value restores the expert).
+func (a *Autopilot) SetSkill(p SkillProfile) { a.skill = p }
+
+// Crane returns the assigned carrier index.
+func (a *Autopilot) Crane() int { return a.crane }
 
 // NewAutopilot builds an autopilot for the classic linear exam over the
 // course. For any other workload use New with a Spec.
@@ -54,24 +81,31 @@ func NewAutopilot(course scenario.Course) *Autopilot {
 
 // estimatePickups walks the phase graph in list order tracking where each
 // cargo rests, so a lift that follows a place of the same cargo aims at
-// the place target rather than the original spec position.
+// the place target rather than the original spec position. The carried
+// cargo is tracked per crane — the sub-graphs interleave in the list.
 func estimatePickups(spec scenario.Spec) []mathx.Vec3 {
 	est := make([]mathx.Vec3, len(spec.Cargos))
 	for i, c := range spec.Cargos {
 		est[i] = c.Pos
 	}
 	pickups := make([]mathx.Vec3, len(spec.Phases))
-	carried := -1 // cargo index picked by the most recent lift
+	carried := make([]int, spec.CraneCount()) // cargo picked by each crane's latest lift
+	for c := range carried {
+		carried[c] = -1
+	}
 	for i, ps := range spec.Phases {
+		if ps.Crane < 0 || ps.Crane >= len(carried) {
+			continue
+		}
 		switch ps.Kind {
 		case scenario.PhaseLift:
 			if ps.Cargo >= 0 && ps.Cargo < len(est) {
 				pickups[i] = est[ps.Cargo]
-				carried = ps.Cargo
+				carried[ps.Crane] = ps.Cargo
 			}
 		case scenario.PhasePlace:
-			if carried >= 0 && carried < len(est) {
-				est[carried] = ps.Target
+			if held := carried[ps.Crane]; held >= 0 && held < len(est) {
+				est[held] = ps.Target
 			}
 		}
 	}
@@ -80,20 +114,28 @@ func estimatePickups(spec scenario.Spec) []mathx.Vec3 {
 
 // phaseIdx resolves the telemetry to a phase-graph index. Telemetry
 // without an index (an older scenario LP on the wire) falls back to the
-// first node matching the coarse phase; anything else out of range is
-// clamped — a mismatched spec revision must not panic the trainee.
+// first own-crane node matching the coarse phase; anything else out of
+// range is clamped to an own-crane node — a mismatched spec revision must
+// not panic the trainee.
 func (a *Autopilot) phaseIdx(scen fom.ScenarioState) int {
+	ownLast := 0
+	for i, ps := range a.spec.Phases {
+		if ps.Crane == a.crane {
+			ownLast = i
+		}
+	}
 	if scen.PhaseIndex == fom.PhaseIndexUnknown {
 		for i, ps := range a.spec.Phases {
-			if ps.Kind.FOMPhase() == scen.Phase {
+			if ps.Crane == a.crane && ps.Kind.FOMPhase() == scen.Phase {
 				return i
 			}
 		}
-		return 0
+		entry, _ := a.spec.EntryFor(a.crane)
+		return entry
 	}
 	idx := int(scen.PhaseIndex)
-	if idx < 0 || idx >= len(a.spec.Phases) {
-		idx = len(a.spec.Phases) - 1
+	if idx < 0 || idx >= len(a.spec.Phases) || a.spec.Phases[idx].Crane != a.crane {
+		idx = ownLast
 	}
 	return idx
 }
@@ -135,7 +177,15 @@ func (a *Autopilot) Control(st fom.CraneState, scen fom.ScenarioState, dt float6
 		a.drive(&in, st, ps.Target, ps.Radius)
 	case scenario.PhaseLift:
 		a.parkBrake(&in)
-		a.lift(&in, st, a.curPickup, dt)
+		if ps.Tandem && st.CargoHeld && st.CargoID == int64(ps.Cargo) {
+			// Wait-for-partner gate: this hook is on the shared load but
+			// the scenario has not advanced, so a partner hook is still
+			// missing. Hold the latch and hover over the pick instead of
+			// hauling on a load that must not leave the ground yet.
+			a.holdTandem(&in, st)
+		} else {
+			a.lift(&in, st, a.curPickup, dt)
+		}
 	case scenario.PhaseTraverse:
 		a.parkBrake(&in)
 		a.traverse(&in, st, scen, ps)
@@ -143,7 +193,15 @@ func (a *Autopilot) Control(st fom.CraneState, scen fom.ScenarioState, dt float6
 		a.parkBrake(&in)
 		a.putDown(&in, st, ps.Target, dt)
 	}
-	return in
+	return a.skill.apply(in, dt, &a.skillSt)
+}
+
+// holdTandem keeps the latched hook steady over a grounded tandem load
+// while the partner cranes finish their approach.
+func (a *Autopilot) holdTandem(in *fom.ControlInput, st fom.CraneState) {
+	in.HookLatch = true
+	top := st.CargoPos.Add(mathx.V3(0, 0.6, 0))
+	a.boomTo(in, st, top, top.Y+0.3, 0.8)
 }
 
 func (a *Autopilot) parkBrake(in *fom.ControlInput) {
@@ -201,6 +259,9 @@ func (a *Autopilot) boomTo(in *fom.ControlInput, st fom.CraneState, target mathx
 	wantRadius := math.Hypot(dx, dz)
 	bearing := math.Atan2(dx, -dz)
 	wantSwing := mathx.AngleDiff(bearing, st.Heading)
+
+	// A sloppier trainee tolerates a wider stand-off before correcting.
+	slack += a.skill.SlackBand
 
 	// Swing toward the bearing.
 	swingErr := mathx.AngleDiff(wantSwing, st.BoomSwing)
@@ -269,6 +330,14 @@ func (a *Autopilot) lift(in *fom.ControlInput, st fom.CraneState, est mathx.Vec3
 	}
 	cargoTop := target.Add(mathx.V3(0, 0.6, 0))
 	horiz := math.Hypot(st.HookPos.X-cargoTop.X, st.HookPos.Z-cargoTop.Z)
+	// A lagged trainee cannot settle the hook dead over the load — wind
+	// or their own overshoot keeps the pendulum in a limit cycle — so
+	// they snatch the sling whenever the hook swings within reach. The
+	// latch drops again once the pass is over, re-arming the edge for the
+	// next try. The expert keeps the classic settle-then-latch behavior.
+	if !a.skill.IsZero() && st.HookPos.Dist(cargoTop) < a.snatchDist {
+		in.HookLatch = true
+	}
 	if horiz > 0.8 {
 		// Align above the cargo first, hook held high enough to clear any
 		// bars between here and there.

@@ -14,16 +14,18 @@ import (
 // RunResult reports one headless scenario run.
 type RunResult struct {
 	Scenario string
-	State    fom.ScenarioState // terminal scenario state
+	State    fom.ScenarioState // terminal combined scenario state
 	SimTime  float64           // simulated seconds consumed
 	Passed   bool
+	Alarms   uint32 // alarm lamps raised during the run (engine count)
 }
 
-// Run executes a scenario spec headless — dynamics, engine and autopilot
-// coupled directly at 60 Hz, no federation — until the scenario reaches a
-// terminal phase or maxSim simulated seconds elapse. This is the fast path
-// for regression tables and batch smoke runs; the cluster path in package
-// sim runs the same spec across the full federation.
+// Run executes a scenario spec headless — one dynamics rig and one
+// autopilot per declared crane coupled directly to the engine at 60 Hz,
+// no federation — until the scenario reaches a terminal phase or maxSim
+// simulated seconds elapse. This is the fast path for regression tables
+// and batch smoke runs; the cluster path in package sim runs the same
+// spec across the full federation.
 func Run(spec scenario.Spec, maxSim float64) (RunResult, error) {
 	return RunContext(context.Background(), spec, maxSim)
 }
@@ -33,43 +35,66 @@ func Run(spec scenario.Spec, maxSim float64) (RunResult, error) {
 // state reached so far, so a batch coordinator can abandon a shard without
 // waiting out its sim-time budget.
 func RunContext(ctx context.Context, spec scenario.Spec, maxSim float64) (RunResult, error) {
+	return RunSkill(ctx, spec, maxSim, SkillProfile{})
+}
+
+// RunSkill is RunContext with a trainee skill profile: every crane's
+// autopilot flies with the given sloppiness (the zero profile is the
+// classic expert). Sweeping the presets over a scenario matrix yields
+// realistic score distributions instead of near-perfect runs.
+func RunSkill(ctx context.Context, spec scenario.Spec, maxSim float64, skill SkillProfile) (RunResult, error) {
 	res := RunResult{Scenario: spec.Name}
 	ter, err := terrain.GenerateSite(terrain.DefaultSite())
 	if err != nil {
 		return res, err
 	}
-	model, err := dynamics.New(dynamics.DefaultConfig(), ter, spec.Course.Start, spec.Course.StartYaw)
-	if err != nil {
-		return res, err
+	decls := spec.CraneDecls()
+	world := dynamics.NewWorld()
+	models := make([]*dynamics.Model, len(decls))
+	pilots := make([]*Autopilot, len(decls))
+	for c, d := range decls {
+		models[c], err = dynamics.NewCrane(dynamics.DefaultConfig(), ter, world, d.Start, d.StartYaw, c)
+		if err != nil {
+			return res, err
+		}
+		pilots[c] = ForCrane(spec, c)
+		pilots[c].SetSkill(skill)
 	}
-	spec.Install(model, ter)
+	spec.Install(ter, models...)
 
 	eng, err := scenario.NewEngineSpec(spec, crane.DefaultSpec())
 	if err != nil {
 		return res, err
 	}
 	eng.Start()
-	ap := New(spec)
 
 	const dt = 1.0 / 60
 	steps := 0
+	states := make([]fom.CraneState, len(models))
 	for res.SimTime = 0; res.SimTime < maxSim; res.SimTime += dt {
 		// Checking the context every simulated second keeps the hot loop
 		// free of per-step synchronization.
 		if steps%60 == 0 && ctx.Err() != nil {
 			res.State = eng.State()
+			res.Alarms = eng.AlarmEvents()
 			return res, ctx.Err()
 		}
 		steps++
-		scen := eng.State()
-		if scen.Phase == fom.PhaseComplete || scen.Phase == fom.PhaseFailed {
+		if p := eng.Phase(); p == fom.PhaseComplete || p == fom.PhaseFailed {
 			break
 		}
-		in := ap.Control(model.State(), scen, dt)
-		model.Step(in, dt)
-		eng.Step(model.State(), dt)
+		for c, m := range models {
+			in := pilots[c].Control(m.State(), eng.StateFor(c), dt)
+			in.CraneID = int64(c)
+			m.Step(in, dt)
+		}
+		for c, m := range models {
+			states[c] = m.State()
+		}
+		eng.StepAll(states, dt)
 	}
 	res.State = eng.State()
+	res.Alarms = eng.AlarmEvents()
 	res.Passed = res.State.Phase == fom.PhaseComplete
 	if res.State.Phase != fom.PhaseComplete && res.State.Phase != fom.PhaseFailed {
 		return res, fmt.Errorf("trace: scenario %s still %v after %.0f sim-seconds (%s)",

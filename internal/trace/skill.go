@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"codsim/internal/fom"
+	"codsim/internal/mathx"
+)
+
+// SkillProfile parameterizes how sloppily the synthetic trainee flies.
+// The zero value is the expert: no lag, no overshoot, no widened dead
+// band — bit-identical to the classic autopilot, so existing golden
+// scores cannot drift. Sweeping a skill × scenario matrix through the
+// batch layers turns the near-perfect controller into a realistic score
+// distribution.
+type SkillProfile struct {
+	// Name labels the profile in reports ("" reads as "expert").
+	Name string
+	// ReactionLag is the trainee's response time constant in seconds:
+	// the continuous control axes chase the controller's commands
+	// through a first-order filter instead of applying them instantly.
+	// 0 disables the filter.
+	ReactionLag float64
+	// Overshoot scales the proportional control gains: 0.3 commands 30%
+	// harder than needed, so the boom hunts around every target the way
+	// an over-eager trainee does.
+	Overshoot float64
+	// SlackBand widens the radial stand-off the controller tolerates
+	// before correcting (meters): a sloppy operator is satisfied hovering
+	// farther from the mark, costing time and precision.
+	SlackBand float64
+}
+
+// IsZero reports whether the profile is the expert zero value.
+func (p SkillProfile) IsZero() bool {
+	return p.ReactionLag == 0 && p.Overshoot == 0 && p.SlackBand == 0
+}
+
+// SkillExpert is the classic flawless controller (the zero profile).
+func SkillExpert() SkillProfile { return SkillProfile{Name: "expert"} }
+
+// SkillIntermediate reacts in about a third of a second and pushes a
+// quarter too hard — completes every shipped scenario, but slower and
+// with the occasional swing penalty.
+func SkillIntermediate() SkillProfile {
+	return SkillProfile{Name: "intermediate", ReactionLag: 0.3, Overshoot: 0.3, SlackBand: 0.35}
+}
+
+// SkillNovice is the first-week trainee: slow hands, heavy overshoot,
+// content to hover well off the mark.
+func SkillNovice() SkillProfile {
+	return SkillProfile{Name: "novice", ReactionLag: 0.5, Overshoot: 0.5, SlackBand: 0.7}
+}
+
+// skillPresets maps preset names to constructors, for CLI flags.
+var skillPresets = map[string]func() SkillProfile{
+	"expert":       SkillExpert,
+	"intermediate": SkillIntermediate,
+	"novice":       SkillNovice,
+}
+
+// SkillByName resolves a preset name ("expert", "intermediate",
+// "novice"); the empty string is the expert.
+func SkillByName(name string) (SkillProfile, error) {
+	if name == "" {
+		return SkillExpert(), nil
+	}
+	if mk, ok := skillPresets[name]; ok {
+		return mk(), nil
+	}
+	return SkillProfile{}, fmt.Errorf("trace: unknown skill %q (have %v)", name, SkillNames())
+}
+
+// SkillNames lists the preset names, sorted.
+func SkillNames() []string {
+	names := make([]string, 0, len(skillPresets))
+	for n := range skillPresets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// skillState is the filter memory of the reaction-lag model (the axes
+// start from rest).
+type skillState struct {
+	axes [7]float64
+}
+
+// apply degrades the controller's crisp input according to the profile:
+// proportional axes are overdriven by the overshoot gain, then every
+// continuous axis chases its command through the reaction-lag filter.
+// Discrete controls (ignition, gear, latch) pass through — even a novice
+// flips a switch all the way.
+func (p SkillProfile) apply(in fom.ControlInput, dt float64, st *skillState) fom.ControlInput {
+	if p.IsZero() {
+		return in
+	}
+	gain := 1 + p.Overshoot
+	cmd := [7]float64{
+		mathx.Clamp(in.Steering*gain, -1, 1),
+		mathx.Clamp(in.Throttle*gain, 0, 1),
+		in.Brake,
+		mathx.Clamp(in.BoomJoyX*gain, -1, 1),
+		mathx.Clamp(in.BoomJoyY*gain, -1, 1),
+		mathx.Clamp(in.HoistJoyX*gain, -1, 1),
+		mathx.Clamp(in.HoistJoyY*gain, -1, 1),
+	}
+	if p.ReactionLag > 0 {
+		blend := mathx.Clamp(dt/p.ReactionLag, 0, 1)
+		for i := range cmd {
+			st.axes[i] += (cmd[i] - st.axes[i]) * blend
+		}
+		cmd = st.axes
+	}
+	in.Steering = cmd[0]
+	in.Throttle = cmd[1]
+	in.Brake = cmd[2]
+	in.BoomJoyX = cmd[3]
+	in.BoomJoyY = cmd[4]
+	in.HoistJoyX = cmd[5]
+	in.HoistJoyY = cmd[6]
+	return in
+}

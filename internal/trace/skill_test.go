@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"context"
+	"testing"
+
+	"codsim/internal/fom"
+	"codsim/internal/scenario"
+)
+
+// TestSkillByName covers the preset registry.
+func TestSkillByName(t *testing.T) {
+	for _, name := range SkillNames() {
+		p, err := SkillByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Name != name {
+			t.Errorf("%s resolved to %q", name, p.Name)
+		}
+	}
+	if p, err := SkillByName(""); err != nil || !p.IsZero() {
+		t.Errorf("empty skill: %+v, %v", p, err)
+	}
+	if _, err := SkillByName("wizard"); err == nil {
+		t.Error("unknown skill accepted")
+	}
+}
+
+// TestSkillExpertIsIdentity pins the no-drift guarantee: the zero profile
+// must hand the controller's input through untouched.
+func TestSkillExpertIsIdentity(t *testing.T) {
+	in := fom.ControlInput{Steering: 0.4, Throttle: 0.8, BoomJoyX: -0.7, HoistJoyY: 0.3, Ignition: true}
+	var st skillState
+	if got := (SkillProfile{}).apply(in, 1.0/60, &st); got != in {
+		t.Fatalf("zero profile changed the input: %+v vs %+v", got, in)
+	}
+}
+
+// TestSkillLagSmoothsAxes pins the reaction-lag model: a step command is
+// approached gradually, never exceeded.
+func TestSkillLagSmoothsAxes(t *testing.T) {
+	p := SkillProfile{ReactionLag: 0.5}
+	var st skillState
+	in := fom.ControlInput{BoomJoyX: 1}
+	first := p.apply(in, 1.0/60, &st)
+	if first.BoomJoyX <= 0 || first.BoomJoyX >= 1 {
+		t.Fatalf("first lagged step = %v, want within (0,1)", first.BoomJoyX)
+	}
+	prev := first.BoomJoyX
+	for i := 0; i < 120; i++ {
+		out := p.apply(in, 1.0/60, &st)
+		if out.BoomJoyX < prev-1e-12 || out.BoomJoyX > 1 {
+			t.Fatalf("lagged axis left [prev,1]: %v after %v", out.BoomJoyX, prev)
+		}
+		prev = out.BoomJoyX
+	}
+	if prev < 0.9 {
+		t.Errorf("axis only reached %v after 2 s of lag 0.5 s", prev)
+	}
+}
+
+// TestSkillSpreadOnClassicExam runs the skill ladder over the classic
+// exam: every preset must complete, and the sloppier hands must not beat
+// the expert — the realistic-score-spread property the sweeps rely on.
+func TestSkillSpreadOnClassicExam(t *testing.T) {
+	spec := scenario.Classic()
+	var scores []float64
+	for _, sk := range []SkillProfile{SkillExpert(), SkillIntermediate(), SkillNovice()} {
+		res, err := RunSkill(context.Background(), spec, 1200, sk)
+		if err != nil {
+			t.Fatalf("%s: %v", sk.Name, err)
+		}
+		if res.State.Phase != fom.PhaseComplete {
+			t.Fatalf("%s: phase %v score %.1f (%s)", sk.Name, res.State.Phase, res.State.Score, res.State.Message)
+		}
+		t.Logf("%-12s score %.1f alarms %d in %.1f sim-seconds", sk.Name, res.State.Score, res.Alarms, res.SimTime)
+		scores = append(scores, res.State.Score)
+	}
+	if scores[1] > scores[0] || scores[2] > scores[0] {
+		t.Errorf("sloppy hands beat the expert: %v", scores)
+	}
+	if scores[2] >= scores[0] {
+		t.Errorf("novice matched the expert exactly (%v) — no spread for sweeps", scores)
+	}
+}

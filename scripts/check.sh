@@ -26,7 +26,7 @@ echo "== bench smoke (1 iteration) =="
 go test -bench . -benchtime 1x -run '^$' ./...
 
 echo "== dist smoke (coordinator + workers, MemLAN) =="
-go test -run 'TestCoordinatorWorkersMemLAN|TestRedispatchOnWorkerDeath' -count=1 ./internal/dist
+go test -run 'TestCoordinatorWorkersMemLAN|TestRedispatchOnWorkerDeath|TestMemLANTandemSweep' -count=1 ./internal/dist
 
 out=$(mktemp -d)
 w1=; w2=
@@ -39,10 +39,15 @@ cleanup() {
 }
 trap cleanup EXIT
 
-echo "== batch smoke (headless sweep, JSONL report) =="
+echo "== batch smoke (headless sweep incl. multi-crane, JSONL report) =="
 go build -o "$out/codbatch" ./cmd/codbatch
 "$out/codbatch" -headless -strict -out "$out/results.jsonl" >"$out/report.txt"
 tail -n 3 "$out/report.txt"
+
+echo "== tandem-lift smoke (two cranes, headless + skill spread) =="
+"$out/codbatch" -headless -strict -scenarios tandem-beam,twin-yard >"$out/tandem.txt"
+"$out/codbatch" -headless -strict -skill novice -scenarios tandem-beam,twin-yard >>"$out/tandem.txt"
+tail -n 2 "$out/tandem.txt"
 
 echo "== dist CLI smoke (codbatch coordinator + 2 worker processes, UDPLAN loopback) =="
 "$out/codbatch" -serve -lan 127.0.0.1:47901 -name smoke1 -headless >"$out/w1.log" 2>&1 &
@@ -52,7 +57,7 @@ w2=$!
 # timeout: if a worker failed at startup (port clash with a stray run),
 # the coordinator would otherwise wait for its heartbeat forever.
 timeout 120 "$out/codbatch" -coordinator smoke1,smoke2 -lan 127.0.0.1:47901 \
-    -scenarios classic-exam,blind-lift -repeat 2 -headless -strict \
+    -scenarios classic-exam,blind-lift,tandem-beam,twin-yard -repeat 2 -headless -strict \
     -out "$out/dist-results.jsonl" >"$out/dist-report.txt"
 tail -n 3 "$out/dist-report.txt"
 
