@@ -224,6 +224,61 @@ func BenchmarkCBRoutingRemote(b *testing.B) {
 	}
 }
 
+// BenchmarkCBRoutingLatestValue is the conflating delivery path: one op =
+// one UPDATE through a remote latest-value channel with a consuming
+// subscriber — the 60 Hz state-channel configuration of the simulator.
+func BenchmarkCBRoutingLatestValue(b *testing.B) {
+	benchRemoteDelivery(b, cb.WithQueue(1024), cb.WithLatestValue())
+}
+
+// BenchmarkCBRoutingReliable is the credit-windowed delivery path: one op
+// = one UPDATE through a remote reliable channel with a consuming
+// subscriber, including the amortized credit-grant traffic flowing back.
+func BenchmarkCBRoutingReliable(b *testing.B) {
+	benchRemoteDelivery(b, cb.WithReliable(1024))
+}
+
+// benchRemoteDelivery measures one UPDATE over a cross-node virtual
+// channel under the given subscription options, consuming as it goes.
+func benchRemoteDelivery(b *testing.B, opts ...cb.SubscribeOption) {
+	lan := transport.NewMemLAN()
+	pubNode, err := cb.New(lan, "pub-pc", benchCB())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pubNode.Close()
+	subNode, err := cb.New(lan, "sub-pc", benchCB())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer subNode.Close()
+	pub, err := pubNode.PublishObjectClass("p", "State")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sub, err := subNode.SubscribeObjectClass("s", "State", opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !sub.WaitMatched(5 * time.Second) {
+		b.Fatal("channel never established")
+	}
+	if !pub.WaitChannels(1, 5*time.Second) {
+		b.Fatal("publisher never linked")
+	}
+	attrs := fom.CraneState{Stability: 1}.Encode()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pub.Update(float64(i), attrs); err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := sub.Next(5 * time.Second); !ok {
+			b.Fatal("reflection lost")
+		}
+	}
+}
+
 // --- EXP-3: initialization protocol (§2.3) ------------------------------
 
 // BenchmarkChannelSetup measures the full initialization handshake: one op

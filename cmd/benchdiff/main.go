@@ -1,0 +1,166 @@
+// Command benchdiff compares a `go test -bench` run against the repo's
+// BENCH_baseline.json and reports allocation regressions. It is warn-only
+// by design — ns/op on shared CI runners is noise, and even allocs/op can
+// shift with the Go release — so it always exits 0; the value is the
+// printed table in the CI log, which turns "the CB hot path gained three
+// allocations" from an archaeology project into a one-line diff.
+//
+//	go test -bench . -benchtime 1x -run '^$' . > bench.txt
+//	go run ./cmd/benchdiff BENCH_baseline.json bench.txt
+//
+// Only benchmarks present in both inputs are compared; allocs/op is the
+// stable signal, bytes/op is shown for context.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// baseline mirrors BENCH_baseline.json.
+type baseline struct {
+	Description string           `json:"description"`
+	Benchmarks  []baselineResult `json:"benchmarks"`
+}
+
+type baselineResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	HasAllocs   bool    `json:"-"`
+}
+
+// UnmarshalJSON remembers whether allocs_per_op was present: entries
+// recorded without -benchmem report nothing to compare against.
+func (r *baselineResult) UnmarshalJSON(b []byte) error {
+	type plain baselineResult
+	if err := json.Unmarshal(b, (*plain)(r)); err != nil {
+		return err
+	}
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(b, &probe); err != nil {
+		return err
+	}
+	_, r.HasAllocs = probe["allocs_per_op"]
+	return nil
+}
+
+// benchLine matches one result line of `go test -bench` output, e.g.
+// "BenchmarkCBRoutingRemote-4  10  13658 ns/op  3212 B/op  45 allocs/op".
+// The name is kept verbatim: a trailing "-N" is ambiguous between the
+// GOMAXPROCS suffix (absent at GOMAXPROCS=1, the baseline's recording
+// condition) and a sub-benchmark case like "/polys-800", so suffix
+// stripping happens at lookup time (see lookup), never at parse time.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+)\s+\d+\s+([\d.]+) ns/op(?:\s+[\d.]+ fps)?(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+type runResult struct {
+	ns     float64
+	bytes  float64
+	allocs int64
+	hasAll bool
+}
+
+func parseRun(path string) (map[string]runResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]runResult)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		r := runResult{}
+		r.ns, _ = strconv.ParseFloat(m[2], 64)
+		if m[3] != "" {
+			r.bytes, _ = strconv.ParseFloat(m[3], 64)
+		}
+		if m[4] != "" {
+			r.allocs, _ = strconv.ParseInt(m[4], 10, 64)
+			r.hasAll = true
+		}
+		out[m[1]] = r
+	}
+	return out, sc.Err()
+}
+
+// procSuffix matches the "-GOMAXPROCS" tail go test appends to benchmark
+// names when GOMAXPROCS > 1.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// lookup resolves a baseline benchmark name in a run: exact first (the
+// GOMAXPROCS=1 form the baseline records), then with one "-N" proc
+// suffix appended — the only stripping that is unambiguous, because the
+// baseline name anchors where the real name ends.
+func lookup(run map[string]runResult, name string) (runResult, bool) {
+	if r, ok := run[name]; ok {
+		return r, true
+	}
+	for k, r := range run {
+		if strings.HasPrefix(k, name+"-") && procSuffix.MatchString(k) && procSuffix.ReplaceAllString(k, "") == name {
+			return r, true
+		}
+	}
+	return runResult{}, false
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff BENCH_baseline.json bench-output.txt")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff: baseline:", err)
+		os.Exit(2)
+	}
+	run, err := parseRun(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	warned := 0
+	compared := 0
+	fmt.Printf("%-40s %14s %14s  %s\n", "BENCHMARK", "ALLOCS/OP", "BASELINE", "VERDICT")
+	for _, b := range base.Benchmarks {
+		cur, ok := lookup(run, b.Name)
+		if !ok || !b.HasAllocs || !cur.hasAll {
+			continue
+		}
+		compared++
+		verdict := "ok"
+		switch {
+		case cur.allocs > b.AllocsPerOp:
+			verdict = fmt.Sprintf("WARN +%d allocs/op (bytes %0.f→%0.f)",
+				cur.allocs-b.AllocsPerOp, b.BytesPerOp, cur.bytes)
+			warned++
+		case cur.allocs < b.AllocsPerOp:
+			verdict = fmt.Sprintf("improved −%d allocs/op", b.AllocsPerOp-cur.allocs)
+		}
+		fmt.Printf("%-40s %14d %14d  %s\n", b.Name, cur.allocs, b.AllocsPerOp, verdict)
+	}
+	switch {
+	case compared == 0:
+		fmt.Println("benchdiff: no comparable benchmarks (run with -benchmem or b.ReportAllocs)")
+	case warned > 0:
+		fmt.Printf("benchdiff: %d of %d benchmarks allocate more than the baseline (warn-only)\n", warned, compared)
+	default:
+		fmt.Printf("benchdiff: %d benchmarks at or below the allocation baseline\n", compared)
+	}
+}

@@ -7,6 +7,7 @@
 //
 //	codbatch [-scenarios all|name,...] [-specs dir] [-repeat N] [-headless]
 //	         [-parallel N] [-timescale 15] [-timeout 3m] [-strict]
+//	         [-skill novice] [-jitter 0.3]
 //	         [-out results.jsonl] [-compare old.jsonl]
 //
 // Distributed batch: start one worker per host, then one coordinator that
@@ -70,6 +71,7 @@ func run() error {
 		lanAddr   = flag.String("lan", "127.0.0.1:47700", "UDPLAN segment (host:basePort) for -serve/-coordinator")
 		name      = flag.String("name", "", "worker name on the segment (default worker-<pid>)")
 		skillName = flag.String("skill", "", `autopilot skill preset (expert, intermediate, novice; "" = expert)`)
+		jitter    = flag.Float64("jitter", 0, "per-run skill jitter spread (0..1): each run scales the preset's lag/overshoot/slack by a factor in [1-j, 1+j] drawn from its job seed")
 		trendDir  = flag.String("trend", "", "report pass-rate/p50-score trends across every *.jsonl sweep in this directory and exit")
 	)
 	flag.Parse()
@@ -87,6 +89,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if *jitter < 0 || *jitter > 1 {
+		return fmt.Errorf("-jitter %v out of range [0, 1]", *jitter)
+	}
+	skill.Jitter = *jitter
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -143,8 +149,12 @@ func runLocal(ctx context.Context, selection []scenario.Spec, repeat int,
 	batch sim.BatchConfig, outPath, compare string, strict bool) error {
 	jobs := dist.JobsFor(selection, repeat)
 	specs := make([]scenario.Spec, len(jobs))
+	batch.Seeds = make([]int64, len(jobs))
 	for i, j := range jobs {
 		specs[i] = j.Spec
+		// The same derivation a dist worker uses, so local and sharded
+		// sweeps of one job fly the same jittered trainee.
+		batch.Seeds[i] = j.SkillSeed()
 	}
 
 	start := time.Now()

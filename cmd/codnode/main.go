@@ -52,11 +52,13 @@ func main() {
 
 func run() error {
 	var (
-		name = flag.String("name", "", "unique node name (required)")
-		role = flag.String("role", "sub", "pub | sub")
-		hz   = flag.Float64("hz", 60, "publish rate (pub role)")
-		base = flag.Int("base", 39800, "UDP segment base port")
-		size = flag.Int("size", 16, "UDP segment size (number of computer slots)")
+		name   = flag.String("name", "", "unique node name (required)")
+		role   = flag.String("role", "sub", "pub | sub")
+		hz     = flag.Float64("hz", 60, "publish rate (pub role)")
+		base   = flag.Int("base", 39800, "UDP segment base port")
+		size   = flag.Int("size", 16, "UDP segment size (number of computer slots)")
+		policy = flag.String("policy", "latest", "subscriber delivery policy: latest | reliable | drop-oldest (sub role)")
+		window = flag.Int("window", 0, "reliable credit window (0 = backbone default; sub role with -policy reliable)")
 	)
 	flag.Parse()
 	if *name == "" {
@@ -76,7 +78,18 @@ func run() error {
 	case "pub":
 		return runPublisher(ctx, node, *hz)
 	case "sub":
-		return runSubscriber(ctx, node)
+		var opt cod.SubOption
+		switch *policy {
+		case "latest":
+			opt = cod.LatestValue()
+		case "reliable":
+			opt = cod.Reliable(*window)
+		case "drop-oldest":
+			opt = cod.DropOldest()
+		default:
+			return fmt.Errorf("unknown -policy %q (latest | reliable | drop-oldest)", *policy)
+		}
+		return runSubscriber(ctx, node, opt)
 	default:
 		return fmt.Errorf("unknown role %q", *role)
 	}
@@ -127,8 +140,8 @@ func runPublisher(ctx context.Context, node *cod.Node, hz float64) error {
 	}
 }
 
-func runSubscriber(ctx context.Context, node *cod.Node) error {
-	sub, err := cod.Subscribe[CraneState](node, "visual", className, cod.WithQueue(256))
+func runSubscriber(ctx context.Context, node *cod.Node, policy cod.SubOption) error {
+	sub, err := cod.Subscribe[CraneState](node, "visual", className, cod.WithQueue(256), policy)
 	if err != nil {
 		return err
 	}
@@ -166,9 +179,30 @@ func runSubscriber(ctx context.Context, node *cod.Node) error {
 			return nil
 		case <-report.C:
 			total := received.Load()
-			fmt.Printf("  matched=%v rate=%d msg/s total=%d\n",
-				sub.Matched(), total-lastCount, total)
+			fmt.Printf("  matched=%v rate=%d msg/s total=%d%s\n",
+				sub.Matched(), total-lastCount, total, lossReport(node))
 			lastCount = total
 		}
 	}
+}
+
+// lossReport names the lossy channels of the node's subscriptions from
+// the per-channel drop/conflation tallies in the backbone tables.
+func lossReport(node *cod.Node) string {
+	_, subs := node.Tables()
+	out := ""
+	for _, row := range subs {
+		if row.Dropped == 0 && row.Conflated == 0 {
+			continue
+		}
+		out += fmt.Sprintf(" %s[%s]", row.Class, row.Policy)
+		for _, ch := range row.ByChannel {
+			if ch.Dropped == 0 && ch.Conflated == 0 {
+				continue
+			}
+			out += fmt.Sprintf(" ch%d(%s): dropped=%d conflated=%d",
+				ch.Channel, ch.Peer, ch.Dropped, ch.Conflated)
+		}
+	}
+	return out
 }

@@ -289,3 +289,76 @@ func TestLatestConflation(t *testing.T) {
 		t.Fatalf("Latest kept frame %d, want 5 (conflation)", r.Value.Frame)
 	}
 }
+
+// TestReliableWindowSDK pins the SDK backpressure surface: a Reliable
+// subscriber's exhausted window surfaces as ErrWindowFull on Update,
+// UpdateContext blocks until the subscriber consumes, and nothing is
+// lost across the stall.
+func TestReliableWindowSDK(t *testing.T) {
+	fed := cod.NewFederation()
+	defer fed.Close()
+	pubPC, err := fed.Node("pub-pc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	subPC, err := fed.Node("sub-pc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := cod.Publish[craneState](pubPC, "dynamics", "Cmd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := cod.Subscribe[craneState](subPC, "worker", "Cmd", cod.Reliable(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.WaitMatched(ctxLong(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.WaitChannels(ctxLong(t), 1); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := pub.Update(1, craneState{Frame: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Update(2, craneState{Frame: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Window of 2 exhausted against the stalled subscriber.
+	var stallErr error
+	for deadline := time.Now().Add(waitLong); time.Now().Before(deadline); {
+		stallErr = pub.Update(3, craneState{Frame: 3})
+		if stallErr != nil {
+			break
+		}
+	}
+	if !errors.Is(stallErr, cod.ErrWindowFull) {
+		t.Fatalf("stalled Update err = %v, want ErrWindowFull", stallErr)
+	}
+
+	// The blocking form parks until the subscriber consumes.
+	unblocked := make(chan error, 1)
+	go func() { unblocked <- pub.UpdateContext(ctxLong(t), 3, craneState{Frame: 3}) }()
+	select {
+	case err := <-unblocked:
+		t.Fatalf("UpdateContext returned %v before consumption", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	for i := 1; i <= 2; i++ {
+		r, err := sub.Next(ctxLong(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Value.Frame != i {
+			t.Fatalf("frame %d arrived as %d", i, r.Value.Frame)
+		}
+	}
+	if err := <-unblocked; err != nil {
+		t.Fatalf("release err = %v", err)
+	}
+	if r, err := sub.Next(ctxLong(t)); err != nil || r.Value.Frame != 3 {
+		t.Fatalf("frame 3: %v %v", r.Value.Frame, err)
+	}
+}

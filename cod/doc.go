@@ -61,6 +61,38 @@
 // promised across channels, across different publishers of a class, or
 // between classes.
 //
+// # Delivery policies
+//
+// Every subscription declares what saturation does. The subscriber
+// states its policy in the channel handshake; the publisher's backbone
+// enforces it:
+//
+//   - LatestValue (the SDK default): a full mailbox coalesces to the
+//     newest reflection per virtual channel, counted as conflations.
+//     The contract for periodic state — a stalled consumer costs bounded
+//     memory and resumes on the freshest sample from every publisher.
+//     The simulator's CraneState, MotionCue, ScenarioState and
+//     ControlInput channels run this way.
+//   - Reliable(window): nothing is dropped. Each publisher may have at
+//     most window unconsumed updates in flight to the subscriber; past
+//     that Update reports ErrWindowFull and UpdateContext blocks until
+//     the subscriber consumes (credits flow back as its mailbox drains,
+//     carried on link heartbeats — a frame legacy builds accept — so a
+//     lost grant costs one beat at most). Saturation propagates to the
+//     producer instead of the kernel's socket buffer. Instructor
+//     commands and the whole dist dispatch protocol (jobs, claims,
+//     grants, results, acks) run this way; dist heartbeats stay
+//     LatestValue — newest beat per worker.
+//   - DropOldest: the legacy contract — a full mailbox silently drops
+//     its oldest reflection.
+//
+// Legacy rule: a handshake carrying no policy attribute (every
+// pre-policy peer) yields DropOldest on both sides, so old recordings
+// and mixed-version federations keep their original semantics — the
+// same convention as the absent-CraneID rule below. Node.Tables exposes
+// per-channel drop and conflation counts, so a lossy channel is named
+// rather than inferred from backbone totals.
+//
 // # Multiple publishers per class
 //
 // Several LPs may publish the same object class — the simulator's

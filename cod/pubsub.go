@@ -21,19 +21,49 @@ var (
 	// ErrHandleClosed re-exports the registration-handle closed error,
 	// returned by Sub.Next when the subscription is closed mid-wait.
 	ErrHandleClosed = cb.ErrHandleClosed
+	// ErrWindowFull re-exports the backbone's credit-exhaustion error: an
+	// Update found a Reliable subscriber's send window full, so that
+	// subscriber got nothing. Retry after it consumes, or use
+	// UpdateContext to block for credits.
+	ErrWindowFull = cb.ErrWindowFull
 )
 
 // SubOption configures a subscription; the SDK re-exports the backbone's
 // delivery modes under the same names.
 type SubOption = cb.SubscribeOption
 
-// WithQueue sets the mailbox depth; the oldest reflection is dropped on
-// overflow. Use for event classes where every message matters.
+// WithQueue sets the mailbox depth. What happens on overflow is the
+// subscription's delivery policy: LatestValue (the SDK default) conflates
+// to the newest reflection per channel, Reliable never overflows (the
+// publisher stalls first), DropOldest discards the oldest.
 func WithQueue(depth int) SubOption { return cb.WithQueue(depth) }
 
-// WithConflation keeps only the newest reflection — the natural mode for
-// state classes sampled by a display loop.
+// WithConflation keeps only the newest reflection (a depth-1 LatestValue
+// mailbox) — the natural mode for single-publisher state classes sampled
+// by a display loop. With several publishers of the class prefer
+// LatestValue with a queue of at least the publisher count.
 func WithConflation() SubOption { return cb.WithConflation() }
+
+// LatestValue selects the conflating delivery policy, the SDK default: a
+// full mailbox coalesces to the newest reflection per virtual channel.
+// Right for periodic state (60 Hz crane state, motion cues) — memory
+// stays bounded under a stalled consumer, which resumes on the freshest
+// sample from every publisher.
+func LatestValue() SubOption { return cb.WithLatestValue() }
+
+// Reliable selects the credit-windowed delivery policy: nothing is ever
+// dropped. Each publisher may have at most window unconsumed updates in
+// flight to this subscription; past that its Update reports ErrWindowFull
+// (or UpdateContext blocks) until this subscriber consumes — saturation
+// propagates to the producer instead of the kernel buffer. window <= 0
+// uses the backbone default (64). Right for must-not-lose traffic:
+// instructor commands, exam results, batch jobs.
+func Reliable(window int) SubOption { return cb.WithReliable(window) }
+
+// DropOldest selects the legacy policy: a full mailbox silently drops its
+// oldest reflection. This is what policy-less legacy peers get; new code
+// should prefer LatestValue or Reliable.
+func DropOldest() SubOption { return cb.WithDropOldest() }
 
 // Reflection is one delivered update, decoded into the subscriber's type:
 // the typed view of REFLECT ATTRIBUTE VALUE.
@@ -77,9 +107,27 @@ func Publish[T any](node *Node, lp, class string) (*Pub[T], error) {
 // ATTRIBUTE VALUE) at simulation time simTime. When the class currently
 // has no channels the call still succeeds at the backbone but reports
 // ErrNoSubscribers, so callers choose between fire-and-forget
-// (errors.Is-ignore) and must-be-heard semantics.
+// (errors.Is-ignore) and must-be-heard semantics. A Reliable subscriber
+// whose credit window is exhausted is skipped with ErrWindowFull; see
+// UpdateContext for the blocking form.
 func (p *Pub[T]) Update(simTime float64, v T) error {
 	routed, err := p.pub.UpdateRouted(simTime, p.codec.encode(reflect.ValueOf(v)))
+	if err != nil {
+		return err
+	}
+	if routed == 0 {
+		return ErrNoSubscribers
+	}
+	return nil
+}
+
+// UpdateContext is Update that blocks while any Reliable subscriber's
+// credit window is exhausted, resuming as credits are granted; ctx bounds
+// the stall (ctx.Err() on cancellation). This is the publish side of the
+// backpressure contract: a saturated subscriber slows the producer down
+// instead of losing data.
+func (p *Pub[T]) UpdateContext(ctx context.Context, simTime float64, v T) error {
+	routed, err := p.pub.UpdateRoutedContext(ctx, simTime, p.codec.encode(reflect.ValueOf(v)))
 	if err != nil {
 		return err
 	}
@@ -122,11 +170,20 @@ type Sub[T any] struct {
 // until a publisher is found and keeps refreshing afterwards, so late
 // publishers still match (dynamic join). It fails fast when T has a field
 // the codec cannot map.
+//
+// The default delivery policy at this layer is LatestValue — typed state
+// subscribers want the newest value, and an SDK consumer that stalls
+// should cost memory-bounded conflation, not unbounded growth or blind
+// drops. Pass Reliable(window) for must-not-lose classes, or DropOldest
+// for the backbone's legacy contract.
 func Subscribe[T any](node *Node, lp, class string, opts ...SubOption) (*Sub[T], error) {
 	c, err := codecFor(reflect.TypeFor[T]())
 	if err != nil {
 		return nil, err
 	}
+	// The SDK default leads; an explicit policy option among opts lands
+	// later in the slice and overrides it.
+	opts = append([]SubOption{cb.WithLatestValue()}, opts...)
 	s, err := node.bb.SubscribeObjectClass(lp, class, opts...)
 	if err != nil {
 		return nil, err

@@ -47,6 +47,11 @@ var (
 	ErrUnknownClass = errors.New("cb: class name must not be empty")
 	ErrUnknownLP    = errors.New("cb: LP name must not be empty")
 	ErrHandleClosed = errors.New("cb: registration handle closed")
+	// ErrWindowFull reports an Update that found at least one reliable
+	// channel's credit window exhausted: that subscriber got nothing
+	// (every other channel was delivered to), and retrying before it
+	// consumes will fail the same way. UpdateContext blocks instead.
+	ErrWindowFull = errors.New("cb: reliable send window full")
 )
 
 // Config tunes the protocol timers. The zero value is replaced by defaults.
@@ -107,8 +112,19 @@ type Stats struct {
 	UpdatesSent metrics.Counter
 	// ReflectsDelivered counts reflections delivered to local LPs.
 	ReflectsDelivered metrics.Counter
-	// MailboxDropped counts reflections dropped at full mailboxes.
+	// MailboxDropped counts reflections dropped at full drop-oldest
+	// mailboxes (per-channel attribution is in Backbone.Tables).
 	MailboxDropped metrics.Counter
+	// Conflations counts latest-value coalescings: a newer reflection
+	// replaced a buffered one of the same channel at a full mailbox.
+	Conflations metrics.Counter
+	// CreditStalls counts sends that found a reliable channel's credit
+	// window exhausted (the publisher blocked or got ErrWindowFull).
+	CreditStalls metrics.Counter
+	// CreditsGranted counts credit grants issued by local subscribers
+	// (immediate CREDIT frames and local fast-path grants; heartbeat
+	// piggybacks are not counted).
+	CreditsGranted metrics.Counter
 	// LinksDown counts peer links declared dead.
 	LinksDown metrics.Counter
 	// EstablishLatency records registration→first-channel latency per
@@ -129,6 +145,7 @@ type Backbone struct {
 	subs      map[classLP]*Subscription
 	outs      map[string][]*outChannel // class → established out channels
 	outKeys   map[chanKey]*outChannel  // dedup of pub-side channels
+	outByChan map[linkChan]*outChannel // credit routing: (link, id) → channel
 	inSubKeys map[chanKey]uint32       // dedup of sub-side channels
 	ins       map[uint32]*inChannel    // channel ID → subscriber binding
 	peers     map[string]*peerLink     // remote node → named link
@@ -157,6 +174,17 @@ type chanKey struct {
 	class string
 }
 
+// linkChan addresses a publisher-side channel by the link it rides and the
+// subscriber-assigned ID — the coordinates a CREDIT frame carries. Channel
+// IDs are assigned per subscriber backbone, so two subscribers can pick
+// the same ID; the link disambiguates. Local fast-path channels use a nil
+// link (local IDs come from this backbone's own counter, so they are
+// unique among themselves).
+type linkChan struct {
+	link *peerLink
+	id   uint32
+}
+
 // New attaches a backbone to the LAN under the given node name.
 func New(lan transport.LAN, node string, cfg Config) (*Backbone, error) {
 	ifc, err := lan.Attach(node)
@@ -171,6 +199,7 @@ func New(lan transport.LAN, node string, cfg Config) (*Backbone, error) {
 		subs:      make(map[classLP]*Subscription),
 		outs:      make(map[string][]*outChannel),
 		outKeys:   make(map[chanKey]*outChannel),
+		outByChan: make(map[linkChan]*outChannel),
 		inSubKeys: make(map[chanKey]uint32),
 		ins:       make(map[uint32]*inChannel),
 		peers:     make(map[string]*peerLink),
@@ -217,6 +246,13 @@ func (b *Backbone) Close() error {
 	for _, s := range b.subs {
 		subs = append(subs, s)
 	}
+	// Release publishers stalled on reliable windows: their channels will
+	// never be consumed from again.
+	for _, chans := range b.outs {
+		for _, oc := range chans {
+			oc.release()
+		}
+	}
 	b.mu.Unlock()
 
 	bye := wire.Frame{Kind: wire.KindBye, Node: b.node}
@@ -234,30 +270,77 @@ func (b *Backbone) Close() error {
 }
 
 // TableEntry describes one row of the Publication or Subscription table,
-// for introspection (the instructor monitor and the tests use this).
+// for introspection (the instructor monitor, cmd/codnode and the tests
+// use this).
 type TableEntry struct {
 	LP       string
 	Class    string
 	Channels int
+	// Policy is the subscription's delivery policy (subscription rows
+	// only; publisher rows leave it empty — each of their channels
+	// carries the policy its subscriber declared).
+	Policy string
+	// Dropped and Conflated total this subscription's mailbox losses;
+	// ByChannel breaks them down per virtual channel so the lossy
+	// publisher can be named. Subscription rows only.
+	Dropped   uint64
+	Conflated uint64
+	ByChannel []ChannelTally
+	// Stalls counts credit-window stall episodes across the class's out
+	// channels (publisher rows only): how often a send found a reliable
+	// subscriber's window exhausted.
+	Stalls uint64
 }
 
 // Tables returns snapshots of the Publication and Subscription tables.
 func (b *Backbone) Tables() (pubs, subs []TableEntry) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	peerOf := make(map[uint32]string) // channel ID → publishing node
+	for id, ic := range b.ins {
+		peerOf[id] = ic.key.peer
+	}
+	type subRow struct {
+		entry TableEntry
+		s     *Subscription
+	}
+	var subRows []subRow
+	for key, s := range b.subs {
+		subRows = append(subRows, subRow{
+			entry: TableEntry{
+				LP:       key.lp,
+				Class:    key.class,
+				Channels: len(s.channels),
+				Policy:   s.policy.String(),
+			},
+			s: s,
+		})
+	}
 	for key := range b.pubs {
-		pubs = append(pubs, TableEntry{
+		e := TableEntry{
 			LP:       key.lp,
 			Class:    key.class,
 			Channels: len(b.outs[key.class]),
-		})
+		}
+		for _, oc := range b.outs[key.class] {
+			oc.credMu.Lock()
+			e.Stalls += oc.stalls
+			oc.credMu.Unlock()
+		}
+		pubs = append(pubs, e)
 	}
-	for key, s := range b.subs {
-		subs = append(subs, TableEntry{
-			LP:       key.lp,
-			Class:    key.class,
-			Channels: len(s.channels),
-		})
+	b.mu.Unlock()
+
+	// Mailbox tallies are read outside b.mu: the mailbox has its own lock
+	// and push runs without b.mu held.
+	for _, row := range subRows {
+		e := row.entry
+		e.ByChannel = row.s.mbox.channelTallies()
+		for i := range e.ByChannel {
+			e.ByChannel[i].Peer = peerOf[e.ByChannel[i].Channel]
+			e.Dropped += e.ByChannel[i].Dropped
+			e.Conflated += e.ByChannel[i].Conflated
+		}
+		subs = append(subs, e)
 	}
 	return pubs, subs
 }
@@ -350,21 +433,74 @@ func (b *Backbone) broadcastPending(now time.Time) {
 }
 
 // heartbeat beacons every link and reaps dead ones — including pending
-// links whose peer never spoke.
+// links whose peer never spoke. Each beacon piggybacks the cumulative
+// consumption counts of the link's reliable in-channels, so a lost CREDIT
+// frame stalls a publisher for at most one heartbeat period.
 func (b *Backbone) heartbeat(now time.Time) {
 	b.mu.Lock()
 	links := make([]*peerLink, 0, len(b.links))
 	for l := range b.links {
 		links = append(links, l)
 	}
+	credits := make(map[*peerLink][]int64)
+	for id, ic := range b.ins {
+		if ic.link == nil || ic.sub == nil || ic.sub.policy != wire.PolicyReliable {
+			continue
+		}
+		credits[ic.link] = append(credits[ic.link], int64(id), int64(ic.sub.mbox.consumedCount(id)))
+	}
 	b.mu.Unlock()
 
-	hb := wire.Frame{Kind: wire.KindHeartbeat, Node: b.node}
 	for _, l := range links {
 		if now.Sub(l.lastRecvTime()) > b.cfg.HeartbeatTimeout {
 			b.linkDown(l)
 			continue
 		}
+		hb := wire.Frame{Kind: wire.KindHeartbeat, Node: b.node}
+		if pairs := credits[l]; len(pairs) > 0 {
+			hb.Attrs = wire.AttrSet{}
+			hb.Attrs.PutInt64s(wire.AttrCreditCounts, pairs)
+		}
 		_ = l.send(hb)
 	}
+}
+
+// sendGrant pushes one cumulative credit grant for a reliable
+// subscription's channel id back to its publisher — directly for local
+// fast-path channels, as a credit-bearing HEARTBEAT frame for remote
+// ones (legacy-safe: old builds accept the frame and ignore the
+// attribute). Called once per grant batch (Subscription.grantEvery); the
+// periodic heartbeat piggyback covers the remainder.
+func (b *Backbone) sendGrant(s *Subscription, id, cum uint32) {
+	b.mu.Lock()
+	ic := s.channels[id]
+	if ic == nil {
+		b.mu.Unlock()
+		// Channel torn down (its publisher was already released); the
+		// drain that got us here resurrected the mailbox's credit entry,
+		// so drop it again.
+		s.mbox.forgetChannel(id)
+		return
+	}
+	link := ic.link
+	var local *outChannel
+	if link == nil {
+		local = b.outByChan[linkChan{id: id}]
+	}
+	b.mu.Unlock()
+
+	if link == nil {
+		if local != nil {
+			local.setConsumed(cum)
+			b.stats.CreditsGranted.Inc()
+		}
+		return
+	}
+	grant := wire.Frame{Kind: wire.KindHeartbeat, Node: b.node, Attrs: wire.AttrSet{}}
+	grant.Attrs.PutInt64s(wire.AttrCreditCounts, []int64{int64(id), int64(cum)})
+	if err := link.send(grant); err != nil {
+		b.linkDown(link)
+		return
+	}
+	b.stats.CreditsGranted.Inc()
 }

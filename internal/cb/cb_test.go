@@ -346,8 +346,16 @@ func TestConflation(t *testing.T) {
 	if got := sub.Pending(); got != 0 {
 		t.Errorf("pending after Latest = %d", got)
 	}
-	if b.Stats().MailboxDropped.Value() == 0 {
-		t.Error("conflation should count drops")
+	if b.Stats().Conflations.Value() == 0 {
+		t.Error("conflation should count Conflations")
+	}
+	if b.Stats().MailboxDropped.Value() != 0 {
+		t.Error("latest-value coalescing must not count as drops")
+	}
+	// The per-channel tally names the conflated channel.
+	_, subs := b.Tables()
+	if len(subs) != 1 || subs[0].Conflated == 0 || subs[0].Policy != "latest-value" {
+		t.Errorf("Tables() sub row = %+v, want conflated latest-value row", subs)
 	}
 }
 

@@ -69,7 +69,15 @@ func (b *Backbone) handleFrame(l *peerLink, f wire.Frame) {
 	case wire.KindUpdateAttrs, wire.KindNull:
 		b.handleUpdate(f)
 	case wire.KindHeartbeat:
-		// lastRecv already refreshed by readLoop; nothing else to do.
+		// lastRecv already refreshed by readLoop; apply any credit counts
+		// for reliable channels riding this link (immediate grants and the
+		// periodic piggyback both arrive this way — heartbeats are the one
+		// frame every build accepts, so credits never churn a legacy link).
+		if pairs, ok := f.Attrs.Int64s(wire.AttrCreditCounts); ok {
+			for i := 0; i+1 < len(pairs); i += 2 {
+				b.applyCredit(l, uint32(pairs[i]), uint32(pairs[i+1]))
+			}
+		}
 	case wire.KindBye:
 		if f.Channel != 0 {
 			// Channel-scoped BYE: one registration withdrew (an LP
@@ -110,7 +118,7 @@ func (b *Backbone) handleSubAck(l *peerLink, f wire.Frame) {
 	}
 	b.nextChan++
 	id := b.nextChan
-	ic := &inChannel{id: id, key: key, link: l, sub: sub}
+	ic := newInChannel(id, key, l, sub)
 	b.ins[id] = ic
 	b.inSubKeys[key] = id
 	sub.channels[id] = ic
@@ -124,15 +132,37 @@ func (b *Backbone) handleSubAck(l *peerLink, f wire.Frame) {
 		Class:   f.Class,
 		Addr:    b.ifc.Addr(),
 	}
+	// The delivery policy rides the handshake as control attributes. A
+	// drop-oldest subscription sends none — exactly what a legacy peer
+	// sends — so policy-less handshakes keep today's semantics on both
+	// old and new publishers.
+	if sub.policy != wire.PolicyDropOldest {
+		conn.Attrs = wire.AttrSet{}
+		conn.Attrs.PutUint32(wire.AttrDeliveryPolicy, uint32(sub.policy))
+		if sub.policy == wire.PolicyReliable {
+			conn.Attrs.PutUint32(wire.AttrCreditWindow, sub.window)
+		}
+	}
 	if err := l.send(conn); err != nil {
 		b.linkDown(l)
 	}
 }
 
 // handleChannelConnect is the publisher side of step 3: record the new
-// out-channel and confirm with the second ACKNOWLEDGE.
+// out-channel — with the delivery policy the subscriber declared, or
+// legacy drop-oldest when the handshake carries no policy attribute — and
+// confirm with the second ACKNOWLEDGE.
 func (b *Backbone) handleChannelConnect(l *peerLink, f wire.Frame) {
 	key := chanKey{peer: f.Node, subLP: f.LP, class: f.Class}
+
+	policy := wire.PolicyDropOldest
+	if v, ok := f.Attrs.Uint32(wire.AttrDeliveryPolicy); ok && wire.Policy(v).Valid() {
+		policy = wire.Policy(v)
+	}
+	var window uint32
+	if v, ok := f.Attrs.Uint32(wire.AttrCreditWindow); ok {
+		window = v
+	}
 
 	b.mu.Lock()
 	if b.closed {
@@ -143,9 +173,10 @@ func (b *Backbone) handleChannelConnect(l *peerLink, f wire.Frame) {
 		b.mu.Unlock()
 		return
 	}
-	oc := &outChannel{class: f.Class, key: key, link: l, remoteChan: f.Channel}
+	oc := newOutChannel(f.Class, key, l, nil, f.Channel, policy, window)
 	b.outs[f.Class] = append(b.outs[f.Class], oc)
 	b.outKeys[key] = oc
+	b.outByChan[linkChan{link: l, id: f.Channel}] = oc
 	b.mu.Unlock()
 	b.stats.ChannelsUp.Inc()
 
@@ -201,6 +232,18 @@ func (b *Backbone) handleUpdate(f wire.Frame) {
 	b.deliver(ic.sub, r)
 }
 
+// applyCredit folds a cumulative consumption report — an immediate grant
+// or the periodic heartbeat piggyback — into the addressed out-channel's
+// window, waking any publisher stalled on it.
+func (b *Backbone) applyCredit(l *peerLink, id, cum uint32) {
+	b.mu.Lock()
+	oc := b.outByChan[linkChan{link: l, id: id}]
+	b.mu.Unlock()
+	if oc != nil {
+		oc.setConsumed(cum)
+	}
+}
+
 // dropChannel tears down one virtual channel identified by the
 // subscriber-assigned ID, on whichever side receives the scoped BYE.
 func (b *Backbone) dropChannel(l *peerLink, id uint32) {
@@ -211,7 +254,7 @@ func (b *Backbone) dropChannel(l *peerLink, id uint32) {
 		kept := chans[:0]
 		for _, oc := range chans {
 			if oc.link == l && oc.remoteChan == id {
-				delete(b.outKeys, oc.key)
+				b.removeOutLocked(oc)
 				continue
 			}
 			kept = append(kept, oc)
@@ -224,6 +267,7 @@ func (b *Backbone) dropChannel(l *peerLink, id uint32) {
 		delete(b.inSubKeys, ic.key)
 		if sub := ic.sub; sub != nil {
 			delete(sub.channels, id)
+			sub.mbox.forgetChannel(id)
 			sub.lastBroadcast = time.Time{} // due immediately
 		}
 	}

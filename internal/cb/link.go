@@ -151,12 +151,13 @@ func (b *Backbone) linkDown(l *peerLink) {
 	if node != "" && b.peers[node] == l {
 		delete(b.peers, node)
 	}
-	// Publisher side: drop out-channels using this link.
+	// Publisher side: drop out-channels using this link, releasing any
+	// publisher stalled on a reliable window.
 	for class, chans := range b.outs {
 		kept := chans[:0]
 		for _, oc := range chans {
 			if oc.link == l {
-				delete(b.outKeys, oc.key)
+				b.removeOutLocked(oc)
 				continue
 			}
 			kept = append(kept, oc)
@@ -172,6 +173,7 @@ func (b *Backbone) linkDown(l *peerLink) {
 		delete(b.inSubKeys, ic.key)
 		if sub := ic.sub; sub != nil {
 			delete(sub.channels, id)
+			sub.mbox.forgetChannel(id)
 			sub.lastBroadcast = time.Time{} // due immediately
 		}
 	}
@@ -181,4 +183,13 @@ func (b *Backbone) linkDown(l *peerLink) {
 	if !closed {
 		b.stats.LinksDown.Inc()
 	}
+}
+
+// removeOutLocked unindexes one publisher-side channel and releases any
+// publisher stalled on its credit window. The caller holds b.mu and owns
+// removing oc from b.outs.
+func (b *Backbone) removeOutLocked(oc *outChannel) {
+	delete(b.outKeys, oc.key)
+	delete(b.outByChan, linkChan{link: oc.link, id: oc.remoteChan})
+	oc.release()
 }

@@ -6,7 +6,6 @@ import (
 	"sync"
 	"time"
 
-	"codsim/internal/metrics"
 	"codsim/internal/wire"
 )
 
@@ -31,12 +30,121 @@ type outChannel struct {
 	link       *peerLink     // nil → local delivery
 	local      *Subscription // set when link == nil
 	remoteChan uint32
+	policy     wire.Policy
+	window     uint32 // reliable send window (PolicyReliable only)
 
 	// sendMu serializes sequence assignment *and* the matching deliver/send
 	// on this channel, so the per-channel delivery order always equals the
 	// sequence order even when several goroutines Update concurrently.
 	sendMu sync.Mutex
 	seq    uint32 // guarded by sendMu
+
+	// Credit accounting of a reliable channel. consumed is the cumulative
+	// count of updates the subscriber has drained from its mailbox,
+	// reported by CREDIT frames and heartbeat piggybacks; the publisher
+	// stalls while seq-consumed reaches the window. gone flips when the
+	// channel is torn down, releasing any stalled publisher.
+	credMu   sync.Mutex
+	consumed uint32
+	gone     bool
+	stalls   uint64        // credit-stall episodes, surfaced in Tables
+	creditCh chan struct{} // capacity 1; poked on credit arrival / teardown
+}
+
+// newOutChannel builds the publisher half with its policy contract.
+func newOutChannel(class string, key chanKey, link *peerLink, local *Subscription, remoteChan uint32, policy wire.Policy, window uint32) *outChannel {
+	oc := &outChannel{
+		class: class, key: key, link: link, local: local,
+		remoteChan: remoteChan, policy: policy, window: window,
+	}
+	if policy == wire.PolicyReliable {
+		if oc.window == 0 {
+			oc.window = DefaultCreditWindow
+		}
+		oc.creditCh = make(chan struct{}, 1)
+	}
+	return oc
+}
+
+// setConsumed folds a cumulative consumption report into the window state.
+// Counts may arrive out of order (immediate CREDIT frames race heartbeat
+// piggybacks), so only forward movement is kept.
+func (oc *outChannel) setConsumed(cum uint32) {
+	if oc.policy != wire.PolicyReliable {
+		return
+	}
+	oc.credMu.Lock()
+	if int32(cum-oc.consumed) > 0 {
+		oc.consumed = cum
+	}
+	oc.credMu.Unlock()
+	select {
+	case oc.creditCh <- struct{}{}:
+	default:
+	}
+}
+
+// release marks the channel dead and wakes any publisher stalled on its
+// window — a subscriber dying mid-stall must not wedge the producer.
+func (oc *outChannel) release() {
+	if oc.policy != wire.PolicyReliable {
+		return
+	}
+	oc.credMu.Lock()
+	oc.gone = true
+	oc.credMu.Unlock()
+	select {
+	case oc.creditCh <- struct{}{}:
+	default:
+	}
+}
+
+// windowOpen reports whether the reliable channel can take another update.
+// Caller holds sendMu (guarding seq).
+func (oc *outChannel) windowOpen() bool {
+	oc.credMu.Lock()
+	defer oc.credMu.Unlock()
+	return oc.gone || oc.seq-oc.consumed < oc.window
+}
+
+// acquireSend takes the channel's send slot once the credit window has
+// room. The slot is NOT held while parked — a blocking send stalled on
+// credits must not block nulls or non-blocking probes on the same
+// channel — so the window is re-checked each time the slot is re-taken.
+// A nil ctx is the non-blocking form: it reports false on a full window.
+// On (true, nil) the caller holds sendMu.
+func (oc *outChannel) acquireSend(ctx context.Context, stats *Stats) (bool, error) {
+	stalled := false
+	for {
+		oc.sendMu.Lock()
+		if oc.windowOpen() {
+			// Chain the wakeup: a grant pokes at most one parked sender
+			// (creditCh holds one token), so pass the token on while the
+			// window has room — without this, coalesced grants strand
+			// other waiters even though slots are free.
+			select {
+			case oc.creditCh <- struct{}{}:
+			default:
+			}
+			return true, nil
+		}
+		oc.sendMu.Unlock()
+		if !stalled {
+			stalled = true
+			oc.credMu.Lock()
+			oc.stalls++
+			oc.credMu.Unlock()
+			stats.CreditStalls.Inc()
+		}
+		if ctx == nil {
+			return false, nil
+		}
+		select {
+		case <-oc.creditCh:
+		case <-ctx.Done():
+			return false, ctx.Err()
+		}
+	}
 }
 
 // inChannel is the subscriber half: the binding from a channel ID to the
@@ -44,6 +152,11 @@ type outChannel struct {
 // with the second ACKNOWLEDGE (AckChannelUp) — only then is the channel
 // counted as matched, because until the publisher records its half, pushed
 // updates would route into the void.
+//
+// Credit bookkeeping of a reliable subscription lives in the mailbox
+// (per-channel cumulative consumption under the mailbox's own lock), so
+// the consume hot path touches the global backbone mutex only when a
+// grant is actually due.
 type inChannel struct {
 	id          uint32
 	key         chanKey
@@ -67,8 +180,14 @@ type Subscription struct {
 	b   *Backbone
 	key classLP
 
-	mbox      *mailbox
-	onReflect func(Reflection) // optional; bypasses the mailbox
+	policy wire.Policy
+	window uint32 // reliable send window granted to each publisher
+	// grantEvery batches credit grants: one per quarter window keeps
+	// credit traffic at ~4 frames per window without letting it run dry;
+	// the heartbeat piggyback covers what the batching holds back.
+	grantEvery uint32
+	mbox       *mailbox
+	onReflect  func(Reflection) // optional; bypasses the mailbox
 
 	// Guarded by b.mu:
 	channels      map[uint32]*inChannel
@@ -85,21 +204,62 @@ type SubscribeOption func(*subCfg)
 
 type subCfg struct {
 	depth     int
-	conflate  bool
+	policy    wire.Policy
+	window    int
 	onReflect func(Reflection)
 }
 
-// WithQueue sets the mailbox depth; the oldest reflection is dropped on
-// overflow. Use for event classes where every message matters.
+// DefaultCreditWindow is the reliable send window used when WithReliable
+// is given a non-positive window (and when a policy-bearing handshake
+// omits the window attribute).
+const DefaultCreditWindow = 64
+
+// WithQueue sets the mailbox depth. Under the default drop-oldest policy
+// the oldest reflection is dropped on overflow; combine with a delivery
+// policy option to change what overflow means.
 func WithQueue(depth int) SubscribeOption {
 	return func(c *subCfg) { c.depth = depth }
 }
 
-// WithConflation keeps only the newest reflection (mailbox depth 1). This is
-// the natural mode for state classes sampled by a display loop: the pull
-// side only ever wants the latest value.
+// WithConflation keeps only the newest reflection (a depth-1 latest-value
+// mailbox). This is the natural mode for single-publisher state classes
+// sampled by a display loop: the pull side only ever wants the latest
+// value. With several publishers, prefer WithLatestValue and a depth of at
+// least the publisher count, which conflates per channel.
 func WithConflation() SubscribeOption {
-	return func(c *subCfg) { c.conflate = true }
+	return func(c *subCfg) {
+		c.policy = wire.PolicyLatestValue
+		c.depth = 1
+	}
+}
+
+// WithLatestValue selects the conflating delivery policy: a full mailbox
+// coalesces to the newest reflection per channel instead of dropping the
+// oldest blindly. The right contract for periodic state (crane state,
+// motion cues) — memory stays bounded while a stalled consumer resumes on
+// the freshest sample from every publisher.
+func WithLatestValue() SubscribeOption {
+	return func(c *subCfg) { c.policy = wire.PolicyLatestValue }
+}
+
+// WithReliable selects the credit-windowed delivery policy: nothing is
+// ever dropped. Each publisher of the class may have at most window
+// unconsumed updates in flight to this subscription; beyond that its
+// Update returns ErrWindowFull (or UpdateContext blocks) until this
+// subscriber consumes — saturation propagates to the producer instead of
+// the kernel buffer. window <= 0 means DefaultCreditWindow.
+func WithReliable(window int) SubscribeOption {
+	return func(c *subCfg) {
+		c.policy = wire.PolicyReliable
+		c.window = window
+	}
+}
+
+// WithDropOldest selects the legacy policy explicitly: a full mailbox
+// drops its oldest reflection. This is the default at this layer and the
+// behavior every policy-less legacy peer gets.
+func WithDropOldest() SubscribeOption {
+	return func(c *subCfg) { c.policy = wire.PolicyDropOldest }
 }
 
 // WithCallback delivers reflections synchronously on the receive path
@@ -156,8 +316,9 @@ func (b *Backbone) SubscribeObjectClass(lp, class string, opts ...SubscribeOptio
 		o(&cfg)
 	}
 	depth := cfg.depth
-	if cfg.conflate {
-		depth = 1
+	window := uint32(DefaultCreditWindow)
+	if cfg.policy == wire.PolicyReliable && cfg.window > 0 {
+		window = uint32(cfg.window)
 	}
 	key := classLP{class: class, lp: lp}
 
@@ -173,10 +334,22 @@ func (b *Backbone) SubscribeObjectClass(lp, class string, opts ...SubscribeOptio
 	if depth <= 0 {
 		depth = b.cfg.MailboxDepth
 	}
+	if cfg.policy == wire.PolicyReliable && depth < int(window) {
+		// The mailbox must absorb a full window per publisher before the
+		// credits stall them; start at one window and let it grow.
+		depth = int(window)
+	}
+	grantEvery := window / 4
+	if grantEvery == 0 {
+		grantEvery = 1
+	}
 	s := &Subscription{
 		b:            b,
 		key:          key,
-		mbox:         newMailbox(depth, &b.stats.MailboxDropped),
+		policy:       cfg.policy,
+		window:       window,
+		grantEvery:   grantEvery,
+		mbox:         newMailbox(depth, cfg.policy, &b.stats),
 		onReflect:    cfg.onReflect,
 		channels:     make(map[uint32]*inChannel),
 		registeredAt: b.now(),
@@ -206,15 +379,22 @@ func (b *Backbone) establishLocalLocked(s *Subscription) {
 	}
 	b.nextChan++
 	id := b.nextChan
-	oc := &outChannel{class: s.key.class, key: key, local: s, remoteChan: id}
+	oc := newOutChannel(s.key.class, key, nil, s, id, s.policy, s.window)
 	b.outs[s.key.class] = append(b.outs[s.key.class], oc)
 	b.outKeys[key] = oc
-	ic := &inChannel{id: id, key: key, sub: s, established: true}
+	b.outByChan[linkChan{id: id}] = oc
+	ic := newInChannel(id, key, nil, s)
+	ic.established = true
 	b.ins[id] = ic
 	b.inSubKeys[key] = id
 	s.channels[id] = ic
 	b.noteMatchedLocked(s)
 	b.stats.ChannelsUp.Inc()
+}
+
+// newInChannel builds the subscriber half.
+func newInChannel(id uint32, key chanKey, link *peerLink, s *Subscription) *inChannel {
+	return &inChannel{id: id, key: key, link: link, sub: s}
 }
 
 // noteMatchedLocked records the registration→first-channel latency once.
@@ -235,23 +415,44 @@ func (b *Backbone) noteMatchedLocked(s *Subscription) {
 // sequence (Seq) order, even when Update is called from several goroutines
 // concurrently. Ordering across different channels — different subscriber
 // LPs, or different publishers of the same class — is unspecified.
+//
+// A reliable channel whose credit window is exhausted is skipped and the
+// call reports ErrWindowFull (after delivering to every other channel);
+// use UpdateContext to block for credits instead.
 func (p *Publication) Update(simTime float64, attrs wire.AttrSet) error {
-	_, err := p.push(simTime, attrs, false)
+	_, err := p.push(nil, simTime, attrs, false)
+	return err
+}
+
+// UpdateContext is Update that blocks while any reliable channel's credit
+// window is exhausted, resuming as the subscriber consumes. It returns
+// ctx.Err() when canceled mid-stall (the update may by then have reached
+// the channels ahead of the stalled one; reliable consumers are expected
+// to deduplicate, as the dist protocol does).
+func (p *Publication) UpdateContext(ctx context.Context, simTime float64, attrs wire.AttrSet) error {
+	_, err := p.push(ctx, simTime, attrs, false)
 	return err
 }
 
 // UpdateRouted is Update reporting the number of virtual channels the
-// update was routed into, read atomically with the push (the cod SDK's
+// update was delivered into, read atomically with the push (the cod SDK's
 // ErrNoSubscribers detection rides on this — a separate Channels() sample
 // would race with channel establishment).
 func (p *Publication) UpdateRouted(simTime float64, attrs wire.AttrSet) (int, error) {
-	return p.push(simTime, attrs, false)
+	return p.push(nil, simTime, attrs, false)
+}
+
+// UpdateRoutedContext is UpdateContext reporting the routed channel count.
+func (p *Publication) UpdateRoutedContext(ctx context.Context, simTime float64, attrs wire.AttrSet) (int, error) {
+	return p.push(ctx, simTime, attrs, false)
 }
 
 // SendNull pushes a Chandy–Misra null message carrying only the publisher's
 // time lower bound, letting conservative subscribers advance (§2, ref [7]).
+// Nulls bypass credit windows: blocking time synchronization on data
+// backpressure would deadlock conservative consumers.
 func (p *Publication) SendNull(simTime float64) error {
-	_, err := p.push(simTime, nil, true)
+	_, err := p.push(nil, simTime, nil, true)
 	return err
 }
 
@@ -263,7 +464,15 @@ func (p *Publication) SendNull(simTime float64) error {
 // deliver/send, so two concurrent Update calls cannot deliver Seq n+1
 // before Seq n. No ordering is promised *across* channels or across
 // different publishers of the same class.
-func (p *Publication) push(simTime float64, attrs wire.AttrSet, null bool) (int, error) {
+//
+// Delivery policy: reliable channels are sent only while their credit
+// window has room. With a nil ctx a full window skips the channel and the
+// call reports ErrWindowFull; with a ctx the send stalls until the
+// subscriber consumes, the channel dies, or ctx is done. The stall parks
+// outside the channel's send slot, so concurrent nulls and non-blocking
+// probes are never blocked behind it; the window is re-verified under the
+// slot before every send, keeping delivery order equal to seq order.
+func (p *Publication) push(ctx context.Context, simTime float64, attrs wire.AttrSet, null bool) (int, error) {
 	p.mu.Lock()
 	if p.close {
 		p.mu.Unlock()
@@ -285,8 +494,21 @@ func (p *Publication) push(simTime float64, attrs wire.AttrSet, null bool) (int,
 	if null {
 		kind = wire.KindNull
 	}
+	routed := 0
+	windowFull := false
 	for _, oc := range chans {
-		oc.sendMu.Lock()
+		if oc.policy == wire.PolicyReliable && !null {
+			open, err := oc.acquireSend(ctx, &b.stats)
+			if err != nil {
+				return routed, err
+			}
+			if !open {
+				windowFull = true
+				continue
+			}
+		} else {
+			oc.sendMu.Lock()
+		}
 		oc.seq++
 		seq := oc.seq
 		if oc.link == nil {
@@ -302,6 +524,7 @@ func (p *Publication) push(simTime float64, attrs wire.AttrSet, null bool) (int,
 			}
 			b.deliver(oc.local, r)
 			oc.sendMu.Unlock()
+			routed++
 			b.stats.UpdatesSent.Inc()
 			continue
 		}
@@ -321,9 +544,13 @@ func (p *Publication) push(simTime float64, attrs wire.AttrSet, null bool) (int,
 			b.linkDown(oc.link)
 			continue
 		}
+		routed++
 		b.stats.UpdatesSent.Inc()
 	}
-	return len(chans), nil
+	if windowFull {
+		return routed, ErrWindowFull
+	}
+	return routed, nil
 }
 
 // Channels returns the number of virtual channels currently carrying this
@@ -404,10 +631,11 @@ func (p *Publication) Close() error {
 	var byes []byeTarget
 	if !stillPublished {
 		for _, oc := range b.outs[p.key.class] {
-			delete(b.outKeys, oc.key)
+			b.removeOutLocked(oc)
 			if oc.local != nil {
 				if ic, ok := b.ins[oc.remoteChan]; ok && ic.sub != nil {
 					delete(ic.sub.channels, oc.remoteChan)
+					ic.sub.mbox.forgetChannel(oc.remoteChan)
 					delete(b.inSubKeys, ic.key)
 					delete(b.ins, oc.remoteChan)
 					// Local subscriber resumes discovery for other
@@ -446,15 +674,36 @@ func (b *Backbone) deliver(s *Subscription, r Reflection) {
 	if cb != nil {
 		cb(r)
 		b.stats.ReflectsDelivered.Inc()
+		// A callback consumes synchronously, so the credit is immediate.
+		s.consumed(r.Channel)
 		return
 	}
 	s.mbox.push(r)
 	b.stats.ReflectsDelivered.Inc()
 }
 
+// consumed reports one reflection drained from channel id, granting
+// credits back to the publisher on reliable subscriptions. The counter
+// lives under the mailbox's lock; the global backbone mutex is touched
+// only on the grantEvery-th consumption, when a grant actually goes out.
+func (s *Subscription) consumed(id uint32) {
+	if s.policy != wire.PolicyReliable {
+		return
+	}
+	if cum, due := s.mbox.noteConsumed(id, s.grantEvery); due {
+		s.b.sendGrant(s, id, cum)
+	}
+}
+
 // Poll returns the oldest buffered reflection without blocking; ok reports
 // whether one was available. This is the paper's "pull" side.
-func (s *Subscription) Poll() (Reflection, bool) { return s.mbox.poll() }
+func (s *Subscription) Poll() (Reflection, bool) {
+	r, ok := s.mbox.poll()
+	if ok {
+		s.consumed(r.Channel)
+	}
+	return r, ok
+}
 
 // Latest drains the mailbox and returns the newest reflection; ok is false
 // when the mailbox was empty. Convenient for conflated state classes.
@@ -464,7 +713,7 @@ func (s *Subscription) Latest() (Reflection, bool) {
 		got  bool
 	)
 	for {
-		r, ok := s.mbox.poll()
+		r, ok := s.Poll()
 		if !ok {
 			return last, got
 		}
@@ -476,7 +725,11 @@ func (s *Subscription) Latest() (Reflection, bool) {
 // or the subscription closes (ErrHandleClosed). A reflection that races
 // with the cancellation is still delivered.
 func (s *Subscription) NextContext(ctx context.Context) (Reflection, error) {
-	return s.mbox.nextCtx(ctx)
+	r, err := s.mbox.nextCtx(ctx)
+	if err == nil {
+		s.consumed(r.Channel)
+	}
+	return r, err
 }
 
 // Next is the duration-based shim over NextContext; ok is false on timeout
@@ -484,9 +737,12 @@ func (s *Subscription) NextContext(ctx context.Context) (Reflection, error) {
 func (s *Subscription) Next(timeout time.Duration) (Reflection, bool) {
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
-	r, err := s.mbox.nextCtx(ctx)
+	r, err := s.NextContext(ctx)
 	return r, err == nil
 }
+
+// Policy returns the subscription's delivery policy.
+func (s *Subscription) Policy() wire.Policy { return s.policy }
 
 // NotifyC returns a channel that receives a token whenever the mailbox goes
 // from empty to non-empty, for select-based consumers.
@@ -537,9 +793,10 @@ func (s *Subscription) Close() error {
 			// of the same LP forever.
 			byes = append(byes, byeTarget{link: ic.link, id: id})
 		}
-		// Local fast-path channels also have a publisher half to clean.
+		// Local fast-path channels also have a publisher half to clean
+		// (and possibly a publisher stalled on its window to release).
 		if oc, ok := b.outKeys[ic.key]; ok && oc.local == s {
-			delete(b.outKeys, ic.key)
+			b.removeOutLocked(oc)
 			chans := b.outs[s.key.class]
 			kept := chans[:0]
 			for _, c := range chans {
@@ -561,23 +818,146 @@ func (s *Subscription) Close() error {
 	return nil
 }
 
-// mailbox is the bounded per-subscription buffer: a drop-oldest ring plus
-// an empty→non-empty notification channel.
+// mailbox is the bounded per-subscription buffer: a ring whose overflow
+// behavior follows the subscription's delivery policy, plus an
+// empty→non-empty notification channel.
+//
+//   - PolicyDropOldest: overflow drops the oldest reflection (legacy).
+//   - PolicyLatestValue: overflow coalesces to the newest reflection per
+//     channel — the oldest buffered entry of the incoming reflection's
+//     channel is replaced. When no same-channel entry exists (more
+//     publishers than depth), the oldest overall is dropped.
+//   - PolicyReliable: nothing is dropped; the ring grows. Growth is
+//     bounded by the credit windows the subscription granted — publishers
+//     stall before exceeding them — plus whatever a policy-ignorant
+//     legacy publisher pushes.
 type mailbox struct {
-	mu      sync.Mutex
-	buf     []Reflection
-	head    int
-	n       int
-	closed  bool
-	notify  chan struct{}
-	dropped *metrics.Counter
+	mu     sync.Mutex
+	policy wire.Policy
+	buf    []Reflection
+	head   int
+	n      int
+	closed bool
+	notify chan struct{}
+	stats  *Stats
+	// Per-channel loss accounting, surfaced in Backbone.Tables so a lossy
+	// channel can be named instead of inferred from the backbone total.
+	tallies map[uint32]*ChannelTally
+	// Per-channel credit accounting of a reliable subscription: the
+	// cumulative consumption count the publisher's window runs on, and
+	// the high-water mark of the last grant sent.
+	credits map[uint32]*chanCredit
+	// occupancy counts buffered reflections per channel, so latest-value
+	// victim selection stays O(depth) instead of an O(depth²) duplicate
+	// scan while the mailbox is full.
+	occupancy map[uint32]int
 }
 
-func newMailbox(depth int, dropped *metrics.Counter) *mailbox {
+type chanCredit struct {
+	consumed  uint32
+	lastGrant uint32
+}
+
+// ChannelTally is one virtual channel's loss accounting at a subscription
+// mailbox.
+type ChannelTally struct {
+	Channel   uint32
+	Peer      string // publishing node; filled by Tables
+	Dropped   uint64 // reflections dropped (drop-oldest overflow)
+	Conflated uint64 // reflections coalesced (latest-value overflow)
+}
+
+func newMailbox(depth int, policy wire.Policy, stats *Stats) *mailbox {
 	return &mailbox{
-		buf:     make([]Reflection, depth),
-		notify:  make(chan struct{}, 1),
-		dropped: dropped,
+		policy:    policy,
+		buf:       make([]Reflection, depth),
+		notify:    make(chan struct{}, 1),
+		stats:     stats,
+		tallies:   make(map[uint32]*ChannelTally),
+		credits:   make(map[uint32]*chanCredit),
+		occupancy: make(map[uint32]int),
+	}
+}
+
+// forgetChannel drops a torn-down channel's credit and loss bookkeeping.
+// Without this a long-lived subscription under link churn (a standing
+// dist worker across coordinator restarts) accumulates a ghost entry per
+// dead channel forever — and Tables would keep reporting them with no
+// peer to attribute. Buffered reflections (and their occupancy) stay:
+// they are real data the consumer may still drain.
+func (m *mailbox) forgetChannel(id uint32) {
+	m.mu.Lock()
+	delete(m.credits, id)
+	delete(m.tallies, id)
+	m.mu.Unlock()
+}
+
+// noteConsumed counts one reflection drained from channel id; due reports
+// whether a grant should go out — the batching threshold was crossed, or
+// the entry is fresh. The fresh-entry grant keeps a subtle leak closed:
+// draining leftovers of a torn-down channel resurrects its entry here,
+// and the immediate grant attempt finds the channel gone (sendGrant's
+// nil-channel path) and prunes it again.
+func (m *mailbox) noteConsumed(id uint32, grantEvery uint32) (cum uint32, due bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.credits[id]
+	if c == nil {
+		c = &chanCredit{}
+		m.credits[id] = c
+	}
+	c.consumed++
+	if c.consumed-c.lastGrant >= grantEvery || c.consumed == 1 {
+		c.lastGrant = c.consumed
+		return c.consumed, true
+	}
+	return c.consumed, false
+}
+
+// consumedCount reads channel id's cumulative consumption (the heartbeat
+// piggyback reads this under b.mu; the lock order b.mu → m.mu is safe
+// because no mailbox method acquires b.mu).
+func (m *mailbox) consumedCount(id uint32) uint32 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c := m.credits[id]; c != nil {
+		return c.consumed
+	}
+	return 0
+}
+
+// tally returns channel id's loss counters, creating them on first use.
+// Caller holds m.mu.
+func (m *mailbox) tally(id uint32) *ChannelTally {
+	t := m.tallies[id]
+	if t == nil {
+		t = &ChannelTally{Channel: id}
+		m.tallies[id] = t
+	}
+	return t
+}
+
+// at returns a pointer to the i-th buffered reflection (0 = oldest).
+// Caller holds m.mu.
+func (m *mailbox) at(i int) *Reflection { return &m.buf[(m.head+i)%len(m.buf)] }
+
+// removeAt deletes the i-th buffered reflection, shifting newer entries
+// down. Caller holds m.mu.
+func (m *mailbox) removeAt(i int) {
+	m.noteRemoved(m.at(i).Channel)
+	for j := i; j < m.n-1; j++ {
+		*m.at(j) = *m.at(j + 1)
+	}
+	*m.at(m.n - 1) = Reflection{}
+	m.n--
+}
+
+// noteRemoved decrements a channel's occupancy count. Caller holds m.mu.
+func (m *mailbox) noteRemoved(id uint32) {
+	if n := m.occupancy[id] - 1; n > 0 {
+		m.occupancy[id] = n
+	} else {
+		delete(m.occupancy, id) // keep the map bounded by live channels
 	}
 }
 
@@ -587,18 +967,79 @@ func (m *mailbox) push(r Reflection) {
 		m.mu.Unlock()
 		return
 	}
-	if m.n == len(m.buf) { // drop oldest
-		m.head = (m.head + 1) % len(m.buf)
-		m.n--
-		m.dropped.Inc()
+	if m.n == len(m.buf) {
+		switch m.policy {
+		case wire.PolicyReliable:
+			// Never drop: grow the ring (see the type comment for why this
+			// stays bounded in practice).
+			grown := make([]Reflection, 2*len(m.buf))
+			for i := 0; i < m.n; i++ {
+				grown[i] = *m.at(i)
+			}
+			m.buf, m.head = grown, 0
+		case wire.PolicyLatestValue:
+			// Coalesce to newest-per-channel: replace the oldest buffered
+			// reflection of this channel, keeping per-channel seq order
+			// (an older entry leaves, the newest lands at the tail). With
+			// no same-channel entry, conflate the oldest entry of any
+			// channel buffered more than once — a transient arrival
+			// imbalance must not evict another channel's only sample. A
+			// drop happens only when every slot holds a distinct channel,
+			// i.e. the depth is smaller than the live publisher count.
+			// The occupancy index keeps victim selection one O(depth)
+			// scan, not an O(depth²) duplicate search per push.
+			victim := -1
+			if m.occupancy[r.Channel] > 0 {
+				for i := 0; i < m.n; i++ {
+					if m.at(i).Channel == r.Channel {
+						victim = i
+						break
+					}
+				}
+			} else {
+				for i := 0; i < m.n; i++ {
+					if m.occupancy[m.at(i).Channel] >= 2 {
+						victim = i
+						break
+					}
+				}
+			}
+			if victim >= 0 {
+				m.tally(m.at(victim).Channel).Conflated++
+				m.stats.Conflations.Inc()
+				m.removeAt(victim)
+			} else {
+				m.tally(m.at(0).Channel).Dropped++
+				m.stats.MailboxDropped.Inc()
+				m.removeAt(0)
+			}
+		default: // drop oldest
+			m.tally(m.at(0).Channel).Dropped++
+			m.stats.MailboxDropped.Inc()
+			m.noteRemoved(m.at(0).Channel)
+			m.head = (m.head + 1) % len(m.buf)
+			m.n--
+		}
 	}
 	m.buf[(m.head+m.n)%len(m.buf)] = r
 	m.n++
+	m.occupancy[r.Channel]++
 	m.mu.Unlock()
 	select {
 	case m.notify <- struct{}{}:
 	default:
 	}
+}
+
+// channelTallies snapshots the per-channel loss counters.
+func (m *mailbox) channelTallies() []ChannelTally {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]ChannelTally, 0, len(m.tallies))
+	for _, t := range m.tallies {
+		out = append(out, *t)
+	}
+	return out
 }
 
 func (m *mailbox) poll() (Reflection, bool) {
@@ -611,6 +1052,7 @@ func (m *mailbox) poll() (Reflection, bool) {
 	m.buf[m.head] = Reflection{} // release references
 	m.head = (m.head + 1) % len(m.buf)
 	m.n--
+	m.noteRemoved(r.Channel)
 	return r, true
 }
 

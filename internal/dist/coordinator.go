@@ -103,15 +103,20 @@ func NewCoordinator(node *cod.Node, cfg CoordinatorConfig) (*Coordinator, error)
 		c.Close()
 		return nil, fmt.Errorf("dist: coordinator: %w", err)
 	}
-	if c.subClaim, err = cod.Subscribe[jobClaim](node, coordinatorLP, ClassClaim, cod.WithQueue(1024)); err != nil {
+	// Claims and results are must-not-lose: Reliable windows push
+	// saturation back to the workers (whose re-send loops retry) instead
+	// of dropping a finished run's record. Heartbeats are pure state —
+	// LatestValue keeps the newest beat per worker (each worker is its
+	// own virtual channel) under any backlog.
+	if c.subClaim, err = cod.Subscribe[jobClaim](node, coordinatorLP, ClassClaim, cod.Reliable(1024)); err != nil {
 		c.Close()
 		return nil, fmt.Errorf("dist: coordinator: %w", err)
 	}
-	if c.subRes, err = cod.Subscribe[jobResult](node, coordinatorLP, ClassResult, cod.WithQueue(1024)); err != nil {
+	if c.subRes, err = cod.Subscribe[jobResult](node, coordinatorLP, ClassResult, cod.Reliable(1024)); err != nil {
 		c.Close()
 		return nil, fmt.Errorf("dist: coordinator: %w", err)
 	}
-	if c.subHB, err = cod.Subscribe[heartbeat](node, coordinatorLP, ClassHeartbeat, cod.WithQueue(256)); err != nil {
+	if c.subHB, err = cod.Subscribe[heartbeat](node, coordinatorLP, ClassHeartbeat, cod.WithQueue(256), cod.LatestValue()); err != nil {
 		c.Close()
 		return nil, fmt.Errorf("dist: coordinator: %w", err)
 	}
@@ -427,8 +432,10 @@ func (c *Coordinator) redispatch(states map[int64]*jobState) (newlyDone int) {
 }
 
 // announcePending publishes every pending job whose announce period
-// elapsed. ErrNoSubscribers just means no worker has joined yet — the
-// next period retries.
+// elapsed. ErrNoSubscribers just means no worker has joined yet, and
+// ErrWindowFull that a worker's Reliable announce window is saturated
+// (the update reached every other worker) — the next period retries
+// either way, and announces are idempotent.
 func (c *Coordinator) announcePending(states map[int64]*jobState) {
 	now := time.Now()
 	for _, s := range states {

@@ -16,6 +16,15 @@
 //	dist.Ack        coordinator → workers   receipt of a job's Record
 //	dist.Heartbeat  worker → coordinator    liveness + slot occupancy
 //
+// Dispatch and result channels (dist.Job, dist.Claim, dist.Grant,
+// dist.Result, dist.Ack) declare the backbone's Reliable delivery policy:
+// each publisher holds a credit window per subscriber, so a saturated
+// peer stalls the sender instead of a mailbox shedding distinct protocol
+// messages. dist.Heartbeat declares LatestValue — each worker is its own
+// virtual channel, so conflation keeps exactly the newest beat per
+// worker. The window covers slow-consumer loss; the ack/re-send loop
+// below stays for link-churn loss, which no window can see.
+//
 // The coordinator re-announces unassigned jobs on a short period, so a
 // worker that joins mid-sweep still picks up work (the backbone's dynamic
 // join finds the channels, the re-announce fills them). Claims race;
@@ -154,3 +163,10 @@ type heartbeat struct {
 func (j Job) String() string {
 	return fmt.Sprintf("job %d (%s, seed %d)", j.ID, j.Spec.Name, j.Seed)
 }
+
+// SkillSeed mixes the job's sweep seed (which repeat) and ID (which run
+// within the repeat) into the per-run skill-jitter seed, so every run of
+// a sweep flies a distinct — yet reproducible — trainee when the batch
+// skill profile carries Jitter. Local and distributed execution of the
+// same job derive the same seed, keeping their verdicts comparable.
+func (j Job) SkillSeed() int64 { return j.Seed<<20 ^ j.ID }

@@ -66,10 +66,12 @@ func (c WorkerConfig) withDefaults(node *cod.Node) WorkerConfig {
 // Seed is deliberately NOT fed into the federation template: sim.Config's
 // Seed drives terrain generation, and the scenario library's geometry is
 // tuned to the default site — varying it per repeat would change the
-// course under the exam. Runs are deterministic per spec; Seed stays
-// sweep bookkeeping until a workload consumes it (see Job.Seed).
+// course under the exam. Runs are deterministic per spec unless the
+// worker's skill profile carries Jitter, in which case Job.SkillSeed
+// selects this run's reproducible trainee variation.
 func DefaultRunner(ctx context.Context, job Job, cfg sim.BatchConfig) Record {
 	cfg.Parallel = 1 // the worker's Slots is the concurrency control
+	cfg.Seeds = []int64{job.SkillSeed()}
 	res := sim.RunBatch(ctx, []scenario.Spec{job.Spec}, cfg)
 	return NewRecord(job, res[0], "")
 }
@@ -125,15 +127,19 @@ func NewWorker(node *cod.Node, cfg WorkerConfig) (*Worker, error) {
 		jobs:   make(map[int64]*workerJob),
 		doneCh: make(chan Record, cfg.Slots),
 	}
+	// Dispatch traffic is must-not-lose: announces, grants and acks ride
+	// Reliable channels, so a worker that falls behind stalls the
+	// coordinator's publisher (which retries next period) instead of
+	// silently shedding distinct jobs from a drop-oldest mailbox.
 	var err error
-	if w.subJob, err = cod.Subscribe[jobAnnounce](node, cfg.Name, ClassJob, cod.WithQueue(256)); err != nil {
+	if w.subJob, err = cod.Subscribe[jobAnnounce](node, cfg.Name, ClassJob, cod.Reliable(256)); err != nil {
 		return nil, fmt.Errorf("dist: worker %s: %w", cfg.Name, err)
 	}
-	if w.subGrant, err = cod.Subscribe[jobGrant](node, cfg.Name, ClassGrant, cod.WithQueue(256)); err != nil {
+	if w.subGrant, err = cod.Subscribe[jobGrant](node, cfg.Name, ClassGrant, cod.Reliable(256)); err != nil {
 		w.Close()
 		return nil, fmt.Errorf("dist: worker %s: %w", cfg.Name, err)
 	}
-	if w.subAck, err = cod.Subscribe[jobAck](node, cfg.Name, ClassAck, cod.WithQueue(256)); err != nil {
+	if w.subAck, err = cod.Subscribe[jobAck](node, cfg.Name, ClassAck, cod.Reliable(256)); err != nil {
 		w.Close()
 		return nil, fmt.Errorf("dist: worker %s: %w", cfg.Name, err)
 	}
@@ -399,11 +405,15 @@ func (w *Worker) drainAcks() {
 }
 
 // flushResults publishes finished, unacknowledged records, re-sending on
-// a backoff until the coordinator's ack arrives. A successful Update is
-// not proof of delivery — the backbone tears channels down on link churn
-// and a frame written just before the teardown vanishes without an error
-// on either side — so only an ack (or a replay request via re-announce)
-// ends a record's delivery loop.
+// a backoff until the coordinator's ack arrives. The Reliable result
+// channel carries most of the delivery contract now — a successful Update
+// means the record sits in the coordinator's mailbox or the window would
+// have stalled us — but the ack loop stays for the one loss the window
+// cannot see: link churn tears the virtual channel down, and a frame
+// written just before the teardown vanishes without an error on either
+// side. So only an ack (or a replay request via re-announce) ends a
+// record's delivery loop; ErrWindowFull just means the coordinator is
+// saturated, and the next pass retries without burning the backoff.
 func (w *Worker) flushResults() {
 	resend := 4 * w.cfg.Heartbeat
 	now := time.Now()
@@ -420,10 +430,13 @@ func (w *Worker) flushResults() {
 			Sweep: w.sweep, Job: j.job.ID, Attempt: j.attempt,
 			Worker: w.name, Record: data,
 		})
-		if err == nil {
+		switch {
+		case err == nil:
 			j.lastSend = now
 			w.logf("job %d result sent (attempt %d)", j.job.ID, j.attempt)
-		} else {
+		case errors.Is(err, cod.ErrWindowFull):
+			w.logf("job %d result deferred: coordinator window full", j.job.ID)
+		default:
 			w.logf("job %d result not sent: %v", j.job.ID, err)
 		}
 	}

@@ -83,6 +83,10 @@ type Engine struct {
 	barHit []map[string]bool
 	lastAl []fom.Alarm // per-crane alarm debounce
 	alarms fom.Alarm   // latched extra alarms (collision)
+	// pending holds events raised outside a crane's own stepping turn —
+	// the tandem choreography reset moves PARTNER cursors, whose
+	// phase-change would otherwise escape StepAll's per-cursor check.
+	pending []Event
 }
 
 // NewEngineSpec builds an engine interpreting the scenario spec.
@@ -173,6 +177,7 @@ func (e *Engine) Reset() {
 	e.collisions = 0
 	e.alarmEvents = 0
 	e.alarms = 0
+	e.pending = e.pending[:0]
 	e.message = "reset — awaiting start"
 	for c := range e.cursors {
 		e.cursors[c] = cursor{phase: fom.PhaseIdle, message: e.message}
@@ -332,6 +337,14 @@ func (e *Engine) StepAll(states []fom.CraneState, dt float64) []Event {
 			events = append(events, Event{Kind: EventPhaseChange, At: e.elapsed, Crane: c})
 		}
 	}
+	// Transitions raised outside their crane's own turn (choreography
+	// resets of partner cursors).
+	if len(e.pending) > 0 {
+		if e.running() {
+			events = append(events, e.pending...)
+		}
+		e.pending = e.pending[:0]
+	}
 
 	if e.score < 0 {
 		e.score = 0
@@ -424,14 +437,47 @@ func (e *Engine) running() bool {
 }
 
 // fallback returns crane c to its nearest preceding lift phase after a
-// drop.
+// drop. When that lift is a tandem gate, the drop broke a shared carry:
+// every partner still working the same load is pulled back to its own
+// tandem lift node too (choreography reset), so both cursors re-enter the
+// lift gate together instead of the partner holding a waypoint far down
+// the sequence that the dropper can no longer reach.
 func (e *Engine) fallback(c int) {
-	if j, ok := e.spec.fallbackLift(e.cursors[c].idx); ok {
-		e.enter(c, j)
-		e.cursors[c].message = "cargo dropped — pick it up again"
+	j, ok := e.spec.fallbackLift(e.cursors[c].idx)
+	if !ok {
+		e.cursors[c].message = "cargo dropped"
 		return
 	}
-	e.cursors[c].message = "cargo dropped"
+	e.enter(c, j)
+	e.cursors[c].message = "cargo dropped — pick it up again"
+	ps := e.spec.Phases[j]
+	if !ps.Tandem {
+		return
+	}
+	for p := range e.cursors {
+		if p == c || e.cursors[p].done {
+			continue
+		}
+		// The partner is mid-choreography exactly when its own drop
+		// fallback is a tandem lift of the same cargo: at the lift gate
+		// (waiting or re-latching) or carrying past it. Anyone who
+		// already set the load down and moved on has a different
+		// fallback lift and keeps its cursor.
+		jp, ok := e.spec.fallbackLift(e.cursors[p].idx)
+		if !ok {
+			continue
+		}
+		pp := e.spec.Phases[jp]
+		if !pp.Tandem || pp.Cargo != ps.Cargo || e.cursors[p].idx == jp {
+			continue
+		}
+		e.enter(p, jp)
+		e.cursors[p].message = "partner dropped the load — back to the tandem lift"
+		// The partner's cursor moved outside its own stepping turn; queue
+		// its phase-change so the event stream (instructor log, audio)
+		// still records the jump.
+		e.pending = append(e.pending, Event{Kind: EventPhaseChange, At: e.elapsed, Crane: p})
+	}
 }
 
 // judgeCollisions deducts score once per contact episode per bar per

@@ -260,3 +260,138 @@ func TestEngineStateForSharesVerdict(t *testing.T) {
 		}
 	}
 }
+
+// TestTandemDropChoreographyReset pins the ROADMAP drop-recovery rule:
+// when one crane drops its end of a tandem load mid-carry, BOTH cursors
+// fall back to their tandem lift gates together — the partner must not
+// keep a waypoint far down the sequence the dropper can no longer reach.
+func TestTandemDropChoreographyReset(t *testing.T) {
+	s := tandemSpec()
+	e, err := NewEngineSpec(s, crane.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+
+	mk := func(c int) fom.CraneState {
+		return fom.CraneState{
+			Position: s.Phases[c].Target,
+			HookPos:  mathx.V3(0, 50, 0),
+			CargoPos: s.Cargos[0].Pos,
+			CargoID:  -1,
+			CraneID:  int64(c),
+		}
+	}
+	states := []fom.CraneState{mk(0), mk(1)}
+	e.StepAll(states, 0.1) // both drives complete → both at tandem lifts
+	for c := range states {
+		states[c].CargoHeld = true
+		states[c].CargoID = 0
+	}
+	e.StepAll(states, 0.1) // gate opens → both at their place nodes
+	if p0, p1 := e.StateFor(0).PhaseIndex, e.StateFor(1).PhaseIndex; p0 != 4 || p1 != 5 {
+		t.Fatalf("carry cursors at %d/%d, want 4/5", p0, p1)
+	}
+
+	// Crane 0 fumbles the load far outside the pad; crane 1 still holds
+	// its end.
+	before := e.Score()
+	states[0].CargoHeld = false
+	states[0].CargoID = -1
+	events := e.StepAll(states, 0.1)
+	changed := map[int]bool{}
+	for _, ev := range events {
+		if ev.Kind == EventPhaseChange {
+			changed[ev.Crane] = true
+		}
+	}
+	if !changed[0] || !changed[1] {
+		t.Errorf("phase-change events cover cranes %v, want both (partner reset must be recorded)", changed)
+	}
+	if p0 := e.StateFor(0).PhaseIndex; p0 != 2 {
+		t.Fatalf("dropper at node %d, want its tandem lift (2)", p0)
+	}
+	if p1 := e.StateFor(1).PhaseIndex; p1 != 3 {
+		t.Fatalf("partner at node %d, want choreography reset to its tandem lift (3): %q",
+			p1, e.StateFor(1).Message)
+	}
+	if e.Score() >= before {
+		t.Errorf("drop cost no score (%.1f → %.1f)", before, e.Score())
+	}
+	// Same-tick stepping already re-judges the reset cursor: the partner
+	// still holds its hook, so it reports the reopened tandem gate.
+	if msg := e.StateFor(1).Message; !strings.Contains(msg, "waiting for partner hooks") {
+		t.Errorf("partner message %q does not show the reopened gate", msg)
+	}
+
+	// Recovery: the dropper re-latches, the gate opens again, and the
+	// choreography resumes from the lift.
+	states[0].CargoHeld = true
+	states[0].CargoID = 0
+	e.StepAll(states, 0.1)
+	if p0, p1 := e.StateFor(0).PhaseIndex, e.StateFor(1).PhaseIndex; p0 != 4 || p1 != 5 {
+		t.Fatalf("after re-latch cursors at %d/%d, want 4/5", p0, p1)
+	}
+}
+
+// TestTandemDropLeavesRetiredPartnerAlone: a partner that already set the
+// shared load down and retired its sub-graph is not dragged back when the
+// other crane later drops a different (single-hook) load.
+func TestTandemDropLeavesRetiredPartnerAlone(t *testing.T) {
+	s := tandemSpec()
+	// Crane 0 carries on after the tandem set-down with a solo crate.
+	s.Cargos = append(s.Cargos, Cargo{Name: "crate", Pos: s.Course.Circle.Add(mathx.V3(-8, 0, 0)), Mass: 500})
+	s.Phases = append(s.Phases,
+		PhaseSpec{Name: "a-crate", Kind: PhaseLift, Crane: 0, Cargo: 1},
+		PhaseSpec{Name: "a-crate-set", Kind: PhasePlace, Crane: 0, Target: s.Course.Circle.Add(mathx.V3(-14, 0, 0)), Radius: 3},
+	)
+	e, err := NewEngineSpec(s, crane.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+
+	mk := func(c int) fom.CraneState {
+		return fom.CraneState{
+			Position: s.Phases[c].Target,
+			HookPos:  mathx.V3(0, 50, 0),
+			CargoPos: s.Cargos[0].Pos,
+			CargoID:  -1,
+			CraneID:  int64(c),
+		}
+	}
+	states := []fom.CraneState{mk(0), mk(1)}
+	e.StepAll(states, 0.1)
+	for c := range states {
+		states[c].CargoHeld = true
+		states[c].CargoID = 0
+	}
+	e.StepAll(states, 0.1) // both carrying to their pads
+	pad := s.Phases[4].Target
+	for c := range states {
+		states[c].CargoHeld = false
+		states[c].CargoID = -1
+		states[c].CargoPos = pad
+	}
+	e.StepAll(states, 0.1) // tandem load set down; crane 1 retires
+	if st1 := e.StateFor(1); st1.Phase != fom.PhaseComplete {
+		t.Fatalf("crane 1 not retired: %v %q", st1.Phase, st1.Message)
+	}
+
+	// Crane 0 lifts the solo crate, then fumbles it: only crane 0 falls
+	// back, to the crate lift — not to the tandem gate — and crane 1
+	// stays retired.
+	states[0].CargoHeld = true
+	states[0].CargoID = 1
+	e.StepAll(states, 0.1)
+	states[0].CargoHeld = false
+	states[0].CargoID = -1
+	states[0].CargoPos = s.Cargos[1].Pos
+	e.StepAll(states, 0.1)
+	if p0 := e.StateFor(0).PhaseIndex; p0 != 6 {
+		t.Fatalf("solo dropper at node %d, want the crate lift (6)", p0)
+	}
+	if st1 := e.StateFor(1); st1.Phase != fom.PhaseComplete {
+		t.Errorf("retired partner disturbed by a solo drop: %v", st1.Phase)
+	}
+}

@@ -40,6 +40,20 @@ type BatchConfig struct {
 	// widened slack); the zero value is the flawless expert. Sweeping the
 	// presets over a scenario matrix yields realistic score spreads.
 	Skill trace.SkillProfile
+	// Seeds optionally gives each run its skill-jitter seed, parallel to
+	// the spec slice (missing entries read as 0). With Skill.Jitter > 0,
+	// run i flies Skill.Seeded(Seeds[i]) — a deterministic per-run
+	// variation that widens sweep distributions reproducibly. The dist
+	// worker and codbatch thread each job's seed through here.
+	Seeds []int64
+}
+
+// seedFor returns run i's skill-jitter seed.
+func (c BatchConfig) seedFor(i int) int64 {
+	if i < len(c.Seeds) {
+		return c.Seeds[i]
+	}
+	return 0
 }
 
 // BatchResult is one scenario's outcome in a batch.
@@ -111,7 +125,7 @@ func RunBatch(ctx context.Context, specs []scenario.Spec, cfg BatchConfig) []Bat
 				canceled()
 				return
 			}
-			results[i] = run(ctx, specs[i], cfg)
+			results[i] = run(ctx, specs[i], cfg, cfg.seedFor(i))
 		}(i)
 	}
 	wg.Wait()
@@ -119,8 +133,9 @@ func RunBatch(ctx context.Context, specs []scenario.Spec, cfg BatchConfig) []Bat
 }
 
 // runOneHeadless executes one spec without a federation, budgeted in
-// simulation time (see BatchConfig.Timeout).
-func runOneHeadless(ctx context.Context, spec scenario.Spec, cfg BatchConfig) (res BatchResult) {
+// simulation time (see BatchConfig.Timeout). seed drives the run's skill
+// jitter (see BatchConfig.Seeds).
+func runOneHeadless(ctx context.Context, spec scenario.Spec, cfg BatchConfig, seed int64) (res BatchResult) {
 	res = BatchResult{Scenario: spec.Name, Title: spec.Title}
 	start := time.Now()
 	defer func() { res.Wall = time.Since(start) }()
@@ -132,7 +147,7 @@ func runOneHeadless(ctx context.Context, spec scenario.Spec, cfg BatchConfig) (r
 			maxSim = 900
 		}
 	}
-	r, err := trace.RunSkill(ctx, spec, maxSim, cfg.Skill)
+	r, err := trace.RunSkill(ctx, spec, maxSim, cfg.Skill.Seeded(seed))
 	res.State = r.State
 	res.Passed = r.Passed
 	res.Alarms = r.Alarms
@@ -141,7 +156,8 @@ func runOneHeadless(ctx context.Context, spec scenario.Spec, cfg BatchConfig) (r
 }
 
 // runOne boots one federation for the spec and runs it to a verdict.
-func runOne(ctx context.Context, spec scenario.Spec, cfg BatchConfig) (res BatchResult) {
+// seed drives the run's skill jitter (see BatchConfig.Seeds).
+func runOne(ctx context.Context, spec scenario.Spec, cfg BatchConfig, seed int64) (res BatchResult) {
 	res = BatchResult{Scenario: spec.Name, Title: spec.Title}
 	start := time.Now()
 	defer func() { res.Wall = time.Since(start) }()
@@ -151,7 +167,7 @@ func runOne(ctx context.Context, spec scenario.Spec, cfg BatchConfig) (res Batch
 	ccfg.Scenario = &spec
 	ccfg.Autopilot = true
 	ccfg.AutoStart = true
-	ccfg.Skill = cfg.Skill
+	ccfg.Skill = cfg.Skill.Seeded(seed)
 
 	cluster, err := New(ccfg)
 	if err != nil {

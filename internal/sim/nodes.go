@@ -113,11 +113,11 @@ func (c *Cluster) buildSimPC(ter *terrain.Map, spec scenario.Spec) error {
 	if err != nil {
 		return err
 	}
-	scenStateSub, err := b.SubscribeObjectClass("scenario", fom.ClassCraneState, cb.WithQueue(128))
+	scenStateSub, err := b.SubscribeObjectClass("scenario", fom.ClassCraneState, cb.WithQueue(128), cb.WithLatestValue())
 	if err != nil {
 		return err
 	}
-	cmdSub, err := b.SubscribeObjectClass("scenario", fom.ClassInstructorCmd, cb.WithQueue(32))
+	cmdSub, err := b.SubscribeObjectClass("scenario", fom.ClassInstructorCmd, cb.WithReliable(32))
 	if err != nil {
 		return err
 	}
@@ -199,7 +199,7 @@ func (c *Cluster) buildSimPC(ter *terrain.Map, spec scenario.Spec) error {
 	if err != nil {
 		return err
 	}
-	audioStateSub, err := b.SubscribeObjectClass("audio", fom.ClassCraneState, cb.WithQueue(128))
+	audioStateSub, err := b.SubscribeObjectClass("audio", fom.ClassCraneState, cb.WithQueue(128), cb.WithLatestValue())
 	if err != nil {
 		return err
 	}
@@ -245,7 +245,7 @@ func (c *Cluster) buildDynamicsLP(b *cb.Backbone, lp string, model *dynamics.Mod
 	if err != nil {
 		return err
 	}
-	controlSub, err := b.SubscribeObjectClass(lp, fom.ClassControlInput, cb.WithQueue(64))
+	controlSub, err := b.SubscribeObjectClass(lp, fom.ClassControlInput, cb.WithQueue(64), cb.WithLatestValue())
 	if err != nil {
 		return err
 	}
@@ -311,15 +311,15 @@ func (c *Cluster) buildDashboard(spec scenario.Spec) error {
 	if err != nil {
 		return err
 	}
-	stateSub, err := b.SubscribeObjectClass("dashboard", fom.ClassCraneState, cb.WithQueue(128))
+	stateSub, err := b.SubscribeObjectClass("dashboard", fom.ClassCraneState, cb.WithQueue(128), cb.WithLatestValue())
 	if err != nil {
 		return err
 	}
-	scenSub, err := b.SubscribeObjectClass("dashboard", fom.ClassScenarioState, cb.WithQueue(128))
+	scenSub, err := b.SubscribeObjectClass("dashboard", fom.ClassScenarioState, cb.WithQueue(128), cb.WithLatestValue())
 	if err != nil {
 		return err
 	}
-	cmdSub, err := b.SubscribeObjectClass("dashboard", fom.ClassInstructorCmd, cb.WithQueue(32))
+	cmdSub, err := b.SubscribeObjectClass("dashboard", fom.ClassInstructorCmd, cb.WithReliable(32))
 	if err != nil {
 		return err
 	}
@@ -369,11 +369,11 @@ func (c *Cluster) buildPilotLP(b *cb.Backbone, craneIdx int, spec scenario.Spec)
 	if err != nil {
 		return err
 	}
-	stateSub, err := b.SubscribeObjectClass(lp, fom.ClassCraneState, cb.WithQueue(128))
+	stateSub, err := b.SubscribeObjectClass(lp, fom.ClassCraneState, cb.WithQueue(128), cb.WithLatestValue())
 	if err != nil {
 		return err
 	}
-	scenSub, err := b.SubscribeObjectClass(lp, fom.ClassScenarioState, cb.WithQueue(128))
+	scenSub, err := b.SubscribeObjectClass(lp, fom.ClassScenarioState, cb.WithQueue(128), cb.WithLatestValue())
 	if err != nil {
 		return err
 	}
@@ -411,7 +411,7 @@ func (c *Cluster) buildMotion() error {
 		if err != nil {
 			return fmt.Errorf("sim: motion: %w", err)
 		}
-		cueSub, err := b.SubscribeObjectClass(lp, fom.ClassMotionCue, cb.WithQueue(128))
+		cueSub, err := b.SubscribeObjectClass(lp, fom.ClassMotionCue, cb.WithQueue(128), cb.WithLatestValue())
 		if err != nil {
 			return err
 		}
@@ -453,11 +453,11 @@ func (c *Cluster) buildInstructor() error {
 		return err
 	}
 	c.monitor = instructor.NewMonitor(crane.DefaultSpec())
-	stateSub, err := b.SubscribeObjectClass("instructor", fom.ClassCraneState, cb.WithQueue(128))
+	stateSub, err := b.SubscribeObjectClass("instructor", fom.ClassCraneState, cb.WithQueue(128), cb.WithLatestValue())
 	if err != nil {
 		return err
 	}
-	scenSub, err := b.SubscribeObjectClass("instructor", fom.ClassScenarioState, cb.WithQueue(128))
+	scenSub, err := b.SubscribeObjectClass("instructor", fom.ClassScenarioState, cb.WithQueue(128), cb.WithLatestValue())
 	if err != nil {
 		return err
 	}

@@ -387,7 +387,7 @@ func (c *Cluster) InjectFault(instrument string, value float64) error {
 	if err != nil {
 		return err
 	}
-	return c.cmdPub.Update(0, cmd.Encode())
+	return c.publishCmd(cmd)
 }
 
 // ClearFault clears an injected instrument fault.
@@ -396,7 +396,19 @@ func (c *Cluster) ClearFault(instrument string) error {
 	if err != nil {
 		return err
 	}
-	return c.cmdPub.Update(0, cmd.Encode())
+	return c.publishCmd(cmd)
+}
+
+// publishCmd pushes one instructor command through its Reliable channels
+// with the blocking form: a click must reach EVERY consumer, and the
+// non-blocking Update would half-deliver when one window is full —
+// dropping the command loses that consumer's copy, retrying duplicates
+// the others'. The consumers poll every LP tick, so a stall here is
+// milliseconds; the timeout only guards a wedged federation.
+func (c *Cluster) publishCmd(cmd fom.InstructorCmd) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return c.cmdPub.UpdateContext(ctx, 0, cmd.Encode())
 }
 
 // displayName returns the display LP name for index i (0-based).
@@ -459,10 +471,13 @@ func (c *Cluster) buildDisplays(ter *terrain.Map, spec scenario.Spec) error {
 		if err != nil {
 			return fmt.Errorf("sim: renderer %d: %w", i+1, err)
 		}
-		// Every carrier publishes on the CraneState class; a queued
-		// mailbox (instead of the classic conflating one) lets the
-		// display fold the stream into a newest-state-per-crane view.
-		stateIn, err := b.SubscribeObjectClass(displayName(i), fom.ClassCraneState, cb.WithQueue(128))
+		// Every carrier publishes on the CraneState class; a latest-value
+		// mailbox keeps memory bounded when a render stall backs it up.
+		// Conflation is per virtual channel — per publishing NODE, and
+		// every dynamics LP lives on sim-pc — so the stall guarantee is
+		// newest-per-node; the depth-128 queue keeps enough history that
+		// the per-crane fold below stays fresh while all carriers publish.
+		stateIn, err := b.SubscribeObjectClass(displayName(i), fom.ClassCraneState, cb.WithQueue(128), cb.WithLatestValue())
 		if err != nil {
 			return fmt.Errorf("sim: display %d subscribe: %w", i+1, err)
 		}

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 
 	"codsim/internal/fom"
@@ -30,11 +31,39 @@ type SkillProfile struct {
 	// before correcting (meters): a sloppy operator is satisfied hovering
 	// farther from the mark, costing time and precision.
 	SlackBand float64
+
+	// Jitter is the per-run spread of the profile: with Jitter > 0,
+	// Seeded scales each of ReactionLag/Overshoot/SlackBand by an
+	// independent deterministic factor in [1-Jitter, 1+Jitter] drawn from
+	// the run's seed, so a sweep's score distribution widens without
+	// losing reproducibility. 0 (the default) disables jitter — presets
+	// stay bit-identical run to run.
+	Jitter float64
 }
 
 // IsZero reports whether the profile is the expert zero value.
 func (p SkillProfile) IsZero() bool {
 	return p.ReactionLag == 0 && p.Overshoot == 0 && p.SlackBand == 0
+}
+
+// Seeded materializes the per-run profile for one seed: each axis of
+// sloppiness is scaled by its own factor in [1-Jitter, 1+Jitter], drawn
+// from a deterministic stream over the seed, and the returned profile has
+// Jitter consumed (0) so seeding is idempotent. With Jitter == 0 the
+// profile is returned unchanged — the zero-jitter path stays bit-identical
+// to the classic presets, which is what keeps golden scores stable.
+func (p SkillProfile) Seeded(seed int64) SkillProfile {
+	if p.Jitter == 0 {
+		return p
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x536b696c6c4a69)) // "SkillJi", decorrelates from other seed users
+	factor := func() float64 { return 1 + p.Jitter*(2*rng.Float64()-1) }
+	q := p
+	q.ReactionLag *= factor()
+	q.Overshoot *= factor()
+	q.SlackBand *= factor()
+	q.Jitter = 0
+	return q
 }
 
 // SkillExpert is the classic flawless controller (the zero profile).

@@ -84,3 +84,83 @@ func TestSkillSpreadOnClassicExam(t *testing.T) {
 		t.Errorf("novice matched the expert exactly (%v) — no spread for sweeps", scores)
 	}
 }
+
+// TestSeededZeroJitterIsIdentity pins the golden-score guarantee: without
+// Jitter, Seeded must return the profile bit-identical for any seed.
+func TestSeededZeroJitterIsIdentity(t *testing.T) {
+	for _, name := range SkillNames() {
+		p, _ := SkillByName(name)
+		for _, seed := range []int64{0, 1, 42, -7} {
+			if got := p.Seeded(seed); got != p {
+				t.Errorf("%s.Seeded(%d) = %+v, want identity", name, seed, got)
+			}
+		}
+	}
+}
+
+// TestSeededJitterDeterministicSpread: the same seed reproduces the same
+// profile, different seeds diverge, every factor stays within the band,
+// and seeding is idempotent (Jitter is consumed).
+func TestSeededJitterDeterministicSpread(t *testing.T) {
+	p := SkillNovice()
+	p.Jitter = 0.3
+	a, b := p.Seeded(7), p.Seeded(7)
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	if a.Jitter != 0 {
+		t.Fatalf("Seeded left Jitter = %v", a.Jitter)
+	}
+	if again := a.Seeded(99); again != a {
+		t.Fatalf("re-seeding a materialized profile changed it: %+v", again)
+	}
+	distinct := 0
+	for seed := int64(1); seed <= 16; seed++ {
+		q := p.Seeded(seed)
+		if q != a {
+			distinct++
+		}
+		base := SkillNovice()
+		check := func(axis string, got, want float64) {
+			lo, hi := want*(1-p.Jitter), want*(1+p.Jitter)
+			if got < lo-1e-12 || got > hi+1e-12 {
+				t.Errorf("seed %d: %s = %v outside [%v, %v]", seed, axis, got, lo, hi)
+			}
+		}
+		check("lag", q.ReactionLag, base.ReactionLag)
+		check("overshoot", q.Overshoot, base.Overshoot)
+		check("slack", q.SlackBand, base.SlackBand)
+	}
+	if distinct < 14 {
+		t.Errorf("only %d/16 seeds produced distinct profiles", distinct)
+	}
+}
+
+// TestRunSkillJitterWidensRuns: jittered novices complete the classic
+// exam with per-seed distinct (but individually reproducible) runs — the
+// continuous observable is the time the sloppier or crisper hands take.
+func TestRunSkillJitterWidensRuns(t *testing.T) {
+	spec := scenario.Classic()
+	p := SkillNovice()
+	p.Jitter = 0.4
+	times := map[float64]bool{}
+	for seed := int64(1); seed <= 3; seed++ {
+		res, err := RunSkill(context.Background(), spec, 1800, p.Seeded(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		times[res.SimTime] = true
+		// Determinism: the same seed must reproduce the same run exactly.
+		res2, err := RunSkill(context.Background(), spec, 1800, p.Seeded(seed))
+		if err != nil {
+			t.Fatalf("seed %d rerun: %v", seed, err)
+		}
+		if res2.SimTime != res.SimTime || res2.State.Score != res.State.Score {
+			t.Fatalf("seed %d runs diverged: %.2fs/%.1f vs %.2fs/%.1f",
+				seed, res.SimTime, res.State.Score, res2.SimTime, res2.State.Score)
+		}
+	}
+	if len(times) < 2 {
+		t.Errorf("3 jittered seeds produced %d distinct run time(s), want a spread", len(times))
+	}
+}

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"context"
 	"testing"
 
 	"codsim/internal/fom"
@@ -58,5 +59,28 @@ func TestForCraneWalksOwnSubgraph(t *testing.T) {
 	in = ap.Control(fom.CraneState{CraneID: 1}, scen, 0.1)
 	if !in.Ignition {
 		t.Error("clamped control lost ignition")
+	}
+}
+
+// TestTandemNoviceJitterRecovers is the sloppy-sweep recovery proof for
+// the choreography reset: jittered novices fly the tandem beam across
+// several seeds, and every run must reach a terminal verdict — a drop
+// mid-carry now pulls both cursors back to the tandem lift gate together,
+// so a fumbled run degrades its score instead of wedging the sweep on two
+// disagreeing cursors.
+func TestTandemNoviceJitterRecovers(t *testing.T) {
+	spec := scenario.TandemBeam()
+	p := SkillNovice()
+	p.Jitter = 0.35
+	for seed := int64(1); seed <= 4; seed++ {
+		res, err := RunSkill(context.Background(), spec, 1800, p.Seeded(seed))
+		if err != nil {
+			t.Fatalf("seed %d never terminated: %v", seed, err)
+		}
+		if res.State.Phase != fom.PhaseComplete && res.State.Phase != fom.PhaseFailed {
+			t.Fatalf("seed %d ended in %v", seed, res.State.Phase)
+		}
+		t.Logf("seed %d: %v score %.1f in %.0f sim-seconds",
+			seed, res.State.Phase, res.State.Score, res.SimTime)
 	}
 }

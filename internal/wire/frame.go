@@ -6,9 +6,10 @@
 // CHANNEL CONNECTION to build the virtual channel, confirmed by a second
 // ACKNOWLEDGE. After that, publishers push UPDATE ATTRIBUTE VALUE frames and
 // subscribers receive them as REFLECT ATTRIBUTE VALUE. Additional kinds carry
-// liveness (HEARTBEAT), conservative time synchronization (NULL, after
-// Chandy–Misra), the display frame barrier (FRAME READY / FRAME SWAP), and
-// orderly departure (BYE).
+// liveness (HEARTBEAT, which also ferries flow-control credit grants for
+// reliable channels as control attributes), conservative time
+// synchronization (NULL, after Chandy–Misra), the display frame barrier
+// (FRAME READY / FRAME SWAP), and orderly departure (BYE).
 //
 // All multi-byte integers are big-endian; strings and byte blobs are
 // uvarint-length-prefixed. A frame on a stream transport is preceded by a
@@ -53,6 +54,13 @@ const (
 	kindMax // sentinel, keep last
 )
 
+// NOTE: credit grants deliberately do NOT get their own frame kind. A
+// legacy decoder rejects unknown kinds and its read loop treats that as
+// a dead link, so introducing a new kind would let one reliable
+// subscriber churn every channel it shares with a pre-policy peer.
+// Credits ride HEARTBEAT frames as AttrCreditCounts instead — a frame
+// every build accepts, attrs ignored by old ones.
+
 var kindNames = map[Kind]string{
 	KindSubscription: "SUBSCRIPTION",
 	KindAcknowledge:  "ACKNOWLEDGE",
@@ -85,6 +93,66 @@ const (
 	// AckChannelUp confirms a CHANNEL CONNECTION: the virtual channel is
 	// established and data will flow.
 	AckChannelUp uint8 = 2
+)
+
+// Policy selects a virtual channel's delivery contract. The subscriber
+// declares it in the CHANNEL CONNECTION frame (AttrDeliveryPolicy); a
+// handshake carrying no policy attribute — every pre-policy peer — decodes
+// as PolicyDropOldest, so old recordings and mixed-version federations
+// keep today's semantics.
+type Policy uint8
+
+// Delivery policies.
+const (
+	// PolicyDropOldest is the legacy contract: a full subscriber mailbox
+	// silently drops its oldest reflection.
+	PolicyDropOldest Policy = iota
+	// PolicyLatestValue conflates: a full mailbox coalesces to the newest
+	// reflection per channel — the right semantics for periodic state
+	// where the consumer only ever wants the latest sample.
+	PolicyLatestValue
+	// PolicyReliable is credit-windowed: the publisher may have at most
+	// the channel's window of unconsumed updates in flight; past that the
+	// send blocks or fails instead of anything being dropped.
+	PolicyReliable
+
+	policyMax // sentinel, keep last
+)
+
+var policyNames = map[Policy]string{
+	PolicyDropOldest:  "drop-oldest",
+	PolicyLatestValue: "latest-value",
+	PolicyReliable:    "reliable",
+}
+
+// String returns the lowercase policy name.
+func (p Policy) String() string {
+	if s, ok := policyNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("Policy(%d)", uint8(p))
+}
+
+// Valid reports whether p is a defined delivery policy.
+func (p Policy) Valid() bool { return p < policyMax }
+
+// Protocol attribute IDs carried on control frames. UPDATE/REFLECT frames
+// use the object model's own attribute IDs; these apply only to CHANNEL
+// CONNECTION and HEARTBEAT frames, whose attribute sets were always empty
+// before — legacy peers decode and ignore them.
+const (
+	// AttrDeliveryPolicy (uint32) on CHANNEL CONNECTION: the subscriber's
+	// requested Policy. Absent means PolicyDropOldest.
+	AttrDeliveryPolicy AttrID = 1
+	// AttrCreditWindow (uint32) on CHANNEL CONNECTION: the send window of
+	// a PolicyReliable channel.
+	AttrCreditWindow AttrID = 2
+	// AttrCreditCounts ([]int64, [channel, consumed] pairs) on HEARTBEAT:
+	// cumulative consumption counts for reliable channels riding the
+	// link. Immediate grants are heartbeats carrying just the granted
+	// channel; the periodic beacon repeats every channel's count, so a
+	// lost grant never wedges a publisher for longer than one beat.
+	AttrCreditCounts AttrID = 3
 )
 
 // Frame is the unit of exchange between CBs. A single struct covers every

@@ -25,6 +25,9 @@ go test -race ./...
 echo "== bench smoke (1 iteration) =="
 go test -bench . -benchtime 1x -run '^$' ./...
 
+echo "== slow-subscriber smoke (MemLAN, 2 s stall: conflation + backpressure) =="
+go test -run 'TestSlowSubscriberMemLANSmoke|TestReliableBackpressureStallsAndDrains|TestLatestValueStalledSubscriberConflates' -race -count=1 ./internal/cb
+
 echo "== dist smoke (coordinator + workers, MemLAN) =="
 go test -run 'TestCoordinatorWorkersMemLAN|TestRedispatchOnWorkerDeath|TestMemLANTandemSweep' -count=1 ./internal/dist
 
@@ -38,6 +41,13 @@ cleanup() {
     rm -rf "$out" || true
 }
 trap cleanup EXIT
+
+echo "== bench regression (cb/transport allocs/op vs BENCH_baseline.json, warn-only) =="
+# 10x matches the baseline's recording conditions: at 1x the one-time
+# channel-setup allocations drown the per-op signal.
+go test -bench 'BenchmarkCB|BenchmarkChannelSetup' -benchtime 10x -run '^$' . >"$out/bench.txt"
+go test -bench . -benchtime 10x -run '^$' ./internal/transport >>"$out/bench.txt"
+go run ./cmd/benchdiff BENCH_baseline.json "$out/bench.txt"
 
 echo "== batch smoke (headless sweep incl. multi-crane, JSONL report) =="
 go build -o "$out/codbatch" ./cmd/codbatch
