@@ -1,0 +1,215 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"codsim/cod"
+	"codsim/internal/dist"
+	"codsim/internal/scenario/gen"
+	"codsim/internal/sim"
+)
+
+// parseCampaign splits the -campaign argument: "seed:count".
+func parseCampaign(arg string) (seed int64, count int, err error) {
+	s, c, ok := strings.Cut(arg, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("-campaign wants seed:count, got %q", arg)
+	}
+	if seed, err = strconv.ParseInt(strings.TrimSpace(s), 10, 64); err != nil {
+		return 0, 0, fmt.Errorf("-campaign seed %q: %w", s, err)
+	}
+	if count, err = strconv.Atoi(strings.TrimSpace(c)); err != nil {
+		return 0, 0, fmt.Errorf("-campaign count %q: %w", c, err)
+	}
+	if count <= 0 {
+		return 0, 0, fmt.Errorf("-campaign count %d must be positive", count)
+	}
+	return seed, count, nil
+}
+
+// campaignSource feeds a bounded number of certified generated scenarios
+// into a coordinator: job ID is the emission index, job Seed the
+// generator candidate index, so records and skill jitter stay keyed to
+// the reproducible stream.
+type campaignSource struct {
+	stream  *gen.Stream
+	count   int
+	emitted int
+}
+
+func (cs *campaignSource) Next(ctx context.Context) (dist.Job, bool, error) {
+	if cs.emitted >= cs.count {
+		return dist.Job{}, false, nil
+	}
+	spec, cand, err := cs.stream.Next(ctx)
+	if err != nil {
+		return dist.Job{}, false, err
+	}
+	j := dist.Job{ID: int64(cs.emitted), Seed: cand, Spec: spec}
+	cs.emitted++
+	return j, true, nil
+}
+
+// listCampaign previews the candidate stream without flying anything:
+// the free static oracle only, so rows print instantly. The certified
+// campaign dispatches these same candidates minus whatever the dry-run
+// oracle vetoes.
+func listCampaign(seed int64, count int, params gen.Params) error {
+	stream := gen.NewStream(seed, params)
+	stream.Oracle = gen.StaticOnly
+	fmt.Printf("campaign %s (pre-oracle preview)\n", gen.Key(seed, count, params))
+	for i := 0; i < count; i++ {
+		spec, cand, err := stream.Next(context.Background())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%4d  cand %-4d %-12s %d crane(s), %d cargo(s)%s\n",
+			i, cand, spec.Name, spec.CraneCount(), len(spec.Cargos), describe(spec))
+	}
+	st := stream.Stats()
+	fmt.Printf("%d candidates sampled, %d static rejects\n", st.Candidates, st.StaticRejects)
+	return nil
+}
+
+// campaignSummary prints the generator's tallies after a sweep — the
+// acceptance bar is zero uncompletable specs dispatched, so the vetoes
+// are reported, not hidden.
+func campaignSummary(key string, st gen.Stats, wall time.Duration) {
+	fmt.Printf("campaign %s: %d certified jobs from %d candidates (%d static + %d oracle rejects resampled) in %.1fs wall\n",
+		key, st.Emitted, st.Candidates, st.StaticRejects, st.OracleRejects, wall.Seconds())
+}
+
+// runCampaignLocal runs a generated campaign on this host, still through
+// the dist protocol: an in-process MemLAN federation carries one
+// coordinator streaming certified jobs to one worker serving -parallel
+// slots. Identical dispatch semantics to the multi-host path — the LAN is
+// just memory.
+func runCampaignLocal(ctx context.Context, seed int64, count int, params gen.Params,
+	slots int, batch sim.BatchConfig, outPath, compare string, strict bool) error {
+	if slots <= 0 {
+		if batch.Headless {
+			slots = runtime.NumCPU()
+		} else {
+			slots = max(1, runtime.NumCPU()/4)
+		}
+	}
+	fed := cod.NewFederation(cod.WithLAN(cod.NewMemLAN()))
+	defer fed.Close()
+
+	wnode, err := fed.Node("campaign-worker-node")
+	if err != nil {
+		return err
+	}
+	worker, err := dist.NewWorker(wnode, dist.WorkerConfig{
+		Name:  "local",
+		Slots: slots,
+		Batch: batch,
+	})
+	if err != nil {
+		return err
+	}
+	defer worker.Close()
+	wctx, stopWorker := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = worker.Run(wctx)
+	}()
+	defer wg.Wait()
+	defer stopWorker()
+
+	cnode, err := fed.Node("campaign-coordinator-node")
+	if err != nil {
+		return err
+	}
+	coord, err := dist.NewCoordinator(cnode, dist.CoordinatorConfig{})
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+	if err := coord.WaitWorkers(ctx, []string{"local"}); err != nil {
+		return err
+	}
+	return runCampaignSweep(ctx, coord, seed, count, params, slots, outPath, compare, strict)
+}
+
+// runCampaignCoordinator streams a generated campaign over the segment to
+// the named worker hosts.
+func runCampaignCoordinator(ctx context.Context, lanAddr, workerList string,
+	seed int64, count int, params gen.Params, outPath, compare string, strict bool) error {
+	var workers []string
+	for _, w := range strings.Split(workerList, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			workers = append(workers, w)
+		}
+	}
+	if len(workers) == 0 {
+		return errors.New("-coordinator needs at least one worker name")
+	}
+	node, err := cod.NewNode("codbatch-coordinator", cod.WithUDP(lanAddr))
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	coord, err := dist.NewCoordinator(node, dist.CoordinatorConfig{})
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+	fmt.Printf("waiting for workers %s on %s\n", strings.Join(workers, ", "), lanAddr)
+	if err := coord.WaitWorkers(ctx, workers); err != nil {
+		return err
+	}
+	return runCampaignSweep(ctx, coord, seed, count, params, runtime.NumCPU(), outPath, compare, strict)
+}
+
+// runCampaignSweep is the shared dispatch tail: certified generator
+// stream in, JSONL records and percentile report out.
+func runCampaignSweep(ctx context.Context, coord *dist.Coordinator,
+	seed int64, count int, params gen.Params, oracleWidth int,
+	outPath, compare string, strict bool) error {
+	key := gen.Key(seed, count, params)
+	fmt.Printf("campaign %s: dispatching %d certified scenarios (window-streamed, oracle-certified)\n", key, count)
+
+	stream := gen.NewStream(seed, params)
+	stream.Parallel = oracleWidth
+	src := &campaignSource{stream: stream, count: count}
+	start := time.Now()
+	recs, err := coord.RunStream(ctx, src)
+	if err != nil {
+		if outPath != "" && len(recs) > 0 {
+			_ = dist.SaveRecords(outPath, recs)
+		}
+		return fmt.Errorf("campaign aborted with %d/%d records: %w", len(recs), count, err)
+	}
+	campaignSummary(key, stream.Stats(), time.Since(start))
+	if outPath == "" {
+		fmt.Printf("hint: -out %s.jsonl persists this sweep for -compare/-trend\n", key)
+	}
+	return finishSweep(recs, outPath, compare, strict)
+}
+
+// reproduceCampaign regenerates the certified job list without
+// dispatching — the determinism check behind "re-running the same
+// seed+params reproduces the identical job list". Used by tests; kept
+// here so the CLI and the check cannot drift apart.
+func reproduceCampaign(ctx context.Context, seed int64, count int, params gen.Params) ([]dist.Job, gen.Stats, error) {
+	stream := gen.NewStream(seed, params)
+	src := &campaignSource{stream: stream, count: count}
+	var jobs []dist.Job
+	for {
+		j, ok, err := src.Next(ctx)
+		if err != nil || !ok {
+			return jobs, stream.Stats(), err
+		}
+		jobs = append(jobs, j)
+	}
+}

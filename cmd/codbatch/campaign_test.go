@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"codsim/internal/scenario"
+	"codsim/internal/scenario/gen"
+)
+
+func TestParseCampaign(t *testing.T) {
+	seed, count, err := parseCampaign("42:1000")
+	if err != nil || seed != 42 || count != 1000 {
+		t.Fatalf("42:1000 -> %d, %d, %v", seed, count, err)
+	}
+	if _, _, err := parseCampaign("-7: 25"); err != nil {
+		t.Fatalf("negative seed with spaces: %v", err)
+	}
+	for _, bad := range []string{"", "7", "7:", ":5", "7:0", "7:-2", "x:5", "7:y"} {
+		if _, _, err := parseCampaign(bad); err == nil {
+			t.Errorf("parseCampaign(%q) accepted", bad)
+		}
+	}
+}
+
+// Re-running the same seed+params must reproduce the identical job list —
+// IDs, candidate seeds, and spec bytes — even with the real oracle
+// vetoing candidates in between.
+func TestReproduceCampaignDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expert dry-runs in -short")
+	}
+	ctx := context.Background()
+	const count = 8
+	a, sa, err := reproduceCampaign(ctx, 42, count, gen.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, sb, err := reproduceCampaign(ctx, 42, count, gen.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa != sb {
+		t.Fatalf("tallies differ: %+v vs %+v", sa, sb)
+	}
+	if len(a) != count || len(b) != count {
+		t.Fatalf("job lists %d/%d, want %d", len(a), len(b), count)
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Seed != b[i].Seed {
+			t.Fatalf("job %d: (%d,%d) vs (%d,%d)", i, a[i].ID, a[i].Seed, b[i].ID, b[i].Seed)
+		}
+		ja, err := scenario.MarshalSpec(a[i].Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jb, _ := scenario.MarshalSpec(b[i].Spec)
+		if !bytes.Equal(ja, jb) {
+			t.Fatalf("job %d: spec bytes differ between reruns", i)
+		}
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"codsim/cod"
 	"codsim/internal/dist"
 	"codsim/internal/scenario"
+	"codsim/internal/scenario/gen"
 	"codsim/internal/sim"
 	"codsim/internal/trace"
 )
@@ -70,6 +71,7 @@ func run() error {
 		coordAt   = flag.String("coordinator", "", "coordinator mode: comma-separated worker names to shard over")
 		lanAddr   = flag.String("lan", "127.0.0.1:47700", "UDPLAN segment (host:basePort) for -serve/-coordinator")
 		name      = flag.String("name", "", "worker name on the segment (default worker-<pid>)")
+		campaign  = flag.String("campaign", "", "procedural campaign seed:count — generate, oracle-certify and dispatch that many scenarios instead of a library selection")
 		skillName = flag.String("skill", "", `autopilot skill preset (expert, intermediate, novice; "" = expert)`)
 		jitter    = flag.Float64("jitter", 0, "per-run skill jitter spread (0..1): each run scales the preset's lag/overshoot/slack by a factor in [1-j, 1+j] drawn from its job seed")
 		trendDir  = flag.String("trend", "", "report pass-rate/p50-score trends across every *.jsonl sweep in this directory and exit")
@@ -102,6 +104,41 @@ func run() error {
 	// explicit -timeout carries over.
 	if *headless && !flagSet("timeout") {
 		*timeout = 0
+	}
+
+	if *campaign != "" {
+		seed, count, err := parseCampaign(*campaign)
+		if err != nil {
+			return err
+		}
+		switch {
+		case *specsDir != "" || flagSet("scenarios") || flagSet("repeat"):
+			return errors.New("-campaign generates its own work list; it conflicts with -specs, -scenarios and -repeat")
+		case *serve:
+			return errors.New("-campaign is a coordinator/local mode; workers just -serve")
+		}
+		params := gen.DefaultParams()
+		if *list {
+			return listCampaign(seed, count, params)
+		}
+		batch := sim.BatchConfig{
+			Base: sim.Config{
+				TimeScale: *timescale,
+				Displays:  *displays,
+				Width:     96,
+				Height:    72,
+				Polygons:  *polygons,
+			},
+			Timeout:  *timeout,
+			Headless: *headless,
+			Skill:    skill,
+		}
+		if *coordAt != "" {
+			return runCampaignCoordinator(ctx, *lanAddr, *coordAt, seed, count, params,
+				*outPath, *compare, *strict)
+		}
+		return runCampaignLocal(ctx, seed, count, params, *parallel, batch,
+			*outPath, *compare, *strict)
 	}
 
 	selection, err := selectSpecs(*specsDir, *names)

@@ -47,6 +47,18 @@
 // worker hosts with -serve/-coordinator, persisting per-run JSON-lines
 // records with percentile, regression and trend reports (-trend dir/).
 //
+// Beyond the hand-built library, scenario/gen generates scenarios
+// procedurally: gen.Generate samples seeded, deterministic Specs
+// (randomized courses, cargo sets, tandem beams, wind and night
+// regimes, one- or two-crane phase graphs) and a completability oracle
+// — a static reachability check plus an expert-autopilot dry-run
+// (trace.Completable) — certifies every emitted spec before it is
+// dispatched. codbatch -campaign seed:count streams a certified
+// campaign through the dist coordinator in windowed chunks
+// (Coordinator.RunStream over a dist.JobSource), reproducible and
+// diffable per seed+params; rejected candidates are resampled from the
+// same seed stream and tallied, never dispatched.
+//
 // # Multi-crane federation and tandem lifts
 //
 // A Spec may declare several carriers (Spec.Cranes); each phase node

@@ -1,0 +1,129 @@
+package dist
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"codsim/cod"
+	"codsim/internal/scenario"
+	"codsim/internal/scenario/gen"
+	"codsim/internal/sim"
+)
+
+// streamSource feeds a bounded number of generated scenarios into a
+// coordinator — the same adapter shape codbatch's -campaign mode uses.
+type streamSource struct {
+	s       *gen.Stream
+	count   int
+	emitted int
+}
+
+func (ss *streamSource) Next(ctx context.Context) (Job, bool, error) {
+	if ss.emitted >= ss.count {
+		return Job{}, false, nil
+	}
+	spec, cand, err := ss.s.Next(ctx)
+	if err != nil {
+		return Job{}, false, err
+	}
+	j := Job{ID: int64(ss.emitted), Seed: cand, Spec: spec}
+	ss.emitted++
+	return j, true, nil
+}
+
+// TestCampaignStreamMemLAN runs a 50-job generated campaign through the
+// coordinator with a dispatch window far smaller than the sweep — jobs
+// are pulled from the generator as results free slots, never materialized
+// up front — and cross-checks every distributed verdict against a local
+// sim.RunBatch of the same specs. The StaticOnly oracle keeps the stream
+// cheap; the workers' DefaultRunner does the real flying.
+func TestCampaignStreamMemLAN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("50 headless runs in -short")
+	}
+	fed := cod.NewFederation(cod.WithLAN(cod.NewMemLAN()), fastTimers())
+	defer fed.Close()
+
+	// Heartbeat also scales the worker's claim TTL (4x): under -race on a
+	// loaded single core a grant can take hundreds of milliseconds to
+	// reach its claimant, and an expired claim burns an attempt via the
+	// coordinator's lost-grant detector. Generous liveness knobs keep the
+	// test about streaming, not failure detection.
+	wcfg := WorkerConfig{
+		Slots:     2,
+		Heartbeat: 250 * time.Millisecond,
+		Batch:     sim.BatchConfig{Headless: true},
+	}
+	startWorker(t, fed, "w1", wcfg)
+	startWorker(t, fed, "w2", wcfg)
+
+	cnode, err := fed.Node("coord-node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := fastCoordinator()
+	ccfg.Window = 8
+	// This test exercises windowed streaming, not timeout redispatch:
+	// under -race on a loaded single core a legitimate headless run can
+	// outlive fastCoordinator's 10 s budget, and a spurious redispatch
+	// would burn MaxAttempts on a healthy job.
+	ccfg.JobTimeout = 90 * time.Second
+	ccfg.DeadAfter = 10 * time.Second
+	coord, err := NewCoordinator(cnode, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 240*time.Second)
+	defer cancel()
+	if err := coord.WaitWorkers(ctx, []string{"w1", "w2"}); err != nil {
+		t.Fatalf("WaitWorkers: %v", err)
+	}
+
+	const count = 50
+	stream := gen.NewStream(1234, gen.DefaultParams())
+	stream.Oracle = gen.StaticOnly
+	recs, err := coord.RunStream(ctx, &streamSource{s: stream, count: count})
+	if err != nil {
+		t.Fatalf("RunStream: %v", err)
+	}
+	if len(recs) != count {
+		t.Fatalf("records = %d, want %d", len(recs), count)
+	}
+
+	// Rebuild the identical job list locally (same seed, same oracle) and
+	// fly it in-process: every distributed verdict must match.
+	replay := gen.NewStream(1234, gen.DefaultParams())
+	replay.Oracle = gen.StaticOnly
+	specs := make([]scenario.Spec, count)
+	for i := range specs {
+		spec, cand, err := replay.Next(ctx)
+		if err != nil {
+			t.Fatalf("replay emit %d: %v", i, err)
+		}
+		if recs[i].Seed != cand {
+			t.Fatalf("job %d: dispatched candidate %d, replay candidate %d — stream not reproducible", i, recs[i].Seed, cand)
+		}
+		if recs[i].Scenario != spec.Name {
+			t.Fatalf("job %d: dispatched %q, replay %q", i, recs[i].Scenario, spec.Name)
+		}
+		specs[i] = spec
+	}
+	// The StaticOnly stream admits some specs the expert cannot finish, so
+	// the sweep carries a pass/fail mix — the verdicts (not just the
+	// passes) must agree run for run.
+	local := sim.RunBatch(ctx, specs, sim.BatchConfig{Headless: true, Parallel: 4})
+	fails := 0
+	for i, r := range recs {
+		if r.Passed != local[i].Passed {
+			t.Errorf("job %d (%s): dist passed=%v (err %q) local passed=%v (err %v)",
+				i, r.Scenario, r.Passed, r.Err, local[i].Passed, local[i].Err)
+		}
+		if !r.Passed {
+			fails++
+		}
+	}
+	t.Logf("%d/%d generated jobs failed under the free oracle (verdicts all matched)", fails, count)
+}

@@ -32,6 +32,11 @@ type CoordinatorConfig struct {
 	// MaxAttempts gives up on a job after this many dispatches and
 	// records a synthetic failure (default 3).
 	MaxAttempts int
+	// Window bounds how many jobs RunStream holds in flight (pending or
+	// granted) ahead of the workers before pulling more from its source
+	// (default 64). Run ignores it — a materialized list is already paid
+	// for.
+	Window int
 	// Logf, when set, receives dispatch-state transitions (grants,
 	// results, re-dispatches) for debugging a sweep; nil is silent.
 	Logf func(format string, args ...any)
@@ -59,6 +64,9 @@ func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
 	}
 	if c.MaxAttempts <= 0 {
 		c.MaxAttempts = 3
+	}
+	if c.Window <= 0 {
+		c.Window = 64
 	}
 	return c
 }
@@ -216,28 +224,65 @@ type jobState struct {
 // partial set is returned with ctx.Err(). Jobs that exhaust MaxAttempts
 // get a synthetic failed Record rather than stalling the sweep.
 func (c *Coordinator) Run(ctx context.Context, jobs []Job) ([]Record, error) {
-	states := make(map[int64]*jobState, len(jobs))
-	for _, j := range jobs {
-		data, err := scenario.MarshalSpec(j.Spec)
-		if err != nil {
-			return nil, fmt.Errorf("dist: %s: %w", j, err)
+	return c.RunStream(ctx, SliceJobs(jobs))
+}
+
+// RunStream is Run over an incremental work list: it keeps at most Window
+// jobs in flight, pulling more from the source as results free slots, and
+// blocks until the source is exhausted and every pulled job has a Record
+// (or ctx is done). The source is only ever polled from this goroutine; a
+// source that blocks (a generator certifying its next candidate) delays
+// refills but never the draining of results already in flight by more
+// than one poll.
+func (c *Coordinator) RunStream(ctx context.Context, src JobSource) ([]Record, error) {
+	states := make(map[int64]*jobState)
+	var jobs []Job
+	done := 0
+	exhausted := false
+
+	// load tops the in-flight set back up to the window. Malformed or
+	// duplicate jobs abort the sweep — a streaming source is code, not
+	// input, and dispatching around its bug would silently shrink the
+	// campaign.
+	load := func() error {
+		for !exhausted && len(states)-done < c.cfg.Window {
+			j, ok, err := src.Next(ctx)
+			if err != nil {
+				return fmt.Errorf("dist: job source: %w", err)
+			}
+			if !ok {
+				exhausted = true
+				return nil
+			}
+			data, err := scenario.MarshalSpec(j.Spec)
+			if err != nil {
+				return fmt.Errorf("dist: %s: %w", j, err)
+			}
+			if _, dup := states[j.ID]; dup {
+				return fmt.Errorf("dist: duplicate job id %d", j.ID)
+			}
+			states[j.ID] = &jobState{job: j, specJSON: data, attempt: 1}
+			jobs = append(jobs, j)
 		}
-		if _, dup := states[j.ID]; dup {
-			return nil, fmt.Errorf("dist: duplicate job id %d", j.ID)
-		}
-		states[j.ID] = &jobState{job: j, specJSON: data, attempt: 1}
+		return nil
 	}
 
-	done := 0
 	tick := time.NewTicker(c.cfg.Announce)
 	defer tick.Stop()
-	for done < len(states) {
+	for {
+		if err := load(); err != nil {
+			return collect(jobs, states), err
+		}
 		c.drainHeartbeats()
 		if n := c.drainResults(states); n > 0 {
 			done += n
-			// A result frees a worker slot; re-announce the backlog now
-			// instead of waiting out the period, or every slot refill
-			// costs a full Announce of idle time.
+			// A result frees a worker slot: refill the window and
+			// re-announce the backlog now instead of waiting out the
+			// period, or every slot refill costs a full Announce of idle
+			// time.
+			if err := load(); err != nil {
+				return collect(jobs, states), err
+			}
 			for _, s := range states {
 				if s.phase == jobPending {
 					s.announce = time.Time{}
@@ -246,6 +291,9 @@ func (c *Coordinator) Run(ctx context.Context, jobs []Job) ([]Record, error) {
 		}
 		c.drainClaims(states)
 		done += c.redispatch(states)
+		if exhausted && done == len(states) {
+			return collect(jobs, states), nil
+		}
 		c.announcePending(states)
 
 		select {
@@ -257,7 +305,6 @@ func (c *Coordinator) Run(ctx context.Context, jobs []Job) ([]Record, error) {
 		case <-c.subHB.NotifyC():
 		}
 	}
-	return collect(jobs, states), nil
 }
 
 // collect gathers finished records in job-ID order.

@@ -44,6 +44,13 @@
 // a worker host needs no scenario library — the sweep's spec files never
 // leave the coordinator.
 //
+// The work list itself can be incremental: Coordinator.RunStream pulls
+// jobs from a JobSource and keeps at most CoordinatorConfig.Window of
+// them in flight, so a procedural campaign (scenario/gen via codbatch
+// -campaign) streams thousands of generated jobs through the sweep
+// without materializing them up front. Run is RunStream over a
+// materialized slice.
+//
 // Every run persists as one JSON-lines Record (scenario, seed, score,
 // phase, sim/wall time, worker); Report aggregates pass rate and
 // p50/p90/p99 percentiles, and Compare diffs two result files for

@@ -1,0 +1,152 @@
+package gen
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"codsim/internal/scenario"
+)
+
+// MaxConsecutiveRejects bounds how many candidates in a row a Stream will
+// sample and discard before concluding the params are pathological (every
+// candidate failing its dry-run) rather than unlucky, and erroring out
+// instead of spinning forever.
+const MaxConsecutiveRejects = 1000
+
+// Stats tallies a Stream's work so campaign reports can show how many
+// candidates the oracle vetoed — the acceptance bar is zero uncompletable
+// specs *dispatched*, not zero sampled.
+type Stats struct {
+	Candidates    int64 // specs sampled from the seed stream
+	StaticRejects int64 // vetoed by the free reachability pre-check
+	OracleRejects int64 // vetoed by the expert dry-run
+	Emitted       int64 // certified specs handed to the caller
+}
+
+// Stream yields certified scenarios in candidate order. Candidate k's
+// spec is Generate(SubSeed(seed, k), params); rejected candidates are
+// skipped and sampling continues under the same sub-seed stream, so the
+// emitted sequence — and every tally in Stats — is a pure function of
+// (seed, params, oracle). Certification dry-runs for a batch of
+// candidates execute in parallel, but emission order never depends on
+// which finishes first.
+//
+// Not safe for concurrent use; a campaign owns one Stream and feeds the
+// coordinator from it.
+type Stream struct {
+	// Oracle certifies candidates; nil means DefaultOracle(params) — the
+	// full static-check + expert dry-run. Set StaticOnly for free previews.
+	Oracle Oracle
+	// Parallel bounds concurrent dry-runs per refill batch; 0 means
+	// GOMAXPROCS.
+	Parallel int
+
+	seed    int64
+	params  Params
+	next    int64 // next candidate index to sample
+	rejects int   // consecutive rejects since the last emission
+	buf     []certified
+	stats   Stats
+}
+
+type certified struct {
+	spec      scenario.Spec
+	candidate int64
+}
+
+// NewStream starts the certified-scenario stream for a campaign seed.
+// Set Oracle/Parallel before the first Next if the defaults don't fit.
+func NewStream(seed int64, params Params) *Stream {
+	return &Stream{seed: seed, params: params}
+}
+
+// Stats returns the tallies so far.
+func (s *Stream) Stats() Stats { return s.stats }
+
+// Next returns the stream's next certified scenario and the candidate
+// index it was sampled at. It blocks while a refill batch dry-runs; a
+// canceled ctx aborts mid-batch. err is terminal: a generator fault, an
+// oracle fault, ctx cancellation, or MaxConsecutiveRejects candidates
+// vetoed back-to-back.
+func (s *Stream) Next(ctx context.Context) (scenario.Spec, int64, error) {
+	for len(s.buf) == 0 {
+		if err := s.refill(ctx); err != nil {
+			return scenario.Spec{}, 0, err
+		}
+	}
+	out := s.buf[0]
+	s.buf = s.buf[1:]
+	s.stats.Emitted++
+	return out.spec, out.candidate, nil
+}
+
+// refill samples one batch of candidates, certifies them in parallel, and
+// appends the survivors to the buffer in candidate order.
+func (s *Stream) refill(ctx context.Context) error {
+	oracle := s.Oracle
+	if oracle == nil {
+		oracle = DefaultOracle(s.params)
+	}
+	width := s.Parallel
+	if width <= 0 {
+		width = runtime.GOMAXPROCS(0)
+	}
+
+	// Sample and static-check serially — both are microseconds — so the
+	// tallies stay in candidate order; only the dry-runs fan out.
+	type slot struct {
+		spec scenario.Spec
+		cand int64
+		ok   bool
+		err  error
+	}
+	batch := make([]*slot, 0, width)
+	for len(batch) < width {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		cand := s.next
+		s.next++
+		s.stats.Candidates++
+		spec, err := Generate(SubSeed(s.seed, cand), s.params)
+		if err != nil {
+			return fmt.Errorf("gen: candidate %d: %w", cand, err)
+		}
+		if StaticCheck(spec) != nil {
+			s.stats.StaticRejects++
+			if s.rejects++; s.rejects >= MaxConsecutiveRejects {
+				return fmt.Errorf("gen: %d candidates rejected back-to-back — params sample an uncompletable space", s.rejects)
+			}
+			continue
+		}
+		batch = append(batch, &slot{spec: spec, cand: cand})
+	}
+
+	var wg sync.WaitGroup
+	for _, sl := range batch {
+		wg.Add(1)
+		go func(sl *slot) {
+			defer wg.Done()
+			sl.ok, sl.err = oracle(ctx, sl.spec)
+		}(sl)
+	}
+	wg.Wait()
+
+	for _, sl := range batch {
+		if sl.err != nil {
+			return fmt.Errorf("gen: candidate %d oracle: %w", sl.cand, sl.err)
+		}
+		if !sl.ok {
+			s.stats.OracleRejects++
+			if s.rejects++; s.rejects >= MaxConsecutiveRejects {
+				return fmt.Errorf("gen: %d candidates rejected back-to-back — params sample an uncompletable space", s.rejects)
+			}
+			continue
+		}
+		s.rejects = 0
+		s.buf = append(s.buf, certified{spec: sl.spec, candidate: sl.cand})
+	}
+	return nil
+}

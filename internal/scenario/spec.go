@@ -185,7 +185,10 @@ func (s Spec) CraneDecls() []CraneDecl {
 	return s.Cranes
 }
 
-// Validate reports structural errors in the spec.
+// Validate reports structural errors in the spec. Every phase-level error
+// names the offending phase index and its crane index, so a rejected
+// generated or hand-written spec is actionable from the message alone —
+// no need to dump the JSON to find the bad node.
 //
 // The "preceding lift" requirement on traverse and place nodes is checked
 // in list order within each crane's sub-graph, deliberately matching the
@@ -220,35 +223,38 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("scenario %s: phase %d: crane index %d of %d", s.Name, i, p.Crane, nCranes)
 		}
 		owned[p.Crane]++
+		// at names the phase (and its crane) an error belongs to; every
+		// node-level message leads with it.
+		at := fmt.Sprintf("phase %d (crane %d)", i, p.Crane)
 		if p.Tandem && p.Kind != PhaseLift {
-			return fmt.Errorf("scenario %s: phase %d: tandem on a %s node (lift only)", s.Name, i, p.Kind)
+			return fmt.Errorf("scenario %s: %s: tandem on a %s node (lift only)", s.Name, at, p.Kind)
 		}
 		switch p.Kind {
 		case PhaseDrive:
 			if p.Radius <= 0 {
-				return fmt.Errorf("scenario %s: phase %d (%s): radius %v", s.Name, i, p.Kind, p.Radius)
+				return fmt.Errorf("scenario %s: %s: %s radius %v", s.Name, at, p.Kind, p.Radius)
 			}
 		case PhasePlace:
 			if p.Radius <= 0 {
-				return fmt.Errorf("scenario %s: phase %d (%s): radius %v", s.Name, i, p.Kind, p.Radius)
+				return fmt.Errorf("scenario %s: %s: %s radius %v", s.Name, at, p.Kind, p.Radius)
 			}
 			// The drop edge falls back to the nearest preceding lift of
 			// the same crane; without one the engine would deduct every
 			// tick forever.
 			if !liftSeen[p.Crane] {
-				return fmt.Errorf("scenario %s: phase %d: place with no preceding lift", s.Name, i)
+				return fmt.Errorf("scenario %s: %s: place with no preceding lift", s.Name, at)
 			}
 		case PhaseLift:
 			if p.Cargo < 0 || p.Cargo >= len(s.Cargos) {
-				return fmt.Errorf("scenario %s: phase %d: cargo index %d of %d", s.Name, i, p.Cargo, len(s.Cargos))
+				return fmt.Errorf("scenario %s: %s: cargo index %d of %d", s.Name, at, p.Cargo, len(s.Cargos))
 			}
 			hooks := s.Cargos[p.Cargo].HooksNeeded()
 			switch {
 			case p.Tandem && hooks < 2:
-				return fmt.Errorf("scenario %s: phase %d: tandem lift of single-hook cargo %d", s.Name, i, p.Cargo)
+				return fmt.Errorf("scenario %s: %s: tandem lift of single-hook cargo %d", s.Name, at, p.Cargo)
 			case !p.Tandem && hooks >= 2:
-				return fmt.Errorf("scenario %s: phase %d: cargo %d needs %d hooks — lift it with a tandem node",
-					s.Name, i, p.Cargo, hooks)
+				return fmt.Errorf("scenario %s: %s: cargo %d needs %d hooks — lift it with a tandem node",
+					s.Name, at, p.Cargo, hooks)
 			case p.Tandem:
 				if tandemLifters[p.Cargo] == nil {
 					tandemLifters[p.Cargo] = make(map[int]bool)
@@ -258,20 +264,20 @@ func (s Spec) Validate() error {
 			liftSeen[p.Crane] = true
 		case PhaseTraverse:
 			if len(p.Waypoints) == 0 {
-				return fmt.Errorf("scenario %s: phase %d: traverse without waypoints", s.Name, i)
+				return fmt.Errorf("scenario %s: %s: traverse without waypoints", s.Name, at)
 			}
 			if p.Radius <= 0 {
-				return fmt.Errorf("scenario %s: phase %d: gate radius %v", s.Name, i, p.Radius)
+				return fmt.Errorf("scenario %s: %s: gate radius %v", s.Name, at, p.Radius)
 			}
 			if !liftSeen[p.Crane] {
-				return fmt.Errorf("scenario %s: phase %d: traverse with no preceding lift", s.Name, i)
+				return fmt.Errorf("scenario %s: %s: traverse with no preceding lift", s.Name, at)
 			}
 		default:
-			return fmt.Errorf("scenario %s: phase %d: unknown kind %d", s.Name, i, p.Kind)
+			return fmt.Errorf("scenario %s: %s: unknown kind %d", s.Name, at, p.Kind)
 		}
 		if p.Next != 0 && p.Next != Terminal {
 			if p.Next <= 0 || p.Next >= len(s.Phases) {
-				return fmt.Errorf("scenario %s: phase %d: next %d out of graph", s.Name, i, p.Next)
+				return fmt.Errorf("scenario %s: phase %d (crane %d): next %d out of graph", s.Name, i, p.Crane, p.Next)
 			}
 			if s.Phases[p.Next].Crane != p.Crane {
 				return fmt.Errorf("scenario %s: phase %d (crane %d): next %d belongs to crane %d",

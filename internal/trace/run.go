@@ -2,6 +2,7 @@ package trace
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"codsim/internal/crane"
@@ -10,6 +11,12 @@ import (
 	"codsim/internal/scenario"
 	"codsim/internal/terrain"
 )
+
+// ErrIncomplete marks a run that reached neither terminal phase within its
+// sim-time budget: the trainee was still working when time ran out. Run's
+// timeout error wraps it, so callers can tell "did not finish" apart from
+// setup failures and cancellation with errors.Is.
+var ErrIncomplete = errors.New("scenario incomplete within sim-time budget")
 
 // RunResult reports one headless scenario run.
 type RunResult struct {
@@ -97,8 +104,26 @@ func RunSkill(ctx context.Context, spec scenario.Spec, maxSim float64, skill Ski
 	res.Alarms = eng.AlarmEvents()
 	res.Passed = res.State.Phase == fom.PhaseComplete
 	if res.State.Phase != fom.PhaseComplete && res.State.Phase != fom.PhaseFailed {
-		return res, fmt.Errorf("trace: scenario %s still %v after %.0f sim-seconds (%s)",
-			spec.Name, res.State.Phase, maxSim, res.State.Message)
+		return res, fmt.Errorf("trace: scenario %s still %v after %.0f sim-seconds (%s): %w",
+			spec.Name, res.State.Phase, maxSim, res.State.Message, ErrIncomplete)
 	}
 	return res, nil
+}
+
+// Completable is the completability oracle's dry-run entry point: it flies
+// the spec headless with the flawless expert autopilot and reports whether
+// the scenario was passed within maxSim simulated seconds. ok is false
+// both for a failed verdict (score under the pass mark) and for a run that
+// never reached a terminal phase; err carries only genuine faults — a spec
+// or rig that cannot be built, or ctx canceled mid-run — so a campaign
+// generator can resample on !ok and abort on err.
+func Completable(ctx context.Context, spec scenario.Spec, maxSim float64) (RunResult, bool, error) {
+	res, err := RunContext(ctx, spec, maxSim)
+	if errors.Is(err, ErrIncomplete) {
+		return res, false, nil
+	}
+	if err != nil {
+		return res, false, err
+	}
+	return res, res.Passed, nil
 }

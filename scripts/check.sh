@@ -59,6 +59,15 @@ echo "== tandem-lift smoke (two cranes, headless + skill spread) =="
 "$out/codbatch" -headless -strict -skill novice -scenarios tandem-beam,twin-yard >>"$out/tandem.txt"
 tail -n 2 "$out/tandem.txt"
 
+echo "== campaign smoke (20 generated scenarios, oracle-certified, strict) =="
+"$out/codbatch" -campaign 7:20 -headless -strict >"$out/campaign.txt"
+tail -n 3 "$out/campaign.txt"
+"$out/codbatch" -campaign 7:20 -list >/dev/null
+
+echo "== fuzz smoke (Spec JSON surface, 10 s per target) =="
+go test -run '^$' -fuzz '^FuzzUnmarshalSpec$' -fuzztime 10s ./internal/scenario
+go test -run '^$' -fuzz '^FuzzValidate$' -fuzztime 10s ./internal/scenario
+
 echo "== dist CLI smoke (codbatch coordinator + 2 worker processes, UDPLAN loopback) =="
 "$out/codbatch" -serve -lan 127.0.0.1:47901 -name smoke1 -headless >"$out/w1.log" 2>&1 &
 w1=$!
