@@ -1,9 +1,11 @@
 // Command benchdiff compares a `go test -bench` run against the repo's
-// BENCH_baseline.json and reports allocation regressions. It is warn-only
-// by design — ns/op on shared CI runners is noise, and even allocs/op can
-// shift with the Go release — so it always exits 0; the value is the
-// printed table in the CI log, which turns "the CB hot path gained three
-// allocations" from an archaeology project into a one-line diff.
+// BENCH_baseline.json and reports allocation regressions. ns/op on shared
+// CI runners is noise, so timing is never judged; allocs/op is the stable
+// signal. Most benchmarks are compared warn-only, but entries carrying a
+// "max_allocs_per_op" ceiling in the baseline — the BenchmarkCBRouting*
+// hot paths — are gating: a run above the ceiling exits nonzero, which
+// turns "the CB hot path gained three allocations" from an archaeology
+// project into a failed CI step.
 //
 //	go test -bench . -benchtime 1x -run '^$' . > bench.txt
 //	go run ./cmd/benchdiff BENCH_baseline.json bench.txt
@@ -33,11 +35,14 @@ type baselineResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	MaxAllocs   int64   `json:"max_allocs_per_op"`
 	HasAllocs   bool    `json:"-"`
+	HasMax      bool    `json:"-"`
 }
 
-// UnmarshalJSON remembers whether allocs_per_op was present: entries
-// recorded without -benchmem report nothing to compare against.
+// UnmarshalJSON remembers whether allocs_per_op and max_allocs_per_op
+// were present: entries recorded without -benchmem report nothing to
+// compare against, and only entries with an explicit ceiling gate.
 func (r *baselineResult) UnmarshalJSON(b []byte) error {
 	type plain baselineResult
 	if err := json.Unmarshal(b, (*plain)(r)); err != nil {
@@ -48,6 +53,7 @@ func (r *baselineResult) UnmarshalJSON(b []byte) error {
 		return err
 	}
 	_, r.HasAllocs = probe["allocs_per_op"]
+	_, r.HasMax = probe["max_allocs_per_op"]
 	return nil
 }
 
@@ -136,16 +142,28 @@ func main() {
 	}
 
 	warned := 0
+	failed := 0
 	compared := 0
 	fmt.Printf("%-40s %14s %14s  %s\n", "BENCHMARK", "ALLOCS/OP", "BASELINE", "VERDICT")
 	for _, b := range base.Benchmarks {
 		cur, ok := lookup(run, b.Name)
 		if !ok || !b.HasAllocs || !cur.hasAll {
+			if b.HasMax {
+				// A gated benchmark that silently vanishes from the run
+				// would ungate itself; keep the hole visible in the log.
+				fmt.Printf("%-40s %14s %14d  gated benchmark missing from run\n", b.Name, "-", b.AllocsPerOp)
+			}
 			continue
 		}
 		compared++
 		verdict := "ok"
 		switch {
+		case b.HasMax && cur.allocs > b.MaxAllocs:
+			verdict = fmt.Sprintf("FAIL +%d over the %d allocs/op ceiling (bytes %0.f→%0.f)",
+				cur.allocs-b.MaxAllocs, b.MaxAllocs, b.BytesPerOp, cur.bytes)
+			failed++
+		case b.HasMax:
+			verdict = fmt.Sprintf("ok (gated ≤ %d)", b.MaxAllocs)
 		case cur.allocs > b.AllocsPerOp:
 			verdict = fmt.Sprintf("WARN +%d allocs/op (bytes %0.f→%0.f)",
 				cur.allocs-b.AllocsPerOp, b.BytesPerOp, cur.bytes)
@@ -158,9 +176,14 @@ func main() {
 	switch {
 	case compared == 0:
 		fmt.Println("benchdiff: no comparable benchmarks (run with -benchmem or b.ReportAllocs)")
+	case failed > 0:
+		fmt.Printf("benchdiff: %d gated benchmarks above their allocation ceiling\n", failed)
 	case warned > 0:
 		fmt.Printf("benchdiff: %d of %d benchmarks allocate more than the baseline (warn-only)\n", warned, compared)
 	default:
 		fmt.Printf("benchdiff: %d benchmarks at or below the allocation baseline\n", compared)
+	}
+	if failed > 0 {
+		os.Exit(1)
 	}
 }

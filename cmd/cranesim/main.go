@@ -19,10 +19,10 @@ import (
 	"os"
 	"time"
 
+	"codsim/cod"
 	"codsim/internal/audio"
 	"codsim/internal/fom"
 	"codsim/internal/sim"
-	"codsim/internal/transport"
 )
 
 func main() {
@@ -59,7 +59,7 @@ func run() error {
 		cfg.CaptureAudioSec = 20
 	}
 	if *useUDP {
-		lan, err := transport.NewUDPLAN("127.0.0.1", 39700, 16)
+		lan, err := cod.NewUDPLAN("127.0.0.1", 39700, 16)
 		if err != nil {
 			return err
 		}

@@ -1,15 +1,41 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
-	"codsim/internal/cb"
-	"codsim/internal/fom"
+	"codsim/cod"
 	"codsim/internal/metrics"
-	"codsim/internal/transport"
-	"codsim/internal/wire"
 )
+
+// expState is the object class the routing experiments exchange: the
+// same field load a crane-state update carries, mapped through the SDK
+// codec exactly as production traffic is.
+type expState struct {
+	X, Z      float64
+	Heading   float64
+	BoomLuff  float64
+	BoomLen   float64
+	CableLen  float64
+	Stability float64
+	EngineOn  bool
+}
+
+// expPing is the minimal round-trip payload.
+type expPing struct {
+	Seq uint32
+}
+
+// fastNode attaches a node to lan with the experiments' accelerated
+// discovery timers (5 ms broadcast, 250 ms death) so trials converge
+// quickly.
+func fastNode(lan cod.LAN, name string) (*cod.Node, error) {
+	return cod.NewNode(name,
+		cod.WithLAN(lan),
+		cod.WithTimers(5*time.Millisecond, 50*time.Millisecond, 25*time.Millisecond),
+		cod.WithHeartbeatTimeout(250*time.Millisecond))
+}
 
 // exp2Routing measures virtual-channel message routing: the in-process
 // fast path versus cross-node channels, one-way throughput, and 1→N
@@ -19,60 +45,65 @@ func exp2Routing(quick bool) error {
 	if quick {
 		msgs = 3000
 	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
 
-	attrs := fom.CraneState{Stability: 1}.Encode()
-
-	// --- Local fast path: publisher and subscriber on the same CB. ---
-	lan := transport.NewMemLAN()
-	solo, err := cb.New(lan, "solo", fastCB())
+	// --- Local fast path: publisher and subscriber on the same node. ---
+	lan := cod.NewMemLAN()
+	solo, err := fastNode(lan, "solo")
 	if err != nil {
 		return err
 	}
 	defer solo.Close()
-	pubL, err := solo.PublishObjectClass("p", "State")
+	pubL, err := cod.Publish[expState](solo, "p", "State")
 	if err != nil {
 		return err
 	}
-	// The mailbox must hold the full burst: a smaller drop-oldest queue
-	// would silently shed messages and understate the loss-free rate.
-	subL, err := solo.SubscribeObjectClass("s", "State", cb.WithQueue(msgs+16))
+	// The mailbox must hold the full burst under the legacy drop-oldest
+	// contract: a smaller queue would silently shed messages and
+	// understate the loss-free rate, and a conflating policy would merge
+	// them.
+	subL, err := cod.Subscribe[expState](solo, "s", "State", cod.WithQueue(msgs+16), cod.DropOldest())
 	if err != nil {
 		return err
 	}
-	localRate, err := measureThroughput(pubL, subL, attrs, msgs)
+	if err := subL.WaitMatched(ctx); err != nil {
+		return fmt.Errorf("local channel: %w", err)
+	}
+	localRate, err := measureThroughput(ctx, pubL, subL, msgs)
 	if err != nil {
 		return err
 	}
 
 	// --- Remote channel over the in-memory LAN. ---
-	pubNode, err := cb.New(lan, "pub-pc", fastCB())
+	pubNode, err := fastNode(lan, "pub-pc")
 	if err != nil {
 		return err
 	}
 	defer pubNode.Close()
-	subNode, err := cb.New(lan, "sub-pc", fastCB())
+	subNode, err := fastNode(lan, "sub-pc")
 	if err != nil {
 		return err
 	}
 	defer subNode.Close()
-	pubR, err := pubNode.PublishObjectClass("p", "RState")
+	pubR, err := cod.Publish[expState](pubNode, "p", "RState")
 	if err != nil {
 		return err
 	}
-	subR, err := subNode.SubscribeObjectClass("s", "RState", cb.WithQueue(msgs+16))
+	subR, err := cod.Subscribe[expState](subNode, "s", "RState", cod.WithQueue(msgs+16), cod.DropOldest())
 	if err != nil {
 		return err
 	}
-	if !subR.WaitMatched(5 * time.Second) {
-		return fmt.Errorf("remote channel never established")
+	if err := subR.WaitMatched(ctx); err != nil {
+		return fmt.Errorf("remote channel never established: %w", err)
 	}
-	remoteRate, err := measureThroughput(pubR, subR, attrs, msgs)
+	remoteRate, err := measureThroughput(ctx, pubR, subR, msgs)
 	if err != nil {
 		return err
 	}
 
 	// --- Remote round-trip latency (ping-pong over two classes). ---
-	rtt, err := measureRTT(lan, 300)
+	rtt, err := measureRTT(ctx, lan, 300)
 	if err != nil {
 		return err
 	}
@@ -90,7 +121,7 @@ func exp2Routing(quick bool) error {
 	}
 	tbl2 := metrics.NewTable("subscribers", "aggregate delivery (msg/s)")
 	for _, n := range fanSweep {
-		rate, err := measureFanout(n, msgs/4)
+		rate, err := measureFanout(ctx, n, msgs/4)
 		if err != nil {
 			return err
 		}
@@ -100,20 +131,21 @@ func exp2Routing(quick bool) error {
 	return nil
 }
 
-func measureThroughput(pub *cb.Publication, sub *cb.Subscription, attrs wire.AttrSet, msgs int) (float64, error) {
+func measureThroughput(ctx context.Context, pub *cod.Pub[expState], sub *cod.Sub[expState], msgs int) (float64, error) {
 	done := make(chan error, 1)
 	start := time.Now()
 	go func() {
 		for i := 0; i < msgs; i++ {
-			if _, ok := sub.Next(10 * time.Second); !ok {
-				done <- fmt.Errorf("receive timed out at %d", i)
+			if _, err := sub.Next(ctx); err != nil {
+				done <- fmt.Errorf("receive failed at %d: %w", i, err)
 				return
 			}
 		}
 		done <- nil
 	}()
+	st := expState{Stability: 1, BoomLen: 12, CableLen: 5, EngineOn: true}
 	for i := 0; i < msgs; i++ {
-		if err := pub.Update(float64(i), attrs); err != nil {
+		if err := pub.Update(float64(i), st); err != nil {
 			return 0, err
 		}
 	}
@@ -124,110 +156,106 @@ func measureThroughput(pub *cb.Publication, sub *cb.Subscription, attrs wire.Att
 }
 
 // measureRTT ping-pongs a tiny update between two nodes.
-func measureRTT(lan transport.LAN, rounds int) (*metrics.Summary, error) {
-	a, err := cb.New(lan, "rtt-a", fastCB())
+func measureRTT(ctx context.Context, lan cod.LAN, rounds int) (*metrics.Summary, error) {
+	a, err := fastNode(lan, "rtt-a")
 	if err != nil {
 		return nil, err
 	}
 	defer a.Close()
-	b, err := cb.New(lan, "rtt-b", fastCB())
+	b, err := fastNode(lan, "rtt-b")
 	if err != nil {
 		return nil, err
 	}
 	defer b.Close()
 
-	pingPub, err := a.PublishObjectClass("a", "Ping")
+	pingPub, err := cod.Publish[expPing](a, "a", "Ping")
 	if err != nil {
 		return nil, err
 	}
-	pongSub, err := a.SubscribeObjectClass("a", "Pong", cb.WithQueue(16))
+	pongSub, err := cod.Subscribe[expPing](a, "a", "Pong", cod.WithQueue(16), cod.DropOldest())
 	if err != nil {
 		return nil, err
 	}
-	pingSub, err := b.SubscribeObjectClass("b", "Ping", cb.WithQueue(16))
+	pingSub, err := cod.Subscribe[expPing](b, "b", "Ping", cod.WithQueue(16), cod.DropOldest())
 	if err != nil {
 		return nil, err
 	}
-	pongPub, err := b.PublishObjectClass("b", "Pong")
+	pongPub, err := cod.Publish[expPing](b, "b", "Pong")
 	if err != nil {
 		return nil, err
 	}
-	if !pingSub.WaitMatched(5*time.Second) || !pongSub.WaitMatched(5*time.Second) {
-		return nil, fmt.Errorf("rtt channels never established")
+	if err := pingSub.WaitMatched(ctx); err != nil {
+		return nil, fmt.Errorf("rtt ping channel: %w", err)
+	}
+	if err := pongSub.WaitMatched(ctx); err != nil {
+		return nil, fmt.Errorf("rtt pong channel: %w", err)
 	}
 
-	// Echo loop on node b.
-	stop := make(chan struct{})
-	defer close(stop)
+	// Echo loop on node b, stopped by canceling its context.
+	echoCtx, stopEcho := context.WithCancel(ctx)
+	defer stopEcho()
 	go func() {
 		for {
-			select {
-			case <-stop:
-				return
-			default:
+			r, err := pingSub.Next(echoCtx)
+			if err != nil {
+				return // canceled or closed: shutting down
 			}
-			if r, ok := pingSub.Next(100 * time.Millisecond); ok {
-				_ = pongPub.Update(r.Time, nil)
-			}
+			_ = pongPub.Update(r.Time, expPing{Seq: r.Value.Seq})
 		}
 	}()
 
 	var rtt metrics.Summary
-	attrs := wire.AttrSet{}
-	attrs.PutUint32(1, 0)
 	for i := 0; i < rounds; i++ {
 		start := time.Now()
-		if err := pingPub.Update(float64(i), attrs); err != nil {
+		if err := pingPub.Update(float64(i), expPing{Seq: uint32(i)}); err != nil {
 			return nil, err
 		}
-		if _, ok := pongSub.Next(5 * time.Second); !ok {
-			return nil, fmt.Errorf("pong %d lost", i)
+		if _, err := pongSub.Next(ctx); err != nil {
+			return nil, fmt.Errorf("pong %d lost: %w", i, err)
 		}
 		rtt.Observe(time.Since(start).Seconds())
 	}
 	return &rtt, nil
 }
 
-func measureFanout(subs, msgs int) (float64, error) {
-	lan := transport.NewMemLAN()
-	pubNode, err := cb.New(lan, "pub-pc", fastCB())
+func measureFanout(ctx context.Context, subs, msgs int) (float64, error) {
+	lan := cod.NewMemLAN()
+	pubNode, err := fastNode(lan, "pub-pc")
 	if err != nil {
 		return 0, err
 	}
 	defer pubNode.Close()
-	pub, err := pubNode.PublishObjectClass("p", "Fan")
+	pub, err := cod.Publish[expPing](pubNode, "p", "Fan")
 	if err != nil {
 		return 0, err
 	}
 
-	sl := make([]*cb.Subscription, subs)
+	sl := make([]*cod.Sub[expPing], subs)
 	for i := range sl {
-		node, err := cb.New(lan, fmt.Sprintf("sub-pc-%d", i), fastCB())
+		node, err := fastNode(lan, fmt.Sprintf("sub-pc-%d", i))
 		if err != nil {
 			return 0, err
 		}
 		defer node.Close()
-		s, err := node.SubscribeObjectClass("s", "Fan", cb.WithQueue(msgs+16))
+		s, err := cod.Subscribe[expPing](node, "s", "Fan", cod.WithQueue(msgs+16), cod.DropOldest())
 		if err != nil {
 			return 0, err
 		}
 		sl[i] = s
 	}
 	for _, s := range sl {
-		if !s.WaitMatched(5 * time.Second) {
-			return 0, fmt.Errorf("fan-out channel missing")
+		if err := s.WaitMatched(ctx); err != nil {
+			return 0, fmt.Errorf("fan-out channel missing: %w", err)
 		}
 	}
 
-	attrs := wire.AttrSet{}
-	attrs.PutFloat64(1, 1)
 	done := make(chan error, subs)
 	start := time.Now()
 	for _, s := range sl {
-		go func(s *cb.Subscription) {
+		go func(s *cod.Sub[expPing]) {
 			for i := 0; i < msgs; i++ {
-				if _, ok := s.Next(10 * time.Second); !ok {
-					done <- fmt.Errorf("fanout receive timeout")
+				if _, err := s.Next(ctx); err != nil {
+					done <- fmt.Errorf("fanout receive: %w", err)
 					return
 				}
 			}
@@ -235,7 +263,7 @@ func measureFanout(subs, msgs int) (float64, error) {
 		}(s)
 	}
 	for i := 0; i < msgs; i++ {
-		if err := pub.Update(float64(i), attrs); err != nil {
+		if err := pub.Update(float64(i), expPing{Seq: uint32(i)}); err != nil {
 			return 0, err
 		}
 	}
@@ -261,7 +289,7 @@ func exp3Init(quick bool) error {
 	for _, n := range []int{1, 4, 8, 16} {
 		var lat metrics.Summary
 		for trial := 0; trial < trials; trial++ {
-			if err := establishTrial(n, 0, &lat); err != nil {
+			if err := establishTrial(n, 0, int64(trial), &lat); err != nil {
 				return err
 			}
 		}
@@ -274,7 +302,7 @@ func exp3Init(quick bool) error {
 	for _, loss := range []float64{0, 0.2, 0.5} {
 		var lat metrics.Summary
 		for trial := 0; trial < trials; trial++ {
-			if err := establishTrial(8, loss, &lat); err != nil {
+			if err := establishTrial(8, loss, int64(trial), &lat); err != nil {
 				return err
 			}
 		}
@@ -285,35 +313,39 @@ func exp3Init(quick bool) error {
 }
 
 // establishTrial creates one publisher node and one subscriber node with n
-// class entries and records per-entry establishment latency.
-func establishTrial(n int, loss float64, lat *metrics.Summary) error {
-	lan := transport.NewMemLAN(transport.WithLoss(loss), transport.WithSeed(time.Now().UnixNano()))
-	pubNode, err := cb.New(lan, "pub-pc", fastCB())
+// class entries and records per-entry establishment latency. Each trial
+// seeds the segment's loss pattern differently so the sweep samples
+// independent drop sequences.
+func establishTrial(n int, loss float64, trial int64, lat *metrics.Summary) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	lan := cod.NewMemLAN(cod.WithLoss(loss), cod.WithSeed(trial*7919+int64(loss*1000)))
+	pubNode, err := fastNode(lan, "pub-pc")
 	if err != nil {
 		return err
 	}
 	defer pubNode.Close()
 	for i := 0; i < n; i++ {
-		if _, err := pubNode.PublishObjectClass("p", fmt.Sprintf("Class%d", i)); err != nil {
+		if _, err := cod.Publish[expPing](pubNode, "p", fmt.Sprintf("Class%d", i)); err != nil {
 			return err
 		}
 	}
-	subNode, err := cb.New(lan, "sub-pc", fastCB())
+	subNode, err := fastNode(lan, "sub-pc")
 	if err != nil {
 		return err
 	}
 	defer subNode.Close()
-	subs := make([]*cb.Subscription, n)
+	subs := make([]*cod.Sub[expPing], n)
 	for i := range subs {
-		s, err := subNode.SubscribeObjectClass("s", fmt.Sprintf("Class%d", i))
+		s, err := cod.Subscribe[expPing](subNode, "s", fmt.Sprintf("Class%d", i), cod.LatestValue())
 		if err != nil {
 			return err
 		}
 		subs[i] = s
 	}
 	for i, s := range subs {
-		if !s.WaitMatched(20 * time.Second) {
-			return fmt.Errorf("entry %d never matched (loss %.0f%%)", i, loss*100)
+		if err := s.WaitMatched(ctx); err != nil {
+			return fmt.Errorf("entry %d never matched (loss %.0f%%): %w", i, loss*100, err)
 		}
 	}
 	// The backbone recorded per-entry latency in its stats.

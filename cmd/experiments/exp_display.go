@@ -5,18 +5,20 @@ import (
 	"sync"
 	"time"
 
-	"codsim/internal/cb"
+	"codsim/cod"
 	"codsim/internal/displaysync"
 	"codsim/internal/fom"
 	"codsim/internal/mathx"
 	"codsim/internal/metrics"
 	"codsim/internal/render"
+	"codsim/internal/sim"
 	"codsim/internal/terrain"
-	"codsim/internal/transport"
 )
 
-func fastCB() cb.Config {
-	return cb.Config{
+// fastSimCB mirrors fastNode's accelerated protocol timers in the form
+// sim.Config takes.
+func fastSimCB() sim.CBConfig {
+	return sim.CBConfig{
 		BroadcastInterval: 5 * time.Millisecond,
 		RefreshInterval:   50 * time.Millisecond,
 		HeartbeatInterval: 25 * time.Millisecond,
@@ -82,18 +84,21 @@ func measureFreeRun(polygons, w, h, frames int) (fps float64, err error) {
 // and returns the mean achieved fps across displays. pipeline = 1 is the
 // paper's strict swap-lock; deeper values are the §5 acceleration.
 func measureSynced(displays, polygons, w, h, frames, pipeline int) (fps float64, err error) {
-	lan := transport.NewMemLAN()
-	serverBB, err := cb.New(lan, "sync-server", fastCB())
+	lan := cod.NewMemLAN()
+	serverNode, err := fastNode(lan, "sync-server")
 	if err != nil {
 		return 0, err
 	}
-	defer serverBB.Close()
+	defer serverNode.Close()
 
 	expected := make([]string, displays)
 	for i := range expected {
 		expected[i] = fmt.Sprintf("display-%d", i+1)
 	}
-	srv, err := displaysync.NewServer(serverBB, "sync", displaysync.ServerConfig{
+	// displaysync predates the SDK and takes the raw backbone; Node's
+	// documented Backbone() escape hatch exists for exactly these
+	// internal modules.
+	srv, err := displaysync.NewServer(serverNode.Backbone(), "sync", displaysync.ServerConfig{
 		Expected: expected, StallTimeout: 5 * time.Second, Pipeline: pipeline,
 	})
 	if err != nil {
@@ -105,16 +110,16 @@ func measureSynced(displays, polygons, w, h, frames, pipeline int) (fps float64,
 	type dispUnit struct {
 		client *displaysync.Display
 		rig    *renderRig
-		bb     *cb.Backbone
+		node   *cod.Node
 	}
 	units := make([]*dispUnit, displays)
 	for i := range units {
-		bb, err := cb.New(lan, fmt.Sprintf("display-pc-%d", i+1), fastCB())
+		node, err := fastNode(lan, fmt.Sprintf("display-pc-%d", i+1))
 		if err != nil {
 			return 0, err
 		}
-		defer bb.Close()
-		client, err := displaysync.NewDisplay(bb, expected[i])
+		defer node.Close()
+		client, err := displaysync.NewDisplay(node.Backbone(), expected[i])
 		if err != nil {
 			return 0, err
 		}
@@ -122,7 +127,7 @@ func measureSynced(displays, polygons, w, h, frames, pipeline int) (fps float64,
 		if err != nil {
 			return 0, err
 		}
-		units[i] = &dispUnit{client: client, rig: rig, bb: bb}
+		units[i] = &dispUnit{client: client, rig: rig, node: node}
 	}
 	for _, u := range units {
 		if !u.client.WaitServer(10 * time.Second) {

@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"time"
 
+	"codsim/cod"
 	"codsim/internal/metrics"
 	"codsim/internal/sim"
-	"codsim/internal/transport"
 )
 
 // exp7Scaling runs the full seven-module federation and sweeps the
@@ -26,10 +26,10 @@ func exp7Scaling(quick bool) error {
 
 	tbl := metrics.NewTable("LAN latency", "display fps (mean)", "swaps", "updates sent", "reflects delivered", "exam phase")
 	for _, lat := range latencies {
-		lan := transport.NewMemLAN(transport.WithLatency(lat), transport.WithSeed(7))
+		lan := cod.NewMemLAN(cod.WithLatency(lat), cod.WithSeed(7))
 		cluster, err := sim.New(sim.Config{
 			LAN:       lan,
-			CB:        fastCB(),
+			CB:        fastSimCB(),
 			TimeScale: 4,
 			Width:     320,
 			Height:    240,

@@ -22,10 +22,41 @@ type Stats = cb.Stats
 // TableEntry re-exports one row of a Publication or Subscription table.
 type TableEntry = cb.TableEntry
 
-// NewMemLAN creates an in-memory LAN segment for nodes of one process.
-// Pass it to every node of the federation via WithMemLAN, or let a
-// Federation manage the sharing.
-func NewMemLAN() LAN { return transport.NewMemLAN() }
+// MemLANOption tunes a simulated in-memory segment: latency, jitter,
+// datagram loss, bandwidth and the impairment seed. The SDK re-exports
+// the transport options so experiment harnesses never import internal
+// packages.
+type MemLANOption = transport.MemOption
+
+// WithLatency delays every datagram by d on a simulated segment.
+func WithLatency(d time.Duration) MemLANOption { return transport.WithLatency(d) }
+
+// WithJitter adds up to d of random extra delay per datagram.
+func WithJitter(d time.Duration) MemLANOption { return transport.WithJitter(d) }
+
+// WithLoss drops each broadcast datagram with probability p in [0,1).
+func WithLoss(p float64) MemLANOption { return transport.WithLoss(p) }
+
+// WithBandwidth caps the segment's throughput in bytes per second.
+func WithBandwidth(bytesPerSec float64) MemLANOption { return transport.WithBandwidth(bytesPerSec) }
+
+// WithSeed pins the segment's impairment randomness, making a lossy or
+// jittery run reproducible.
+func WithSeed(seed int64) MemLANOption { return transport.WithSeed(seed) }
+
+// NewMemLAN creates an in-memory LAN segment for nodes of one process,
+// optionally impaired (latency, loss, ...) for experiments. Pass it to
+// every node of the federation via WithLAN, or let a Federation manage
+// the sharing.
+func NewMemLAN(opts ...MemLANOption) LAN { return transport.NewMemLAN(opts...) }
+
+// NewUDPLAN joins a real UDP/TCP segment of slots consecutive ports
+// starting at basePort on host, returning the LAN handle directly — the
+// standalone form of WithUDPSegment, for callers that hand one segment
+// to several nodes or to sim.Config.
+func NewUDPLAN(host string, basePort, slots int) (LAN, error) {
+	return transport.NewUDPLAN(host, basePort, slots)
+}
 
 // defaultLAN is the process-wide segment used by nodes created without an
 // explicit transport option, so the two-line quickstart just works.
@@ -111,6 +142,14 @@ func WithTimers(broadcast, refresh, heartbeat time.Duration) Option {
 		c.cfg.RefreshInterval = refresh
 		c.cfg.HeartbeatInterval = heartbeat
 	}
+}
+
+// WithHeartbeatTimeout sets how long a silent link is tolerated before
+// the peer is declared dead and its channels are torn down. Zero keeps
+// the default. Tighten it together with WithTimers' heartbeat period in
+// fast-failover experiment rigs.
+func WithHeartbeatTimeout(d time.Duration) Option {
+	return func(c *nodeConfig) { c.cfg.HeartbeatTimeout = d }
 }
 
 // WithClock pins the node's timestamp clock (establish-latency metrics,

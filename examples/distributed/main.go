@@ -51,7 +51,9 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	sub, err := cod.Subscribe[CraneState](disp, "visual", "CraneState", cod.WithQueue(64))
+	// The explicit LatestValue policy declares the saturation contract:
+	// a stalled display conflates to the newest crane state per channel.
+	sub, err := cod.Subscribe[CraneState](disp, "visual", "CraneState", cod.WithQueue(64), cod.LatestValue())
 	if err != nil {
 		return err
 	}

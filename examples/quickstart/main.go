@@ -42,7 +42,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sub, err := cod.Subscribe[CraneState](pc2, "visual", "CraneState", cod.WithQueue(32))
+	// Every subscription declares its delivery policy explicitly:
+	// LatestValue says a saturated mailbox conflates to the newest state,
+	// the right contract for periodic crane state.
+	sub, err := cod.Subscribe[CraneState](pc2, "visual", "CraneState", cod.WithQueue(32), cod.LatestValue())
 	if err != nil {
 		log.Fatal(err)
 	}

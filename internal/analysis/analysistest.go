@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strings"
+)
+
+// This file is the fixture harness — a compact analysistest: fixture
+// packages live under testdata/src/<importpath>/ and annotate the lines
+// an analyzer must flag with
+//
+//	// want "regexp"
+//
+// comments (several quoted patterns on one comment expect several
+// diagnostics on that line). RunFixture loads the fixture with the
+// module as fallback — so fixtures import the real codsim/cod — runs
+// one analyzer, and reports every mismatch in both directions: a
+// diagnostic nothing expected, or an expectation nothing matched. The
+// seeded-violation fixtures therefore fail the suite if their analyzer
+// is deleted or gutted: the want comments go unmatched.
+
+// TB is the subset of *testing.T the harness needs (kept as an
+// interface so this file stays out of the test build's way).
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// Testdata returns the absolute path of the calling package's
+// testdata/src fixture root.
+func Testdata() string {
+	_, file, _, ok := runtime.Caller(1)
+	if !ok {
+		panic("analysis: cannot locate testdata")
+	}
+	return filepath.Join(filepath.Dir(file), "testdata", "src")
+}
+
+// RunFixture loads each fixture import path from overlayDir (falling
+// back to the real module for dependencies), runs one analyzer with the
+// given allowlist, and matches diagnostics against the fixtures' want
+// comments.
+func RunFixture(t TB, overlayDir string, a *Analyzer, allow []AllowEntry, fixturePaths ...string) {
+	t.Helper()
+	moduleDir, modulePath, err := FindModule(overlayDir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	loader := NewLoader(Config{ModulePath: modulePath, ModuleDir: moduleDir, OverlayDir: overlayDir})
+	var pkgs []*Package
+	for _, path := range fixturePaths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("analysistest: load %s: %v", path, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags, err := Run(pkgs, []*Analyzer{a}, loader.Fset(), allow)
+	if err != nil {
+		t.Fatalf("analysistest: run %s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	type expectation struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := map[key][]*expectation{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					patterns := parseWant(c.Text)
+					if len(patterns) == 0 {
+						continue
+					}
+					pos := loader.Fset().Position(c.Pos())
+					k := key{pos.Filename, pos.Line}
+					for _, pat := range patterns {
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("analysistest: %s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+						}
+						wants[k] = append(wants[k], &expectation{re: re})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		found := false
+		for _, exp := range wants[k] {
+			if !exp.matched && exp.re.MatchString(d.Message) {
+				exp.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic %s", d)
+		}
+	}
+	for k, exps := range wants {
+		for _, exp := range exps {
+			if !exp.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none — is the %s check disabled?",
+					k.file, k.line, exp.re, a.Name)
+			}
+		}
+	}
+}
+
+// parseWant extracts the quoted patterns of a `// want "p1" "p2"`
+// comment, or nil when the comment is not a want annotation.
+func parseWant(comment string) []string {
+	text := strings.TrimSpace(strings.TrimPrefix(comment, "//"))
+	rest, ok := strings.CutPrefix(text, "want ")
+	if !ok {
+		return nil
+	}
+	var patterns []string
+	for {
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			return patterns
+		}
+		if rest[0] == '`' {
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				return patterns
+			}
+			patterns = append(patterns, rest[1:1+end])
+			rest = rest[end+2:]
+			continue
+		}
+		if rest[0] != '"' {
+			return patterns
+		}
+		pat, tail, err := unquotePrefix(rest)
+		if err != nil {
+			return patterns
+		}
+		patterns = append(patterns, pat)
+		rest = tail
+	}
+}
+
+// unquotePrefix unquotes the leading double-quoted Go string of s and
+// returns the remainder.
+func unquotePrefix(s string) (string, string, error) {
+	for i := 1; i < len(s); i++ {
+		if s[i] == '\\' {
+			i++
+			continue
+		}
+		if s[i] == '"' {
+			var out string
+			if _, err := fmt.Sscanf(s[:i+1], "%q", &out); err != nil {
+				return "", "", err
+			}
+			return out, s[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated pattern %q", s)
+}

@@ -1,0 +1,42 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"codsim/internal/analysis"
+)
+
+// TestModuleClean is the in-test mirror of `go run ./cmd/codvet ./...`:
+// the full analyzer suite over every production package of the module,
+// under the production allowlist, must report nothing. A regression that
+// sneaks a wall clock into scenario/gen or an implicit-default Subscribe
+// into a command fails `go test ./...` even where codvet is not wired in.
+func TestModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	moduleDir, modulePath, err := analysis.FindModule(analysis.Testdata())
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := analysis.ModulePackages(moduleDir, modulePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := analysis.NewLoader(analysis.Config{ModulePath: modulePath, ModuleDir: moduleDir})
+	var pkgs []*analysis.Package
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags, err := analysis.Run(pkgs, analysis.All(), loader.Fset(), analysis.DefaultAllowlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// shimMethod identifies one duration-shim method and its context-aware
+// replacement.
+type shimMethod struct {
+	pkg, recv, name, ctxVariant string
+}
+
+// waitShims are the legacy duration-parameter wait forms retrofitted
+// with context variants in PR 1/PR 3. New code takes a context: a
+// duration shim cannot be canceled early, composes poorly with
+// deadlines, and hides the caller's lifetime. The defining package of
+// each shim is exempt — the shims are documented legacy surface and
+// delegate to the context forms internally.
+var waitShims = []shimMethod{
+	{"codsim/internal/cb", "Subscription", "Next", "NextContext"},
+	{"codsim/internal/cb", "Subscription", "WaitMatched", "WaitMatchedContext"},
+	{"codsim/internal/cb", "Publication", "WaitChannels", "WaitChannelsContext"},
+	{"codsim/internal/sim", "Cluster", "WaitExam", "WaitExamContext"},
+}
+
+// waitShimFuncs are package-level legacy functions with context
+// siblings.
+var waitShimFuncs = []shimMethod{
+	{"codsim/internal/trace", "", "Run", "RunContext"},
+}
+
+// CtxWait flags duration-shim waits and legacy blocking entry points
+// where a context-aware variant exists, outside the shims' own defining
+// packages and the allowlisted legacy consumers (displaysync's
+// fixed-cadence swap-lock loop keeps the shim deliberately).
+var CtxWait = &Analyzer{
+	Name: "ctxwait",
+	Doc:  "use NextContext/WaitMatchedContext/WaitChannelsContext/WaitExamContext/RunContext instead of the duration-shim legacy forms",
+	Run:  runCtxWait,
+}
+
+func runCtxWait(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.funcOf(call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() == pass.Path {
+				return true
+			}
+			var hit *shimMethod
+			if recv := recvTypeName(fn); recv != "" {
+				for i, s := range waitShims {
+					if s.pkg == fn.Pkg().Path() && s.recv == recv && s.name == fn.Name() {
+						hit = &waitShims[i]
+						break
+					}
+				}
+			} else {
+				for i, s := range waitShimFuncs {
+					if s.pkg == fn.Pkg().Path() && s.name == fn.Name() {
+						hit = &waitShimFuncs[i]
+						break
+					}
+				}
+			}
+			if hit == nil || pass.Allowed(pass.EnclosingFunc(call.Pos())) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"duration-shim %s.%s: use %s (context-aware waits compose with cancellation and deadlines)",
+				recvOrPkg(fn), fn.Name(), hit.ctxVariant)
+			return true
+		})
+	}
+	return nil
+}
+
+// recvTypeName returns the bare name of fn's receiver named type, or ""
+// for package-level functions.
+func recvTypeName(fn *types.Func) string {
+	recv := fn.Signature().Recv()
+	if recv == nil {
+		return ""
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+func recvOrPkg(fn *types.Func) string {
+	if r := recvTypeName(fn); r != "" {
+		return r
+	}
+	return fn.Pkg().Name()
+}

@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// ErrWrap enforces the error-chain contract: fmt.Errorf wraps error
+// operands with %w (so errors.Is/As see through the wrap), and sentinel
+// errors are matched with errors.Is rather than == (which breaks the
+// moment anyone wraps). The two halves are one invariant — the chain is
+// only useful if both the producer wraps and the consumer unwraps.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "fmt.Errorf must use %w (not %v) for error operands; sentinel errors are compared with errors.Is, not ==",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				pass.checkErrorfWrap(n)
+			case *ast.BinaryExpr:
+				pass.checkSentinelCompare(n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that format an error operand
+// with %v instead of %w.
+func (p *Pass) checkErrorfWrap(call *ast.CallExpr) {
+	fn := p.funcOf(call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" || len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	verbs := formatVerbs(format)
+	operands := call.Args[1:]
+	for i, verb := range verbs {
+		if i >= len(operands) || verb != 'v' {
+			continue
+		}
+		tv, ok := p.Info.Types[operands[i]]
+		if !ok || tv.IsNil() || !implementsError(tv.Type) {
+			continue
+		}
+		if p.Allowed(p.EnclosingFunc(call.Pos())) {
+			continue
+		}
+		p.Reportf(operands[i].Pos(),
+			"fmt.Errorf formats an error operand with %%v: use %%w so errors.Is/As can unwrap the chain")
+	}
+}
+
+// formatVerbs extracts the verb letter for each consumed operand of a
+// printf format string, in operand order. Explicit argument indexes
+// (%[1]v) and *-widths are beyond what this project's formats use; a
+// format containing them yields no verbs (fail open, no false report).
+func formatVerbs(format string) []rune {
+	var verbs []rune
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Scan flags, width and precision.
+		for i < len(format) {
+			c := format[i]
+			if c == '%' { // literal %%
+				break
+			}
+			if c == '[' || c == '*' {
+				return nil // indexed or starred format: out of scope
+			}
+			if (c >= '0' && c <= '9') || c == '+' || c == '-' || c == '#' || c == ' ' || c == '.' {
+				i++
+				continue
+			}
+			verbs = append(verbs, rune(c))
+			break
+		}
+	}
+	return verbs
+}
+
+// checkSentinelCompare flags ==/!= against package-level error
+// variables.
+func (p *Pass) checkSentinelCompare(be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	if p.isNil(be.X) || p.isNil(be.Y) {
+		return // err == nil / err != nil is the idiom, not a sentinel match
+	}
+	for _, side := range []ast.Expr{be.X, be.Y} {
+		v := p.packageLevelVar(side)
+		if v == nil || !implementsError(v.Type()) {
+			continue
+		}
+		if p.Allowed(p.EnclosingFunc(be.Pos())) {
+			return
+		}
+		p.Reportf(be.Pos(),
+			"sentinel error %s compared with %s: use errors.Is so wrapped chains still match", v.Name(), be.Op)
+		return
+	}
+}
+
+// isNil reports whether e is the predeclared nil.
+func (p *Pass) isNil(e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	return ok && tv.IsNil()
+}
+
+// packageLevelVar resolves e to a package-scope *types.Var (through an
+// ident or a pkg.Name selector), or nil.
+func (p *Pass) packageLevelVar(e ast.Expr) *types.Var {
+	var obj types.Object
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = p.Info.Uses[e]
+	case *ast.SelectorExpr:
+		if p.pkgNameOf(e) == nil {
+			return nil
+		}
+		obj = p.Info.Uses[e.Sel]
+	default:
+		return nil
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return nil
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	return v
+}

@@ -1,0 +1,293 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of a Load.
+type Package struct {
+	// Path is the import path the package was loaded as.
+	Path string
+	// Dir is the directory its files came from.
+	Dir string
+	// Files are the parsed production (non-test) files.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info is the type-checker's resolution maps for Files.
+	Info *types.Info
+}
+
+// Config configures a Loader.
+type Config struct {
+	// ModulePath is the module's import path ("codsim").
+	ModulePath string
+	// ModuleDir is the module root on disk.
+	ModuleDir string
+	// OverlayDir, when set, is a GOPATH-src-style root consulted before
+	// the module for every import path — the analysistest fixture
+	// mechanism: testdata/src/codsim/internal/scenario shadows the real
+	// package, and fixture-local paths like "flagged" resolve under it.
+	OverlayDir string
+}
+
+// Loader parses and type-checks packages on demand, memoizing results.
+// Standard-library imports are satisfied by the go/importer source
+// importer (offline, from GOROOT/src); module and overlay imports are
+// loaded recursively from source. Only production files are loaded: the
+// invariants codvet checks guard what ships, not the test harnesses.
+type Loader struct {
+	cfg      Config
+	fset     *token.FileSet
+	std      types.Importer
+	pkgs     map[string]*Package
+	checking map[string]bool
+}
+
+// NewLoader returns a Loader over cfg.
+func NewLoader(cfg Config) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		cfg:      cfg,
+		fset:     fset,
+		std:      importer.ForCompiler(fset, "source", nil),
+		pkgs:     map[string]*Package{},
+		checking: map[string]bool{},
+	}
+}
+
+// Fset returns the loader's file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// dirFor maps an import path to the directory it loads from, or "" when
+// the path is outside the overlay and the module (a standard-library
+// import, resolved by the source importer instead).
+func (l *Loader) dirFor(path string) string {
+	if l.cfg.OverlayDir != "" {
+		dir := filepath.Join(l.cfg.OverlayDir, filepath.FromSlash(path))
+		if hasGoFiles(dir) {
+			return dir
+		}
+	}
+	if path == l.cfg.ModulePath {
+		return l.cfg.ModuleDir
+	}
+	if rest, ok := strings.CutPrefix(path, l.cfg.ModulePath+"/"); ok {
+		dir := filepath.Join(l.cfg.ModuleDir, filepath.FromSlash(rest))
+		if hasGoFiles(dir) {
+			return dir
+		}
+	}
+	return ""
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// Load parses and type-checks the package at the given import path,
+// resolving its module/overlay dependencies recursively.
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := l.dirFor(path)
+	if dir == "" {
+		return nil, fmt.Errorf("analysis: package %q not found in module or overlay", path)
+	}
+	if l.checking[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %q", path)
+	}
+	l.checking[path] = true
+	defer delete(l.checking, path)
+
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: %s: no buildable Go files", dir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: importerFunc(l.resolve),
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", path, firstErr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// resolve satisfies one import during type checking: module and overlay
+// paths recurse through Load, everything else goes to the standard
+// library source importer.
+func (l *Loader) resolve(path string) (*types.Package, error) {
+	if l.dirFor(path) != "" {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// parseDir parses the production files of one directory.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, err
+		}
+		if excludedByBuildTag(src) {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, full, src, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// excludedByBuildTag reports whether src carries a //go:build line that
+// rules the file out of an ordinary build on this platform. The module
+// is pure portable Go, so only the "ignore"-style guard tags matter; a
+// constraint mentioning an unsatisfied plain tag excludes the file.
+func excludedByBuildTag(src []byte) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "//") {
+			if expr, err := constraint.Parse(line); err == nil {
+				return !expr.Eval(func(tag string) bool {
+					// The portable build satisfies the go1.x tags and
+					// nothing exotic.
+					return strings.HasPrefix(tag, "go1.")
+				})
+			}
+			continue
+		}
+		break // package clause reached: no constraint
+	}
+	return false
+}
+
+// ModulePackages enumerates every production package directory of the
+// module (skipping testdata, hidden directories and .git) and returns
+// their import paths, sorted.
+func ModulePackages(moduleDir, modulePath string) ([]string, error) {
+	var paths []string
+	err := filepath.Walk(moduleDir, func(p string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			base := info.Name()
+			if base != "." && (strings.HasPrefix(base, ".") || base == "testdata") && p != moduleDir {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(p) {
+				rel, err := filepath.Rel(moduleDir, p)
+				if err != nil {
+					return err
+				}
+				if rel == "." {
+					paths = append(paths, modulePath)
+				} else {
+					paths = append(paths, modulePath+"/"+filepath.ToSlash(rel))
+				}
+			}
+		}
+		return nil
+	})
+	sort.Strings(paths)
+	return paths, err
+}
+
+// Run executes every analyzer over every package and returns the
+// surviving findings in file/line order. allow is the active allowlist
+// (DefaultAllowlist for production runs; tests may inject entries to
+// exercise the suppression path).
+func Run(pkgs []*Package, analyzers []*Analyzer, fset *token.FileSet, allow []AllowEntry) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     fset,
+				Path:     pkg.Path,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				allow:    allow,
+				report:   func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

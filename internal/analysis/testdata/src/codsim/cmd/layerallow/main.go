@@ -1,0 +1,10 @@
+// Allowlist fixture for the layering analyzer: the cb import below is a
+// boundary violation, but the test injects an AllowEntry carrying the
+// forbidden import path as its detail, so a correct run reports nothing.
+package main
+
+import (
+	_ "codsim/internal/cb"
+)
+
+func main() {}

@@ -1,0 +1,14 @@
+// Seeded-violation fixture for the layering analyzer: a command that
+// reaches into the backbone internals instead of the public cod SDK.
+// The overlay places it at codsim/cmd/layerfix, inside the cmd/ scope of
+// the boundary table.
+package main
+
+import (
+	_ "codsim/internal/cb"   // want `codsim/cmd/layerfix must not import codsim/internal/cb`
+	_ "codsim/internal/wire" // want `codsim/cmd/layerfix must not import codsim/internal/wire`
+
+	_ "codsim/cod" // the sanctioned surface: never flagged
+)
+
+func main() {}

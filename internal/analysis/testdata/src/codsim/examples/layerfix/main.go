@@ -1,0 +1,9 @@
+// Seeded-violation fixture for the layering analyzer's examples/ scope:
+// examples demonstrate the public SDK surface only.
+package main
+
+import (
+	_ "codsim/internal/transport" // want `codsim/examples/layerfix must not import codsim/internal/transport`
+)
+
+func main() {}

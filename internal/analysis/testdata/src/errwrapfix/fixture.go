@@ -1,0 +1,43 @@
+// Seeded-violation fixture for the errwrap analyzer: %v-wrapped error
+// operands and ==/!= sentinel comparisons, next to the accepted forms.
+package errwrapfix
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrGone is a package-level sentinel.
+var ErrGone = errors.New("gone")
+
+func badWrap(err error) error {
+	return fmt.Errorf("load: %v", err) // want `fmt\.Errorf formats an error operand with %v`
+}
+
+func badWrapMixed(path string, err error) error {
+	return fmt.Errorf("open %q: %v", path, err) // want `fmt\.Errorf formats an error operand with %v`
+}
+
+func goodWrap(err error) error {
+	return fmt.Errorf("load: %w", err)
+}
+
+func goodValueVerb(n int) error {
+	return fmt.Errorf("bad count: %v", n) // non-error operand: %v is fine
+}
+
+func badCompare(err error) bool {
+	return err == ErrGone // want `sentinel error ErrGone compared with ==`
+}
+
+func badCompareNeq(err error) bool {
+	return err != ErrGone // want `sentinel error ErrGone compared with !=`
+}
+
+func goodCompare(err error) bool {
+	return errors.Is(err, ErrGone)
+}
+
+func goodNilCheck(err error) bool {
+	return err == nil // the idiom, never flagged
+}

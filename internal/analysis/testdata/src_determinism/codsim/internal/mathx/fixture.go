@@ -1,0 +1,12 @@
+// Allowlist fixture for the determinism analyzer: wallClock violates the
+// invariant but the test injects an AllowEntry for it, so a correct run
+// reports nothing — and a run without the entry must report exactly one
+// finding (the suppression-path test checks both directions).
+package mathx
+
+import "time"
+
+// wallClock is the allowlisted violation.
+func wallClock() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,51 @@
+// Seeded-violation fixture for the determinism analyzer. This package
+// shadows the real codsim/internal/scenario (a declared-deterministic
+// package) through the test overlay; every want comment below must be
+// matched by a diagnostic, so gutting or deleting the determinism check
+// fails the suite.
+package scenario
+
+import (
+	"math/rand"
+	"time"
+)
+
+// badClock observes wall time inside a deterministic package.
+func badClock() time.Time {
+	return time.Now() // want `time\.Now in deterministic package`
+}
+
+// badSleep stalls on the wall clock instead of advancing sim time.
+func badSleep() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep in deterministic package`
+}
+
+// badTicker builds a wall-clock ticker.
+func badTicker() *time.Ticker {
+	return time.NewTicker(time.Second) // want `time\.NewTicker in deterministic package`
+}
+
+// badGlobalRand draws from the process-global math/rand source.
+func badGlobalRand() int {
+	return rand.Intn(6) // want `global rand\.Intn in deterministic package`
+}
+
+// badShuffle also touches the global source.
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global rand\.Shuffle in deterministic package`
+}
+
+// goodSeeded is the sanctioned form: an explicitly seeded generator.
+func goodSeeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// goodTypes proves pure type references stay unflagged: time.Duration
+// parameters and *rand.Rand fields are the sanctioned plumbing.
+type goodTypes struct {
+	r *rand.Rand
+	d time.Duration
+}
+
+func (g goodTypes) double() time.Duration { return g.d * 2 }

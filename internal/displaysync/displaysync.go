@@ -93,7 +93,11 @@ func NewServer(backbone *cb.Backbone, lpName string, cfg ServerConfig) (*Server,
 	if err != nil {
 		return nil, fmt.Errorf("displaysync: publish swap: %w", err)
 	}
-	sub, err := backbone.SubscribeObjectClass(lpName, fom.ClassFrameReady, cb.WithQueue(1024))
+	// Drop-oldest is the deliberate legacy contract of the swap-lock: the
+	// queue is far deeper than displays-in-flight per frame, so a drop is
+	// unreachable in practice, and a stalled display is evicted by
+	// StallTimeout rather than backpressured.
+	sub, err := backbone.SubscribeObjectClass(lpName, fom.ClassFrameReady, cb.WithQueue(1024), cb.WithDropOldest())
 	if err != nil {
 		_ = pub.Close()
 		return nil, fmt.Errorf("displaysync: subscribe ready: %w", err)
@@ -260,7 +264,8 @@ func NewDisplay(backbone *cb.Backbone, lpName string) (*Display, error) {
 	if err != nil {
 		return nil, fmt.Errorf("displaysync: publish ready: %w", err)
 	}
-	sub, err := backbone.SubscribeObjectClass(lpName, fom.ClassFrameSwap, cb.WithQueue(256))
+	// Same legacy drop-oldest contract as the server side: see NewServer.
+	sub, err := backbone.SubscribeObjectClass(lpName, fom.ClassFrameSwap, cb.WithQueue(256), cb.WithDropOldest())
 	if err != nil {
 		_ = pub.Close()
 		return nil, fmt.Errorf("displaysync: subscribe swap: %w", err)

@@ -195,7 +195,10 @@ func (c *Cluster) buildSimPC(ter *terrain.Map, spec scenario.Spec) error {
 		return fmt.Errorf("sim: audio: %w", err)
 	}
 	c.mixer = mixer
-	audioSub, err := b.SubscribeObjectClass("audio", fom.ClassAudioEvent, cb.WithQueue(64))
+	// Audio events are distinct one-shots (clanks, alarms): conflation
+	// would merge them, so the queue keeps the legacy drop-oldest
+	// contract explicitly — a saturated mixer sheds the stalest event.
+	audioSub, err := b.SubscribeObjectClass("audio", fom.ClassAudioEvent, cb.WithQueue(64), cb.WithDropOldest())
 	if err != nil {
 		return err
 	}

@@ -187,7 +187,7 @@ func (i *udpIface) Addr() string { return i.tcp.Addr().String() }
 func (i *udpIface) Dial(addr string) (Conn, error) {
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %q: %v", ErrUnknownAddr, addr, err)
+		return nil, fmt.Errorf("%w: %q: %w", ErrUnknownAddr, addr, err)
 	}
 	return netConn{Conn: c}, nil
 }
