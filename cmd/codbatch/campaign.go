@@ -12,6 +12,7 @@ import (
 
 	"codsim/cod"
 	"codsim/internal/dist"
+	"codsim/internal/obs"
 	"codsim/internal/scenario/gen"
 	"codsim/internal/sim"
 )
@@ -91,7 +92,7 @@ func campaignSummary(key string, st gen.Stats, wall time.Duration) {
 // coordinator streaming certified jobs to one worker serving -parallel
 // slots. Identical dispatch semantics to the multi-host path — the LAN is
 // just memory.
-func runCampaignLocal(ctx context.Context, seed int64, count int, params gen.Params,
+func runCampaignLocal(ctx context.Context, plane *obs.Plane, seed int64, count int, params gen.Params,
 	slots int, batch sim.BatchConfig, outPath, compare string, strict bool) error {
 	if slots <= 0 {
 		if batch.Headless {
@@ -107,15 +108,22 @@ func runCampaignLocal(ctx context.Context, seed int64, count int, params gen.Par
 	if err != nil {
 		return err
 	}
-	worker, err := dist.NewWorker(wnode, dist.WorkerConfig{
+	plane.AddNode("campaign-worker-node", wnode)
+	wcfg := dist.WorkerConfig{
 		Name:  "local",
 		Slots: slots,
 		Batch: batch,
-	})
+	}
+	if plane != nil {
+		wcfg.Log = plane.Log()
+		wcfg.Spans = plane.SpanSink()
+	}
+	worker, err := dist.NewWorker(wnode, wcfg)
 	if err != nil {
 		return err
 	}
 	defer worker.Close()
+	plane.AddDispatch(worker.Sample)
 	wctx, stopWorker := context.WithCancel(ctx)
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -130,11 +138,18 @@ func runCampaignLocal(ctx context.Context, seed int64, count int, params gen.Par
 	if err != nil {
 		return err
 	}
-	coord, err := dist.NewCoordinator(cnode, dist.CoordinatorConfig{})
+	plane.AddNode("campaign-coordinator-node", cnode)
+	ccfg := dist.CoordinatorConfig{}
+	if plane != nil {
+		ccfg.Log = plane.Log()
+		ccfg.Spans = plane.SpanSink()
+	}
+	coord, err := dist.NewCoordinator(cnode, ccfg)
 	if err != nil {
 		return err
 	}
 	defer coord.Close()
+	plane.AddDispatch(coord.Sample)
 	if err := coord.WaitWorkers(ctx, []string{"local"}); err != nil {
 		return err
 	}
@@ -143,7 +158,7 @@ func runCampaignLocal(ctx context.Context, seed int64, count int, params gen.Par
 
 // runCampaignCoordinator streams a generated campaign over the segment to
 // the named worker hosts.
-func runCampaignCoordinator(ctx context.Context, lanAddr, workerList string,
+func runCampaignCoordinator(ctx context.Context, plane *obs.Plane, lanAddr, workerList string,
 	seed int64, count int, params gen.Params, outPath, compare string, strict bool) error {
 	var workers []string
 	for _, w := range strings.Split(workerList, ",") {
@@ -159,11 +174,18 @@ func runCampaignCoordinator(ctx context.Context, lanAddr, workerList string,
 		return err
 	}
 	defer node.Close()
-	coord, err := dist.NewCoordinator(node, dist.CoordinatorConfig{})
+	plane.AddNode("codbatch-coordinator", node)
+	ccfg := dist.CoordinatorConfig{}
+	if plane != nil {
+		ccfg.Log = plane.Log()
+		ccfg.Spans = plane.SpanSink()
+	}
+	coord, err := dist.NewCoordinator(node, ccfg)
 	if err != nil {
 		return err
 	}
 	defer coord.Close()
+	plane.AddDispatch(coord.Sample)
 	fmt.Printf("waiting for workers %s on %s\n", strings.Join(workers, ", "), lanAddr)
 	if err := coord.WaitWorkers(ctx, workers); err != nil {
 		return err

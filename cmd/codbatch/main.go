@@ -23,6 +23,12 @@
 // the fresh results against a previous sweep and exits nonzero on
 // regressions (lower pass rate, or p50 score drops). -specs dir loads
 // scenario JSON files instead of the built-in library.
+//
+// -obs addr serves the live telemetry plane in any mode (/metrics
+// Prometheus exposition, /healthz, /debug/tablez backbone tables,
+// /debug/pprof), switches the dist layer to structured slog lines on
+// stderr, and records per-job trace-span phase latencies; ":0" picks a
+// free port and prints it.
 package main
 
 import (
@@ -39,6 +45,7 @@ import (
 
 	"codsim/cod"
 	"codsim/internal/dist"
+	"codsim/internal/obs"
 	"codsim/internal/scenario"
 	"codsim/internal/scenario/gen"
 	"codsim/internal/sim"
@@ -75,6 +82,7 @@ func run() error {
 		skillName = flag.String("skill", "", `autopilot skill preset (expert, intermediate, novice; "" = expert)`)
 		jitter    = flag.Float64("jitter", 0, "per-run skill jitter spread (0..1): each run scales the preset's lag/overshoot/slack by a factor in [1-j, 1+j] drawn from its job seed")
 		trendDir  = flag.String("trend", "", "report pass-rate/p50-score trends across every *.jsonl sweep in this directory and exit")
+		obsAddr   = flag.String("obs", "", "serve the telemetry plane (/metrics, /healthz, /debug/tablez, /debug/pprof) on this address (e.g. :9090, :0 = ephemeral); empty = off")
 	)
 	flag.Parse()
 
@@ -98,6 +106,19 @@ func run() error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	role := "local"
+	switch {
+	case *serve:
+		role = "worker"
+	case *coordAt != "":
+		role = "coordinator"
+	}
+	plane, err := startObs(*obsAddr, role)
+	if err != nil {
+		return err
+	}
+	defer plane.Close()
 
 	// In headless mode Timeout is a simulation-time cap, where the 3 m
 	// wall-clock default would cut scenarios off mid-course; only an
@@ -133,11 +154,14 @@ func run() error {
 			Headless: *headless,
 			Skill:    skill,
 		}
+		if plane != nil {
+			batch.Log = plane.Log()
+		}
 		if *coordAt != "" {
-			return runCampaignCoordinator(ctx, *lanAddr, *coordAt, seed, count, params,
+			return runCampaignCoordinator(ctx, plane, *lanAddr, *coordAt, seed, count, params,
 				*outPath, *compare, *strict)
 		}
-		return runCampaignLocal(ctx, seed, count, params, *parallel, batch,
+		return runCampaignLocal(ctx, plane, seed, count, params, *parallel, batch,
 			*outPath, *compare, *strict)
 	}
 
@@ -166,18 +190,36 @@ func run() error {
 		Headless: *headless,
 		Skill:    skill,
 	}
+	if plane != nil {
+		batch.Log = plane.Log()
+	}
 
 	switch {
 	case *serve && *coordAt != "":
 		return errors.New("-serve and -coordinator are mutually exclusive")
 	case *serve:
-		return runWorker(ctx, *lanAddr, *name, *parallel, batch)
+		return runWorker(ctx, plane, *lanAddr, *name, *parallel, batch)
 	case *coordAt != "":
-		return runCoordinator(ctx, *lanAddr, *coordAt, selection, *repeat, *timeout,
+		return runCoordinator(ctx, plane, *lanAddr, *coordAt, selection, *repeat, *timeout,
 			*outPath, *compare, *strict)
 	default:
 		return runLocal(ctx, selection, *repeat, batch, *outPath, *compare, *strict)
 	}
+}
+
+// startObs boots the telemetry plane when -obs is set; a nil plane (flag
+// unset) is safe everywhere downstream — every method no-ops.
+func startObs(addr, role string) (*obs.Plane, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	plane := obs.NewPlane(role, os.Stderr, 0)
+	bound, err := plane.Start(addr)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("obs: telemetry plane on http://%s/metrics\n", bound)
+	return plane, nil
 }
 
 // runLocal is the classic in-process batch, now with record persistence
@@ -223,7 +265,7 @@ func runLocal(ctx context.Context, selection []scenario.Spec, repeat int,
 
 // runWorker serves this host's slots to whatever coordinator shows up on
 // the segment, until interrupted.
-func runWorker(ctx context.Context, lanAddr, name string, slots int, batch sim.BatchConfig) error {
+func runWorker(ctx context.Context, plane *obs.Plane, lanAddr, name string, slots int, batch sim.BatchConfig) error {
 	if name == "" {
 		name = fmt.Sprintf("worker-%d", os.Getpid())
 	}
@@ -239,15 +281,22 @@ func runWorker(ctx context.Context, lanAddr, name string, slots int, batch sim.B
 		return err
 	}
 	defer node.Close()
-	w, err := dist.NewWorker(node, dist.WorkerConfig{
+	plane.AddNode(name+"-node", node)
+	wcfg := dist.WorkerConfig{
 		Name:  name,
 		Slots: slots,
 		Batch: batch,
-	})
+	}
+	if plane != nil {
+		wcfg.Log = plane.Log()
+		wcfg.Spans = plane.SpanSink()
+	}
+	w, err := dist.NewWorker(node, wcfg)
 	if err != nil {
 		return err
 	}
 	defer w.Close()
+	plane.AddDispatch(w.Sample)
 
 	mode := "federation"
 	if batch.Headless {
@@ -263,7 +312,7 @@ func runWorker(ctx context.Context, lanAddr, name string, slots int, batch sim.B
 
 // runCoordinator shards the work list over the named workers and reports
 // the merged results.
-func runCoordinator(ctx context.Context, lanAddr, workerList string,
+func runCoordinator(ctx context.Context, plane *obs.Plane, lanAddr, workerList string,
 	selection []scenario.Spec, repeat int, timeout time.Duration,
 	outPath, compare string, strict bool) error {
 	var workers []string
@@ -291,11 +340,18 @@ func runCoordinator(ctx context.Context, lanAddr, workerList string,
 		budget = 2 * time.Minute
 	}
 	jobTimeout := 2*budget + time.Minute
-	coord, err := dist.NewCoordinator(node, dist.CoordinatorConfig{JobTimeout: jobTimeout})
+	plane.AddNode("codbatch-coordinator", node)
+	ccfg := dist.CoordinatorConfig{JobTimeout: jobTimeout}
+	if plane != nil {
+		ccfg.Log = plane.Log()
+		ccfg.Spans = plane.SpanSink()
+	}
+	coord, err := dist.NewCoordinator(node, ccfg)
 	if err != nil {
 		return err
 	}
 	defer coord.Close()
+	plane.AddDispatch(coord.Sample)
 
 	fmt.Printf("waiting for workers %s on %s\n", strings.Join(workers, ", "), lanAddr)
 	if err := coord.WaitWorkers(ctx, workers); err != nil {

@@ -27,6 +27,7 @@ import (
 
 	"codsim/cod"
 	"codsim/internal/lp"
+	"codsim/internal/obs"
 )
 
 // CraneState is codnode's object class: the circling crane the publisher
@@ -52,13 +53,14 @@ func main() {
 
 func run() error {
 	var (
-		name   = flag.String("name", "", "unique node name (required)")
-		role   = flag.String("role", "sub", "pub | sub")
-		hz     = flag.Float64("hz", 60, "publish rate (pub role)")
-		base   = flag.Int("base", 39800, "UDP segment base port")
-		size   = flag.Int("size", 16, "UDP segment size (number of computer slots)")
-		policy = flag.String("policy", "latest", "subscriber delivery policy: latest | reliable | drop-oldest (sub role)")
-		window = flag.Int("window", 0, "reliable credit window (0 = backbone default; sub role with -policy reliable)")
+		name    = flag.String("name", "", "unique node name (required)")
+		role    = flag.String("role", "sub", "pub | sub")
+		hz      = flag.Float64("hz", 60, "publish rate (pub role)")
+		base    = flag.Int("base", 39800, "UDP segment base port")
+		size    = flag.Int("size", 16, "UDP segment size (number of computer slots)")
+		policy  = flag.String("policy", "latest", "subscriber delivery policy: latest | reliable | drop-oldest (sub role)")
+		window  = flag.Int("window", 0, "reliable credit window (0 = backbone default; sub role with -policy reliable)")
+		obsAddr = flag.String("obs", "", "serve the telemetry plane (/metrics, /healthz, /debug/tablez, /debug/pprof) on this address; empty = off")
 	)
 	flag.Parse()
 	if *name == "" {
@@ -73,6 +75,17 @@ func run() error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *obsAddr != "" {
+		plane := obs.NewPlane(*role, os.Stderr, 0)
+		plane.AddNode(*name, node)
+		bound, err := plane.Start(*obsAddr)
+		if err != nil {
+			return err
+		}
+		defer plane.Close()
+		fmt.Printf("obs: telemetry plane on http://%s/metrics\n", bound)
+	}
 
 	switch *role {
 	case "pub":

@@ -111,4 +111,14 @@
 // result acks and worker heartbeats, as the dist.Job, dist.Claim,
 // dist.Grant, dist.Result, dist.Ack and dist.Heartbeat classes — over
 // these same typed channels.
+//
+// # Observability
+//
+// Node.Stats and Node.Tables are the SDK's telemetry surface: process
+// counters plus the live pub/sub tables with per-channel delivered,
+// dropped and conflated tallies (Stats, TableEntry, ChannelTally). The
+// telemetry plane (internal/obs, enabled with -obs on cmd/codbatch and
+// cmd/codnode) scrapes exactly this surface into Prometheus series —
+// it never reaches into the backbone internals, so anything visible at
+// /metrics is equally available to SDK callers here.
 package cod

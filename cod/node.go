@@ -22,6 +22,11 @@ type Stats = cb.Stats
 // TableEntry re-exports one row of a Publication or Subscription table.
 type TableEntry = cb.TableEntry
 
+// ChannelTally re-exports one virtual channel's delivery/loss accounting
+// within a TableEntry, so telemetry consumers (internal/obs, external
+// harnesses) never import the backbone internals.
+type ChannelTally = cb.ChannelTally
+
 // MemLANOption tunes a simulated in-memory segment: latency, jitter,
 // datagram loss, bandwidth and the impairment seed. The SDK re-exports
 // the transport options so experiment harnesses never import internal

@@ -68,7 +68,7 @@ func TestPolicyDeclFixture(t *testing.T) {
 
 func TestLayeringFixture(t *testing.T) {
 	analysis.RunFixture(t, analysis.Testdata(), analysis.Layering, nil,
-		"codsim/cmd/layerfix", "codsim/examples/layerfix")
+		"codsim/cmd/layerfix", "codsim/examples/layerfix", "codsim/internal/obs")
 }
 
 func TestLayeringAllowlist(t *testing.T) {

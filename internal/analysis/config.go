@@ -97,6 +97,11 @@ var Boundaries = []BoundaryRule{
 		},
 		Reason: "batch coordination is headless; display-side packages stay out",
 	},
+	{
+		Scope:     "codsim/internal/obs",
+		Forbidden: []string{"codsim/internal/cb", "codsim/internal/wire", "codsim/internal/transport"},
+		Reason:    "the telemetry plane consumes exported Stats/Tables types via the cod SDK's narrow Backbone interface, never the backbone internals",
+	},
 }
 
 // inScope reports whether pkg falls under a boundary rule's scope.

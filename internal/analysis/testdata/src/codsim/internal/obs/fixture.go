@@ -1,0 +1,11 @@
+// Seeded-violation fixture for the layering analyzer: a telemetry-plane
+// shadow that reaches into the backbone internals instead of reading the
+// exported Stats/Tables types through the cod SDK. The overlay places it
+// at codsim/internal/obs, the exact-match scope of the boundary table.
+package obs
+
+import (
+	_ "codsim/internal/cb" // want `codsim/internal/obs must not import codsim/internal/cb`
+
+	_ "codsim/cod" // the sanctioned surface: never flagged
+)

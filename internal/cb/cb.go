@@ -280,9 +280,13 @@ type TableEntry struct {
 	// only; publisher rows leave it empty — each of their channels
 	// carries the policy its subscriber declared).
 	Policy string
-	// Dropped and Conflated total this subscription's mailbox losses;
-	// ByChannel breaks them down per virtual channel so the lossy
-	// publisher can be named. Subscription rows only.
+	// Delivered totals reflections buffered into this subscription's
+	// mailbox since it subscribed; Dropped and Conflated total its
+	// losses over the same lifetime. ByChannel breaks the counts down
+	// per *live* virtual channel so the lossy publisher can be named —
+	// entries vanish with their channel, but the row totals keep
+	// counting across link churn. Subscription rows only.
+	Delivered uint64
 	Dropped   uint64
 	Conflated uint64
 	ByChannel []ChannelTally
@@ -337,9 +341,15 @@ func (b *Backbone) Tables() (pubs, subs []TableEntry) {
 		e.ByChannel = row.s.mbox.channelTallies()
 		for i := range e.ByChannel {
 			e.ByChannel[i].Peer = peerOf[e.ByChannel[i].Channel]
-			e.Dropped += e.ByChannel[i].Dropped
-			e.Conflated += e.ByChannel[i].Conflated
 		}
+		// Row totals come from the mailbox's lifetime tallies, not a sum
+		// of ByChannel: the per-channel entries die with their channel,
+		// and a fast sweep would otherwise reset the row to zero between
+		// two scrapes.
+		totals := row.s.mbox.rowTallies()
+		e.Delivered = totals.Delivered
+		e.Dropped = totals.Dropped
+		e.Conflated = totals.Conflated
 		subs = append(subs, e)
 	}
 	return pubs, subs

@@ -359,6 +359,43 @@ func TestConflation(t *testing.T) {
 	}
 }
 
+// TestRowTotalsSurviveChannelTeardown pins the lifetime accounting: the
+// subscription row's delivered/dropped/conflated totals keep counting
+// after the virtual channel (and its ByChannel entry) is torn down, so a
+// post-sweep telemetry scrape still sees what a finished sweep delivered.
+func TestRowTotalsSurviveChannelTeardown(t *testing.T) {
+	lan := transport.NewMemLAN()
+	b := newBackbone(t, lan, "solo")
+	pub, err := b.PublishObjectClass("p", "Ev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := b.SubscribeObjectClass("s", "Ev", WithQueue(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		if err := pub.Update(float64(i), attrsWith(float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, subs := b.Tables()
+	if len(subs) != 1 {
+		t.Fatalf("sub table rows = %d", len(subs))
+	}
+	row := subs[0]
+	if len(row.ByChannel) != 0 {
+		t.Errorf("ByChannel after teardown = %+v, want empty (channel forgotten)", row.ByChannel)
+	}
+	if row.Delivered != 5 || row.Dropped != 3 {
+		t.Errorf("row totals after teardown = delivered %d dropped %d, want 5/3", row.Delivered, row.Dropped)
+	}
+	_ = sub
+}
+
 func TestQueueOverflowDropsOldest(t *testing.T) {
 	lan := transport.NewMemLAN()
 	b := newBackbone(t, lan, "solo")

@@ -843,6 +843,12 @@ type mailbox struct {
 	// Per-channel loss accounting, surfaced in Backbone.Tables so a lossy
 	// channel can be named instead of inferred from the backbone total.
 	tallies map[uint32]*ChannelTally
+	// totals is the subscription-lifetime sum of the tallies: unlike the
+	// per-channel entries it survives forgetChannel, so row-level
+	// delivered/dropped/conflated counts stay monotonic across link
+	// churn (a standing dist worker outlives many coordinators' virtual
+	// channels). Channel and Peer are unused.
+	totals ChannelTally
 	// Per-channel credit accounting of a reliable subscription: the
 	// cumulative consumption count the publisher's window runs on, and
 	// the high-water mark of the last grant sent.
@@ -863,6 +869,7 @@ type chanCredit struct {
 type ChannelTally struct {
 	Channel   uint32
 	Peer      string // publishing node; filled by Tables
+	Delivered uint64 // reflections buffered into the mailbox (frames in)
 	Dropped   uint64 // reflections dropped (drop-oldest overflow)
 	Conflated uint64 // reflections coalesced (latest-value overflow)
 }
@@ -1006,15 +1013,18 @@ func (m *mailbox) push(r Reflection) {
 			}
 			if victim >= 0 {
 				m.tally(m.at(victim).Channel).Conflated++
+				m.totals.Conflated++
 				m.stats.Conflations.Inc()
 				m.removeAt(victim)
 			} else {
 				m.tally(m.at(0).Channel).Dropped++
+				m.totals.Dropped++
 				m.stats.MailboxDropped.Inc()
 				m.removeAt(0)
 			}
 		default: // drop oldest
 			m.tally(m.at(0).Channel).Dropped++
+			m.totals.Dropped++
 			m.stats.MailboxDropped.Inc()
 			m.noteRemoved(m.at(0).Channel)
 			m.head = (m.head + 1) % len(m.buf)
@@ -1024,6 +1034,8 @@ func (m *mailbox) push(r Reflection) {
 	m.buf[(m.head+m.n)%len(m.buf)] = r
 	m.n++
 	m.occupancy[r.Channel]++
+	m.tally(r.Channel).Delivered++
+	m.totals.Delivered++
 	m.mu.Unlock()
 	select {
 	case m.notify <- struct{}{}:
@@ -1032,6 +1044,15 @@ func (m *mailbox) push(r Reflection) {
 }
 
 // channelTallies snapshots the per-channel loss counters.
+// rowTallies returns the subscription-lifetime totals — the cumulative
+// delivered/dropped/conflated counts across every virtual channel the
+// subscription ever had, including torn-down ones.
+func (m *mailbox) rowTallies() ChannelTally {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.totals
+}
+
 func (m *mailbox) channelTallies() []ChannelTally {
 	m.mu.Lock()
 	defer m.mu.Unlock()

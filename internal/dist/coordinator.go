@@ -4,10 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
+	"sync"
 	"time"
 
 	"codsim/cod"
+	"codsim/internal/obs"
 	"codsim/internal/scenario"
 )
 
@@ -37,16 +40,26 @@ type CoordinatorConfig struct {
 	// (default 64). Run ignores it — a materialized list is already paid
 	// for.
 	Window int
-	// Logf, when set, receives dispatch-state transitions (grants,
-	// results, re-dispatches) for debugging a sweep; nil is silent.
+	// Log receives dispatch-state transitions (grants, results,
+	// re-dispatches) as structured records with consistent field names
+	// (sweep, job, worker, attempt, span). Nil falls back to Logf.
+	Log *slog.Logger
+	// Logf is the legacy printf hook, kept as a compatibility shim: when
+	// Log is nil it is adapted into a slog handler (obs.NewLogfLogger).
+	// Nil too is silent.
 	Logf func(format string, args ...any)
+	// Spans, when set, records per-job phase latencies (the queue phase is
+	// observed here, on the coordinator's clock); nil drops them.
+	Spans *obs.Spans
 }
 
-// logf logs one dispatch event when a sink is configured.
-func (c *Coordinator) logf(format string, args ...any) {
-	if c.cfg.Logf != nil {
-		c.cfg.Logf("dist: "+format, args...)
+// logger resolves the configured structured sink, shimming Logf.
+func (c CoordinatorConfig) logger() *slog.Logger {
+	log := c.Log
+	if log == nil {
+		log = obs.NewLogfLogger(c.Logf)
 	}
+	return log.With("sweep", c.Sweep)
 }
 
 func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
@@ -82,7 +95,9 @@ type workerInfo struct {
 // collects results, and re-dispatches work lost to dead or stalled
 // workers. One coordinator per segment at a time.
 type Coordinator struct {
-	cfg CoordinatorConfig
+	cfg   CoordinatorConfig
+	log   *slog.Logger
+	spans *obs.Spans
 
 	pubJob   *cod.Pub[jobAnnounce]
 	pubGrant *cod.Pub[jobGrant]
@@ -92,13 +107,45 @@ type Coordinator struct {
 	subHB    *cod.Sub[heartbeat]
 
 	workers map[string]*workerInfo
+
+	// prog mirrors dispatch state for the telemetry sampler. RunStream
+	// updates it at every phase transition; Sample reads it from the
+	// sampler's goroutine, so it has its own lock.
+	progMu sync.Mutex
+	prog   progress
+}
+
+// progress is the coordinator's scrape-facing dispatch state.
+type progress struct {
+	pending      int64 // jobs loaded, awaiting a grant
+	granted      int64 // jobs granted, awaiting a result
+	done         int64 // jobs with a Record
+	attempts     int64 // dispatch attempts started (first + re-dispatches)
+	redispatches int64 // re-dispatches of lost or timed-out grants
+	start        time.Time
+	workers      map[string]*workerProg
+}
+
+// workerProg is the coordinator's per-worker progress view.
+type workerProg struct {
+	done  int64 // results delivered this sweep
+	slots int64 // from the last heartbeat
+	busy  int64
+	seen  time.Time
 }
 
 // NewCoordinator registers the coordinator's channels on the node. The
 // caller keeps ownership of the node; Close withdraws only the
 // registrations.
 func NewCoordinator(node *cod.Node, cfg CoordinatorConfig) (*Coordinator, error) {
-	c := &Coordinator{cfg: cfg.withDefaults(), workers: make(map[string]*workerInfo)}
+	cfg = cfg.withDefaults()
+	c := &Coordinator{
+		cfg:     cfg,
+		log:     cfg.logger(),
+		spans:   cfg.Spans,
+		workers: make(map[string]*workerInfo),
+		prog:    progress{start: time.Now(), workers: make(map[string]*workerProg)},
+	}
 	var err error
 	if c.pubJob, err = cod.Publish[jobAnnounce](node, coordinatorLP, ClassJob); err != nil {
 		return nil, fmt.Errorf("dist: coordinator: %w", err)
@@ -179,13 +226,102 @@ func (c *Coordinator) WaitWorkers(ctx context.Context, names []string) error {
 	return nil
 }
 
-// noteHeartbeat folds one heartbeat into the worker table.
+// noteHeartbeat folds one heartbeat into the worker table and the
+// telemetry progress view.
 func (c *Coordinator) noteHeartbeat(hb heartbeat) {
 	working := make(map[int64]bool, len(hb.Working))
 	for _, id := range hb.Working {
 		working[id] = true
 	}
-	c.workers[hb.Worker] = &workerInfo{seen: time.Now(), sweep: hb.Sweep, working: working}
+	now := time.Now()
+	c.workers[hb.Worker] = &workerInfo{seen: now, sweep: hb.Sweep, working: working}
+
+	c.progMu.Lock()
+	wp := c.prog.workers[hb.Worker]
+	if wp == nil {
+		wp = &workerProg{}
+		c.prog.workers[hb.Worker] = wp
+	}
+	wp.slots, wp.busy, wp.seen = hb.Slots, hb.Busy, now
+	c.progMu.Unlock()
+}
+
+// moveJob records one job's phase transition in the progress view; pass
+// from = -1 for a newly loaded job.
+func (c *Coordinator) moveJob(from, to jobPhase) {
+	c.progMu.Lock()
+	switch from {
+	case jobPending:
+		c.prog.pending--
+	case jobGranted:
+		c.prog.granted--
+	}
+	switch to {
+	case jobPending:
+		c.prog.pending++
+	case jobGranted:
+		c.prog.granted++
+	case jobDone:
+		c.prog.done++
+	}
+	c.progMu.Unlock()
+}
+
+// noteAttempt counts one dispatch attempt (and, past the first, one
+// re-dispatch).
+func (c *Coordinator) noteAttempt(redispatch bool) {
+	c.progMu.Lock()
+	c.prog.attempts++
+	if redispatch {
+		c.prog.redispatches++
+	}
+	c.progMu.Unlock()
+}
+
+// noteWorkerDone credits one delivered result to a worker's throughput.
+func (c *Coordinator) noteWorkerDone(worker string) {
+	c.progMu.Lock()
+	wp := c.prog.workers[worker]
+	if wp == nil {
+		wp = &workerProg{}
+		c.prog.workers[worker] = wp
+	}
+	wp.done++
+	c.progMu.Unlock()
+}
+
+// Sample snapshots the coordinator's dispatch state for the telemetry
+// sampler (obs.Sampler.AddDispatch). Safe to call from any goroutine.
+func (c *Coordinator) Sample() obs.DispatchSample {
+	c.progMu.Lock()
+	defer c.progMu.Unlock()
+	d := obs.DispatchSample{
+		Role:         "coordinator",
+		Name:         fmt.Sprintf("sweep-%d", c.cfg.Sweep),
+		Pending:      c.prog.pending,
+		Granted:      c.prog.granted,
+		Done:         c.prog.done,
+		Attempts:     c.prog.attempts,
+		Redispatches: c.prog.redispatches,
+	}
+	elapsed := time.Since(c.prog.start).Seconds()
+	names := make([]string, 0, len(c.prog.workers))
+	for name := range c.prog.workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		wp := c.prog.workers[name]
+		ws := obs.WorkerSample{
+			Name: name, Done: wp.done, Busy: wp.busy, Slots: wp.slots,
+			SinceSeen: time.Since(wp.seen).Seconds(),
+		}
+		if elapsed > 0 {
+			ws.Throughput = float64(wp.done) / elapsed
+		}
+		d.Workers = append(d.Workers, ws)
+	}
+	return d
 }
 
 func keys(m map[string]bool) []string {
@@ -213,9 +349,12 @@ type jobState struct {
 	phase    jobPhase
 	attempt  int64
 	worker   string    // grantee while granted
+	created  time.Time // when the job was pulled from its source
 	granted  time.Time // when the grant was sent
 	deadline time.Time // JobTimeout while granted, and while re-dispatched
 	announce time.Time // last announce while pending
+	span     string    // trace span ID, minted at load, rides every message
+	queueMS  float64   // load→grant latency of the winning attempt
 	rec      Record
 }
 
@@ -261,8 +400,13 @@ func (c *Coordinator) RunStream(ctx context.Context, src JobSource) ([]Record, e
 			if _, dup := states[j.ID]; dup {
 				return fmt.Errorf("dist: duplicate job id %d", j.ID)
 			}
-			states[j.ID] = &jobState{job: j, specJSON: data, attempt: 1}
+			states[j.ID] = &jobState{
+				job: j, specJSON: data, attempt: 1,
+				created: time.Now(), span: obs.MintSpanID(),
+			}
 			jobs = append(jobs, j)
+			c.moveJob(-1, jobPending)
+			c.noteAttempt(false)
 		}
 		return nil
 	}
@@ -356,11 +500,19 @@ func (c *Coordinator) drainResults(states map[int64]*jobState) (newlyDone int) {
 		if err := unmarshalRecord(res.Record, &rec); err != nil {
 			continue // corrupt record: let the job be re-dispatched
 		}
+		// The coordinator owns the span and the queue phase; the worker
+		// stamped DispatchMS on its own clock before marshaling.
+		rec.Span = s.span
+		rec.QueueMS = s.queueMS
+		c.moveJob(s.phase, jobDone)
 		s.phase = jobDone
 		s.rec = rec
 		newlyDone++
 		c.ack(res.Job)
-		c.logf("job %d done by %s (attempt %d)", res.Job, res.Worker, res.Attempt)
+		c.noteWorkerDone(res.Worker)
+		c.log.Info("job done",
+			"job", res.Job, "worker", res.Worker, "attempt", res.Attempt,
+			"span", s.span, "wall_s", rec.WallSec, "passed", rec.Passed)
 	}
 }
 
@@ -386,12 +538,23 @@ func (c *Coordinator) drainClaims(states map[int64]*jobState) {
 			if claim.Attempt != s.attempt {
 				continue // bid on a stale announce; re-announce solicits a fresh one
 			}
+			c.moveJob(s.phase, jobGranted)
 			s.phase = jobGranted
 			s.worker = claim.Worker
 			s.granted = time.Now()
 			s.deadline = s.granted.Add(c.cfg.JobTimeout)
+			// The queue phase ends here: the job waited from load until a
+			// worker won it. Re-dispatches overwrite it — the latency that
+			// matters is the attempt that went on to run.
+			queued := s.granted.Sub(s.created)
+			// Fractional ms: in-process grants land in microseconds, and a
+			// truncated 0 would hide the report's DISP-MS column.
+			s.queueMS = float64(queued.Microseconds()) / 1e3
+			c.spans.Observe(obs.PhaseQueue, queued)
 			c.sendGrant(s)
-			c.logf("job %d granted to %s (attempt %d)", s.job.ID, s.worker, s.attempt)
+			c.log.Info("job granted",
+				"job", s.job.ID, "worker", s.worker, "attempt", s.attempt,
+				"span", s.span, "queue_ms", s.queueMS)
 		case jobGranted, jobDone:
 			if s.worker != "" {
 				c.sendGrant(s) // idempotent re-send releases the loser
@@ -445,17 +608,21 @@ func (c *Coordinator) redispatch(states map[int64]*jobState) (newlyDone int) {
 			if !dead && !lost && now.Before(s.deadline) {
 				continue
 			}
-			c.logf("job %d: grant to %s failed (dead=%v lost=%v timeout=%v), attempt %d",
-				s.job.ID, s.worker, dead, lost, !now.Before(s.deadline), s.attempt)
+			c.log.Warn("grant failed",
+				"job", s.job.ID, "worker", s.worker, "attempt", s.attempt,
+				"span", s.span, "dead", dead, "lost", lost,
+				"timeout", !now.Before(s.deadline))
 		case jobPending:
 			if s.attempt == 1 || now.Before(s.deadline) {
 				continue
 			}
-			c.logf("job %d: re-dispatch unclaimed past deadline, attempt %d", s.job.ID, s.attempt)
+			c.log.Warn("re-dispatch unclaimed past deadline",
+				"job", s.job.ID, "attempt", s.attempt, "span", s.span)
 		default:
 			continue
 		}
 		if int(s.attempt) >= c.cfg.MaxAttempts {
+			c.moveJob(s.phase, jobDone)
 			s.phase = jobDone
 			s.rec = Record{
 				Job:      s.job.ID,
@@ -464,16 +631,19 @@ func (c *Coordinator) redispatch(states map[int64]*jobState) (newlyDone int) {
 				Title:    s.job.Spec.Title,
 				Seed:     s.job.Seed,
 				Worker:   s.worker,
+				Span:     s.span,
 				Err:      fmt.Sprintf("dist: gave up after %d attempts (last worker %s)", s.attempt, s.worker),
 			}
 			newlyDone++
 			continue
 		}
+		c.moveJob(s.phase, jobPending)
 		s.phase = jobPending
 		s.attempt++
 		s.worker = ""
 		s.deadline = now.Add(c.cfg.JobTimeout)
 		s.announce = time.Time{} // re-announce immediately
+		c.noteAttempt(true)
 	}
 	return newlyDone
 }
@@ -498,6 +668,7 @@ func (c *Coordinator) announcePending(states map[int64]*jobState) {
 			Attempt: s.attempt,
 			Seed:    s.job.Seed,
 			Spec:    s.specJSON,
+			Span:    s.span,
 		})
 	}
 }

@@ -56,6 +56,18 @@
 // p50/p90/p99 percentiles, and Compare diffs two result files for
 // regressions. cmd/codbatch wires the whole thing into -serve /
 // -coordinator / -out / -compare flags.
+//
+// # Observability
+//
+// Both sides log through log/slog with structured fields (sweep, job,
+// worker, attempt, span) — CoordinatorConfig.Log / WorkerConfig.Log;
+// the legacy Logf hooks remain as a shim. Each job carries a trace-span
+// ID minted at dispatch and threaded through announce, grant and the
+// returned Record, with phase latencies (queue, dispatch, run, ack)
+// recorded into an optional obs.Spans histogram — each phase is timed
+// on a single machine's clock, so skew between hosts never distorts it.
+// Coordinator.Sample and Worker.Sample expose live dispatch state for
+// the obs sampler's codsim_dist_* gauges.
 package dist
 
 import (
@@ -88,6 +100,11 @@ type Job struct {
 	ID   int64
 	Seed int64
 	Spec scenario.Spec
+	// Span is the job's trace span ID, minted by the coordinator at
+	// dispatch and threaded through to the worker and its Record so log
+	// lines and phase-latency observations join on one key. Empty for
+	// jobs that never crossed a coordinator (local batches).
+	Span string
 }
 
 // JobsFor expands a spec selection into repeat sweeps of jobs with stable
@@ -114,12 +131,15 @@ func JobsFor(specs []scenario.Spec, repeat int) []Job {
 // break between mixed coordinator/worker builds.
 
 // jobAnnounce advertises an unassigned (job, attempt) with its spec JSON.
+// Span rides at the end: appended fields keep positional attribute IDs
+// stable for the fields older builds know.
 type jobAnnounce struct {
 	Sweep   int64
 	Job     int64
 	Attempt int64
 	Seed    int64
 	Spec    []byte
+	Span    string
 }
 
 // jobClaim is a worker's bid to run an announced job.

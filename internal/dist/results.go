@@ -30,6 +30,13 @@ type Record struct {
 	// lamps lit (safety alarms plus collisions) across every crane.
 	Alarms int64  `json:"alarms,omitempty"`
 	Err    string `json:"err,omitempty"`
+	// Span is the job's trace span ID; QueueMS is the coordinator-side
+	// load→grant wait and DispatchMS the worker-side claim→grant latency
+	// of the attempt that produced this record. All three are absent for
+	// local (non-dist) runs.
+	Span       string  `json:"span,omitempty"`
+	QueueMS    float64 `json:"queue_ms,omitempty"`
+	DispatchMS float64 `json:"dispatch_ms,omitempty"`
 }
 
 // NewRecord converts one sim.BatchResult into its persisted form.
@@ -157,6 +164,7 @@ type Group struct {
 	Score    Stats // final score percentiles
 	Wall     Stats // wall-clock seconds percentiles
 	Sim      Stats // simulated seconds percentiles
+	Dispatch Stats // dispatch-latency (ms) percentiles, dist sweeps only
 }
 
 // PassRate returns the group's pass fraction in [0, 1].
@@ -199,6 +207,7 @@ func groupOf(name string, recs []Record) Group {
 	scores := make([]float64, 0, len(recs))
 	walls := make([]float64, 0, len(recs))
 	sims := make([]float64, 0, len(recs))
+	var disp []float64
 	for _, r := range recs {
 		if r.Passed {
 			g.Passed++
@@ -210,22 +219,39 @@ func groupOf(name string, recs []Record) Group {
 		scores = append(scores, r.Score)
 		walls = append(walls, r.WallSec)
 		sims = append(sims, r.SimSec)
+		// Only dist records carry dispatch latency; a mixed or local
+		// result set must not drag the percentiles to zero.
+		if r.DispatchMS > 0 || r.Span != "" {
+			disp = append(disp, r.DispatchMS)
+		}
 	}
 	g.Score = statsOf(scores)
 	g.Wall = statsOf(walls)
 	g.Sim = statsOf(sims)
+	g.Dispatch = statsOf(disp)
 	return g
 }
 
-// WriteReport renders the aggregate table.
+// WriteReport renders the aggregate table. The dispatch-latency column
+// only appears when some record carried it — local sweeps keep the
+// narrow table.
 func WriteReport(w io.Writer, rep Report) {
-	fmt.Fprintf(w, "%-18s %5s %6s %7s %7s  %-17s %-17s\n",
+	withDispatch := rep.Total.Dispatch != Stats{}
+	fmt.Fprintf(w, "%-18s %5s %6s %7s %7s  %-17s %-17s",
 		"SCENARIO", "RUNS", "PASS%", "ERRORS", "ALARMS", "SCORE p50/90/99", "WALL-S p50/90/99")
+	if withDispatch {
+		fmt.Fprintf(w, " %-13s", "DISP-MS p50/99")
+	}
+	fmt.Fprintln(w)
 	line := func(g Group) {
-		fmt.Fprintf(w, "%-18s %5d %5.0f%% %7d %7d  %5.1f/%5.1f/%5.1f %5.1f/%5.1f/%5.1f\n",
+		fmt.Fprintf(w, "%-18s %5d %5.0f%% %7d %7d  %5.1f/%5.1f/%5.1f %5.1f/%5.1f/%5.1f",
 			g.Scenario, g.Runs, g.PassRate()*100, g.Errors, g.Alarms,
 			g.Score.P50, g.Score.P90, g.Score.P99,
 			g.Wall.P50, g.Wall.P90, g.Wall.P99)
+		if withDispatch {
+			fmt.Fprintf(w, " %6.1f/%6.1f", g.Dispatch.P50, g.Dispatch.P99)
+		}
+		fmt.Fprintln(w)
 	}
 	for _, g := range rep.Scenarios {
 		line(g)

@@ -4,9 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
+	"sync/atomic"
 	"time"
 
 	"codsim/cod"
+	"codsim/internal/obs"
 	"codsim/internal/scenario"
 	"codsim/internal/sim"
 )
@@ -34,16 +37,17 @@ type WorkerConfig struct {
 	Batch sim.BatchConfig
 	// Run substitutes the job runner (tests); nil uses DefaultRunner.
 	Run Runner
-	// Logf, when set, receives job-state transitions for debugging;
-	// nil is silent.
+	// Log receives job-state transitions as structured records with
+	// consistent field names (sweep, job, attempt, span). Nil falls back
+	// to Logf.
+	Log *slog.Logger
+	// Logf is the legacy printf hook, kept as a compatibility shim: when
+	// Log is nil it is adapted into a slog handler (obs.NewLogfLogger).
+	// Nil too is silent.
 	Logf func(format string, args ...any)
-}
-
-// logf logs one worker event when a sink is configured.
-func (w *Worker) logf(format string, args ...any) {
-	if w.cfg.Logf != nil {
-		w.cfg.Logf("dist[%s]: "+format, append([]any{w.name}, args...)...)
-	}
+	// Spans, when set, records per-job phase latencies (dispatch, run and
+	// ack are observed here, on the worker's clock); nil drops them.
+	Spans *obs.Spans
 }
 
 func (c WorkerConfig) withDefaults(node *cod.Node) WorkerConfig {
@@ -93,7 +97,8 @@ type workerJob struct {
 	job       Job
 	rec       Record
 	lastSend  time.Time // last result send, for the re-send backoff
-	claimedAt time.Time // bid time, for claim expiry
+	claimedAt time.Time // bid time, for claim expiry and dispatch latency
+	firstSend time.Time // first result send, for the ack phase span
 }
 
 // Worker serves one host's slots to whatever coordinator runs on the
@@ -101,8 +106,10 @@ type workerJob struct {
 // announcing a different sweep ID, the worker drops the previous sweep's
 // bookkeeping once its slots drain.
 type Worker struct {
-	name string
-	cfg  WorkerConfig
+	name  string
+	cfg   WorkerConfig
+	log   *slog.Logger
+	spans *obs.Spans
 
 	subJob   *cod.Sub[jobAnnounce]
 	subGrant *cod.Sub[jobGrant]
@@ -115,15 +122,28 @@ type Worker struct {
 	jobs    map[int64]*workerJob
 	running int
 	doneCh  chan Record // finished runs, keyed by Record.Job
+
+	// Scrape-facing mirrors of the ledger above, refreshed by the Run
+	// loop so the telemetry sampler's Sample never touches loop state.
+	obsBusy     atomic.Int64
+	obsClaimed  atomic.Int64
+	obsFinished atomic.Int64 // cumulative runs finished
+	obsAcked    atomic.Int64 // cumulative results acknowledged
 }
 
 // NewWorker registers the worker's channels on the node. The caller keeps
 // ownership of the node; Close withdraws only the registrations.
 func NewWorker(node *cod.Node, cfg WorkerConfig) (*Worker, error) {
 	cfg = cfg.withDefaults(node)
+	log := cfg.Log
+	if log == nil {
+		log = obs.NewLogfLogger(cfg.Logf)
+	}
 	w := &Worker{
 		name:   cfg.Name,
 		cfg:    cfg,
+		log:    log.With("worker", cfg.Name),
+		spans:  cfg.Spans,
 		jobs:   make(map[int64]*workerJob),
 		doneCh: make(chan Record, cfg.Slots),
 	}
@@ -211,6 +231,7 @@ func (w *Worker) Run(ctx context.Context) error {
 		w.drainAcks()
 		w.expireClaims()
 		w.flushResults()
+		w.publishStats()
 
 		select {
 		case <-ctx.Done():
@@ -219,11 +240,14 @@ func (w *Worker) Run(ctx context.Context) error {
 			w.beat()
 		case rec := <-w.doneCh:
 			w.running--
-			w.logf("job %d finished", rec.Job)
+			w.obsFinished.Add(1)
 			if j := w.jobs[rec.Job]; j != nil {
 				j.phase = wjFinished
 				j.rec = rec
 			}
+			w.log.Info("job finished",
+				"sweep", w.sweep, "job", rec.Job, "attempt", rec.Attempt,
+				"span", rec.Span, "wall_s", rec.WallSec, "passed", rec.Passed)
 		case <-w.subJob.NotifyC():
 		case <-w.subGrant.NotifyC():
 		case <-w.subAck.NotifyC():
@@ -248,6 +272,32 @@ func (w *Worker) beat() {
 		Busy:    int64(w.running),
 		Working: working,
 	})
+}
+
+// publishStats refreshes the scrape-facing mirrors of the job ledger.
+func (w *Worker) publishStats() {
+	var claimed int64
+	for _, j := range w.jobs {
+		if j.phase == wjClaimed {
+			claimed++
+		}
+	}
+	w.obsBusy.Store(int64(w.running))
+	w.obsClaimed.Store(claimed)
+}
+
+// Sample snapshots the worker's dispatch state for the telemetry sampler
+// (obs.Sampler.AddDispatch). Safe to call from any goroutine.
+func (w *Worker) Sample() obs.DispatchSample {
+	return obs.DispatchSample{
+		Role:         "worker",
+		Name:         w.name,
+		Slots:        int64(w.cfg.Slots),
+		Busy:         w.obsBusy.Load(),
+		Claimed:      w.obsClaimed.Load(),
+		Finished:     w.obsFinished.Load(),
+		ResultsAcked: w.obsAcked.Load(),
+	}
 }
 
 // free reports how many slots are neither running nor bid away.
@@ -308,7 +358,7 @@ func (w *Worker) drainAnnounces() {
 		j = &workerJob{
 			phase:   wjClaimed,
 			attempt: ann.Attempt,
-			job:     Job{ID: ann.Job, Seed: ann.Seed, Spec: spec},
+			job:     Job{ID: ann.Job, Seed: ann.Seed, Spec: spec, Span: ann.Span},
 		}
 		w.jobs[ann.Job] = j
 		w.claim(j)
@@ -370,12 +420,24 @@ func (w *Worker) drainGrants(runCtx context.Context) {
 		}
 		j.phase = wjRunning
 		w.running++
-		w.logf("job %d started (attempt %d)", g.Job, g.Attempt)
+		// The dispatch phase ends here: the bid waited from claim to
+		// grant, all on this worker's clock.
+		dispatched := time.Since(j.claimedAt)
+		w.spans.Observe(obs.PhaseDispatch, dispatched)
+		// Fractional ms, for the same reason as the coordinator's queueMS.
+		dispatchMS := float64(dispatched.Microseconds()) / 1e3
+		w.log.Info("job started",
+			"sweep", w.sweep, "job", g.Job, "attempt", g.Attempt,
+			"span", j.job.Span, "dispatch_ms", dispatchMS)
 		go func(job Job, attempt int64) {
+			start := time.Now()
 			rec := w.cfg.Run(runCtx, job, w.cfg.Batch)
+			w.spans.Observe(obs.PhaseRun, time.Since(start))
 			rec.Job = job.ID
 			rec.Attempt = attempt
 			rec.Worker = w.name
+			rec.Span = job.Span
+			rec.DispatchMS = dispatchMS
 			w.doneCh <- rec
 		}(j.job, j.attempt)
 	}
@@ -399,6 +461,12 @@ func (w *Worker) drainAcks() {
 		// heartbeat's Working list (and the cached Records) with all jobs
 		// ever run in the sweep.
 		if j := w.jobs[r.Value.Job]; j != nil && j.phase == wjFinished {
+			// The ack phase ends here: the record waited from its first
+			// send until the coordinator confirmed receipt.
+			if !j.firstSend.IsZero() {
+				w.spans.Observe(obs.PhaseAck, time.Since(j.firstSend))
+			}
+			w.obsAcked.Add(1)
 			delete(w.jobs, r.Value.Job)
 		}
 	}
@@ -433,11 +501,18 @@ func (w *Worker) flushResults() {
 		switch {
 		case err == nil:
 			j.lastSend = now
-			w.logf("job %d result sent (attempt %d)", j.job.ID, j.attempt)
+			if j.firstSend.IsZero() {
+				j.firstSend = now
+			}
+			w.log.Info("result sent",
+				"sweep", w.sweep, "job", j.job.ID, "attempt", j.attempt,
+				"span", j.job.Span)
 		case errors.Is(err, cod.ErrWindowFull):
-			w.logf("job %d result deferred: coordinator window full", j.job.ID)
+			w.log.Warn("result deferred: coordinator window full",
+				"sweep", w.sweep, "job", j.job.ID, "span", j.job.Span)
 		default:
-			w.logf("job %d result not sent: %v", j.job.ID, err)
+			w.log.Warn("result not sent",
+				"sweep", w.sweep, "job", j.job.ID, "span", j.job.Span, "err", err)
 		}
 	}
 }

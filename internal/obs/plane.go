@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+	"time"
+)
+
+// Plane bundles the full telemetry stack — registry, HTTP server,
+// background sampler, span recorder, and structured logger — so each cmd
+// wires observability with one call. A nil *Plane is a valid disabled
+// plane: every accessor returns a safe no-op value.
+type Plane struct {
+	Registry *Registry
+	Server   *Server
+	Sampler  *Sampler
+	Spans    *Spans
+	Logger   *slog.Logger
+
+	addr string
+}
+
+// NewPlane builds a plane around a fresh registry. role tags log lines;
+// logW receives them (typically os.Stderr). The sampler runs at period
+// (0 = DefaultSamplePeriod) once Start is called.
+func NewPlane(role string, logW io.Writer, period time.Duration) *Plane {
+	reg := NewRegistry()
+	p := &Plane{
+		Registry: reg,
+		Server:   NewServer(reg),
+		Sampler:  NewSampler(reg, period),
+		Spans:    NewSpans(reg),
+		Logger:   NewLogger(logW, role),
+	}
+	// Collect-on-scrape: /metrics reflects the state at scrape time, not
+	// the last background tick, so short-lived channels are observable.
+	p.Server.OnScrape(p.Sampler.SampleOnce)
+	return p
+}
+
+// AddNode registers a backbone with both the sampler (metric series) and
+// the server (/debug/tablez).
+func (p *Plane) AddNode(name string, bb Backbone) {
+	if p == nil {
+		return
+	}
+	p.Sampler.AddNode(name, bb)
+	p.Server.AddNode(name, bb)
+}
+
+// AddDispatch registers a dispatch-state source with the sampler.
+func (p *Plane) AddDispatch(fn func() DispatchSample) {
+	if p == nil {
+		return
+	}
+	p.Sampler.AddDispatch(fn)
+}
+
+// Start binds addr, starts the sampler, and returns the bound address.
+func (p *Plane) Start(addr string) (string, error) {
+	bound, err := p.Server.Start(addr)
+	if err != nil {
+		return "", err
+	}
+	p.addr = bound
+	p.Sampler.Start()
+	return bound, nil
+}
+
+// Addr returns the bound address after Start ("" before).
+func (p *Plane) Addr() string {
+	if p == nil {
+		return ""
+	}
+	return p.addr
+}
+
+// Close runs one final sample pass (so short sweeps still leave complete
+// series for a last scrape before exit), then stops the sampler and server.
+func (p *Plane) Close() {
+	if p == nil {
+		return
+	}
+	p.Sampler.SampleOnce()
+	p.Sampler.Stop()
+	_ = p.Server.Close()
+}
+
+// Log returns the plane's logger, or a discard logger for a nil plane.
+func (p *Plane) Log() *slog.Logger {
+	if p == nil {
+		return Nop()
+	}
+	return p.Logger
+}
+
+// SpanSink returns the plane's span recorder; nil-safe (a nil *Spans
+// drops observations).
+func (p *Plane) SpanSink() *Spans {
+	if p == nil {
+		return nil
+	}
+	return p.Spans
+}

@@ -1,0 +1,291 @@
+package obs
+
+import (
+	"strconv"
+	"sync"
+	"time"
+
+	"codsim/cod"
+)
+
+// Backbone is the narrow view of a node the telemetry plane consumes:
+// the exported stats counters and table snapshots of the public cod SDK.
+// *cod.Node satisfies it. obs deliberately never touches the backbone
+// internals — everything it needs crosses this interface.
+type Backbone interface {
+	Stats() *cod.Stats
+	Tables() (pubs, subs []cod.TableEntry)
+}
+
+// DispatchSample is one scrape of a dist coordinator's or worker's
+// dispatch state. dist produces these (Coordinator.Sample, Worker.Sample)
+// and the Sampler turns them into codsim_dist_* series; the struct is
+// plain data so obs never has to import dist.
+type DispatchSample struct {
+	// Role is "coordinator" or "worker"; Name the role instance's segment
+	// identity (worker name, or the sweep ID for a coordinator).
+	Role string
+	Name string
+
+	// Coordinator state: jobs currently pending announce or granted
+	// (InFlight = Pending + Granted), finished jobs, attempts dispatched
+	// and re-dispatches of lost grants.
+	Pending      int64
+	Granted      int64
+	Done         int64
+	Attempts     int64
+	Redispatches int64
+
+	// Worker state: slot occupancy and the local job ledger.
+	Slots        int64
+	Busy         int64
+	Claimed      int64
+	Finished     int64
+	ResultsAcked int64
+
+	// Workers is the coordinator's per-worker progress view, for the
+	// dispatch-weighting follow-on: who is fast, who is mute.
+	Workers []WorkerSample
+}
+
+// WorkerSample is a coordinator's view of one worker's progress.
+type WorkerSample struct {
+	Name string
+	// Done counts results this worker delivered this sweep; Throughput is
+	// Done over the time since the sweep started, in jobs per second.
+	Done       int64
+	Throughput float64
+	// Busy and Slots mirror the worker's last heartbeat; SinceSeen is the
+	// age of that heartbeat in seconds.
+	Busy      int64
+	Slots     int64
+	SinceSeen float64
+}
+
+// nodeSource is one registered backbone with its metric label.
+type nodeSource struct {
+	name string
+	bb   Backbone
+}
+
+// Sampler periodically scrapes registered backbones and dispatch sources
+// into registry gauges. Construct with NewSampler, register sources, then
+// Start it (or call SampleOnce from a test). All methods are safe for
+// concurrent use.
+type Sampler struct {
+	reg    *Registry
+	period time.Duration
+
+	mu       sync.Mutex
+	nodes    []nodeSource
+	dispatch []func() DispatchSample
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	done      chan struct{}
+	stopped   chan struct{}
+
+	// Pre-registered families; children resolve per label set on sample.
+	cbCounters  *GaugeVec
+	chFrames    *GaugeVec
+	chDropped   *GaugeVec
+	chConflated *GaugeVec
+	pubStalls   *GaugeVec
+	subRows     *GaugeVec
+	subFrames   *GaugeVec
+	subDropped  *GaugeVec
+	subConfl    *GaugeVec
+	dispatchG   *GaugeVec
+	workerG     *GaugeVec
+	samples     *Counter
+}
+
+// DefaultSamplePeriod is how often Start scrapes when the period is 0.
+const DefaultSamplePeriod = time.Second
+
+// NewSampler returns a sampler feeding reg every period (0 = the 1 s
+// default).
+func NewSampler(reg *Registry, period time.Duration) *Sampler {
+	if period <= 0 {
+		period = DefaultSamplePeriod
+	}
+	return &Sampler{
+		reg:     reg,
+		period:  period,
+		done:    make(chan struct{}),
+		stopped: make(chan struct{}),
+		cbCounters: reg.GaugeVec("codsim_cb_stat",
+			"backbone cumulative counters, sampled from cod.Stats", "node", "stat"),
+		chFrames: reg.GaugeVec("codsim_cb_channel_frames_total",
+			"reflections delivered into a subscription mailbox, per virtual channel",
+			"node", "lp", "class", "peer", "channel"),
+		chDropped: reg.GaugeVec("codsim_cb_channel_dropped_total",
+			"reflections dropped at a full mailbox, per virtual channel",
+			"node", "lp", "class", "peer", "channel"),
+		chConflated: reg.GaugeVec("codsim_cb_channel_conflated_total",
+			"reflections coalesced by latest-value conflation, per virtual channel",
+			"node", "lp", "class", "peer", "channel"),
+		pubStalls: reg.GaugeVec("codsim_cb_pub_credit_stalls_total",
+			"sends that found a reliable subscriber's credit window exhausted",
+			"node", "lp", "class"),
+		subRows: reg.GaugeVec("codsim_cb_sub_channels",
+			"established virtual channels per subscription table row",
+			"node", "lp", "class", "policy"),
+		// The sub_* lifetime totals survive channel teardown (the
+		// per-channel series above vanish with their channel), so a
+		// post-sweep scrape still sees what a finished sweep delivered.
+		subFrames: reg.GaugeVec("codsim_cb_sub_frames_total",
+			"reflections delivered into a subscription's mailbox since it subscribed",
+			"node", "lp", "class", "policy"),
+		subDropped: reg.GaugeVec("codsim_cb_sub_dropped_total",
+			"reflections dropped at the subscription's full mailbox since it subscribed",
+			"node", "lp", "class", "policy"),
+		subConfl: reg.GaugeVec("codsim_cb_sub_conflated_total",
+			"reflections coalesced by latest-value conflation since the subscription began",
+			"node", "lp", "class", "policy"),
+		dispatchG: reg.GaugeVec("codsim_dist_jobs",
+			"dist dispatch state by role (in_flight, pending, granted, done, attempts, redispatches, slots, busy, claimed, finished)",
+			"role", "state"),
+		workerG: reg.GaugeVec("codsim_dist_worker",
+			"coordinator's per-worker progress view (done, throughput_jobs_per_sec, busy, slots, since_seen_sec)",
+			"worker", "stat"),
+		samples: reg.Counter("codsim_obs_samples_total",
+			"sampler scrape passes completed"),
+	}
+}
+
+// AddNode registers a backbone to scrape under the given node label.
+func (s *Sampler) AddNode(name string, bb Backbone) {
+	s.mu.Lock()
+	s.nodes = append(s.nodes, nodeSource{name: name, bb: bb})
+	s.mu.Unlock()
+}
+
+// AddDispatch registers a dispatch-state source (Coordinator.Sample or
+// Worker.Sample from dist, or any closure yielding a DispatchSample).
+func (s *Sampler) AddDispatch(fn func() DispatchSample) {
+	s.mu.Lock()
+	s.dispatch = append(s.dispatch, fn)
+	s.mu.Unlock()
+}
+
+// Start launches the background scrape loop. Stop ends it; Start after
+// Stop is a no-op.
+func (s *Sampler) Start() {
+	s.startOnce.Do(func() {
+		go func() {
+			defer close(s.stopped)
+			tick := time.NewTicker(s.period)
+			defer tick.Stop()
+			for {
+				select {
+				case <-s.done:
+					return
+				case <-tick.C:
+					s.SampleOnce()
+				}
+			}
+		}()
+	})
+}
+
+// Stop ends the scrape loop and waits for the in-flight pass to finish.
+// A sampler that was never started stops cleanly too.
+func (s *Sampler) Stop() {
+	s.stopOnce.Do(func() {
+		close(s.done)
+		s.startOnce.Do(func() { close(s.stopped) }) // never started: release waiters
+		<-s.stopped
+	})
+}
+
+// SampleOnce runs one scrape pass: every registered backbone's stats and
+// tables, then every dispatch source. Safe to call concurrently with the
+// background loop (gauge writes are atomic; last writer wins).
+func (s *Sampler) SampleOnce() {
+	s.mu.Lock()
+	nodes := append([]nodeSource(nil), s.nodes...)
+	dispatch := append([]func() DispatchSample(nil), s.dispatch...)
+	s.mu.Unlock()
+
+	for _, n := range nodes {
+		s.sampleNode(n)
+	}
+	for _, fn := range dispatch {
+		s.sampleDispatch(fn())
+	}
+	s.samples.Inc()
+}
+
+// sampleNode scrapes one backbone's counters and channel tallies.
+func (s *Sampler) sampleNode(n nodeSource) {
+	st := n.bb.Stats()
+	for _, c := range []struct {
+		stat string
+		v    int64
+	}{
+		{"broadcasts_sent", st.BroadcastsSent.Value()},
+		{"channels_up", st.ChannelsUp.Value()},
+		{"updates_sent", st.UpdatesSent.Value()},
+		{"reflects_delivered", st.ReflectsDelivered.Value()},
+		{"mailbox_dropped", st.MailboxDropped.Value()},
+		{"conflations", st.Conflations.Value()},
+		{"credit_stalls", st.CreditStalls.Value()},
+		{"credits_granted", st.CreditsGranted.Value()},
+		{"links_down", st.LinksDown.Value()},
+	} {
+		s.cbCounters.With(n.name, c.stat).Set(float64(c.v))
+	}
+
+	pubs, subs := n.bb.Tables()
+	for _, row := range pubs {
+		if row.Stalls > 0 {
+			s.pubStalls.With(n.name, row.LP, row.Class).Set(float64(row.Stalls))
+		}
+	}
+	for _, row := range subs {
+		s.subRows.With(n.name, row.LP, row.Class, row.Policy).Set(float64(row.Channels))
+		s.subFrames.With(n.name, row.LP, row.Class, row.Policy).Set(float64(row.Delivered))
+		s.subDropped.With(n.name, row.LP, row.Class, row.Policy).Set(float64(row.Dropped))
+		s.subConfl.With(n.name, row.LP, row.Class, row.Policy).Set(float64(row.Conflated))
+		for _, ch := range row.ByChannel {
+			chID := strconv.FormatUint(uint64(ch.Channel), 10)
+			s.chFrames.With(n.name, row.LP, row.Class, ch.Peer, chID).Set(float64(ch.Delivered))
+			s.chDropped.With(n.name, row.LP, row.Class, ch.Peer, chID).Set(float64(ch.Dropped))
+			s.chConflated.With(n.name, row.LP, row.Class, ch.Peer, chID).Set(float64(ch.Conflated))
+		}
+	}
+}
+
+// sampleDispatch folds one dispatch-state scrape into the gauges.
+func (s *Sampler) sampleDispatch(d DispatchSample) {
+	role := d.Role
+	if role == "" {
+		return // zero sample from an unwired source
+	}
+	set := func(state string, v int64) {
+		s.dispatchG.With(role, state).Set(float64(v))
+	}
+	switch role {
+	case "coordinator":
+		set("in_flight", d.Pending+d.Granted)
+		set("pending", d.Pending)
+		set("granted", d.Granted)
+		set("done", d.Done)
+		set("attempts", d.Attempts)
+		set("redispatches", d.Redispatches)
+	default: // worker roles
+		set("slots", d.Slots)
+		set("busy", d.Busy)
+		set("claimed", d.Claimed)
+		set("finished", d.Finished)
+		set("results_acked", d.ResultsAcked)
+	}
+	for _, w := range d.Workers {
+		s.workerG.With(w.Name, "done").Set(float64(w.Done))
+		s.workerG.With(w.Name, "throughput_jobs_per_sec").Set(w.Throughput)
+		s.workerG.With(w.Name, "busy").Set(float64(w.Busy))
+		s.workerG.With(w.Name, "slots").Set(float64(w.Slots))
+		s.workerG.With(w.Name, "since_seen_sec").Set(w.SinceSeen)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
@@ -46,6 +47,18 @@ type BatchConfig struct {
 	// variation that widens sweep distributions reproducibly. The dist
 	// worker and codbatch thread each job's seed through here.
 	Seeds []int64
+	// Log, when set, receives one structured record per run start and
+	// finish (scenario, seed, score, wall_s); nil is silent.
+	Log *slog.Logger
+}
+
+// logOf returns the configured logger or a discard sink, so the run paths
+// log unconditionally.
+func (c BatchConfig) logOf() *slog.Logger {
+	if c.Log == nil {
+		return slog.New(slog.DiscardHandler)
+	}
+	return c.Log
 }
 
 // seedFor returns run i's skill-jitter seed.
@@ -125,7 +138,15 @@ func RunBatch(ctx context.Context, specs []scenario.Spec, cfg BatchConfig) []Bat
 				canceled()
 				return
 			}
-			results[i] = run(ctx, specs[i], cfg, cfg.seedFor(i))
+			seed := cfg.seedFor(i)
+			log := cfg.logOf()
+			log.Info("run started", "scenario", specs[i].Name, "seed", seed,
+				"headless", cfg.Headless)
+			results[i] = run(ctx, specs[i], cfg, seed)
+			r := &results[i]
+			log.Info("run finished", "scenario", r.Scenario, "seed", seed,
+				"passed", r.Passed, "score", r.State.Score,
+				"wall_s", r.Wall.Seconds(), "alarms", r.Alarms)
 		}(i)
 	}
 	wg.Wait()

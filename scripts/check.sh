@@ -66,6 +66,9 @@ echo "== bench regression (allocs/op vs BENCH_baseline.json; CBRouting gates) ==
 # channel-setup allocations drown the per-op signal.
 go test -bench 'BenchmarkCB|BenchmarkChannelSetup' -benchtime 10x -run '^$' . >"$out/bench.txt"
 go test -bench . -benchtime 10x -run '^$' ./internal/transport >>"$out/bench.txt"
+# ObsCounter carries a 0-allocs/op ceiling: metric points must stay cheap
+# enough to sit on delivery hot paths. 1000x for a steady-state reading.
+go test -bench . -benchtime 1000x -run '^$' ./internal/obs >>"$out/bench.txt"
 # The gated CBRouting ceilings need steady-state numbers: at 10x the
 # channel-setup amortization still flickers allocs/op by ±3. benchdiff
 # keeps the last line per benchmark, so this run overrides the 10x one.
@@ -92,7 +95,7 @@ go test -run '^$' -fuzz '^FuzzUnmarshalSpec$' -fuzztime 10s ./internal/scenario
 go test -run '^$' -fuzz '^FuzzValidate$' -fuzztime 10s ./internal/scenario
 
 echo "== dist CLI smoke (codbatch coordinator + 2 worker processes, UDPLAN loopback) =="
-"$out/codbatch" -serve -lan 127.0.0.1:47901 -name smoke1 -headless >"$out/w1.log" 2>&1 &
+"$out/codbatch" -serve -lan 127.0.0.1:47901 -name smoke1 -headless -obs 127.0.0.1:47911 >"$out/w1.log" 2>&1 &
 w1=$!
 "$out/codbatch" -serve -lan 127.0.0.1:47901 -name smoke2 -headless >"$out/w2.log" 2>&1 &
 w2=$!
@@ -102,5 +105,20 @@ timeout 120 "$out/codbatch" -coordinator smoke1,smoke2 -lan 127.0.0.1:47901 \
     -scenarios classic-exam,blind-lift,tandem-beam,twin-yard -repeat 2 -headless -strict \
     -out "$out/dist-results.jsonl" >"$out/dist-report.txt"
 tail -n 3 "$out/dist-report.txt"
+
+echo "== obs smoke (telemetry plane on worker smoke1: /metrics + /healthz) =="
+curl -fsS http://127.0.0.1:47911/healthz | grep -q '^ok'
+# One post-sweep scrape suffices: collect-on-scrape refreshes the gauges,
+# and the codsim_cb_sub_* lifetime totals survive the sweep's channel
+# teardown (the per-channel codsim_cb_channel_* series die with their
+# channels, so the smoke doesn't race the sweep to see them).
+curl -fsS http://127.0.0.1:47911/metrics >"$out/metrics.txt"
+for series in 'codsim_dist_jobs{role="worker"' codsim_job_phase_seconds_bucket \
+    codsim_cb_stat codsim_cb_sub_frames_total codsim_obs_samples_total; do
+    grep -qF "$series" "$out/metrics.txt" || {
+        echo "obs smoke: series $series missing from /metrics" >&2
+        exit 1
+    }
+done
 
 echo "OK"
