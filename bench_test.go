@@ -8,7 +8,9 @@
 package codsim
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -277,6 +279,66 @@ func benchRemoteDelivery(b *testing.B, opts ...cb.SubscribeOption) {
 			b.Fatal("reflection lost")
 		}
 	}
+}
+
+// BenchmarkCBThroughput is the sustained-throughput headline: a publisher
+// streams b.N UPDATEs through a remote Reliable channel while a consumer
+// goroutine drains concurrently, so the two ends pipeline instead of
+// ping-ponging — the steady-state shape of the 60 Hz state fan-out. One
+// op = one frame published, routed, and consumed. Reports frames/s and
+// the per-core headline frames/s/core (README "Raw speed"). Run at
+// -benchtime 1000x for a steady-state reading (check.sh/CI do).
+func BenchmarkCBThroughput(b *testing.B) {
+	lan := transport.NewMemLAN()
+	pubNode, err := cb.New(lan, "pub-pc", benchCB())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pubNode.Close()
+	subNode, err := cb.New(lan, "sub-pc", benchCB())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer subNode.Close()
+	pub, err := pubNode.PublishObjectClass("p", "State")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sub, err := subNode.SubscribeObjectClass("s", "State", cb.WithReliable(1024))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !sub.WaitMatched(5 * time.Second) {
+		b.Fatal("channel never established")
+	}
+	if !pub.WaitChannels(1, 5*time.Second) {
+		b.Fatal("publisher never linked")
+	}
+	attrs := fom.CraneState{Stability: 1}.Encode()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < b.N; i++ {
+			if _, ok := sub.Next(10 * time.Second); !ok {
+				b.Error("reflection lost")
+				return
+			}
+		}
+	}()
+	for i := 0; i < b.N; i++ {
+		// UpdateContext blocks on the credit window when the publisher
+		// runs ahead of the consumer — backpressure, not loss.
+		if err := pub.UpdateContext(ctx, float64(i), attrs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	<-done
+	fps := float64(b.N) / b.Elapsed().Seconds()
+	b.ReportMetric(fps, "frames/s")
+	b.ReportMetric(fps/float64(runtime.GOMAXPROCS(0)), "frames/s/core")
 }
 
 // --- EXP-3: initialization protocol (§2.3) ------------------------------

@@ -45,6 +45,19 @@
 // attribute is rejected by Next/Poll/Latest — shape mismatches surface as
 // errors, never as silently zeroed fields.
 //
+// The codec is reflection-free on the hot path. Publish/Subscribe walk T
+// once with the reflect package and record, per field, its attribute ID,
+// kind and byte offset; Update and Next then move scalars (bools,
+// integers, floats) through typed unsafe loads and stores at those
+// offsets — no reflect.Value, no per-field interface boxing, no
+// allocation. String and slice fields take a reflect-based path (their
+// payloads must be copied into the attribute arena anyway), and all
+// type validation stays at Publish/Subscribe time, so the fast path
+// never trades away the fail-fast contract above. Encode scratch comes
+// from a pool and is recycled when Update returns — safe because the
+// backbone serializes or clones before returning (see the
+// copy-at-boundary rule in the README).
+//
 // # Blocking and errors
 //
 // Every blocking call takes a context: Sub.Next, Sub.WaitMatched,

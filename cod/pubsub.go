@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"reflect"
+	"unsafe"
 
 	"codsim/internal/cb"
+	"codsim/internal/wire"
 )
 
 // Errors of the typed façade.
@@ -111,7 +113,15 @@ func Publish[T any](node *Node, lp, class string) (*Pub[T], error) {
 // whose credit window is exhausted is skipped with ErrWindowFull; see
 // UpdateContext for the blocking form.
 func (p *Pub[T]) Update(simTime float64, v T) error {
-	routed, err := p.pub.UpdateRouted(simTime, p.codec.encode(reflect.ValueOf(v)))
+	// The scratch AttrSet comes from wire's pool and goes back as soon as
+	// UpdateRouted returns: the backbone's copy-at-boundary rule (local
+	// delivery clones, remote delivery serializes before returning) makes
+	// the return the release point, so a steady-state Update reuses the
+	// same arena every call.
+	a := wire.GetAttrSet()
+	p.codec.encodeInto(a, unsafe.Pointer(&v))
+	routed, err := p.pub.UpdateRouted(simTime, *a)
+	wire.PutAttrSet(a)
 	if err != nil {
 		return err
 	}
@@ -127,7 +137,10 @@ func (p *Pub[T]) Update(simTime float64, v T) error {
 // backpressure contract: a saturated subscriber slows the producer down
 // instead of losing data.
 func (p *Pub[T]) UpdateContext(ctx context.Context, simTime float64, v T) error {
-	routed, err := p.pub.UpdateRoutedContext(ctx, simTime, p.codec.encode(reflect.ValueOf(v)))
+	a := wire.GetAttrSet()
+	p.codec.encodeInto(a, unsafe.Pointer(&v))
+	routed, err := p.pub.UpdateRoutedContext(ctx, simTime, *a)
+	wire.PutAttrSet(a)
 	if err != nil {
 		return err
 	}
@@ -200,7 +213,7 @@ func (s *Sub[T]) decode(r cb.Reflection) (Reflection[T], error) {
 		Seq:     r.Seq,
 		Time:    r.Time,
 	}
-	err := s.codec.decode(r.Attrs, reflect.ValueOf(&out.Value).Elem())
+	err := s.codec.decodeInto(r.Attrs, unsafe.Pointer(&out.Value))
 	return out, err
 }
 

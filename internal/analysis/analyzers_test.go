@@ -96,3 +96,22 @@ func TestCtxWaitFixture(t *testing.T) {
 func TestErrWrapFixture(t *testing.T) {
 	analysis.RunFixture(t, analysis.Testdata(), analysis.ErrWrap, nil, "errwrapfix")
 }
+
+// The nopool fixtures shadow real packages (a non-exempt one and an
+// exempt one) and therefore live in their own root, like determinism's.
+func nopoolRoot() string {
+	return filepath.Join(analysis.Testdata(), "..", "src_nopool")
+}
+
+func TestNoPoolFixture(t *testing.T) {
+	analysis.RunFixture(t, nopoolRoot(), analysis.NoPool, nil,
+		"codsim/internal/obs")
+}
+
+// TestNoPoolExemptPackages proves the boundary packages stay unflagged:
+// the wire shadow declares a pool with no want comments, so any
+// diagnostic fails the run.
+func TestNoPoolExemptPackages(t *testing.T) {
+	analysis.RunFixture(t, nopoolRoot(), analysis.NoPool, nil,
+		"codsim/internal/wire")
+}

@@ -60,6 +60,16 @@ var DeterministicPackages = []string{
 	"codsim/internal/mathx",
 }
 
+// PoolPackages are the only packages permitted to declare a sync.Pool.
+// They own the buffer lifecycle of the zero-alloc wire path and define
+// its release points (the copy-at-boundary contract: cb clones anything
+// it retains past a handler, wire.PutAttrSet resets before recycling).
+// Elsewhere a pool has no such contract, so the nopool analyzer flags it.
+var PoolPackages = []string{
+	"codsim/internal/wire",
+	"codsim/internal/cb",
+}
+
 // BoundaryRule forbids a set of imports within a scope of packages.
 type BoundaryRule struct {
 	// Scope matches packages: a trailing "/" makes it a prefix rule,

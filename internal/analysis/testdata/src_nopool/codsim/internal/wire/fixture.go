@@ -1,0 +1,22 @@
+// Exemption fixture for the nopool analyzer: this package shadows
+// codsim/internal/wire, which owns the buffer-ownership boundary, so its
+// sync.Pool use must produce no diagnostics (no want comments here — any
+// finding fails the fixture run).
+package wire
+
+import "sync"
+
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// getBuf and putBuf are the sanctioned pattern the real package uses.
+func getBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+func putBuf(b *[]byte) {
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}

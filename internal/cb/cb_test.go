@@ -518,7 +518,7 @@ func TestNullMessages(t *testing.T) {
 	if !ok {
 		t.Fatal("no null reflection")
 	}
-	if !r.Null || r.Time != 4.5 || len(r.Attrs) != 0 {
+	if !r.Null || r.Time != 4.5 || r.Attrs.Len() != 0 {
 		t.Errorf("null reflection = %+v", r)
 	}
 }

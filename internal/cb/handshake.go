@@ -227,7 +227,10 @@ func (b *Backbone) handleUpdate(f wire.Frame) {
 		Seq:     f.Seq,
 		Time:    f.Time,
 		Null:    f.Kind == wire.KindNull,
-		Attrs:   f.Attrs,
+		// Copy-at-boundary: the frame's attrs alias the read loop's
+		// reused decode buffers, which the next inbound frame overwrites.
+		// This Clone is the release point that makes that reuse safe.
+		Attrs: f.Attrs.Clone(),
 	}
 	b.deliver(ic.sub, r)
 }

@@ -1,6 +1,7 @@
 package cb
 
 import (
+	"encoding/binary"
 	"sync"
 	"time"
 
@@ -82,12 +83,127 @@ func (b *Backbone) dialPeer(node, addr string) (*peerLink, error) {
 	return l, nil
 }
 
-// send writes one frame to the link.
+// encBufPool recycles frame-encode buffers across sends and batches, so
+// a steady-state link write allocates nothing.
+var encBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// appendFramed appends one length-prefixed encoded frame onto buf (the
+// stream framing). On error buf is returned truncated to its input length.
+func appendFramed(buf []byte, f wire.Frame) ([]byte, error) {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	buf, err := f.AppendEncode(buf)
+	if err != nil {
+		return buf[:start], err
+	}
+	binary.BigEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
+	return buf, nil
+}
+
+// send writes one frame to the link: encoded into a pooled buffer, length
+// prefix and body issued as a single conn.Write (one transport copy).
 func (l *peerLink) send(f wire.Frame) error {
-	l.wmu.Lock()
-	defer l.wmu.Unlock()
-	_, err := f.WriteTo(l.conn)
+	bp := encBufPool.Get().(*[]byte)
+	buf, err := appendFramed((*bp)[:0], f)
+	if err == nil {
+		l.wmu.Lock()
+		_, err = l.conn.Write(buf)
+		l.wmu.Unlock()
+	}
+	*bp = buf[:0]
+	encBufPool.Put(bp)
 	return err
+}
+
+// pushScratch is the per-push working set, pooled so the routing hot
+// path allocates nothing: the snapshot of the class's out-channels plus
+// a write batch that coalesces consecutive frames bound for the same
+// link into one conn.Write (one syscall / transport copy for several
+// frames).
+//
+// Ordering: every staged frame's out-channel keeps its sendMu held from
+// seq assignment until flush, so no later seq on that channel can be
+// assigned — let alone written — before the batch hits the wire; wire
+// order stays seq order per channel. Deadlock safety: push iterates the
+// class's channel slice in a fixed order, so concurrent pushes acquire
+// sendMus monotonically (skips only move forward), and a push about to
+// park on a credit window flushes (releasing every held sendMu) first.
+type pushScratch struct {
+	chans   []*outChannel
+	link    *peerLink // batch target; nil when the batch is empty
+	buf     *[]byte   // pooled encode buffer, lazily taken from encBufPool
+	members []*outChannel
+}
+
+var pushScratchPool = sync.Pool{New: func() any { return new(pushScratch) }}
+
+func getPushScratch() *pushScratch { return pushScratchPool.Get().(*pushScratch) }
+
+// put returns the scratch to the pool, dropping channel references so
+// the pool never keeps torn-down channels alive.
+func (sc *pushScratch) put() {
+	for i := range sc.chans {
+		sc.chans[i] = nil
+	}
+	sc.chans = sc.chans[:0]
+	if sc.buf != nil {
+		*sc.buf = (*sc.buf)[:0]
+		encBufPool.Put(sc.buf)
+		sc.buf = nil
+	}
+	sc.link = nil
+	sc.members = sc.members[:0]
+	pushScratchPool.Put(sc)
+}
+
+// stage encodes f into the batch bound for oc.link. The caller holds
+// oc.sendMu; on success it stays held until flush. On error (the frame
+// cannot be encoded — it never reaches the wire, the link is fine) the
+// batch is unchanged and the caller keeps ownership of the lock.
+func (sc *pushScratch) stage(oc *outChannel, f wire.Frame) error {
+	if sc.buf == nil {
+		sc.buf = encBufPool.Get().(*[]byte)
+	}
+	buf, err := appendFramed(*sc.buf, f)
+	*sc.buf = buf
+	if err != nil {
+		return err
+	}
+	sc.link = oc.link
+	sc.members = append(sc.members, oc)
+	return nil
+}
+
+// flush writes the staged frames in a single conn.Write, releases every
+// member channel's send slot, and returns the number of frames that made
+// the wire (0 after a write error, which tears the link down).
+func (sc *pushScratch) flush(b *Backbone) int {
+	if sc.link == nil {
+		return 0
+	}
+	l := sc.link
+	l.wmu.Lock()
+	_, err := l.conn.Write(*sc.buf)
+	l.wmu.Unlock()
+	n := len(sc.members)
+	for i, oc := range sc.members {
+		oc.sendMu.Unlock()
+		sc.members[i] = nil
+	}
+	sc.members = sc.members[:0]
+	*sc.buf = (*sc.buf)[:0]
+	sc.link = nil
+	if err != nil {
+		b.linkDown(l)
+		return 0
+	}
+	b.stats.UpdatesSent.Add(int64(n))
+	return n
 }
 
 // lastRecvTime returns the time of the last inbound frame.
@@ -109,12 +225,19 @@ func (l *peerLink) shutdown() {
 	l.closeOnce.Do(func() { _ = l.conn.Close() })
 }
 
-// readLoop pumps inbound frames to the backbone until the link dies.
+// readLoop pumps inbound frames to the backbone until the link dies. The
+// loop owns one wire.Decoder and one Frame, reused for every inbound
+// frame: the body buffer, the attr arena, and the interned Node/LP/Class
+// strings all amortize to zero allocations. The decoded frame is only
+// valid until the next iteration — any handler that retains attributes
+// clones them first (handleUpdate's Reflection; the copy-at-boundary
+// rule), which is what makes the reuse safe.
 func (l *peerLink) readLoop() {
 	defer l.b.wg.Done()
+	dec := wire.NewDecoder()
+	var f wire.Frame
 	for {
-		f, err := wire.ReadFrame(l.conn)
-		if err != nil {
+		if err := dec.DecodeFrom(l.conn, &f); err != nil {
 			l.b.linkDown(l)
 			return
 		}

@@ -112,9 +112,10 @@ func (oc *outChannel) windowOpen() bool {
 // credits must not block nulls or non-blocking probes on the same
 // channel — so the window is re-checked each time the slot is re-taken.
 // A nil ctx is the non-blocking form: it reports false on a full window.
-// On (true, nil) the caller holds sendMu.
-func (oc *outChannel) acquireSend(ctx context.Context, stats *Stats) (bool, error) {
-	stalled := false
+// stalled tells the retry form that this stall episode was already
+// counted by a preceding non-blocking probe. On (true, nil) the caller
+// holds sendMu.
+func (oc *outChannel) acquireSend(ctx context.Context, stats *Stats, stalled bool) (bool, error) {
 	for {
 		oc.sendMu.Lock()
 		if oc.windowOpen() {
@@ -452,7 +453,7 @@ func (p *Publication) UpdateRoutedContext(ctx context.Context, simTime float64, 
 // Nulls bypass credit windows: blocking time synchronization on data
 // backpressure would deadlock conservative consumers.
 func (p *Publication) SendNull(simTime float64) error {
-	_, err := p.push(nil, simTime, nil, true)
+	_, err := p.push(nil, simTime, wire.AttrSet{}, true)
 	return err
 }
 
@@ -481,13 +482,15 @@ func (p *Publication) push(ctx context.Context, simTime float64, attrs wire.Attr
 	p.mu.Unlock()
 
 	b := p.b
+	sc := getPushScratch()
+	defer sc.put()
+
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
 		return 0, ErrClosed
 	}
-	chans := make([]*outChannel, len(b.outs[p.key.class]))
-	copy(chans, b.outs[p.key.class])
+	sc.chans = append(sc.chans[:0], b.outs[p.key.class]...)
 	b.mu.Unlock()
 
 	kind := wire.KindUpdateAttrs
@@ -496,15 +499,29 @@ func (p *Publication) push(ctx context.Context, simTime float64, attrs wire.Attr
 	}
 	routed := 0
 	windowFull := false
-	for _, oc := range chans {
+	for _, oc := range sc.chans {
 		if oc.policy == wire.PolicyReliable && !null {
-			open, err := oc.acquireSend(ctx, &b.stats)
-			if err != nil {
-				return routed, err
-			}
+			// Non-blocking probe first: while the batch holds other
+			// channels' send slots we must not park. Only when the window
+			// is full and the caller wants to block do we flush (releasing
+			// every held slot) and retry with the parking form.
+			open, _ := oc.acquireSend(nil, &b.stats, false)
 			if !open {
-				windowFull = true
-				continue
+				if ctx == nil {
+					windowFull = true
+					continue
+				}
+				routed += sc.flush(b)
+				var err error
+				open, err = oc.acquireSend(ctx, &b.stats, true)
+				if err != nil {
+					routed += sc.flush(b)
+					return routed, err
+				}
+				if !open {
+					windowFull = true
+					continue
+				}
 			}
 		} else {
 			oc.sendMu.Lock()
@@ -528,6 +545,9 @@ func (p *Publication) push(ctx context.Context, simTime float64, attrs wire.Attr
 			b.stats.UpdatesSent.Inc()
 			continue
 		}
+		if sc.link != nil && sc.link != oc.link {
+			routed += sc.flush(b)
+		}
 		f := wire.Frame{
 			Kind:    kind,
 			Channel: oc.remoteChan,
@@ -538,15 +558,16 @@ func (p *Publication) push(ctx context.Context, simTime float64, attrs wire.Attr
 			Class:   p.key.class,
 			Attrs:   attrs,
 		}
-		err := oc.link.send(f)
-		oc.sendMu.Unlock()
-		if err != nil {
-			b.linkDown(oc.link)
+		if err := sc.stage(oc, f); err != nil {
+			// The frame cannot be encoded (oversized attrs); it never
+			// reached the wire and the link is healthy. Roll back the seq
+			// this frame would have carried and move on.
+			oc.seq--
+			oc.sendMu.Unlock()
 			continue
 		}
-		routed++
-		b.stats.UpdatesSent.Inc()
 	}
+	routed += sc.flush(b)
 	if windowFull {
 		return routed, ErrWindowFull
 	}
@@ -732,13 +753,17 @@ func (s *Subscription) NextContext(ctx context.Context) (Reflection, error) {
 	return r, err
 }
 
-// Next is the duration-based shim over NextContext; ok is false on timeout
-// or when the subscription closes.
+// Next blocks until a reflection arrives or timeout elapses; ok is false
+// on timeout or when the subscription closes. Unlike NextContext it
+// carries no context machinery: an already-buffered reflection returns
+// without touching the clock, and the timeout rides a pooled timer — the
+// consumer hot path allocates nothing.
 func (s *Subscription) Next(timeout time.Duration) (Reflection, bool) {
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
-	defer cancel()
-	r, err := s.NextContext(ctx)
-	return r, err == nil
+	r, ok := s.mbox.next(timeout)
+	if ok {
+		s.consumed(r.Channel)
+	}
+	return r, ok
 }
 
 // Policy returns the subscription's delivery policy.
@@ -1075,6 +1100,53 @@ func (m *mailbox) poll() (Reflection, bool) {
 	m.n--
 	m.noteRemoved(r.Channel)
 	return r, true
+}
+
+// timerPool recycles Next's timeout timers. A timer goes back only after
+// Stop-and-drain, so a pooled timer is never pending.
+var timerPool sync.Pool
+
+// next is poll-then-wait with a plain timeout: the blocking form of the
+// consumer hot path. Buffered data returns immediately; otherwise the
+// wait parks on the mailbox's notify channel against a pooled timer.
+func (m *mailbox) next(timeout time.Duration) (Reflection, bool) {
+	if r, ok := m.poll(); ok {
+		return r, true
+	}
+	var t *time.Timer
+	if v := timerPool.Get(); v != nil {
+		t = v.(*time.Timer)
+		t.Reset(timeout)
+	} else {
+		t = time.NewTimer(timeout)
+	}
+	defer func() {
+		if !t.Stop() {
+			select {
+			case <-t.C:
+			default:
+			}
+		}
+		timerPool.Put(t)
+	}()
+	for {
+		if r, ok := m.poll(); ok {
+			return r, true
+		}
+		m.mu.Lock()
+		closed := m.closed
+		m.mu.Unlock()
+		if closed {
+			return Reflection{}, false
+		}
+		select {
+		case <-m.notify:
+		case <-t.C:
+			// A push may have raced with the timeout; prefer data.
+			r, ok := m.poll()
+			return r, ok
+		}
+	}
 }
 
 func (m *mailbox) nextCtx(ctx context.Context) (Reflection, error) {

@@ -29,7 +29,7 @@ type MotionCue struct {
 
 // Encode packs the struct into an attribute set.
 func (m MotionCue) Encode() wire.AttrSet {
-	a := make(wire.AttrSet, 4)
+	a := wire.NewAttrSet(4)
 	a.PutVec3(MCAttrSpecificForce, m.SpecificForce.X, m.SpecificForce.Y, m.SpecificForce.Z)
 	a.PutVec3(MCAttrAngularRate, m.AngularRate.X, m.AngularRate.Y, m.AngularRate.Z)
 	a.PutFloat64(MCAttrVibration, m.Vibration)
@@ -96,7 +96,7 @@ type AudioEvent struct {
 
 // Encode packs the struct into an attribute set.
 func (e AudioEvent) Encode() wire.AttrSet {
-	a := make(wire.AttrSet, 5)
+	a := wire.NewAttrSet(5)
 	a.PutUint32(AEAttrSound, uint32(e.Sound))
 	a.PutFloat64(AEAttrGain, e.Gain)
 	a.PutVec3(AEAttrPosition, e.Position.X, e.Position.Y, e.Position.Z)
@@ -205,7 +205,7 @@ const PhaseIndexUnknown = ^uint32(0)
 
 // Encode packs the struct into an attribute set.
 func (s ScenarioState) Encode() wire.AttrSet {
-	a := make(wire.AttrSet, 7)
+	a := wire.NewAttrSet(7)
 	a.PutUint32(SSAttrPhase, uint32(s.Phase))
 	a.PutFloat64(SSAttrScore, s.Score)
 	a.PutFloat64(SSAttrElapsed, s.Elapsed)
@@ -284,7 +284,7 @@ type InstructorCmd struct {
 
 // Encode packs the struct into an attribute set.
 func (c InstructorCmd) Encode() wire.AttrSet {
-	a := make(wire.AttrSet, 3)
+	a := wire.NewAttrSet(3)
 	a.PutUint32(ICAttrOp, uint32(c.Op))
 	a.PutString(ICAttrInstrument, c.Instrument)
 	a.PutFloat64(ICAttrValue, c.Value)
@@ -349,7 +349,7 @@ type StatusReport struct {
 
 // Encode packs the struct into an attribute set.
 func (r StatusReport) Encode() wire.AttrSet {
-	a := make(wire.AttrSet, 6)
+	a := wire.NewAttrSet(6)
 	a.PutFloat64(SRAttrSwingDeg, r.SwingDeg)
 	a.PutFloat64(SRAttrLuffDeg, r.LuffDeg)
 	a.PutFloat64(SRAttrCableLen, r.CableLen)
@@ -402,7 +402,7 @@ type FrameMark struct {
 
 // Encode packs the struct into an attribute set.
 func (m FrameMark) Encode() wire.AttrSet {
-	a := make(wire.AttrSet, 2)
+	a := wire.NewAttrSet(2)
 	a.PutUint32(FSAttrFrame, m.Frame)
 	a.PutFloat64(FSAttrRender, m.RenderTime)
 	return a

@@ -156,23 +156,23 @@ func TestDecodeMissingAttr(t *testing.T) {
 	// revision and decode leniently (absent → -1 and crane 0) so older
 	// recordings still load.
 	full := CraneState{}.Encode()
-	for id := range full {
+	for id := range full.All() {
 		if id == CSAttrCargoID || id == CSAttrCraneID {
 			continue
 		}
 		broken := full.Clone()
-		delete(broken, id)
+		broken.Delete(id)
 		if _, err := DecodeCraneState(broken); !errors.Is(err, ErrMissingAttr) {
 			t.Errorf("attr %d removed: err = %v, want ErrMissingAttr", id, err)
 		}
 	}
 	noID := full.Clone()
-	delete(noID, CSAttrCargoID)
+	noID.Delete(CSAttrCargoID)
 	if st, err := DecodeCraneState(noID); err != nil || st.CargoID != -1 {
 		t.Errorf("CargoID absent: st.CargoID=%d err=%v, want -1,<nil>", st.CargoID, err)
 	}
 	noCrane := full.Clone()
-	delete(noCrane, CSAttrCraneID)
+	noCrane.Delete(CSAttrCraneID)
 	if st, err := DecodeCraneState(noCrane); err != nil || st.CraneID != 0 {
 		t.Errorf("CraneID absent: st.CraneID=%d err=%v, want 0,<nil>", st.CraneID, err)
 	}

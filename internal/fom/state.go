@@ -43,7 +43,7 @@ type ControlInput struct {
 
 // Encode packs the struct into an attribute set.
 func (c ControlInput) Encode() wire.AttrSet {
-	a := make(wire.AttrSet, 10)
+	a := wire.NewAttrSet(10)
 	a.PutFloat64(CIAttrSteering, c.Steering)
 	a.PutFloat64(CIAttrThrottle, c.Throttle)
 	a.PutFloat64(CIAttrBrake, c.Brake)
@@ -155,7 +155,7 @@ type CraneState struct {
 
 // Encode packs the struct into an attribute set.
 func (s CraneState) Encode() wire.AttrSet {
-	a := make(wire.AttrSet, 17)
+	a := wire.NewAttrSet(17)
 	a.PutVec3(CSAttrPosition, s.Position.X, s.Position.Y, s.Position.Z)
 	a.PutFloat64(CSAttrHeading, s.Heading)
 	a.PutFloat64(CSAttrPitch, s.Pitch)

@@ -80,6 +80,18 @@ type Sampler struct {
 	nodes    []nodeSource
 	dispatch []func() DispatchSample
 
+	// scrapeMu serializes scrape passes and owns everything below it: the
+	// source snapshots reused across ticks and the resolved-gauge caches.
+	// GaugeVec.With allocates (variadic labels + rendered key), so a scrape
+	// that resolved every child per tick cost >100 allocs; caching the
+	// children makes the steady-state pass allocation-free.
+	scrapeMu    sync.Mutex
+	nodeScratch []nodeSource
+	dispScratch []func() DispatchSample
+	nodeGauges  map[string]*nodeGauges
+	dispGauges  map[dispKey]*Gauge
+	workerCache map[string]*workerGauges
+
 	startOnce sync.Once
 	stopOnce  sync.Once
 	done      chan struct{}
@@ -110,10 +122,13 @@ func NewSampler(reg *Registry, period time.Duration) *Sampler {
 		period = DefaultSamplePeriod
 	}
 	return &Sampler{
-		reg:     reg,
-		period:  period,
-		done:    make(chan struct{}),
-		stopped: make(chan struct{}),
+		reg:         reg,
+		period:      period,
+		done:        make(chan struct{}),
+		stopped:     make(chan struct{}),
+		nodeGauges:  make(map[string]*nodeGauges),
+		dispGauges:  make(map[dispKey]*Gauge),
+		workerCache: make(map[string]*workerGauges),
 		cbCounters: reg.GaugeVec("codsim_cb_stat",
 			"backbone cumulative counters, sampled from cod.Stats", "node", "stat"),
 		chFrames: reg.GaugeVec("codsim_cb_channel_frames_total",
@@ -199,62 +214,155 @@ func (s *Sampler) Stop() {
 	})
 }
 
+// cbStatNames orders the codsim_cb_stat children; nodeGauges.stats is
+// resolved in the same order.
+var cbStatNames = [...]string{
+	"broadcasts_sent", "channels_up", "updates_sent", "reflects_delivered",
+	"mailbox_dropped", "conflations", "credit_stalls", "credits_granted",
+	"links_down",
+}
+
+// Cache key and child-group types for the resolved-gauge caches. Struct
+// map keys compare without allocating, so a steady-state lookup is free.
+type (
+	pubKey  struct{ lp, class string }
+	subKey  struct{ lp, class, policy string }
+	chanKey struct {
+		lp, class, peer string
+		ch              uint32
+	}
+	dispKey struct{ role, state string }
+)
+
+type subGauges struct{ rows, frames, dropped, confl *Gauge }
+
+type chanGauges struct{ frames, dropped, confl *Gauge }
+
+type workerGauges struct{ done, tput, busy, slots, since *Gauge }
+
+// nodeGauges holds one node's resolved children, built lazily as label
+// sets first appear and reused on every later tick.
+type nodeGauges struct {
+	stats     [len(cbStatNames)]*Gauge
+	pubStalls map[pubKey]*Gauge
+	subs      map[subKey]*subGauges
+	chans     map[chanKey]*chanGauges
+}
+
 // SampleOnce runs one scrape pass: every registered backbone's stats and
 // tables, then every dispatch source. Safe to call concurrently with the
-// background loop (gauge writes are atomic; last writer wins).
+// background loop (passes serialize on scrapeMu; gauge writes are atomic,
+// last writer wins).
 func (s *Sampler) SampleOnce() {
+	s.scrapeMu.Lock()
+	defer s.scrapeMu.Unlock()
+
 	s.mu.Lock()
-	nodes := append([]nodeSource(nil), s.nodes...)
-	dispatch := append([]func() DispatchSample(nil), s.dispatch...)
+	s.nodeScratch = append(s.nodeScratch[:0], s.nodes...)
+	s.dispScratch = append(s.dispScratch[:0], s.dispatch...)
 	s.mu.Unlock()
 
-	for _, n := range nodes {
+	for _, n := range s.nodeScratch {
 		s.sampleNode(n)
 	}
-	for _, fn := range dispatch {
+	for _, fn := range s.dispScratch {
 		s.sampleDispatch(fn())
 	}
 	s.samples.Inc()
 }
 
+// nodeGaugesFor resolves (once) the per-node child cache.
+func (s *Sampler) nodeGaugesFor(name string) *nodeGauges {
+	g := s.nodeGauges[name]
+	if g == nil {
+		g = &nodeGauges{
+			pubStalls: make(map[pubKey]*Gauge),
+			subs:      make(map[subKey]*subGauges),
+			chans:     make(map[chanKey]*chanGauges),
+		}
+		for i, stat := range cbStatNames {
+			g.stats[i] = s.cbCounters.With(name, stat)
+		}
+		s.nodeGauges[name] = g
+	}
+	return g
+}
+
 // sampleNode scrapes one backbone's counters and channel tallies.
 func (s *Sampler) sampleNode(n nodeSource) {
+	g := s.nodeGaugesFor(n.name)
 	st := n.bb.Stats()
-	for _, c := range []struct {
-		stat string
-		v    int64
-	}{
-		{"broadcasts_sent", st.BroadcastsSent.Value()},
-		{"channels_up", st.ChannelsUp.Value()},
-		{"updates_sent", st.UpdatesSent.Value()},
-		{"reflects_delivered", st.ReflectsDelivered.Value()},
-		{"mailbox_dropped", st.MailboxDropped.Value()},
-		{"conflations", st.Conflations.Value()},
-		{"credit_stalls", st.CreditStalls.Value()},
-		{"credits_granted", st.CreditsGranted.Value()},
-		{"links_down", st.LinksDown.Value()},
-	} {
-		s.cbCounters.With(n.name, c.stat).Set(float64(c.v))
+	vals := [len(cbStatNames)]int64{
+		st.BroadcastsSent.Value(),
+		st.ChannelsUp.Value(),
+		st.UpdatesSent.Value(),
+		st.ReflectsDelivered.Value(),
+		st.MailboxDropped.Value(),
+		st.Conflations.Value(),
+		st.CreditStalls.Value(),
+		st.CreditsGranted.Value(),
+		st.LinksDown.Value(),
+	}
+	for i, v := range vals {
+		g.stats[i].Set(float64(v))
 	}
 
 	pubs, subs := n.bb.Tables()
 	for _, row := range pubs {
 		if row.Stalls > 0 {
-			s.pubStalls.With(n.name, row.LP, row.Class).Set(float64(row.Stalls))
+			k := pubKey{lp: row.LP, class: row.Class}
+			ch := g.pubStalls[k]
+			if ch == nil {
+				ch = s.pubStalls.With(n.name, row.LP, row.Class)
+				g.pubStalls[k] = ch
+			}
+			ch.Set(float64(row.Stalls))
 		}
 	}
 	for _, row := range subs {
-		s.subRows.With(n.name, row.LP, row.Class, row.Policy).Set(float64(row.Channels))
-		s.subFrames.With(n.name, row.LP, row.Class, row.Policy).Set(float64(row.Delivered))
-		s.subDropped.With(n.name, row.LP, row.Class, row.Policy).Set(float64(row.Dropped))
-		s.subConfl.With(n.name, row.LP, row.Class, row.Policy).Set(float64(row.Conflated))
+		k := subKey{lp: row.LP, class: row.Class, policy: row.Policy}
+		sg := g.subs[k]
+		if sg == nil {
+			sg = &subGauges{
+				rows:    s.subRows.With(n.name, row.LP, row.Class, row.Policy),
+				frames:  s.subFrames.With(n.name, row.LP, row.Class, row.Policy),
+				dropped: s.subDropped.With(n.name, row.LP, row.Class, row.Policy),
+				confl:   s.subConfl.With(n.name, row.LP, row.Class, row.Policy),
+			}
+			g.subs[k] = sg
+		}
+		sg.rows.Set(float64(row.Channels))
+		sg.frames.Set(float64(row.Delivered))
+		sg.dropped.Set(float64(row.Dropped))
+		sg.confl.Set(float64(row.Conflated))
 		for _, ch := range row.ByChannel {
-			chID := strconv.FormatUint(uint64(ch.Channel), 10)
-			s.chFrames.With(n.name, row.LP, row.Class, ch.Peer, chID).Set(float64(ch.Delivered))
-			s.chDropped.With(n.name, row.LP, row.Class, ch.Peer, chID).Set(float64(ch.Dropped))
-			s.chConflated.With(n.name, row.LP, row.Class, ch.Peer, chID).Set(float64(ch.Conflated))
+			ck := chanKey{lp: row.LP, class: row.Class, peer: ch.Peer, ch: ch.Channel}
+			cg := g.chans[ck]
+			if cg == nil {
+				chID := strconv.FormatUint(uint64(ch.Channel), 10)
+				cg = &chanGauges{
+					frames:  s.chFrames.With(n.name, row.LP, row.Class, ch.Peer, chID),
+					dropped: s.chDropped.With(n.name, row.LP, row.Class, ch.Peer, chID),
+					confl:   s.chConflated.With(n.name, row.LP, row.Class, ch.Peer, chID),
+				}
+				g.chans[ck] = cg
+			}
+			cg.frames.Set(float64(ch.Delivered))
+			cg.dropped.Set(float64(ch.Dropped))
+			cg.confl.Set(float64(ch.Conflated))
 		}
 	}
+}
+
+// dispGauge resolves (once) one codsim_dist_jobs child.
+func (s *Sampler) dispGauge(role, state string) *Gauge {
+	k := dispKey{role: role, state: state}
+	g := s.dispGauges[k]
+	if g == nil {
+		g = s.dispatchG.With(role, state)
+		s.dispGauges[k] = g
+	}
+	return g
 }
 
 // sampleDispatch folds one dispatch-state scrape into the gauges.
@@ -263,29 +371,37 @@ func (s *Sampler) sampleDispatch(d DispatchSample) {
 	if role == "" {
 		return // zero sample from an unwired source
 	}
-	set := func(state string, v int64) {
-		s.dispatchG.With(role, state).Set(float64(v))
-	}
 	switch role {
 	case "coordinator":
-		set("in_flight", d.Pending+d.Granted)
-		set("pending", d.Pending)
-		set("granted", d.Granted)
-		set("done", d.Done)
-		set("attempts", d.Attempts)
-		set("redispatches", d.Redispatches)
+		s.dispGauge(role, "in_flight").Set(float64(d.Pending + d.Granted))
+		s.dispGauge(role, "pending").Set(float64(d.Pending))
+		s.dispGauge(role, "granted").Set(float64(d.Granted))
+		s.dispGauge(role, "done").Set(float64(d.Done))
+		s.dispGauge(role, "attempts").Set(float64(d.Attempts))
+		s.dispGauge(role, "redispatches").Set(float64(d.Redispatches))
 	default: // worker roles
-		set("slots", d.Slots)
-		set("busy", d.Busy)
-		set("claimed", d.Claimed)
-		set("finished", d.Finished)
-		set("results_acked", d.ResultsAcked)
+		s.dispGauge(role, "slots").Set(float64(d.Slots))
+		s.dispGauge(role, "busy").Set(float64(d.Busy))
+		s.dispGauge(role, "claimed").Set(float64(d.Claimed))
+		s.dispGauge(role, "finished").Set(float64(d.Finished))
+		s.dispGauge(role, "results_acked").Set(float64(d.ResultsAcked))
 	}
 	for _, w := range d.Workers {
-		s.workerG.With(w.Name, "done").Set(float64(w.Done))
-		s.workerG.With(w.Name, "throughput_jobs_per_sec").Set(w.Throughput)
-		s.workerG.With(w.Name, "busy").Set(float64(w.Busy))
-		s.workerG.With(w.Name, "slots").Set(float64(w.Slots))
-		s.workerG.With(w.Name, "since_seen_sec").Set(w.SinceSeen)
+		wg := s.workerCache[w.Name]
+		if wg == nil {
+			wg = &workerGauges{
+				done:  s.workerG.With(w.Name, "done"),
+				tput:  s.workerG.With(w.Name, "throughput_jobs_per_sec"),
+				busy:  s.workerG.With(w.Name, "busy"),
+				slots: s.workerG.With(w.Name, "slots"),
+				since: s.workerG.With(w.Name, "since_seen_sec"),
+			}
+			s.workerCache[w.Name] = wg
+		}
+		wg.done.Set(float64(w.Done))
+		wg.tput.Set(w.Throughput)
+		wg.busy.Set(float64(w.Busy))
+		wg.slots.Set(float64(w.Slots))
+		wg.since.Set(w.SinceSeen)
 	}
 }

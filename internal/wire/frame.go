@@ -182,10 +182,18 @@ var (
 
 // Encode serializes the frame to a fresh byte slice.
 func (f Frame) Encode() ([]byte, error) {
+	return f.AppendEncode(make([]byte, 0, 64+f.Attrs.encodedSize()))
+}
+
+// AppendEncode serializes the frame onto buf and returns the extended
+// slice. The frame itself (not buf's prior contents) is held to
+// MaxFrameSize. This is the zero-alloc path: callers hand in a pooled or
+// stack buffer and reuse it across frames.
+func (f Frame) AppendEncode(buf []byte) ([]byte, error) {
 	if !f.Kind.Valid() {
-		return nil, ErrBadKind
+		return buf, ErrBadKind
 	}
-	buf := make([]byte, 0, 64+f.Attrs.encodedSize())
+	start := len(buf)
 	var hdr [4]byte
 	binary.BigEndian.PutUint16(hdr[0:2], Magic)
 	hdr[2] = Version
@@ -200,8 +208,8 @@ func (f Frame) Encode() ([]byte, error) {
 	buf = appendString(buf, f.Class)
 	buf = appendString(buf, f.Addr)
 	buf = f.Attrs.append(buf)
-	if len(buf) > MaxFrameSize {
-		return nil, ErrTooLarge
+	if len(buf)-start > MaxFrameSize {
+		return buf, ErrTooLarge
 	}
 	return buf, nil
 }
@@ -209,21 +217,71 @@ func (f Frame) Encode() ([]byte, error) {
 // Decode parses a frame from b, which must contain exactly one encoded frame.
 func Decode(b []byte) (Frame, error) {
 	var f Frame
+	err := (*Decoder)(nil).DecodeInto(b, &f)
+	return f, err
+}
+
+// Decoder decodes frames with reusable state: the stream read buffer, the
+// target frame's AttrSet arena, and a bounded string-intern table that
+// collapses the Node/LP/Class/Addr strings repeated on every frame of a
+// link into single allocations. One Decoder serves one goroutine (each
+// cb read loop owns its own); the decoded Frame's strings are immutable
+// and safe to retain, while its Attrs alias the Decoder's buffers and
+// must be Cloned before the next DecodeInto/DecodeFrom call — the cb layer
+// does that at its copy-at-boundary point.
+type Decoder struct {
+	body   []byte
+	intern map[string]string
+}
+
+// Intern-table bounds: names longer than maxInternLen are not worth
+// caching, and a hostile peer cycling names can pin at most
+// maxInternEntries of them.
+const (
+	maxInternLen     = 64
+	maxInternEntries = 4096
+)
+
+// NewDecoder returns a Decoder ready for ReadFrom/DecodeInto.
+func NewDecoder() *Decoder {
+	return &Decoder{intern: make(map[string]string)}
+}
+
+// str materializes b as a string, deduplicating via the intern table.
+// The m[string(b)] lookup compiles to a no-allocation map probe.
+func (d *Decoder) str(b []byte) string {
+	if d == nil || d.intern == nil || len(b) == 0 || len(b) > maxInternLen {
+		return string(b)
+	}
+	if s, ok := d.intern[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	if len(d.intern) < maxInternEntries {
+		d.intern[s] = s
+	}
+	return s
+}
+
+// DecodeInto parses one encoded frame from b into f, reusing f's AttrSet
+// buffers. b must contain exactly one frame. A nil receiver is valid
+// (no interning).
+func (d *Decoder) DecodeInto(b []byte, f *Frame) error {
 	if len(b) > MaxFrameSize {
-		return f, ErrTooLarge
+		return ErrTooLarge
 	}
 	if len(b) < 21 { // header(4)+phase(1)+channel(4)+seq(4)+time(8)
-		return f, ErrTruncated
+		return ErrTruncated
 	}
 	if binary.BigEndian.Uint16(b[0:2]) != Magic {
-		return f, ErrBadMagic
+		return ErrBadMagic
 	}
 	if b[2] != Version {
-		return f, fmt.Errorf("%w: %d", ErrBadVersion, b[2])
+		return fmt.Errorf("%w: %d", ErrBadVersion, b[2])
 	}
 	f.Kind = Kind(b[3])
 	if !f.Kind.Valid() {
-		return f, fmt.Errorf("%w: %d", ErrBadKind, b[3])
+		return fmt.Errorf("%w: %d", ErrBadKind, b[3])
 	}
 	f.Phase = b[4]
 	f.Channel = binary.BigEndian.Uint32(b[5:9])
@@ -232,25 +290,50 @@ func Decode(b []byte) (Frame, error) {
 	rest := b[21:]
 
 	var err error
-	if f.Node, rest, err = readString(rest); err != nil {
-		return f, fmt.Errorf("wire: node: %w", err)
+	if f.Node, rest, err = d.readString(rest); err != nil {
+		return fmt.Errorf("wire: node: %w", err)
 	}
-	if f.LP, rest, err = readString(rest); err != nil {
-		return f, fmt.Errorf("wire: lp: %w", err)
+	if f.LP, rest, err = d.readString(rest); err != nil {
+		return fmt.Errorf("wire: lp: %w", err)
 	}
-	if f.Class, rest, err = readString(rest); err != nil {
-		return f, fmt.Errorf("wire: class: %w", err)
+	if f.Class, rest, err = d.readString(rest); err != nil {
+		return fmt.Errorf("wire: class: %w", err)
 	}
-	if f.Addr, rest, err = readString(rest); err != nil {
-		return f, fmt.Errorf("wire: addr: %w", err)
+	if f.Addr, rest, err = d.readString(rest); err != nil {
+		return fmt.Errorf("wire: addr: %w", err)
 	}
-	if f.Attrs, rest, err = readAttrSet(rest); err != nil {
-		return f, fmt.Errorf("wire: attrs: %w", err)
+	if rest, err = readAttrSetInto(&f.Attrs, rest); err != nil {
+		return fmt.Errorf("wire: attrs: %w", err)
 	}
 	if len(rest) != 0 {
-		return f, fmt.Errorf("wire: %d trailing bytes", len(rest))
+		return fmt.Errorf("wire: %d trailing bytes", len(rest))
 	}
-	return f, nil
+	return nil
+}
+
+// DecodeFrom reads one length-prefixed frame from r (stream framing)
+// into f, reusing the Decoder's body buffer and f's AttrSet storage.
+func (d *Decoder) DecodeFrom(r io.Reader, f *Frame) error {
+	var pfx [4]byte
+	if _, err := io.ReadFull(r, pfx[:]); err != nil {
+		// Propagate io.EOF untouched so callers can detect orderly close.
+		if errors.Is(err, io.EOF) {
+			return io.EOF
+		}
+		return fmt.Errorf("wire: read length: %w", err)
+	}
+	n := binary.BigEndian.Uint32(pfx[:])
+	if n > MaxFrameSize {
+		return ErrTooLarge
+	}
+	if uint32(cap(d.body)) < n {
+		d.body = make([]byte, n)
+	}
+	body := d.body[:n]
+	if _, err := io.ReadFull(r, body); err != nil {
+		return fmt.Errorf("wire: read body: %w", err)
+	}
+	return d.DecodeInto(body, f)
 }
 
 // WriteTo writes the frame to w with a uint32 length prefix, the stream
@@ -275,23 +358,9 @@ func (f Frame) WriteTo(w io.Writer) (int64, error) {
 
 // ReadFrame reads one length-prefixed frame from r (stream framing).
 func ReadFrame(r io.Reader) (Frame, error) {
-	var pfx [4]byte
-	if _, err := io.ReadFull(r, pfx[:]); err != nil {
-		// Propagate io.EOF untouched so callers can detect orderly close.
-		if errors.Is(err, io.EOF) {
-			return Frame{}, io.EOF
-		}
-		return Frame{}, fmt.Errorf("wire: read length: %w", err)
-	}
-	n := binary.BigEndian.Uint32(pfx[:])
-	if n > MaxFrameSize {
-		return Frame{}, ErrTooLarge
-	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return Frame{}, fmt.Errorf("wire: read body: %w", err)
-	}
-	return Decode(body)
+	var f Frame
+	err := (&Decoder{}).DecodeFrom(r, &f)
+	return f, err
 }
 
 func appendString(buf []byte, s string) []byte {
@@ -299,7 +368,7 @@ func appendString(buf []byte, s string) []byte {
 	return append(buf, s...)
 }
 
-func readString(b []byte) (string, []byte, error) {
+func (d *Decoder) readString(b []byte) (string, []byte, error) {
 	n, sz := binary.Uvarint(b)
 	if sz <= 0 {
 		return "", nil, ErrTruncated
@@ -308,5 +377,5 @@ func readString(b []byte) (string, []byte, error) {
 	if uint64(len(b)) < n {
 		return "", nil, ErrTruncated
 	}
-	return string(b[:n]), b[n:], nil
+	return d.str(b[:n]), b[n:], nil
 }

@@ -221,7 +221,7 @@ func TestAttrSetTypes(t *testing.T) {
 	if _, ok := a.Float64(99); ok {
 		t.Error("Float64 on missing id ok=true")
 	}
-	a[7] = []byte{1, 2}
+	a.PutBytes(7, []byte{1, 2})
 	if _, ok := a.Float64(7); ok {
 		t.Error("Float64 on 2-byte value ok=true")
 	}
@@ -249,17 +249,18 @@ func TestAttrSetClone(t *testing.T) {
 	a := AttrSet{}
 	a.PutString(1, "original")
 	c := a.Clone()
-	c[1][0] = 'X'
+	cb, _ := c.Bytes(1)
+	cb[0] = 'X'
 	if v, _ := a.String(1); v != "original" {
 		t.Errorf("Clone aliases storage: %q", v)
 	}
-	if got := AttrSet(nil).Clone(); got != nil {
-		t.Errorf("Clone(nil) = %v, want nil", got)
+	if got := (AttrSet{}).Clone(); got.Len() != 0 {
+		t.Errorf("Clone(empty).Len() = %d, want 0", got.Len())
 	}
 }
 
 func TestAttrSetDeterministicEncoding(t *testing.T) {
-	// Map iteration order must not leak into the encoding.
+	// Build order and internal state must not leak into the encoding.
 	a := AttrSet{}
 	for i := AttrID(1); i <= 20; i++ {
 		a.PutUint32(i, uint32(i))
@@ -290,8 +291,8 @@ func TestEmptyAttrSetRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Attrs != nil {
-		t.Errorf("empty attrs decoded as %v, want nil", got.Attrs)
+	if got.Attrs.Len() != 0 {
+		t.Errorf("empty attrs decoded with %d entries, want 0", got.Attrs.Len())
 	}
 }
 

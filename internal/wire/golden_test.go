@@ -1,0 +1,175 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+)
+
+// The golden frames below were captured byte-for-byte from the historical
+// map-backed AttrSet encoder (map[AttrID][]byte + sort.Slice per encode)
+// immediately before the arena rewrite. They pin the wire format: a mixed
+// cluster runs old and new builds side by side, so the arena encoder must
+// produce identical bytes — including the ascending-attribute-ID order and
+// last-write-wins overwrite semantics — and decode them identically.
+
+type goldenCase struct {
+	name  string
+	build func() Frame
+	hex   string
+}
+
+// craneStateFrame reproduces fom.CraneState.Encode()'s exact Put sequence
+// (ascending IDs 1..19) without importing fom, which wire cannot see.
+func craneStateFrame() Frame {
+	a := NewAttrSet(17)
+	a.PutVec3(1, 100.5, 0.25, -3.75)
+	a.PutFloat64(2, 1.25)
+	a.PutFloat64(3, -0.5)
+	a.PutFloat64(4, 0.125)
+	a.PutFloat64(5, 2.5)
+	a.PutFloat64(6, 0.75)
+	a.PutFloat64(7, 0.9)
+	a.PutFloat64(8, 14)
+	a.PutFloat64(9, 6.5)
+	a.PutVec3(10, 1, 2, 3)
+	a.PutVec3(11, -0.5, 0.25, 0)
+	a.PutFloat64(12, 1500)
+	a.PutBool(13, true)
+	a.PutFloat64(14, 1800)
+	a.PutBool(15, true)
+	a.PutFloat64(16, 0.875)
+	a.PutVec3(17, 4, 5, 6)
+	a.PutInt64(18, 2)
+	a.PutInt64(19, 1)
+	return Frame{
+		Kind:    KindUpdateAttrs,
+		Channel: 7,
+		Seq:     42,
+		Time:    16.5,
+		Node:    "pub-pc",
+		LP:      "dynamics",
+		Class:   "CraneState",
+		Attrs:   a,
+	}
+}
+
+func goldenCases() []goldenCase {
+	return []goldenCase{
+		{
+			name:  "cranestate",
+			build: craneStateFrame,
+			hex:   "cb15010400000000070000002a4030800000000000067075622d70630864796e616d6963730a4372616e655374617465001300011840592000000000003fd0000000000000c00e0000000000000002083ff4000000000000000308bfe00000000000000004083fc000000000000000050840040000000000000006083fe80000000000000007083feccccccccccccd000808402c000000000000000908401a000000000000000a183ff000000000000040000000000000004008000000000000000b18bfe00000000000003fd00000000000000000000000000000000c084097700000000000000d0101000e08409c200000000000000f01010010083fec00000000000000111840100000000000004014000000000000401800000000000000120800000000000000020013080000000000000001",
+		},
+		{
+			name: "channelconn",
+			build: func() Frame {
+				a := AttrSet{}
+				a.PutUint32(AttrDeliveryPolicy, uint32(PolicyReliable))
+				a.PutUint32(AttrCreditWindow, 256)
+				return Frame{
+					Kind:    KindChannelConn,
+					Channel: 3,
+					Node:    "sub-pc",
+					LP:      "s",
+					Class:   "State",
+					Addr:    "mem://sub-pc",
+					Attrs:   a,
+				}
+			},
+			hex: "cb1501030000000003000000000000000000000000067375622d706301730553746174650c6d656d3a2f2f7375622d7063020001040000000200020400000100",
+		},
+		{
+			name: "heartbeat",
+			build: func() Frame {
+				a := AttrSet{}
+				a.PutInt64s(AttrCreditCounts, []int64{9, 1024, 11, 77})
+				return Frame{Kind: KindHeartbeat, Node: "sub-pc", Attrs: a}
+			},
+			hex: "cb1501060000000000000000000000000000000000067375622d70630000000100032000000000000000090000000000000400000000000000000b000000000000004d",
+		},
+		{
+			// Out-of-ID-order insertion: the compat sort shim must still
+			// emit ascending IDs, matching the old sorted-map encoder.
+			name: "mixed",
+			build: func() Frame {
+				a := AttrSet{}
+				a.PutString(5, "hello")
+				a.PutBool(2, true)
+				a.PutFloat64s(9, []float64{1.5, -2.5})
+				a.PutInt64(1, -7)
+				a.PutStrings(4, []string{"a", "bc", ""})
+				a.PutBytes(7, []byte{0xde, 0xad})
+				a.PutVec3(3, 1, 2, 3)
+				a.PutUint32(6, 123456)
+				a.PutInt64s(8, []int64{-1, 0, 1})
+				return Frame{Kind: KindUpdateAttrs, Time: -1, Node: "n", Attrs: a}
+			},
+			hex: "cb150104000000000000000000bff0000000000000016e00000009000108fffffffffffffff9000201010003183ff0000000000000400000000000000040080000000000000004070301610262630000050568656c6c6f0006040001e240000702dead000818ffffffffffffffff000000000000000000000000000000010009103ff8000000000000c004000000000000",
+		},
+		{
+			name: "empty",
+			build: func() Frame {
+				return Frame{Kind: KindBye, Node: "bye-node"}
+			},
+			hex: "cb15010a0000000000000000000000000000000000086279652d6e6f646500000000",
+		},
+		{
+			// Repeated Put on one ID replaces the value (map overwrite
+			// semantics): only the final value reaches the wire.
+			name: "overwrite",
+			build: func() Frame {
+				a := AttrSet{}
+				a.PutFloat64(4, 1.0)
+				a.PutInt64(2, 5)
+				a.PutFloat64(4, 2.25)
+				return Frame{Kind: KindUpdateAttrs, Node: "n", Attrs: a}
+			},
+			hex: "cb1501040000000000000000000000000000000000016e0000000200020800000000000000050004084002000000000000",
+		},
+	}
+}
+
+func TestGoldenFrameBytes(t *testing.T) {
+	for _, tc := range goldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := hex.DecodeString(tc.hex)
+			if err != nil {
+				t.Fatalf("bad golden hex: %v", err)
+			}
+			got, err := tc.build().Encode()
+			if err != nil {
+				t.Fatalf("Encode: %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("encoded bytes diverge from the pre-rewrite format\n got %x\nwant %x", got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenFrameDecode proves the new decoder reads old-format bytes:
+// each golden blob decodes, and re-encoding the decoded frame reproduces
+// the blob (decode order is ascending-ID, so no sort shim is needed).
+func TestGoldenFrameDecode(t *testing.T) {
+	for _, tc := range goldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			raw, _ := hex.DecodeString(tc.hex)
+			f, err := Decode(raw)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			back, err := f.Encode()
+			if err != nil {
+				t.Fatalf("re-Encode: %v", err)
+			}
+			if !bytes.Equal(back, raw) {
+				t.Errorf("decode/encode round trip diverges\n got %x\nwant %x", back, raw)
+			}
+			want := tc.build()
+			if f.Kind != want.Kind || f.Node != want.Node || f.Attrs.Len() != want.Attrs.Len() {
+				t.Errorf("decoded frame mismatch: got kind=%v node=%q attrs=%d", f.Kind, f.Node, f.Attrs.Len())
+			}
+		})
+	}
+}

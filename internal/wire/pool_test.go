@@ -1,0 +1,74 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestPoolDecoderNoAlias pins the decoder-reuse contract at the wire
+// level: a Clone taken from one decoded frame must survive the decoder's
+// buffers being overwritten by later frames (DecodeInto reuses the body
+// buffer and the destination frame's attr arena in place).
+func TestPoolDecoderNoAlias(t *testing.T) {
+	const frames = 32
+	blobs := make([][]byte, frames)
+	for i := range blobs {
+		a := AttrSet{}
+		a.PutInt64(1, int64(i))
+		a.PutString(2, fmt.Sprintf("payload-%03d", i))
+		f := Frame{Kind: KindUpdateAttrs, Node: "n", Class: "C", Seq: uint32(i), Attrs: a}
+		b, err := f.Encode()
+		if err != nil {
+			t.Fatalf("Encode %d: %v", i, err)
+		}
+		blobs[i] = b
+	}
+
+	dec := NewDecoder()
+	var f Frame
+	clones := make([]AttrSet, frames)
+	for i, b := range blobs {
+		if err := dec.DecodeInto(b, &f); err != nil {
+			t.Fatalf("DecodeInto %d: %v", i, err)
+		}
+		clones[i] = f.Attrs.Clone()
+	}
+	for i, c := range clones {
+		n, ok := c.Int64(1)
+		if !ok || n != int64(i) {
+			t.Fatalf("clone %d: attr1 = %d,%v (aliased reused decode arena)", i, n, ok)
+		}
+		s, ok := c.String(2)
+		if !ok || s != fmt.Sprintf("payload-%03d", i) {
+			t.Fatalf("clone %d: attr2 = %q,%v (aliased reused decode arena)", i, s, ok)
+		}
+	}
+}
+
+// TestPoolGetPutCycle exercises the exported pool through repeated
+// get/fill/put cycles and checks a recycled set encodes identically to a
+// fresh one (no stale attrs, no arena bleed-through).
+func TestPoolGetPutCycle(t *testing.T) {
+	want := func() []byte {
+		a := AttrSet{}
+		a.PutFloat64(1, 2.5)
+		f := Frame{Kind: KindUpdateAttrs, Node: "n", Attrs: a}
+		b, _ := f.Encode()
+		return b
+	}()
+	for i := 0; i < 8; i++ {
+		a := GetAttrSet()
+		a.PutInt64(7, int64(i)) // dirty it with an unrelated attr
+		a.Reset()
+		a.PutFloat64(1, 2.5)
+		got, err := Frame{Kind: KindUpdateAttrs, Node: "n", Attrs: *a}.Encode()
+		PutAttrSet(a)
+		if err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("cycle %d: recycled set encodes differently\n got %x\nwant %x", i, got, want)
+		}
+	}
+}

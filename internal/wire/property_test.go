@@ -21,7 +21,7 @@ func TestFrameRoundTripProperty(t *testing.T) {
 			if len(a3) > 1024 {
 				a3 = a3[:1024]
 			}
-			attrs[3] = a3
+			attrs.PutBytes(3, a3)
 		}
 		in := Frame{
 			Kind:    kind,
@@ -61,6 +61,7 @@ func TestFrameRoundTripProperty(t *testing.T) {
 func TestAttrSetRoundTripProperty(t *testing.T) {
 	f := func(keys []uint16, blobs [][]byte) bool {
 		attrs := AttrSet{}
+		ref := map[AttrID][]byte{}
 		for i, k := range keys {
 			var v []byte
 			if i < len(blobs) && blobs[i] != nil {
@@ -71,7 +72,8 @@ func TestAttrSetRoundTripProperty(t *testing.T) {
 			} else {
 				v = []byte{}
 			}
-			attrs[AttrID(k)] = v
+			attrs.PutBytes(AttrID(k), v)
+			ref[AttrID(k)] = v
 		}
 		in := Frame{Kind: KindUpdateAttrs, Attrs: attrs}
 		b, err := in.Encode()
@@ -82,14 +84,11 @@ func TestAttrSetRoundTripProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		if len(attrs) == 0 {
-			return out.Attrs == nil
-		}
-		if len(out.Attrs) != len(attrs) {
+		if out.Attrs.Len() != len(ref) {
 			return false
 		}
-		for k, v := range attrs {
-			got, ok := out.Attrs[k]
+		for k, v := range ref {
+			got, ok := out.Attrs.Bytes(k)
 			if !ok || string(got) != string(v) {
 				return false
 			}

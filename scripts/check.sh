@@ -17,7 +17,7 @@ fi
 echo "== go vet =="
 go vet ./...
 
-echo "== codvet (project invariants: determinism, policydecl, layering, ctxwait, errwrap) =="
+echo "== codvet (project invariants: determinism, policydecl, layering, ctxwait, errwrap, nopool) =="
 go run ./cmd/codvet ./...
 
 # staticcheck and govulncheck are external tools; CI installs them pinned
@@ -73,6 +73,9 @@ go test -bench . -benchtime 1000x -run '^$' ./internal/obs >>"$out/bench.txt"
 # channel-setup amortization still flickers allocs/op by ±3. benchdiff
 # keeps the last line per benchmark, so this run overrides the 10x one.
 go test -bench 'BenchmarkCBRouting' -benchtime 500x -run '^$' . >>"$out/bench.txt"
+# Sustained throughput at 1000x: the frames/sec/core headline plus gated
+# allocs/bytes ceilings on the pipelined publish→consume path.
+go test -bench 'BenchmarkCBThroughput' -benchtime 1000x -run '^$' . >>"$out/bench.txt"
 go run ./cmd/benchdiff BENCH_baseline.json "$out/bench.txt"
 
 echo "== batch smoke (headless sweep incl. multi-crane, JSONL report) =="
