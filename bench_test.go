@@ -25,6 +25,7 @@ import (
 	"codsim/internal/motion"
 	"codsim/internal/render"
 	"codsim/internal/scenario"
+	"codsim/internal/scenario/gen"
 	"codsim/internal/sim"
 	"codsim/internal/terrain"
 	"codsim/internal/trace"
@@ -541,4 +542,113 @@ func BenchmarkFullSimulatorBoot(b *testing.B) {
 		}
 		cluster.Stop()
 	}
+}
+
+// --- EXP-8: campaign certification at scale -------------------------------
+
+// BenchmarkHeadlessRun: one op = one 60 Hz step of the headless hot loop
+// — autopilot control, dynamics step, engine StepAll — on the shared
+// default site with live status text off, exactly the loop
+// trace.Runner.RunSkill runs and the certification oracle multiplies by
+// ~100k. The steady-state step must stay allocation-free (gated in
+// BENCH_baseline.json); the sim-s/s metric is the single-lane oracle
+// throughput ceiling.
+func BenchmarkHeadlessRun(b *testing.B) {
+	spec := scenario.Classic()
+	const dt = 1.0 / 60
+
+	var (
+		models []*dynamics.Model
+		pilots []*trace.Autopilot
+		states []fom.CraneState
+		eng    *scenario.Engine
+	)
+	build := func() {
+		ter := terrain.DefaultMap()
+		decls := spec.CraneDecls()
+		world := dynamics.NewWorld()
+		models = make([]*dynamics.Model, len(decls))
+		pilots = make([]*trace.Autopilot, len(decls))
+		states = make([]fom.CraneState, len(decls))
+		for c, d := range decls {
+			m, err := dynamics.NewCrane(dynamics.DefaultConfig(), ter, world, d.Start, d.StartYaw, c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			models[c] = m
+			pilots[c] = trace.ForCrane(spec, c)
+			states[c] = m.State()
+		}
+		spec.Install(ter, models...)
+		var err error
+		eng, err = scenario.NewEngineSpec(spec, crane.DefaultSpec())
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng.SetLiveStatus(false)
+		eng.Start()
+	}
+	build()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p := eng.Phase(); p == fom.PhaseComplete || p == fom.PhaseFailed {
+			b.StopTimer()
+			build() // fresh rig; amortized over the ~40k steps a run takes
+			b.StartTimer()
+		}
+		for c, m := range models {
+			in := pilots[c].Control(states[c], eng.StateFor(c), dt)
+			in.CraneID = int64(c)
+			m.Step(in, dt)
+			states[c] = m.State()
+		}
+		eng.StepAll(states, dt)
+	}
+	b.ReportMetric(float64(b.N)*dt/b.Elapsed().Seconds(), "sim-s/s")
+}
+
+// BenchmarkOracleCertify: one op = one full certification dry-run — rig
+// build, expert flight to a terminal phase, verdict — on a fixed
+// certified generated candidate, through the same reusable Runner a
+// campaign's oracle loop holds. This is the per-candidate cost a 100k
+// campaign pays on every cache miss; the alloc ceiling (gated in
+// BENCH_baseline.json) keeps the per-run setup from regressing back to
+// per-step churn.
+func BenchmarkOracleCertify(b *testing.B) {
+	p := gen.DefaultParams()
+	var spec scenario.Spec
+	found := false
+	for k := int64(0); k < 50 && !found; k++ {
+		cand, err := gen.Generate(gen.SubSeed(7, k), p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if gen.StaticCheck(cand) != nil {
+			continue
+		}
+		if _, ok, err := trace.Completable(context.Background(), cand, 900); err == nil && ok {
+			spec, found = cand, true
+		}
+	}
+	if !found {
+		b.Fatal("no certifiable candidate in 50 samples")
+	}
+
+	runner := &trace.Runner{StallBudget: trace.DefaultStallBudget}
+	ctx := context.Background()
+	simS := 0.0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := runner.RunSkill(ctx, spec, 900, trace.SkillProfile{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Passed {
+			b.Fatal("certified candidate stopped passing mid-benchmark")
+		}
+		simS += res.SimTime
+	}
+	b.ReportMetric(simS/b.Elapsed().Seconds(), "sim-s/s")
 }

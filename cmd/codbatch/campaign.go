@@ -35,6 +35,88 @@ func parseCampaign(arg string) (seed int64, count int, err error) {
 	return seed, count, nil
 }
 
+// campaignRun bundles one campaign's identity (seed, count, params) with
+// its certification options: the persistent verdict cache path and the
+// lazy-certify mode.
+type campaignRun struct {
+	seed      int64
+	count     int
+	params    gen.Params
+	cachePath string
+	lazy      bool
+}
+
+// newCampaignStream builds the certified-candidate stream for a campaign:
+// prefetching (unless previewing), cache-backed when -campaign-cache is
+// set, metered through the obs plane. preview (and lazy) runs certify on
+// the free static oracle plus cached dry-run verdicts only — and open the
+// cache read-only, so weaker verdicts never poison what strict campaigns
+// trust. The cleanup func closes the stream's prefetch task and flushes
+// the cache.
+func newCampaignStream(plane *obs.Plane, cr campaignRun, width int, preview bool) (*gen.Stream, func(), error) {
+	stream := gen.NewStream(cr.seed, cr.params)
+	stream.Parallel = width
+	stream.Prefetch = !preview
+	if cr.lazy || preview {
+		stream.Oracle = gen.StaticOnly
+	}
+	closeCache := func() {}
+	if cr.cachePath != "" {
+		cache, err := gen.OpenCache(cr.cachePath, cr.seed, cr.params)
+		if err != nil {
+			return nil, nil, err
+		}
+		cache.ReadOnly = cr.lazy || preview
+		stream.Cache = cache
+		closeCache = func() { _ = cache.Close() }
+	}
+	stream.Hooks = streamHooks(plane)
+	return stream, func() { stream.Close(); closeCache() }, nil
+}
+
+// streamHooks wires a stream's work into the telemetry plane:
+// codsim_gen_candidates_total by verdict, codsim_gen_cache_total by
+// hit/miss, and the oracle dry-run wall histogram. gen is a deterministic
+// package, so the wall clock is injected from here. A nil plane (no -obs)
+// disables the hooks entirely.
+func streamHooks(plane *obs.Plane) gen.Hooks {
+	if plane == nil {
+		return gen.Hooks{}
+	}
+	candidates := plane.Registry.CounterVec("codsim_gen_candidates_total",
+		"Campaign candidates sampled, by final verdict.", "verdict")
+	emitted := candidates.With("emitted")
+	staticRej := candidates.With("static-reject")
+	oracleRej := candidates.With("oracle-reject")
+	cacheVec := plane.Registry.CounterVec("codsim_gen_cache_total",
+		"Campaign verdict-cache consults, by result.", "result")
+	hit, miss := cacheVec.With("hit"), cacheVec.With("miss")
+	wall := plane.Registry.Histogram("codsim_gen_oracle_seconds",
+		"Wall-clock seconds per live oracle dry-run.", nil)
+	start := time.Now()
+	return gen.Hooks{
+		Clock: func() float64 { return time.Since(start).Seconds() },
+		Candidate: func(verdict string) {
+			switch verdict {
+			case "emitted":
+				emitted.Inc()
+			case "static-reject":
+				staticRej.Inc()
+			default:
+				oracleRej.Inc()
+			}
+		},
+		CacheResult: func(isHit bool) {
+			if isHit {
+				hit.Inc()
+			} else {
+				miss.Inc()
+			}
+		},
+		OracleWall: wall.Observe,
+	}
+}
+
 // campaignSource feeds a bounded number of certified generated scenarios
 // into a coordinator: job ID is the emission index, job Seed the
 // generator candidate index, so records and skill jitter stay keyed to
@@ -58,15 +140,20 @@ func (cs *campaignSource) Next(ctx context.Context) (dist.Job, bool, error) {
 	return j, true, nil
 }
 
-// listCampaign previews the candidate stream without flying anything:
-// the free static oracle only, so rows print instantly. The certified
+// listCampaign previews the candidate stream without flying anything: the
+// free static oracle — plus any cached dry-run verdicts when a
+// -campaign-cache is given, so a warmed preview already excludes known
+// uncompletable candidates — and rows print instantly. The certified
 // campaign dispatches these same candidates minus whatever the dry-run
 // oracle vetoes.
-func listCampaign(seed int64, count int, params gen.Params) error {
-	stream := gen.NewStream(seed, params)
-	stream.Oracle = gen.StaticOnly
-	fmt.Printf("campaign %s (pre-oracle preview)\n", gen.Key(seed, count, params))
-	for i := 0; i < count; i++ {
+func listCampaign(cr campaignRun) error {
+	stream, cleanup, err := newCampaignStream(nil, cr, 0, true)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	fmt.Printf("campaign %s (pre-oracle preview)\n", gen.Key(cr.seed, cr.count, cr.params))
+	for i := 0; i < cr.count; i++ {
 		spec, cand, err := stream.Next(context.Background())
 		if err != nil {
 			return err
@@ -76,6 +163,9 @@ func listCampaign(seed int64, count int, params gen.Params) error {
 	}
 	st := stream.Stats()
 	fmt.Printf("%d candidates sampled, %d static rejects\n", st.Candidates, st.StaticRejects)
+	if st.CacheHits+st.CacheMisses > 0 {
+		fmt.Printf("verdict cache: %d hits, %d misses\n", st.CacheHits, st.CacheMisses)
+	}
 	return nil
 }
 
@@ -85,6 +175,10 @@ func listCampaign(seed int64, count int, params gen.Params) error {
 func campaignSummary(key string, st gen.Stats, wall time.Duration) {
 	fmt.Printf("campaign %s: %d certified jobs from %d candidates (%d static + %d oracle rejects resampled) in %.1fs wall\n",
 		key, st.Emitted, st.Candidates, st.StaticRejects, st.OracleRejects, wall.Seconds())
+	if st.CacheHits+st.CacheMisses > 0 {
+		fmt.Printf("verdict cache: %d hits, %d misses, %d live dry-runs\n",
+			st.CacheHits, st.CacheMisses, st.OracleRuns)
+	}
 }
 
 // runCampaignLocal runs a generated campaign on this host, still through
@@ -92,7 +186,7 @@ func campaignSummary(key string, st gen.Stats, wall time.Duration) {
 // coordinator streaming certified jobs to one worker serving -parallel
 // slots. Identical dispatch semantics to the multi-host path — the LAN is
 // just memory.
-func runCampaignLocal(ctx context.Context, plane *obs.Plane, seed int64, count int, params gen.Params,
+func runCampaignLocal(ctx context.Context, plane *obs.Plane, cr campaignRun,
 	slots int, batch sim.BatchConfig, outPath, compare string, strict bool) error {
 	if slots <= 0 {
 		if batch.Headless {
@@ -153,13 +247,13 @@ func runCampaignLocal(ctx context.Context, plane *obs.Plane, seed int64, count i
 	if err := coord.WaitWorkers(ctx, []string{"local"}); err != nil {
 		return err
 	}
-	return runCampaignSweep(ctx, coord, seed, count, params, slots, outPath, compare, strict)
+	return runCampaignSweep(ctx, plane, coord, cr, slots, outPath, compare, strict)
 }
 
 // runCampaignCoordinator streams a generated campaign over the segment to
 // the named worker hosts.
 func runCampaignCoordinator(ctx context.Context, plane *obs.Plane, lanAddr, workerList string,
-	seed int64, count int, params gen.Params, outPath, compare string, strict bool) error {
+	cr campaignRun, outPath, compare string, strict bool) error {
 	var workers []string
 	for _, w := range strings.Split(workerList, ",") {
 		if w = strings.TrimSpace(w); w != "" {
@@ -190,27 +284,34 @@ func runCampaignCoordinator(ctx context.Context, plane *obs.Plane, lanAddr, work
 	if err := coord.WaitWorkers(ctx, workers); err != nil {
 		return err
 	}
-	return runCampaignSweep(ctx, coord, seed, count, params, runtime.NumCPU(), outPath, compare, strict)
+	return runCampaignSweep(ctx, plane, coord, cr, runtime.NumCPU(), outPath, compare, strict)
 }
 
 // runCampaignSweep is the shared dispatch tail: certified generator
-// stream in, JSONL records and percentile report out.
-func runCampaignSweep(ctx context.Context, coord *dist.Coordinator,
-	seed int64, count int, params gen.Params, oracleWidth int,
-	outPath, compare string, strict bool) error {
-	key := gen.Key(seed, count, params)
-	fmt.Printf("campaign %s: dispatching %d certified scenarios (window-streamed, oracle-certified)\n", key, count)
+// stream in (prefetching the next batch while the current one
+// dispatches), JSONL records and percentile report out.
+func runCampaignSweep(ctx context.Context, plane *obs.Plane, coord *dist.Coordinator,
+	cr campaignRun, oracleWidth int, outPath, compare string, strict bool) error {
+	key := gen.Key(cr.seed, cr.count, cr.params)
+	mode := "oracle-certified"
+	if cr.lazy {
+		mode = "lazy-certified: each job's own run is the verdict"
+	}
+	fmt.Printf("campaign %s: dispatching %d certified scenarios (window-streamed, %s)\n", key, cr.count, mode)
 
-	stream := gen.NewStream(seed, params)
-	stream.Parallel = oracleWidth
-	src := &campaignSource{stream: stream, count: count}
+	stream, cleanup, err := newCampaignStream(plane, cr, oracleWidth, false)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	src := &campaignSource{stream: stream, count: cr.count}
 	start := time.Now()
 	recs, err := coord.RunStream(ctx, src)
 	if err != nil {
 		if outPath != "" && len(recs) > 0 {
 			_ = dist.SaveRecords(outPath, recs)
 		}
-		return fmt.Errorf("campaign aborted with %d/%d records: %w", len(recs), count, err)
+		return fmt.Errorf("campaign aborted with %d/%d records: %w", len(recs), cr.count, err)
 	}
 	campaignSummary(key, stream.Stats(), time.Since(start))
 	if outPath == "" {
@@ -224,8 +325,20 @@ func runCampaignSweep(ctx context.Context, coord *dist.Coordinator,
 // seed+params reproduces the identical job list". Used by tests; kept
 // here so the CLI and the check cannot drift apart.
 func reproduceCampaign(ctx context.Context, seed int64, count int, params gen.Params) ([]dist.Job, gen.Stats, error) {
-	stream := gen.NewStream(seed, params)
-	src := &campaignSource{stream: stream, count: count}
+	return replayCampaign(ctx, campaignRun{seed: seed, count: count, params: params}, 0)
+}
+
+// replayCampaign is reproduceCampaign through the full stream
+// configuration — cache, prefetch, lazy mode — so cold-vs-warm cache and
+// prefetch determinism checks exercise exactly the code path a dispatched
+// campaign uses.
+func replayCampaign(ctx context.Context, cr campaignRun, width int) ([]dist.Job, gen.Stats, error) {
+	stream, cleanup, err := newCampaignStream(nil, cr, width, false)
+	if err != nil {
+		return nil, gen.Stats{}, err
+	}
+	defer cleanup()
+	src := &campaignSource{stream: stream, count: cr.count}
 	var jobs []dist.Job
 	for {
 		j, ok, err := src.Next(ctx)

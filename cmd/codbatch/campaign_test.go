@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"path/filepath"
 	"testing"
 
 	"codsim/internal/scenario"
@@ -58,6 +59,91 @@ func TestReproduceCampaignDeterministic(t *testing.T) {
 		jb, _ := scenario.MarshalSpec(b[i].Spec)
 		if !bytes.Equal(ja, jb) {
 			t.Fatalf("job %d: spec bytes differ between reruns", i)
+		}
+	}
+}
+
+// A campaign with a verdict cache must produce the byte-identical job
+// list cold (flying every dry-run) and warm (replaying every verdict),
+// with the warm rerun flying zero live dry-runs — the acceptance bar for
+// "re-running a certified campaign costs file reads, not sim time".
+func TestCampaignCacheColdWarmIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expert dry-runs in -short")
+	}
+	ctx := context.Background()
+	cr := campaignRun{
+		seed:      42,
+		count:     8,
+		params:    gen.DefaultParams(),
+		cachePath: filepath.Join(t.TempDir(), "verdicts.jsonl"),
+	}
+	cold, cs, err := replayCampaign(ctx, cr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.OracleRuns == 0 || cs.CacheHits != 0 {
+		t.Fatalf("cold tallies wrong: %+v", cs)
+	}
+	warm, ws, err := replayCampaign(ctx, cr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.OracleRuns != 0 {
+		t.Fatalf("warm rerun flew %d live dry-runs, want 0: %+v", ws.OracleRuns, ws)
+	}
+	if len(cold) != cr.count || len(warm) != cr.count {
+		t.Fatalf("job lists %d/%d, want %d", len(cold), len(warm), cr.count)
+	}
+	for i := range cold {
+		if cold[i].ID != warm[i].ID || cold[i].Seed != warm[i].Seed {
+			t.Fatalf("job %d: (%d,%d) cold vs (%d,%d) warm", i, cold[i].ID, cold[i].Seed, warm[i].ID, warm[i].Seed)
+		}
+		jc, err := scenario.MarshalSpec(cold[i].Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jw, _ := scenario.MarshalSpec(warm[i].Spec)
+		if !bytes.Equal(jc, jw) {
+			t.Fatalf("job %d: spec bytes differ cold vs warm", i)
+		}
+	}
+}
+
+// The campaign param knobs must land in gen.Params, shift the campaign
+// key, and reject out-of-range values.
+func TestCampaignParams(t *testing.T) {
+	base := gen.DefaultParams()
+	p, err := campaignParams(base, 0.9, 0.1, 0.2, 0.3, "500:2000", "2:5", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.WindProb != 0.9 || p.NightProb != 0.1 || p.TwoCraneProb != 0.2 || p.TandemProb != 0.3 {
+		t.Fatalf("probabilities not applied: %+v", p)
+	}
+	if p.MinCargoMass != 500 || p.MaxCargoMass != 2000 || p.TandemMassCap < 2000 {
+		t.Fatalf("mass band not applied: %+v", p)
+	}
+	if p.MinGates != 2 || p.MaxGates != 5 || p.MaxBars != 4 {
+		t.Fatalf("gates/bars not applied: %+v", p)
+	}
+	if gen.Key(7, 10, base) == gen.Key(7, 10, p) {
+		t.Fatal("campaign key ignores the param knobs")
+	}
+
+	type bad struct {
+		wind, night, two, tandem float64
+		mass, gates              string
+		bars                     int
+	}
+	for _, b := range []bad{
+		{wind: 1.5}, {night: -0.1}, {two: 2}, {tandem: -1},
+		{mass: "0:100"}, {mass: "200:100"}, {mass: "junk"},
+		{gates: "0:3"}, {gates: "3:2"}, {gates: "1.5:3"}, {gates: "junk"},
+		{bars: -1},
+	} {
+		if _, err := campaignParams(base, b.wind, b.night, b.two, b.tandem, b.mass, b.gates, b.bars); err == nil {
+			t.Errorf("campaignParams accepted %+v", b)
 		}
 	}
 }

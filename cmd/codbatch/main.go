@@ -19,10 +19,23 @@
 //	any$   codbatch -coordinator host1,host2 -lan 192.168.0.10:47700 \
 //	           -repeat 5 -headless -out results.jsonl
 //
+// Procedural campaign: -campaign seed:count generates, certifies and
+// dispatches count scenarios instead of the library — locally or via
+// -coordinator. The certification stream prefetches ahead of dispatch;
+// -campaign-cache file persists dry-run verdicts so reruns fly none;
+// -lazy-certify defers certification to each job's own run (conflicts
+// with -strict); -campaign-wind/-night/-two/-tandem, -campaign-mass
+// lo:hi, -campaign-gates lo:hi and -campaign-bars n tune the generator
+// and are folded into the campaign key:
+//
+//	codbatch -campaign 42:1000 -headless -strict -campaign-cache verdicts.jsonl
+//	codbatch -campaign 42:50 -list
+//
 // -out persists one JSON-lines record per run; -compare old.jsonl diffs
 // the fresh results against a previous sweep and exits nonzero on
 // regressions (lower pass rate, or p50 score drops). -specs dir loads
-// scenario JSON files instead of the built-in library.
+// scenario JSON files instead of the built-in library. -cpuprofile and
+// -memprofile write pprof profiles on clean exit.
 //
 // -obs addr serves the live telemetry plane in any mode (/metrics
 // Prometheus exposition, /healthz, /debug/tablez backbone tables,
@@ -39,6 +52,8 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -60,6 +75,7 @@ func main() {
 }
 
 func run() error {
+	defaultParams := gen.DefaultParams()
 	var (
 		names     = flag.String("scenarios", "all", `comma-separated scenario names, or "all"`)
 		specsDir  = flag.String("specs", "", "load scenario JSON files from this directory instead of the built-in library")
@@ -79,12 +95,41 @@ func run() error {
 		lanAddr   = flag.String("lan", "127.0.0.1:47700", "UDPLAN segment (host:basePort) for -serve/-coordinator")
 		name      = flag.String("name", "", "worker name on the segment (default worker-<pid>)")
 		campaign  = flag.String("campaign", "", "procedural campaign seed:count — generate, oracle-certify and dispatch that many scenarios instead of a library selection")
+		campCache = flag.String("campaign-cache", "", "persistent oracle-verdict cache (append-only JSONL): re-running a campaign replays cached verdicts instead of re-flying dry-runs")
+		lazyCert  = flag.Bool("lazy-certify", false, "campaign mode: skip the pre-dispatch dry-run (static check and cached verdicts only) and let each job's own run be the verdict; conflicts with -strict")
+		campWind  = flag.Float64("campaign-wind", defaultParams.WindProb, "campaign knob: probability of a wind regime (0..1)")
+		campNight = flag.Float64("campaign-night", defaultParams.NightProb, "campaign knob: probability of low visibility (0..1)")
+		campTwo   = flag.Float64("campaign-two", defaultParams.TwoCraneProb, "campaign knob: archetype weight — probability of a two-crane candidate (0..1)")
+		campTand  = flag.Float64("campaign-tandem", defaultParams.TandemProb, "campaign knob: archetype weight — probability a two-crane candidate is a shared tandem lift rather than twin yards (0..1)")
+		campMass  = flag.String("campaign-mass", "", "campaign knob: single-hook cargo mass band lo:hi in kg (default 1000:2600)")
+		campGates = flag.String("campaign-gates", "", "campaign knob: traverse gate count band lo:hi (default 3:6)")
+		campBars  = flag.Int("campaign-bars", defaultParams.MaxBars, "campaign knob: max obstruction bars along a carry")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file on clean exit")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile to this file on clean exit")
 		skillName = flag.String("skill", "", `autopilot skill preset (expert, intermediate, novice; "" = expert)`)
 		jitter    = flag.Float64("jitter", 0, "per-run skill jitter spread (0..1): each run scales the preset's lag/overshoot/slack by a factor in [1-j, 1+j] drawn from its job seed")
 		trendDir  = flag.String("trend", "", "report pass-rate/p50-score trends across every *.jsonl sweep in this directory and exit")
 		obsAddr   = flag.String("obs", "", "serve the telemetry plane (/metrics, /healthz, /debug/tablez, /debug/pprof) on this address (e.g. :9090, :0 = ephemeral); empty = off")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer writeHeapProfile(*memProf)
+	}
 
 	if *trendDir != "" {
 		sweeps, err := dist.LoadSweepDir(*trendDir)
@@ -137,10 +182,18 @@ func run() error {
 			return errors.New("-campaign generates its own work list; it conflicts with -specs, -scenarios and -repeat")
 		case *serve:
 			return errors.New("-campaign is a coordinator/local mode; workers just -serve")
+		case *lazyCert && *strict:
+			return errors.New("-lazy-certify skips pre-dispatch certification; it conflicts with -strict")
 		}
-		params := gen.DefaultParams()
+		params, err := campaignParams(defaultParams,
+			*campWind, *campNight, *campTwo, *campTand, *campMass, *campGates, *campBars)
+		if err != nil {
+			return err
+		}
+		cr := campaignRun{seed: seed, count: count, params: params,
+			cachePath: *campCache, lazy: *lazyCert}
 		if *list {
-			return listCampaign(seed, count, params)
+			return listCampaign(cr)
 		}
 		batch := sim.BatchConfig{
 			Base: sim.Config{
@@ -158,10 +211,10 @@ func run() error {
 			batch.Log = plane.Log()
 		}
 		if *coordAt != "" {
-			return runCampaignCoordinator(ctx, plane, *lanAddr, *coordAt, seed, count, params,
+			return runCampaignCoordinator(ctx, plane, *lanAddr, *coordAt, cr,
 				*outPath, *compare, *strict)
 		}
-		return runCampaignLocal(ctx, plane, seed, count, params, *parallel, batch,
+		return runCampaignLocal(ctx, plane, cr, *parallel, batch,
 			*outPath, *compare, *strict)
 	}
 
@@ -204,6 +257,75 @@ func run() error {
 			*outPath, *compare, *strict)
 	default:
 		return runLocal(ctx, selection, *repeat, batch, *outPath, *compare, *strict)
+	}
+}
+
+// campaignParams applies the -campaign-* knobs over the default sampling
+// space. Every knob participates in the campaign key's params hash, so
+// two campaigns with different knob settings never collide on a sweep
+// label or a cache signature.
+func campaignParams(p gen.Params, wind, night, two, tandem float64,
+	mass, gates string, bars int) (gen.Params, error) {
+	for _, prob := range []struct {
+		name string
+		v    float64
+	}{{"-campaign-wind", wind}, {"-campaign-night", night}, {"-campaign-two", two}, {"-campaign-tandem", tandem}} {
+		if prob.v < 0 || prob.v > 1 {
+			return p, fmt.Errorf("%s %v out of range [0, 1]", prob.name, prob.v)
+		}
+	}
+	p.WindProb, p.NightProb, p.TwoCraneProb, p.TandemProb = wind, night, two, tandem
+	if bars < 0 {
+		return p, fmt.Errorf("-campaign-bars %d must be >= 0", bars)
+	}
+	p.MaxBars = bars
+	if mass != "" {
+		lo, hi, err := parseBand(mass)
+		if err != nil || lo <= 0 || hi < lo {
+			return p, fmt.Errorf("-campaign-mass wants lo:hi kg with 0 < lo <= hi, got %q", mass)
+		}
+		p.MinCargoMass, p.MaxCargoMass = lo, hi
+		if p.TandemMassCap < hi {
+			p.TandemMassCap = hi
+		}
+	}
+	if gates != "" {
+		lo, hi, err := parseBand(gates)
+		if err != nil || lo < 1 || hi < lo || lo != float64(int(lo)) || hi != float64(int(hi)) {
+			return p, fmt.Errorf("-campaign-gates wants integer lo:hi with 1 <= lo <= hi, got %q", gates)
+		}
+		p.MinGates, p.MaxGates = int(lo), int(hi)
+	}
+	return p, nil
+}
+
+// parseBand splits a "lo:hi" numeric band.
+func parseBand(arg string) (lo, hi float64, err error) {
+	l, h, ok := strings.Cut(arg, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("want lo:hi, got %q", arg)
+	}
+	if lo, err = strconv.ParseFloat(strings.TrimSpace(l), 64); err != nil {
+		return 0, 0, err
+	}
+	if hi, err = strconv.ParseFloat(strings.TrimSpace(h), 64); err != nil {
+		return 0, 0, err
+	}
+	return lo, hi, nil
+}
+
+// writeHeapProfile snapshots the heap into path after a final GC, for
+// -memprofile on clean exit.
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "codbatch: -memprofile:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "codbatch: -memprofile:", err)
 	}
 }
 

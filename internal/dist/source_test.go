@@ -1,0 +1,62 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// FilterSource must admit exactly the jobs keep accepts, in order, keep
+// drawing through rejections, and surface keep's error as the sweep
+// abort.
+func TestFilterSource(t *testing.T) {
+	jobs := make([]Job, 10)
+	for i := range jobs {
+		jobs[i] = Job{ID: int64(i)}
+	}
+	var consulted []int64
+	src := FilterSource(SliceJobs(jobs), func(_ context.Context, j Job) (bool, error) {
+		consulted = append(consulted, j.ID)
+		return j.ID%3 == 0, nil
+	})
+
+	var admitted []int64
+	for {
+		j, ok, err := src.Next(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		admitted = append(admitted, j.ID)
+	}
+	if want := []int64{0, 3, 6, 9}; len(admitted) != len(want) {
+		t.Fatalf("admitted %v, want %v", admitted, want)
+	} else {
+		for i := range want {
+			if admitted[i] != want[i] {
+				t.Fatalf("admitted %v, want %v", admitted, want)
+			}
+		}
+	}
+	if len(consulted) != len(jobs) {
+		t.Fatalf("keep consulted %d jobs, want every one of %d", len(consulted), len(jobs))
+	}
+
+	boom := errors.New("oracle down")
+	src = FilterSource(SliceJobs(jobs), func(_ context.Context, j Job) (bool, error) {
+		if j.ID == 2 {
+			return false, boom
+		}
+		return true, nil
+	})
+	for i := 0; i < 2; i++ {
+		if _, ok, err := src.Next(context.Background()); err != nil || !ok {
+			t.Fatalf("job %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if _, _, err := src.Next(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("want keep's error to abort the source, got %v", err)
+	}
+}

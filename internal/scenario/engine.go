@@ -75,18 +75,34 @@ type Engine struct {
 	message     string // combined status text while idle/terminal
 
 	world     *collision.World
+	bars      []*collision.Object // static bar objects, indexed like course.Bars
 	hookObjs  []*collision.Object // one dynamic proxy pair per crane
 	cargoObjs []*collision.Object
-	// barHit debounces contact episodes per crane: each crane's pass only
-	// clears its own entries, so one crane's sustained contact is never
-	// ended (and instantly re-deducted) by a contact-free partner.
-	barHit []map[string]bool
-	lastAl []fom.Alarm // per-crane alarm debounce
-	alarms fom.Alarm   // latched extra alarms (collision)
+	// barHit debounces contact episodes per crane, indexed [crane][bar]:
+	// each crane's pass only clears its own entries, so one crane's
+	// sustained contact is never ended (and instantly re-deducted) by a
+	// contact-free partner.
+	barHit [][]bool
+	// contact is judgeCollisions' per-call scratch (indexed by bar),
+	// reused so the 60 Hz judging loop allocates nothing.
+	contact []bool
+	lastAl  []fom.Alarm // per-crane alarm debounce
+	alarms  fom.Alarm   // latched extra alarms (collision)
 	// pending holds events raised outside a crane's own stepping turn —
 	// the tandem choreography reset moves PARTNER cursors, whose
 	// phase-change would otherwise escape StepAll's per-cursor check.
 	pending []Event
+	// events is StepAll's reusable result scratch; see StepAll's ownership
+	// rule.
+	events []Event
+	// liveStatus refreshes cursor messages with live distances every tick
+	// (instructor console); off, messages change only on phase entry,
+	// keeping fmt.Sprintf off the headless hot loop.
+	liveStatus bool
+	// progress counts cursor advances — phase-graph transitions and
+	// traverse waypoints — since Start. The early-exit oracle polls it to
+	// detect dry-runs that stopped making headway (see trace).
+	progress uint64
 }
 
 // NewEngineSpec builds an engine interpreting the scenario spec.
@@ -97,24 +113,27 @@ func NewEngineSpec(spec Spec, craneSpec crane.Spec) (*Engine, error) {
 	spec.Score = spec.score()
 	n := spec.CraneCount()
 	e := &Engine{
-		spec:      spec,
-		course:    spec.Course,
-		craneSpec: craneSpec,
-		cfg:       spec.Score,
-		phase:     fom.PhaseIdle,
-		cursors:   make([]cursor, n),
-		score:     spec.Score.Initial,
-		barHit:    make([]map[string]bool, n),
-		lastAl:    make([]fom.Alarm, n),
-		world:     &collision.World{},
+		spec:       spec,
+		course:     spec.Course,
+		craneSpec:  craneSpec,
+		cfg:        spec.Score,
+		phase:      fom.PhaseIdle,
+		cursors:    make([]cursor, n),
+		score:      spec.Score.Initial,
+		barHit:     make([][]bool, n),
+		contact:    make([]bool, len(spec.Course.Bars)),
+		lastAl:     make([]fom.Alarm, n),
+		world:      &collision.World{},
+		liveStatus: true,
 	}
 	for c := range e.barHit {
-		e.barHit[c] = make(map[string]bool, len(spec.Course.Bars))
+		e.barHit[c] = make([]bool, len(spec.Course.Bars))
 	}
 	for _, b := range spec.Course.Bars {
 		obj := collision.NewObject(b.Name, collision.BoxMesh(b.Half.X, b.Half.Y, b.Half.Z))
 		obj.SetPose(b.Pos, mathx.QuatAxisAngle(mathx.V3(0, 1, 0), -b.Yaw))
 		e.world.Add(obj)
+		e.bars = append(e.bars, obj)
 	}
 	for c := 0; c < n; c++ {
 		hook := collision.NewObject(fmt.Sprintf("hook-%d", c), collision.BoxMesh(0.3, 0.35, 0.3))
@@ -178,20 +197,35 @@ func (e *Engine) Reset() {
 	e.alarmEvents = 0
 	e.alarms = 0
 	e.pending = e.pending[:0]
+	e.progress = 0
 	e.message = "reset — awaiting start"
 	for c := range e.cursors {
 		e.cursors[c] = cursor{phase: fom.PhaseIdle, message: e.message}
 		e.lastAl[c] = 0
-		for k := range e.barHit[c] {
-			delete(e.barHit[c], k)
+		for b := range e.barHit[c] {
+			e.barHit[c][b] = false
 		}
 	}
 }
+
+// SetLiveStatus controls per-tick status text. On (the default) every
+// step reformats cursor messages with live distances for the instructor
+// console; off keeps only the phase-entry text, so the 60 Hz stepping
+// path formats no strings. Verdicts, scores, events and phase cursors
+// are identical either way.
+func (e *Engine) SetLiveStatus(on bool) { e.liveStatus = on }
+
+// Progress returns how many cursor advances (phase transitions and
+// traverse waypoints, any crane) have happened since Start. A value that
+// stops changing means no crane is making headway — the signal the
+// early-exit oracle uses to abort hopeless dry-runs.
+func (e *Engine) Progress() uint64 { return e.progress }
 
 // enter moves crane c's cursor to phase-graph node i (or retires the
 // cursor on Terminal; the scenario ends when every cursor has retired).
 func (e *Engine) enter(c, i int) {
 	cur := &e.cursors[c]
+	e.progress++
 	if i == Terminal {
 		cur.done = true
 		cur.phase = fom.PhaseComplete
@@ -294,11 +328,15 @@ func (e *Engine) Step(st fom.CraneState, dt float64) []Event {
 // StepAll advances the scenario with one CraneState per declared crane,
 // indexed by crane (states[c] drives cursor c; extra entries are
 // ignored, missing ones freeze that crane's judging for the tick).
+//
+// The returned slice is the engine's reusable scratch: it is valid until
+// the next Step/StepAll call. Callers that retain events across ticks
+// must copy them; all in-tree consumers drain the slice immediately.
 func (e *Engine) StepAll(states []fom.CraneState, dt float64) []Event {
-	var events []Event
 	if e.phase == fom.PhaseIdle || e.phase == fom.PhaseComplete || e.phase == fom.PhaseFailed {
 		return nil
 	}
+	e.events = e.events[:0]
 	prevPhase := e.phase
 	e.elapsed += dt
 
@@ -312,7 +350,7 @@ func (e *Engine) StepAll(states []fom.CraneState, dt float64) []Event {
 	for c := 0; c < n; c++ {
 		e.hookObjs[c].SetPose(states[c].HookPos, mathx.QuatIdentity())
 		e.cargoObjs[c].SetPose(states[c].CargoPos, mathx.QuatIdentity())
-		events = append(events, e.judgeCollisions(c)...)
+		e.judgeCollisions(c)
 	}
 
 	// Safety-alarm deductions on rising edges, per crane.
@@ -321,7 +359,7 @@ func (e *Engine) StepAll(states []fom.CraneState, dt float64) []Event {
 		if newBits := al &^ e.lastAl[c]; newBits != 0 {
 			e.score -= e.cfg.SafetyAlarm
 			e.alarmEvents++
-			events = append(events, Event{Kind: EventAlarmRaised, At: e.elapsed, Crane: c})
+			e.events = append(e.events, Event{Kind: EventAlarmRaised, At: e.elapsed, Crane: c})
 		}
 		e.lastAl[c] = al
 	}
@@ -334,14 +372,14 @@ func (e *Engine) StepAll(states []fom.CraneState, dt float64) []Event {
 		prevIdx := cur.idx
 		e.stepCursor(c, states)
 		if e.running() && !cur.done && cur.idx != prevIdx {
-			events = append(events, Event{Kind: EventPhaseChange, At: e.elapsed, Crane: c})
+			e.events = append(e.events, Event{Kind: EventPhaseChange, At: e.elapsed, Crane: c})
 		}
 	}
 	// Transitions raised outside their crane's own turn (choreography
 	// resets of partner cursors).
 	if len(e.pending) > 0 {
 		if e.running() {
-			events = append(events, e.pending...)
+			e.events = append(e.events, e.pending...)
 		}
 		e.pending = e.pending[:0]
 	}
@@ -351,9 +389,9 @@ func (e *Engine) StepAll(states []fom.CraneState, dt float64) []Event {
 	}
 	e.syncPhase()
 	if e.phase != prevPhase && (e.phase == fom.PhaseComplete || e.phase == fom.PhaseFailed) {
-		events = append(events, Event{Kind: EventPhaseChange, At: e.elapsed})
+		e.events = append(e.events, Event{Kind: EventPhaseChange, At: e.elapsed})
 	}
-	return events
+	return e.events
 }
 
 // stepCursor interprets crane c's active node against the telemetry
@@ -365,7 +403,9 @@ func (e *Engine) stepCursor(c int, states []fom.CraneState) {
 	switch ps.Kind {
 	case PhaseDrive:
 		d := horizDist(st.Position, ps.Target)
-		cur.message = fmt.Sprintf("drive to %s (%.0f m to go)", phaseLabel(ps), d)
+		if e.liveStatus {
+			cur.message = fmt.Sprintf("drive to %s (%.0f m to go)", phaseLabel(ps), d)
+		}
 		if d <= ps.Radius {
 			e.enter(c, e.spec.next(cur.idx))
 		}
@@ -384,7 +424,7 @@ func (e *Engine) stepCursor(c int, states []fom.CraneState) {
 			}
 			if holders >= need {
 				e.enter(c, e.spec.next(cur.idx))
-			} else {
+			} else if e.liveStatus {
 				cur.message = fmt.Sprintf("holding %s — waiting for partner hooks (%d/%d)",
 					e.cargoName(ps.Cargo), holders, need)
 			}
@@ -393,8 +433,10 @@ func (e *Engine) stepCursor(c int, states []fom.CraneState) {
 			// (older builds); accept any latch then.
 			e.enter(c, e.spec.next(cur.idx))
 		case st.CargoHeld:
-			cur.message = fmt.Sprintf("that is not %s — set it down and lift %s",
-				e.cargoName(int(st.CargoID)), e.cargoName(ps.Cargo))
+			if e.liveStatus {
+				cur.message = fmt.Sprintf("that is not %s — set it down and lift %s",
+					e.cargoName(int(st.CargoID)), e.cargoName(ps.Cargo))
+			}
 		}
 	case PhaseTraverse:
 		if !st.CargoHeld {
@@ -405,9 +447,12 @@ func (e *Engine) stepCursor(c int, states []fom.CraneState) {
 		}
 		wp := ps.Waypoints[cur.waypoint]
 		d := horizDist(st.CargoPos, wp)
-		cur.message = fmt.Sprintf("waypoint %d/%d (%.1f m)", cur.waypoint+1, len(ps.Waypoints), d)
+		if e.liveStatus {
+			cur.message = fmt.Sprintf("waypoint %d/%d (%.1f m)", cur.waypoint+1, len(ps.Waypoints), d)
+		}
 		if d <= ps.Radius {
 			cur.waypoint++
+			e.progress++
 			if cur.waypoint >= len(ps.Waypoints) {
 				e.enter(c, e.spec.next(cur.idx))
 			}
@@ -423,7 +468,9 @@ func (e *Engine) stepCursor(c int, states []fom.CraneState) {
 			e.score -= e.cfg.BarHit
 			e.fallback(c)
 		default:
-			cur.message = fmt.Sprintf("lower and release the cargo at %s", phaseLabel(ps))
+			if e.liveStatus {
+				cur.message = fmt.Sprintf("lower and release the cargo at %s", phaseLabel(ps))
+			}
 		}
 	}
 	if !cur.done {
@@ -481,49 +528,37 @@ func (e *Engine) fallback(c int) {
 }
 
 // judgeCollisions deducts score once per contact episode per bar per
-// crane, testing crane c's hook and cargo proxies against the bars.
-func (e *Engine) judgeCollisions(c int) []Event {
-	var events []Event
-	inContact := make(map[string]bool, 2)
+// crane, testing crane c's hook and cargo proxies against the bars, and
+// appends any new-episode events to the engine's event scratch.
+func (e *Engine) judgeCollisions(c int) {
+	contact := e.contact
+	for b := range contact {
+		contact[b] = false
+	}
 	hookObj, cargoObj := e.hookObjs[c], e.cargoObjs[c]
-	for _, obj := range e.world.Objects() {
-		if e.isProxy(obj) {
+	for b, obj := range e.bars {
+		if _, hit := e.world.CheckPair(obj, cargoObj); hit {
+			contact[b] = true
 			continue
 		}
-		if ct, hit := e.world.CheckPair(obj, cargoObj); hit {
-			inContact[ct.A] = true
-		}
-		if ct, hit := e.world.CheckPair(obj, hookObj); hit {
-			inContact[ct.A] = true
+		if _, hit := e.world.CheckPair(obj, hookObj); hit {
+			contact[b] = true
 		}
 	}
 	barHit := e.barHit[c]
-	for name := range inContact {
-		if !barHit[name] {
-			barHit[name] = true
+	for b := range contact {
+		switch {
+		case contact[b] && !barHit[b]:
+			barHit[b] = true
 			e.collisions++
 			e.score -= e.cfg.BarHit
 			e.alarms |= fom.AlarmCollision
 			e.alarmEvents++
-			events = append(events, Event{Kind: EventBarCollision, Bar: name, At: e.elapsed, Crane: c})
+			e.events = append(e.events, Event{Kind: EventBarCollision, Bar: e.course.Bars[b].Name, At: e.elapsed, Crane: c})
+		case !contact[b]:
+			barHit[b] = false // episode over; future hits count again
 		}
 	}
-	for name := range barHit {
-		if !inContact[name] {
-			delete(barHit, name) // episode over; future hits count again
-		}
-	}
-	return events
-}
-
-// isProxy reports whether obj is any crane's hook or cargo proxy.
-func (e *Engine) isProxy(obj *collision.Object) bool {
-	for c := range e.hookObjs {
-		if obj == e.hookObjs[c] || obj == e.cargoObjs[c] {
-			return true
-		}
-	}
-	return false
 }
 
 func (e *Engine) applyOvertime() {

@@ -95,8 +95,22 @@ func DefaultParams() Params {
 // sweeps stored under it are reproducible — the same key always names the
 // identical job list — and therefore diffable across code changes.
 func Key(seed int64, count int, p Params) string {
-	// FNV-1a over the generation-affecting fields; Oracle/Parallel-style
-	// execution knobs must not change the key, only the sampled space may.
+	return fmt.Sprintf("campaign-%dx%d-%08x", seed, count, paramsHash(p))
+}
+
+// Sig is the count-independent generation signature a verdict cache keys
+// on: seed plus the params hash. Candidate k's spec is fully determined by
+// it, so cached verdicts are shared between campaigns that differ only in
+// count (a 42:100 warm-up seeds the cache for 42:100000).
+func Sig(seed int64, p Params) string {
+	return fmt.Sprintf("%d-%08x", seed, paramsHash(p))
+}
+
+// paramsHash folds every generation-affecting Params field through FNV-1a;
+// Oracle/Parallel-style execution knobs must not change the hash, only
+// the sampled space may. New Params fields MUST be added here — distinct
+// knob settings may never collide on a campaign key or a cache signature.
+func paramsHash(p Params) uint32 {
 	sig := fmt.Sprintf("%v|%v|%v|%v|%d|%d|%d|%v|%v|%v|%v",
 		p.TwoCraneProb, p.TandemProb, p.WindProb, p.NightProb,
 		p.MinGates, p.MaxGates, p.MaxBars,
@@ -106,7 +120,7 @@ func Key(seed int64, count int, p Params) string {
 		h ^= uint64(sig[i])
 		h *= 1099511628211
 	}
-	return fmt.Sprintf("campaign-%dx%d-%08x", seed, count, uint32(h^h>>32))
+	return uint32(h ^ h>>32)
 }
 
 // SubSeed derives candidate k's generator seed from the campaign seed —

@@ -1,0 +1,60 @@
+package gen
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"codsim/internal/trace"
+)
+
+// The early-exit stall window must be verdict-neutral on generated work
+// too: across a 200-candidate corpus, the oracle with the stall budget
+// and a full-budget run agree on every candidate. Together with trace's
+// library equivalence test this is the proof that early exit only
+// changes how fast a hopeless dry-run dies, never which candidates a
+// campaign dispatches.
+func TestEarlyExitVerdictEquivalenceCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("200 expert dry-runs in -short")
+	}
+	p := DefaultParams()
+	ctx := context.Background()
+	checked, rejected := 0, 0
+	for k := int64(0); k < 200; k++ {
+		spec, err := Generate(SubSeed(1234, k), p)
+		if err != nil {
+			t.Fatalf("candidate %d: %v", k, err)
+		}
+		if StaticCheck(spec) != nil {
+			continue // static rejects never reach either dry-run path
+		}
+		budget := 3 * spec.Course.ParTime // Verify's default budget rule
+		if budget < 900 {
+			budget = 900
+		}
+		_, early, err := trace.Completable(ctx, spec, budget)
+		if err != nil {
+			t.Fatalf("candidate %d early-exit run: %v", k, err)
+		}
+		res, err := (&trace.Runner{}).RunSkill(ctx, spec, budget, trace.SkillProfile{})
+		full := err == nil && res.Passed
+		if err != nil && !errors.Is(err, trace.ErrIncomplete) {
+			t.Fatalf("candidate %d full-budget run: %v", k, err)
+		}
+		if early != full {
+			t.Fatalf("candidate %d (%s): early-exit verdict %v, full-budget verdict %v", k, spec.Name, early, full)
+		}
+		checked++
+		if !full {
+			rejected++
+		}
+	}
+	t.Logf("%d candidates verdict-checked, %d rejected by both paths", checked, rejected)
+	if checked < 150 {
+		t.Fatalf("only %d/200 candidates survived the static check — corpus too thin to back the equivalence claim", checked)
+	}
+	if rejected == checked {
+		t.Fatal("every candidate rejected — the equivalence check never exercised a certified run")
+	}
+}

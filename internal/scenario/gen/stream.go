@@ -21,8 +21,30 @@ const MaxConsecutiveRejects = 1000
 type Stats struct {
 	Candidates    int64 // specs sampled from the seed stream
 	StaticRejects int64 // vetoed by the free reachability pre-check
-	OracleRejects int64 // vetoed by the expert dry-run
+	OracleRejects int64 // vetoed by the dry-run verdict (live or cached)
 	Emitted       int64 // certified specs handed to the caller
+	OracleRuns    int64 // live dry-runs actually flown (cache misses)
+	CacheHits     int64 // verdicts replayed from the persistent cache
+	CacheMisses   int64 // cache consults that had to fly the dry-run
+}
+
+// Hooks lets a caller observe stream work for the telemetry plane. gen is
+// a declared-deterministic package (codvet bans time.Now here), so the
+// wall clock is injected: cmd wiring passes a monotonic-seconds func and
+// metric sinks; the zero value disables everything. Candidate and
+// CacheResult fire on the merge path in candidate order; OracleWall fires
+// once per live dry-run and may be called from certification goroutines
+// concurrently, so its sink must be goroutine-safe (obs counters are).
+type Hooks struct {
+	// Clock returns monotonic seconds; nil disables oracle-wall timing.
+	Clock func() float64
+	// Candidate receives every sampled candidate's final verdict:
+	// "emitted", "static-reject" or "oracle-reject".
+	Candidate func(verdict string)
+	// CacheResult receives one call per cache consult; true is a hit.
+	CacheResult func(hit bool)
+	// OracleWall receives each live dry-run's wall-clock seconds.
+	OracleWall func(seconds float64)
 }
 
 // Stream yields certified scenarios in candidate order. Candidate k's
@@ -30,11 +52,13 @@ type Stats struct {
 // skipped and sampling continues under the same sub-seed stream, so the
 // emitted sequence — and every tally in Stats — is a pure function of
 // (seed, params, oracle). Certification dry-runs for a batch of
-// candidates execute in parallel, but emission order never depends on
-// which finishes first.
+// candidates execute in parallel, and with Prefetch the next batch
+// certifies in background while the caller drains the current one, but
+// emission order and tallies never depend on scheduling: every verdict is
+// replayed into Stats in candidate order on the caller's goroutine.
 //
 // Not safe for concurrent use; a campaign owns one Stream and feeds the
-// coordinator from it.
+// coordinator from it. A Stream with Prefetch enabled must be Closed.
 type Stream struct {
 	// Oracle certifies candidates; nil means DefaultOracle(params) — the
 	// full static-check + expert dry-run. Set StaticOnly for free previews.
@@ -42,6 +66,17 @@ type Stream struct {
 	// Parallel bounds concurrent dry-runs per refill batch; 0 means
 	// GOMAXPROCS.
 	Parallel int
+	// Prefetch certifies the next candidate batch in background while the
+	// current one drains, hiding oracle latency behind dispatch. Off, the
+	// stream refills synchronously (the original behavior).
+	Prefetch bool
+	// Cache consults the persistent verdict store before every dry-run
+	// and records fresh verdicts into it (unless the cache is ReadOnly);
+	// nil disables. The cache must have been opened for this stream's
+	// (seed, params) signature.
+	Cache *Cache
+	// Hooks observes the stream's work; the zero value is silent.
+	Hooks Hooks
 
 	seed    int64
 	params  Params
@@ -49,6 +84,9 @@ type Stream struct {
 	rejects int   // consecutive rejects since the last emission
 	buf     []certified
 	stats   Stats
+
+	inflight chan *batchResult  // pending prefetch task, nil if none
+	cancel   context.CancelFunc // cancels the pending prefetch task
 }
 
 type certified struct {
@@ -56,8 +94,31 @@ type certified struct {
 	candidate int64
 }
 
+// candRec is one candidate's outcome inside a certification batch. Batches
+// compute in any goroutine; Stats mutate only when recs replay in
+// candidate order on the stream's own goroutine.
+type candRec struct {
+	cand    int64
+	spec    scenario.Spec
+	static  bool // vetoed by the static pre-check (no dry-run)
+	ok      bool // dry-run verdict (live or cached) when !static
+	cached  bool // verdict replayed from Cache
+	consult bool // cache was consulted for this candidate
+	wall    float64
+	genErr  error // Generate fault: raised during the sampling replay
+	err     error // certification fault (hashing, oracle, cancellation)
+}
+
+// batchResult carries one certification batch back to the merge path.
+type batchResult struct {
+	recs      []candRec
+	nextAfter int64 // candidate index sampling stopped at
+	err       error // ctx fault during sampling, raised after the recs replay
+}
+
 // NewStream starts the certified-scenario stream for a campaign seed.
-// Set Oracle/Parallel before the first Next if the defaults don't fit.
+// Set Oracle/Parallel/Prefetch/Cache before the first Next if the
+// defaults don't fit.
 func NewStream(seed int64, params Params) *Stream {
 	return &Stream{seed: seed, params: params}
 }
@@ -72,8 +133,16 @@ func (s *Stream) Stats() Stats { return s.stats }
 // vetoed back-to-back.
 func (s *Stream) Next(ctx context.Context) (scenario.Spec, int64, error) {
 	for len(s.buf) == 0 {
-		if err := s.refill(ctx); err != nil {
+		br, err := s.takeBatch(ctx)
+		if err != nil {
 			return scenario.Spec{}, 0, err
+		}
+		merr := s.merge(br)
+		if merr == nil && s.Prefetch {
+			s.launch(ctx)
+		}
+		if merr != nil {
+			return scenario.Spec{}, 0, merr
 		}
 	}
 	out := s.buf[0]
@@ -82,9 +151,57 @@ func (s *Stream) Next(ctx context.Context) (scenario.Spec, int64, error) {
 	return out.spec, out.candidate, nil
 }
 
-// refill samples one batch of candidates, certifies them in parallel, and
-// appends the survivors to the buffer in candidate order.
-func (s *Stream) refill(ctx context.Context) error {
+// Close cancels and drains any in-flight prefetch batch; its verdicts are
+// discarded (and, being keyed work, re-derivable). A Stream that never
+// enabled Prefetch needs no Close, but Close is always safe.
+func (s *Stream) Close() {
+	if s.inflight == nil {
+		return
+	}
+	s.cancel()
+	<-s.inflight
+	s.inflight, s.cancel = nil, nil
+}
+
+// takeBatch returns the next certification batch: the in-flight prefetch
+// result when one is pending, else a batch certified synchronously.
+func (s *Stream) takeBatch(ctx context.Context) (*batchResult, error) {
+	if s.inflight != nil {
+		select {
+		case br := <-s.inflight:
+			s.inflight, s.cancel = nil, nil
+			return br, nil
+		case <-ctx.Done():
+			// Leave the task to finish against its own canceled context;
+			// Close drains it.
+			s.cancel()
+			return nil, ctx.Err()
+		}
+	}
+	return s.certifyBatch(ctx, s.next, s.rejects), nil
+}
+
+// launch starts certifying the next batch in background. Called only
+// after a merge, so s.next and s.rejects are settled — the task samples
+// exactly the candidates a synchronous refill would.
+func (s *Stream) launch(ctx context.Context) {
+	tctx, cancel := context.WithCancel(ctx)
+	ch := make(chan *batchResult, 1)
+	start, streak := s.next, s.rejects
+	go func() {
+		ch <- s.certifyBatch(tctx, start, streak)
+		cancel()
+	}()
+	s.inflight, s.cancel = ch, cancel
+}
+
+// certifyBatch samples candidates from start until one batch width of
+// them pass the static check, consults the cache, and flies the remaining
+// dry-runs in parallel. It reads only the stream's immutable fields
+// (seed, params, oracle config, cache) — never Stats or the buffer — so
+// prefetch tasks can run it while the caller drains emissions. streakIn
+// seeds the consecutive-reject guard exactly as the serial path would.
+func (s *Stream) certifyBatch(ctx context.Context, start int64, streakIn int) *batchResult {
 	oracle := s.Oracle
 	if oracle == nil {
 		oracle = DefaultOracle(s.params)
@@ -94,59 +211,153 @@ func (s *Stream) refill(ctx context.Context) error {
 		width = runtime.GOMAXPROCS(0)
 	}
 
-	// Sample and static-check serially — both are microseconds — so the
-	// tallies stay in candidate order; only the dry-runs fan out.
-	type slot struct {
-		spec scenario.Spec
-		cand int64
-		ok   bool
-		err  error
-	}
-	batch := make([]*slot, 0, width)
-	for len(batch) < width {
+	br := &batchResult{nextAfter: start}
+	// Sampling and static checks run serially — both are microseconds —
+	// so the record order is candidate order; only the dry-runs fan out.
+	streak := streakIn
+	pending := 0
+	for pending < width {
 		if err := ctx.Err(); err != nil {
-			return err
+			br.err = err
+			break
 		}
-		cand := s.next
-		s.next++
-		s.stats.Candidates++
+		cand := br.nextAfter
+		br.nextAfter++
 		spec, err := Generate(SubSeed(s.seed, cand), s.params)
 		if err != nil {
-			return fmt.Errorf("gen: candidate %d: %w", cand, err)
+			br.recs = append(br.recs, candRec{cand: cand, genErr: err})
+			break
 		}
 		if StaticCheck(spec) != nil {
-			s.stats.StaticRejects++
-			if s.rejects++; s.rejects >= MaxConsecutiveRejects {
-				return fmt.Errorf("gen: %d candidates rejected back-to-back — params sample an uncompletable space", s.rejects)
+			br.recs = append(br.recs, candRec{cand: cand, static: true})
+			if streak++; streak >= MaxConsecutiveRejects {
+				break // merge replays the same guard and raises the error
 			}
 			continue
 		}
-		batch = append(batch, &slot{spec: spec, cand: cand})
+		rec := candRec{cand: cand, spec: spec}
+		if s.Cache != nil {
+			hash, err := SpecHash(spec)
+			if err != nil {
+				rec.err = err
+			} else {
+				rec.consult = true
+				if ok, found := s.Cache.lookup(cand, hash); found {
+					rec.cached, rec.ok = true, ok
+				}
+			}
+		}
+		br.recs = append(br.recs, rec)
+		pending++
 	}
 
 	var wg sync.WaitGroup
-	for _, sl := range batch {
+	for i := range br.recs {
+		rec := &br.recs[i]
+		if rec.static || rec.cached || rec.err != nil {
+			continue
+		}
 		wg.Add(1)
-		go func(sl *slot) {
+		go func(rec *candRec) {
 			defer wg.Done()
-			sl.ok, sl.err = oracle(ctx, sl.spec)
-		}(sl)
+			var began float64
+			if s.Hooks.Clock != nil {
+				began = s.Hooks.Clock()
+			}
+			rec.ok, rec.err = oracle(ctx, rec.spec)
+			if s.Hooks.Clock != nil {
+				rec.wall = s.Hooks.Clock() - began
+			}
+		}(rec)
 	}
 	wg.Wait()
+	return br
+}
 
-	for _, sl := range batch {
-		if sl.err != nil {
-			return fmt.Errorf("gen: candidate %d oracle: %w", sl.cand, sl.err)
+// merge replays a batch's records into the stream's tallies and buffer in
+// candidate order — the same order, counts and error points the serial
+// path produces, no matter which goroutine certified what. Fresh live
+// verdicts are persisted to the cache here, on one goroutine, so the
+// cache file's line order is deterministic too.
+func (s *Stream) merge(br *batchResult) error {
+	s.next = br.nextAfter
+	// Sampling-phase tallies first, exactly as the serial path counts
+	// them: every sampled candidate, static rejects and their streaks.
+	for i := range br.recs {
+		rec := &br.recs[i]
+		s.stats.Candidates++
+		if rec.genErr != nil {
+			return fmt.Errorf("gen: candidate %d: %w", rec.cand, rec.genErr)
 		}
-		if !sl.ok {
+		if rec.static {
+			s.stats.StaticRejects++
+			s.hookCandidate("static-reject")
+			if s.rejects++; s.rejects >= MaxConsecutiveRejects {
+				return fmt.Errorf("gen: %d candidates rejected back-to-back — params sample an uncompletable space", s.rejects)
+			}
+		}
+	}
+	// Dry-run verdicts second, still in candidate order.
+	for i := range br.recs {
+		rec := &br.recs[i]
+		if rec.static {
+			continue
+		}
+		if rec.consult {
+			if rec.cached {
+				s.stats.CacheHits++
+			} else {
+				s.stats.CacheMisses++
+			}
+			s.hookCache(rec.cached)
+		}
+		if rec.err != nil {
+			return fmt.Errorf("gen: candidate %d oracle: %w", rec.cand, rec.err)
+		}
+		if !rec.cached {
+			s.stats.OracleRuns++
+			if s.Hooks.OracleWall != nil && s.Hooks.Clock != nil {
+				s.Hooks.OracleWall(rec.wall)
+			}
+			if s.Cache != nil {
+				if err := s.Cache.add(rec.cand, mustSpecHash(rec.spec), rec.ok); err != nil {
+					return err
+				}
+			}
+		}
+		if !rec.ok {
 			s.stats.OracleRejects++
+			s.hookCandidate("oracle-reject")
 			if s.rejects++; s.rejects >= MaxConsecutiveRejects {
 				return fmt.Errorf("gen: %d candidates rejected back-to-back — params sample an uncompletable space", s.rejects)
 			}
 			continue
 		}
 		s.rejects = 0
-		s.buf = append(s.buf, certified{spec: sl.spec, candidate: sl.cand})
+		s.hookCandidate("emitted")
+		s.buf = append(s.buf, certified{spec: rec.spec, candidate: rec.cand})
 	}
-	return nil
+	return br.err
+}
+
+// mustSpecHash re-hashes a spec that already round-tripped SpecHash during
+// certification; a failure here would have surfaced there.
+func mustSpecHash(spec scenario.Spec) uint64 {
+	h, err := SpecHash(spec)
+	if err != nil {
+		panic("gen: SpecHash failed on a spec it already hashed: " + err.Error())
+	}
+	return h
+}
+
+func (s *Stream) hookCandidate(verdict string) {
+	if s.Hooks.Candidate != nil {
+		s.Hooks.Candidate(verdict)
+	}
+}
+
+func (s *Stream) hookCache(hit bool) {
+	if s.Hooks.CacheResult != nil {
+		s.Hooks.CacheResult(hit)
+	}
 }

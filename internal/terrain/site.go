@@ -1,6 +1,9 @@
 package terrain
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // SiteConfig parameterizes the procedural construction site used by the
 // training scenario (Fig. 8): a mostly flat yard with gentle undulation, a
@@ -53,6 +56,27 @@ func GenerateSite(cfg SiteConfig) (*Map, error) {
 		}
 	}
 	return New(w, h, cfg.Spacing, heights)
+}
+
+var (
+	defaultSiteOnce sync.Once
+	defaultSiteMap  *Map
+)
+
+// DefaultMap returns the construction-site terrain for DefaultSite(),
+// built once and shared: a Map is immutable after construction, so every
+// headless run and oracle dry-run — across goroutines — can read the same
+// instance instead of regenerating the ~10k-sample height field per run.
+func DefaultMap() *Map {
+	defaultSiteOnce.Do(func() {
+		m, err := GenerateSite(DefaultSite())
+		if err != nil {
+			// DefaultSite is a fixed, valid configuration.
+			panic("terrain: DefaultSite failed to generate: " + err.Error())
+		}
+		defaultSiteMap = m
+	})
+	return defaultSiteMap
 }
 
 // Test-ground geometry shared with the scenario package: the exam area is a

@@ -238,3 +238,24 @@ func BenchmarkPosture(b *testing.B) {
 		site.Posture(float64(i%150)+10, 60, 0.3, 4, 2.5)
 	}
 }
+
+// DefaultMap must hand every caller the same generated instance — the
+// sharing contract the headless hot path relies on to skip a ~10k-sample
+// regeneration per run — and that instance must match a fresh generation
+// of the default site.
+func TestDefaultMapShared(t *testing.T) {
+	a := DefaultMap()
+	b := DefaultMap()
+	if a != b {
+		t.Fatal("DefaultMap returned distinct instances")
+	}
+	fresh, err := GenerateSite(DefaultSite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range [][2]float64{{0, 0}, {37.5, 91.2}, {140, 140}, {199, 199}} {
+		if got, want := a.HeightAt(p[0], p[1]), fresh.HeightAt(p[0], p[1]); got != want {
+			t.Fatalf("shared map height at (%.1f,%.1f) = %v, fresh = %v", p[0], p[1], got, want)
+		}
+	}
+}

@@ -76,6 +76,11 @@ go test -bench 'BenchmarkCBRouting' -benchtime 500x -run '^$' . >>"$out/bench.tx
 # Sustained throughput at 1000x: the frames/sec/core headline plus gated
 # allocs/bytes ceilings on the pipelined publish→consume path.
 go test -bench 'BenchmarkCBThroughput' -benchtime 1000x -run '^$' . >>"$out/bench.txt"
+# The certification hot loop is gated at 0 allocs per 60 Hz step (20000x
+# amortizes the per-run rig rebuilds); one full oracle dry-run stays
+# under its setup ceiling at 20x.
+go test -bench 'BenchmarkHeadlessRun' -benchtime 20000x -run '^$' . >>"$out/bench.txt"
+go test -bench 'BenchmarkOracleCertify' -benchtime 20x -run '^$' . >>"$out/bench.txt"
 go run ./cmd/benchdiff BENCH_baseline.json "$out/bench.txt"
 
 echo "== batch smoke (headless sweep incl. multi-crane, JSONL report) =="
@@ -88,10 +93,17 @@ echo "== tandem-lift smoke (two cranes, headless + skill spread) =="
 "$out/codbatch" -headless -strict -skill novice -scenarios tandem-beam,twin-yard >>"$out/tandem.txt"
 tail -n 2 "$out/tandem.txt"
 
-echo "== campaign smoke (20 generated scenarios, oracle-certified, strict) =="
-"$out/codbatch" -campaign 7:20 -headless -strict >"$out/campaign.txt"
+echo "== campaign smoke (100 generated scenarios, oracle-certified, strict, verdict cache) =="
+"$out/codbatch" -campaign 7:100 -headless -strict -campaign-cache "$out/verdicts.jsonl" >"$out/campaign.txt"
 tail -n 3 "$out/campaign.txt"
-"$out/codbatch" -campaign 7:20 -list >/dev/null
+"$out/codbatch" -campaign 7:100 -list >/dev/null
+# Warm rerun: every verdict replays from the cache — zero live dry-runs.
+"$out/codbatch" -campaign 7:100 -headless -strict -campaign-cache "$out/verdicts.jsonl" >"$out/campaign-warm.txt"
+grep -q '0 live dry-runs' "$out/campaign-warm.txt" || {
+    echo "campaign smoke: warm cache rerun still flew dry-runs" >&2
+    grep 'verdict cache' "$out/campaign-warm.txt" >&2 || true
+    exit 1
+}
 
 echo "== fuzz smoke (Spec JSON surface, 10 s per target) =="
 go test -run '^$' -fuzz '^FuzzUnmarshalSpec$' -fuzztime 10s ./internal/scenario
